@@ -1,0 +1,169 @@
+"""E11 — certain-answer computation routes (§6 future work + related work).
+
+Three routes to certain answers, with agreement and cost:
+
+* exhaustive world enumeration (the definition, exponential in the fact
+  space);
+* the Theorem 4.1 template route (exponential in Σ|v_i|, independent of the
+  domain size);
+* the Information-Manifold canonical database from sound views (polynomial;
+  a sound under-approximation that misses completeness-forced facts).
+"""
+
+import time
+
+from repro.model import fact
+from repro.queries import identity_view, parse_rule
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.baselines import certain_answer_im
+from repro.confidence import certain_answer, certain_answer_lower_bound
+from repro.tableaux import certain_answer_from_templates
+
+from benchmarks.conftest import write_table
+
+
+def scenarios():
+    q = parse_rule("ans(u) <- R(u)")
+    yield (
+        "sound identity",
+        SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1),
+                    [fact("V1", "a"), fact("V1", "b")],
+                    0, 1, name="S1",
+                )
+            ]
+        ),
+        q,
+        ["a", "b", "c"],
+    )
+    yield (
+        "sound + partial",
+        SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1),
+                    [fact("V1", "a"), fact("V1", "b")],
+                    "1/2", 1, name="S1",
+                ),
+                SourceDescriptor(
+                    identity_view("V2", "R", 1),
+                    [fact("V2", "b"), fact("V2", "c")],
+                    "1/2", "1/2", name="S2",
+                ),
+            ]
+        ),
+        q,
+        ["a", "b", "c", "d1"],
+    )
+    yield (
+        "completeness-forced",
+        SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1),
+                    [fact("V1", "a")], 1, 0, name="S1",
+                ),
+                SourceDescriptor(
+                    identity_view("V2", "R", 1),
+                    [fact("V2", "a"), fact("V2", "b")], 0, "1/2", name="S2",
+                ),
+            ]
+        ),
+        q,
+        ["a", "b"],
+    )
+    yield (
+        "projection view",
+        SourceCollection(
+            [
+                SourceDescriptor(
+                    parse_rule("V1(u) <- R(u, w)"),
+                    [fact("V1", "a")], 0, 1, name="S1",
+                )
+            ]
+        ),
+        parse_rule("ans(u) <- R(u, w)"),
+        ["a", "b"],
+    )
+
+
+def test_e11_route_agreement_table(benchmark, results_dir):
+    """Certain answers per route; template/IM must stay within the truth."""
+
+    def sweep():
+        rows = []
+        for name, collection, query, domain in scenarios():
+            start = time.perf_counter()
+            exact = certain_answer(query, collection, domain)
+            enum_time = time.perf_counter() - start
+
+            start = time.perf_counter()
+            via_templates = certain_answer_from_templates(query, collection)
+            template_time = time.perf_counter() - start
+
+            start = time.perf_counter()
+            via_im = certain_answer_im(query, collection)
+            im_time = time.perf_counter() - start
+
+            if collection.identity_relation() is not None:
+                via_base = certain_answer_lower_bound(query, collection, domain)
+                assert via_base <= exact, name
+                base_cell = str(len(via_base))
+            else:
+                base_cell = "n/a"
+
+            assert via_templates <= exact, name
+            assert via_im <= exact, name
+            rows.append(
+                [
+                    name,
+                    len(exact),
+                    len(via_templates),
+                    len(via_im),
+                    base_cell,
+                    f"{enum_time * 1000:.1f} ms",
+                    f"{template_time * 1000:.1f} ms",
+                    f"{im_time * 1000:.2f} ms",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # the completeness-forced scenario shows the structural gap:
+    forced = next(r for r in rows if r[0] == "completeness-forced")
+    assert forced[1] == 1 and forced[3] == 0  # exact sees R(a); IM cannot
+    assert forced[4] == "1"  # the base-facts route DOES see the forced fact
+    write_table(
+        "e11_certain_answers",
+        "E11: certain answers — enumeration vs templates vs IM vs base-facts",
+        ["scenario", "|exact|", "|templates|", "|IM|", "|base-facts|",
+         "t enum", "t templates", "t IM"],
+        rows,
+        notes=[
+            "templates, IM, and base-facts are sound under-approximations "
+            "(subset in every row)",
+            "completeness-forced row: only world-level reasoning (exact or "
+            "the confidence-1 base facts) sees facts forced by completeness "
+            "bounds; view-based IM/templates cannot. Conversely base-facts "
+            "is identity-only (n/a on the projection-view row).",
+        ],
+    )
+
+
+def test_e11_im_speed(benchmark):
+    """IM canonical-database route on a larger sound source."""
+    view = parse_rule("V1(u) <- R(u, w)")
+    collection = SourceCollection(
+        [
+            SourceDescriptor(
+                view,
+                [fact("V1", f"k{i}") for i in range(40)],
+                0, 1, name="S1",
+            )
+        ]
+    )
+    q = parse_rule("ans(u) <- R(u, w)")
+    result = benchmark(lambda: certain_answer_im(q, collection))
+    assert len(result) == 40

@@ -1,0 +1,120 @@
+"""E12 — consensus & trust (the §6 future-work direction, measured).
+
+A fleet of honest exact reporters plus one fabricating reporter: the
+conflict analysis must (i) isolate the fabricator with zero consensus
+trust and maximal blame, (ii) propose dropping exactly it, and (iii) find a
+small uniform bound discount restoring consistency. The table sweeps the
+fleet size; a second table measures the cost of conflict enumeration as the
+number of sources grows (exponential, as expected for subset search).
+"""
+
+import time
+
+from repro.model import fact
+from repro.queries import identity_view
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.consensus import (
+    blame_scores,
+    consensus_trust_scores,
+    minimal_inconsistent_subcollections,
+    repair_via_hitting_set,
+    uniform_relaxation,
+)
+
+from benchmarks.conftest import write_table
+
+
+def fleet_with_fabricator(n_honest: int) -> SourceCollection:
+    truth = ["alice", "bob", "carol"]
+    sources = [
+        SourceDescriptor(
+            identity_view(f"V{i}", "Customer", 1),
+            [fact(f"V{i}", x) for x in truth],
+            1, 1, name=f"honest{i}",
+        )
+        for i in range(1, n_honest + 1)
+    ]
+    sources.append(
+        SourceDescriptor(
+            identity_view("Vf", "Customer", 1),
+            [fact("Vf", "mallory")],
+            1, 1, name="fabricator",
+        )
+    )
+    return SourceCollection(sources)
+
+
+def test_e12_fabricator_detection_table(benchmark, results_dir):
+    """The fabricator must always be isolated, at any honest-fleet size."""
+
+    def sweep():
+        rows = []
+        for n_honest in (2, 3, 4, 5):
+            collection = fleet_with_fabricator(n_honest)
+            start = time.perf_counter()
+            trust = consensus_trust_scores(collection)
+            blame = blame_scores(collection)
+            repair, conflicts = repair_via_hitting_set(collection)
+            elapsed = time.perf_counter() - start
+            assert trust["fabricator"] == 0
+            assert all(
+                trust[f"honest{i}"] == 1 for i in range(1, n_honest + 1)
+            )
+            assert repair == frozenset({"fabricator"})
+            rows.append(
+                [
+                    n_honest,
+                    len(conflicts),
+                    f"{float(blame['fabricator']):.2f}",
+                    f"{float(blame['honest1']):.2f}",
+                    ", ".join(sorted(repair)),
+                    f"{elapsed * 1000:.1f} ms",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table(
+        "e12_fabricator",
+        "E12a: isolating a fabricating source among honest reporters",
+        ["honest sources", "conflicts", "blame(fab)", "blame(honest)",
+         "repair", "time"],
+        rows,
+        notes=["consensus trust: fabricator 0, every honest source 1"],
+    )
+
+
+def test_e12_relaxation_table(benchmark, results_dir):
+    """Charitable reading: the discount restoring joint satisfiability."""
+
+    def sweep():
+        rows = []
+        for n_honest in (2, 4):
+            collection = fleet_with_fabricator(n_honest)
+            start = time.perf_counter()
+            discount, relaxed = uniform_relaxation(collection)
+            elapsed = time.perf_counter() - start
+            from repro.consistency import check_consistency
+
+            assert check_consistency(relaxed).consistent
+            rows.append(
+                [n_honest, f"{float(discount):.4f}", f"{elapsed * 1000:.0f} ms"]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table(
+        "e12_relaxation",
+        "E12b: uniform bound discount restoring consistency",
+        ["honest sources", "discount", "time"],
+        rows,
+    )
+
+
+def test_e12_conflict_enumeration_speed(benchmark):
+    """Conflict enumeration on a 5-honest + 1-fabricator fleet."""
+    collection = fleet_with_fabricator(5)
+    conflicts = benchmark(
+        lambda: minimal_inconsistent_subcollections(collection)
+    )
+    assert len(conflicts) == 5  # each honest source vs the fabricator

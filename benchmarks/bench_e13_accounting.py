@@ -1,0 +1,107 @@
+"""E13 — the §2.2 auditing methodology, end to end.
+
+Accounting systems declare bounds obtained by statistical auditing (sample
+size from the target confidence, Clopper–Pearson lower bound, FD-derived
+completeness). The design-level guarantee is *probabilistic*: a 95%-level
+lower bound should under-shoot the true soundness in ≈95% of audits. The
+bench measures that empirical coverage and the conservatism (how far below
+the truth the declared bound sits), across error rates.
+"""
+
+import random
+import time
+
+from repro.workloads import accounting
+
+from benchmarks.conftest import write_table
+
+
+def test_e13_coverage_table(benchmark, results_dir):
+    """Empirical coverage of the 95% audit bounds across error rates."""
+
+    def sweep():
+        rows = []
+        for error_rate in (0.02, 0.1, 0.25):
+            holds = 0
+            total = 0
+            slack_sum = 0.0
+            for seed in range(20):
+                workload = accounting.generate(
+                    n_systems=2,
+                    n_transactions=150,
+                    loss_rate=0.1,
+                    error_rate=error_rate,
+                    confidence=0.95,
+                    rng=random.Random(int(error_rate * 1000) + seed),
+                )
+                for system in workload.systems:
+                    total += 1
+                    declared = float(system.descriptor.soundness_bound)
+                    true_value = float(system.true_soundness)
+                    if declared <= true_value:
+                        holds += 1
+                    slack_sum += true_value - declared
+            coverage = holds / total
+            rows.append(
+                [
+                    f"{error_rate:.2f}",
+                    total,
+                    f"{coverage:.3f}",
+                    f"{slack_sum / total:+.4f}",
+                ]
+            )
+            assert coverage >= 0.8  # 95% design level, finite-sample noise
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table(
+        "e13_audit_coverage",
+        "E13a: Clopper-Pearson audit bounds — empirical coverage at the "
+        "95% design level",
+        ["error rate", "audits", "coverage", "mean slack (true - declared)"],
+        rows,
+        notes=[
+            "coverage stays near/above the design level; slack is the price "
+            "of the one-sided guarantee",
+        ],
+    )
+
+
+def test_e13_ground_truth_admission_table(benchmark, results_dir):
+    """How often the (unknowable) ledger is a possible world of the audited
+    collection — i.e. how often declared bounds are jointly honest."""
+
+    def sweep():
+        rows = []
+        for loss_rate in (0.05, 0.15, 0.3):
+            admitted = 0
+            runs = 15
+            for seed in range(runs):
+                workload = accounting.generate(
+                    n_systems=2,
+                    n_transactions=120,
+                    loss_rate=loss_rate,
+                    error_rate=0.08,
+                    rng=random.Random(7000 + seed),
+                )
+                if workload.collection.admits(workload.ledger):
+                    admitted += 1
+            rows.append([f"{loss_rate:.2f}", runs, f"{admitted / runs:.2f}"])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table(
+        "e13_admission",
+        "E13b: ledger admitted as a possible world (joint honesty rate)",
+        ["loss rate", "runs", "admission rate"],
+        rows,
+    )
+
+
+def test_e13_generation_speed(benchmark):
+    """Cost of one audited-workload generation (ledger + 2 audits)."""
+    benchmark(
+        lambda: accounting.generate(
+            n_systems=2, n_transactions=150, rng=random.Random(3)
+        )
+    )

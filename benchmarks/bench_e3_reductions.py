@@ -1,0 +1,114 @@
+"""E3 — the reduction pipeline HS → HS* → CONSISTENCY (Thm 3.2, Lemma 3.3).
+
+Measures round-trip correctness on random instances (solving hitting set
+directly vs through the source-consistency reduction) and the relative cost
+of the two routes, plus the greedy approximation's quality gap.
+"""
+
+import random
+import time
+
+from repro.reductions import (
+    HittingSetInstance,
+    hs_star_to_collection,
+    hs_to_hs_star,
+    map_solution_back,
+    minimum_hitting_set,
+    solve_exact,
+    solve_greedy,
+    solve_hs_star_via_consistency,
+)
+
+from benchmarks.conftest import write_table
+
+
+def random_instance(seed: int, universe: int = 8, subsets: int = 5):
+    rng = random.Random(seed)
+    sets = [
+        set(rng.sample(range(universe), rng.randint(1, 3))) for _ in range(subsets)
+    ]
+    return HittingSetInstance(sets, rng.randint(1, universe // 2))
+
+
+def test_e3_roundtrip_table(benchmark, results_dir):
+    """Direct vs via-consistency verdicts and costs on random instances."""
+
+    def sweep():
+        rows = []
+        agreements = 0
+        for seed in range(15):
+            instance = random_instance(seed)
+            start = time.perf_counter()
+            direct = solve_exact(instance)
+            direct_time = time.perf_counter() - start
+            star, fresh = hs_to_hs_star(instance)
+            start = time.perf_counter()
+            reduced = solve_hs_star_via_consistency(star)
+            reduced_time = time.perf_counter() - start
+            agree = (direct is not None) == (reduced is not None)
+            agreements += agree
+            if reduced is not None:
+                mapped = map_solution_back(reduced, fresh)
+                assert instance.is_hitting_set(mapped)
+            rows.append(
+                [
+                    seed,
+                    instance.k,
+                    "yes" if direct is not None else "no",
+                    "yes" if reduced is not None else "no",
+                    f"{direct_time * 1000:.2f} ms",
+                    f"{reduced_time * 1000:.2f} ms",
+                ]
+            )
+        assert agreements == 15
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table(
+        "e3_roundtrip",
+        "E3a: HS solved directly vs via the Theorem 3.2 reduction",
+        ["seed", "K", "direct", "via consistency", "t direct", "t reduction"],
+        rows,
+        notes=["verdicts agree on all 15 random instances"],
+    )
+
+
+def test_e3_greedy_gap_table(benchmark, results_dir):
+    """Greedy approximation vs exact optimum (the classic ln(n) gap)."""
+
+    def sweep():
+        rows = []
+        for seed in range(10):
+            rng = random.Random(500 + seed)
+            sets = [
+                set(rng.sample(range(10), rng.randint(2, 4))) for _ in range(7)
+            ]
+            optimum = minimum_hitting_set(sets)
+            greedy = solve_greedy(HittingSetInstance(sets, 10))
+            rows.append(
+                [seed, len(optimum), len(greedy),
+                 f"{len(greedy) / len(optimum):.2f}x"]
+            )
+            assert len(greedy) >= len(optimum)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table(
+        "e3_greedy_gap",
+        "E3b: greedy hitting set vs exact optimum",
+        ["seed", "optimum", "greedy", "ratio"],
+        rows,
+    )
+
+
+def test_e3_reduction_construction_speed(benchmark):
+    """Time building the Theorem 3.2 source collection for one instance."""
+    star, _ = hs_to_hs_star(random_instance(3))
+    collection = benchmark(lambda: hs_star_to_collection(star))
+    assert len(collection) == len(star.subsets)
+
+
+def test_e3_solve_via_consistency_speed(benchmark):
+    """Time the full reduce-and-decide pipeline."""
+    star, _ = hs_to_hs_star(random_instance(7, universe=10, subsets=6))
+    benchmark(lambda: solve_hs_star_via_consistency(star))

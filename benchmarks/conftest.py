@@ -1,0 +1,51 @@
+"""Shared benchmark helpers: result tables written to benchmarks/results/.
+
+Each experiment bench both *times* its key operation (pytest-benchmark) and
+*regenerates the experiment's table* — the rows a paper evaluation section
+would print. Tables are written to ``benchmarks/results/<experiment>.txt``
+so they survive pytest's output capture; EXPERIMENTS.md summarizes them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_table(
+    experiment: str,
+    title: str,
+    header: Sequence[str],
+    rows: Iterable[Sequence],
+    notes: Sequence[str] = (),
+) -> str:
+    """Render an aligned text table and persist it under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(header[i])
+        for i in range(len(header))
+    ]
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = [title, "=" * len(title), "", fmt(header), fmt(["-" * w for w in widths])]
+    lines += [fmt(r) for r in str_rows]
+    if notes:
+        lines += [""] + [f"note: {n}" for n in notes]
+    text = "\n".join(lines) + "\n"
+    path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+    with open(path, "w") as handle:
+        handle.write(text)
+    return text
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR

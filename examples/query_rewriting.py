@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Answering queries using views: the data-integration workhorse (§1.2).
+
+A user asks a query over the *global* schema; the system only has the
+sources. The rewriting pipeline: find plans over the view relations whose
+expansions are contained in the query (verified with the Chandra–Merlin
+containment test), execute them against the sources' actual extensions, and
+annotate each answer with its provenance and a support score.
+
+Run:  python examples/query_rewriting.py
+"""
+
+import random
+
+from repro.model import GlobalDatabase, fact
+from repro.queries import evaluate, parse_rule
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.rewriting import execute_all, find_rewritings
+from repro.workloads.perturb import perturb_extension, slack_bound
+
+
+def main() -> None:
+    # Global schema: Employee(name, dept), Dept(dept, site).
+    truth = GlobalDatabase(
+        [
+            fact("Employee", "ana", "db"),
+            fact("Employee", "ben", "db"),
+            fact("Employee", "cho", "ml"),
+            fact("Dept", "db", "toronto"),
+            fact("Dept", "ml", "zurich"),
+        ]
+    )
+
+    # Sources expose views, not base tables.
+    v_emp = parse_rule("VEmp(n, d) <- Employee(n, d)")
+    v_dept = parse_rule("VDept(d, s) <- Dept(d, s)")
+    v_roster = parse_rule("VRoster(n, s) <- Employee(n, d), Dept(d, s)")
+
+    rng = random.Random(11)
+    sources = []
+    for view, name, drop in ((v_emp, "HR", 0.0), (v_dept, "Facilities", 0.0),
+                             (v_roster, "Directory", 0.34)):
+        intended = view.apply(truth)
+        noisy = perturb_extension(intended, drop, 0.0, ["x"], rng)
+        sources.append(
+            SourceDescriptor(
+                view, noisy.extension,
+                slack_bound(noisy.completeness), slack_bound(noisy.soundness),
+                name=name,
+            )
+        )
+    collection = SourceCollection(sources)
+
+    query = parse_rule("ans(n, s) <- Employee(n, d), Dept(d, s)")
+    print(f"query: {query}")
+
+    plans = find_rewritings(query, [v_emp, v_dept, v_roster])
+    print(f"\n{len(plans)} verified sound plan(s):")
+    for plan in plans:
+        tag = "EQUIVALENT" if plan.equivalent else "sound"
+        print(f"  [{tag}] {plan.plan}")
+
+    answers = execute_all(plans, collection)
+    true_answer = evaluate(query, truth)
+    print("\nanswers assembled from the sources:")
+    for answer in answers:
+        verdict = "true " if answer.fact in true_answer else "FALSE"
+        print(
+            f"  [{verdict}] {answer.fact}  via {sorted(answer.sources)} "
+            f"(support {float(answer.support):.2f})"
+        )
+    missed = true_answer - {a.fact for a in answers}
+    print(f"\ntrue answers missed (source incompleteness): "
+          f"{sorted(map(str, missed)) if missed else 'none'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,142 @@
+"""repro — Querying Partially Sound and Complete Data Sources.
+
+A complete implementation of Mendelzon & Mihaila (PODS 2001):
+
+* :mod:`repro.model` — relational substrate (terms, atoms, databases);
+* :mod:`repro.queries` — conjunctive queries, views, evaluation, parsing;
+* :mod:`repro.algebra` — relational algebra with CQ translation;
+* :mod:`repro.sources` — source descriptors ⟨φ, v, c, s⟩ and measures;
+* :mod:`repro.consistency` — the CONSISTENCY decision procedure (§3);
+* :mod:`repro.reductions` — HS / HS* and the Theorem 3.2 reductions;
+* :mod:`repro.tableaux` — database templates and Theorem 4.1 (§4);
+* :mod:`repro.confidence` — possible worlds, exact tuple confidence,
+  certain/possible answers, the Definition 5.1 calculus (§5);
+* :mod:`repro.integration` — the mediator facade and source planner;
+* :mod:`repro.workloads` — synthetic climatology / cache / random sources;
+* :mod:`repro.baselines` — Grahne–Mendelzon 0/1 case, Motro checks.
+
+Quickstart::
+
+    from repro import Mediator, SourceDescriptor, identity_view, fact
+
+    mediator = Mediator()
+    mediator.register(SourceDescriptor(
+        identity_view("V1", "R", 1),
+        [fact("V1", "a"), fact("V1", "b")], 0.5, 0.5, name="S1"))
+    mediator.register(SourceDescriptor(
+        identity_view("V2", "R", 1),
+        [fact("V2", "b"), fact("V2", "c")], 0.5, 0.5, name="S2"))
+    print(mediator.check_consistency().consistent)          # True
+    print(mediator.base_confidences(["a", "b", "c", "d"]))  # R(b) ranks first
+"""
+
+from repro.exceptions import (
+    BoundError,
+    DomainTooLargeError,
+    InconsistentCollectionError,
+    ModelError,
+    ParseError,
+    QueryError,
+    ReductionError,
+    ReproError,
+    SourceError,
+    UnsafeQueryError,
+)
+from repro.model import (
+    Atom,
+    Constant,
+    GlobalDatabase,
+    GlobalSchema,
+    Variable,
+    atom,
+    fact,
+)
+from repro.queries import (
+    ConjunctiveQuery,
+    answer_query as make_answer_query,
+    identity_view,
+    parse_fact,
+    parse_rule,
+)
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.consistency import ConsistencyResult, check_consistency, is_consistent
+from repro.confidence import (
+    BlockCounter,
+    GammaSystem,
+    IdentityInstance,
+    WorldSampler,
+    answer_query,
+    certain_answer,
+    covered_fact_confidences,
+    fact_confidence,
+    possible_answer,
+    possible_worlds,
+)
+from repro.consensus import (
+    consensus_trust_scores,
+    minimal_repairs,
+    trust_scores,
+    uniform_relaxation,
+)
+from repro.integration import Mediator
+from repro.tableaux import DatabaseTemplate, Tableau, theorem41_holds
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "ModelError",
+    "QueryError",
+    "UnsafeQueryError",
+    "ParseError",
+    "SourceError",
+    "BoundError",
+    "InconsistentCollectionError",
+    "DomainTooLargeError",
+    "ReductionError",
+    # model
+    "Atom",
+    "Constant",
+    "Variable",
+    "GlobalDatabase",
+    "GlobalSchema",
+    "atom",
+    "fact",
+    # queries
+    "ConjunctiveQuery",
+    "identity_view",
+    "parse_rule",
+    "parse_fact",
+    "make_answer_query",
+    # sources
+    "SourceDescriptor",
+    "SourceCollection",
+    # consistency
+    "ConsistencyResult",
+    "check_consistency",
+    "is_consistent",
+    # confidence
+    "IdentityInstance",
+    "BlockCounter",
+    "GammaSystem",
+    "WorldSampler",
+    "possible_worlds",
+    "fact_confidence",
+    "covered_fact_confidences",
+    "answer_query",
+    "certain_answer",
+    "possible_answer",
+    # tableaux
+    "Tableau",
+    "DatabaseTemplate",
+    "theorem41_holds",
+    # consensus
+    "trust_scores",
+    "consensus_trust_scores",
+    "minimal_repairs",
+    "uniform_relaxation",
+    # integration
+    "Mediator",
+]

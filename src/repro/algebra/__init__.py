@@ -1,0 +1,46 @@
+"""Relational algebra: AST, conditions, evaluation, CQ translation."""
+
+from repro.algebra.ast import (
+    AlgebraQuery,
+    Product,
+    Projection,
+    RelationScan,
+    Row,
+    Selection,
+    UnionNode,
+    join,
+    rows_to_facts,
+)
+from repro.algebra.conditions import (
+    ALWAYS,
+    And,
+    Col,
+    Comparison,
+    Condition,
+    Not,
+    Or,
+    TrueCondition,
+)
+from repro.algebra.translate import cq_to_algebra, view_output_relation
+
+__all__ = [
+    "AlgebraQuery",
+    "RelationScan",
+    "Selection",
+    "Projection",
+    "Product",
+    "UnionNode",
+    "join",
+    "rows_to_facts",
+    "Row",
+    "Condition",
+    "Comparison",
+    "Col",
+    "And",
+    "Or",
+    "Not",
+    "TrueCondition",
+    "ALWAYS",
+    "cq_to_algebra",
+    "view_output_relation",
+]

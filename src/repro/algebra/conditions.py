@@ -1,0 +1,162 @@
+"""Selection conditions for relational algebra (σ_φ of Definition 5.1).
+
+Conditions are predicates over positional tuples of constants. They form a
+small boolean algebra: comparisons between columns and/or literals, plus
+conjunction, disjunction, and negation.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Tuple, Union
+
+from repro.exceptions import QueryError
+from repro.model.terms import Constant
+
+_OPS: dict = {
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Condition:
+    """Base class; subclasses implement ``evaluate(row) -> bool``."""
+
+    def evaluate(self, row: Tuple[Constant, ...]) -> bool:
+        raise NotImplementedError
+
+    def __call__(self, row: Tuple[Constant, ...]) -> bool:
+        return self.evaluate(row)
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return And(self, other)
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return Or(self, other)
+
+    def __invert__(self) -> "Condition":
+        return Not(self)
+
+
+class Col:
+    """A column reference by position, used on either side of a comparison."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int):
+        if index < 0:
+            raise QueryError(f"column index must be non-negative: {index}")
+        self.index = index
+
+    def resolve(self, row: Tuple[Constant, ...]) -> Any:
+        try:
+            return row[self.index].value
+        except IndexError:
+            raise QueryError(
+                f"column {self.index} out of range for row of width {len(row)}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return f"Col({self.index})"
+
+
+Operand = Union[Col, Any]
+
+
+def _resolve(operand: Operand, row: Tuple[Constant, ...]) -> Any:
+    if isinstance(operand, Col):
+        return operand.resolve(row)
+    if isinstance(operand, Constant):
+        return operand.value
+    return operand
+
+
+class Comparison(Condition):
+    """``lhs op rhs`` where operands are columns or literal values.
+
+    >>> cond = Comparison(Col(0), ">", 1900)
+    >>> cond((Constant(1950),))
+    True
+    """
+
+    __slots__ = ("lhs", "op", "rhs", "_fn")
+
+    def __init__(self, lhs: Operand, op: str, rhs: Operand):
+        if op not in _OPS:
+            raise QueryError(f"unknown comparison operator: {op!r}")
+        self.lhs = lhs
+        self.op = op
+        self.rhs = rhs
+        self._fn: Callable[[Any, Any], bool] = _OPS[op]
+
+    def evaluate(self, row: Tuple[Constant, ...]) -> bool:
+        try:
+            return bool(self._fn(_resolve(self.lhs, row), _resolve(self.rhs, row)))
+        except TypeError:
+            return False  # heterogeneous comparison fails the predicate
+
+    def __repr__(self) -> str:
+        return f"Comparison({self.lhs!r}, {self.op!r}, {self.rhs!r})"
+
+
+class And(Condition):
+    """Conjunction of conditions."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts: Condition):
+        self.parts = parts
+
+    def evaluate(self, row: Tuple[Constant, ...]) -> bool:
+        return all(p.evaluate(row) for p in self.parts)
+
+    def __repr__(self) -> str:
+        return f"And{self.parts!r}"
+
+
+class Or(Condition):
+    """Disjunction of conditions."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts: Condition):
+        self.parts = parts
+
+    def evaluate(self, row: Tuple[Constant, ...]) -> bool:
+        return any(p.evaluate(row) for p in self.parts)
+
+    def __repr__(self) -> str:
+        return f"Or{self.parts!r}"
+
+
+class Not(Condition):
+    """Negation of a condition."""
+
+    __slots__ = ("part",)
+
+    def __init__(self, part: Condition):
+        self.part = part
+
+    def evaluate(self, row: Tuple[Constant, ...]) -> bool:
+        return not self.part.evaluate(row)
+
+    def __repr__(self) -> str:
+        return f"Not({self.part!r})"
+
+
+class TrueCondition(Condition):
+    """Always true; the neutral selection."""
+
+    def evaluate(self, row: Tuple[Constant, ...]) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "TrueCondition()"
+
+
+ALWAYS = TrueCondition()

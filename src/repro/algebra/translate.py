@@ -1,0 +1,101 @@
+"""Translating conjunctive queries into relational algebra.
+
+A safe conjunctive query becomes a select-project-product tree:
+scans for relational body atoms, selections for constants / repeated
+variables / comparison built-ins, and a final projection onto the head. This
+is how parsed views and queries reach the Definition 5.1 confidence calculus,
+and it doubles as a differential-testing oracle against the CQ evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.exceptions import QueryError
+from repro.model.terms import Constant, Variable
+from repro.queries.conjunctive import ConjunctiveQuery
+from repro.algebra.ast import AlgebraQuery, Product, Projection, RelationScan, Selection
+from repro.algebra.conditions import And, Col, Comparison, Condition
+
+# Comparison built-ins translatable into σ conditions (name -> operator).
+_BUILTIN_OPS = {
+    "After": ">",
+    "Before": "<",
+    "Lt": "<",
+    "Le": "<=",
+    "Gt": ">",
+    "Ge": ">=",
+    "Eq": "=",
+    "Neq": "!=",
+}
+
+
+def cq_to_algebra(query: ConjunctiveQuery) -> AlgebraQuery:
+    """Translate a safe conjunctive query into an algebra tree.
+
+    Raises :class:`QueryError` when the query uses a built-in that has no
+    comparison translation (user-registered arbitrary predicates).
+    """
+    relational = query.relational_body()
+    if not relational:
+        raise QueryError("cannot translate a query with no relational body atoms")
+
+    # 1. Product of scans, tracking the first position of each variable.
+    tree: AlgebraQuery = None
+    var_position: Dict[Variable, int] = {}
+    conditions: List[Condition] = []
+    offset = 0
+    for atom in relational:
+        scan = RelationScan(atom.relation, atom.arity)
+        tree = scan if tree is None else Product(tree, scan)
+        for i, term in enumerate(atom.args):
+            position = offset + i
+            if isinstance(term, Constant):
+                conditions.append(Comparison(Col(position), "=", term.value))
+            else:
+                seen = var_position.get(term)
+                if seen is None:
+                    var_position[term] = position
+                else:
+                    conditions.append(Comparison(Col(position), "=", Col(seen)))
+        offset += atom.arity
+
+    # 2. Built-in comparisons become selection conditions.
+    for atom in query.builtin_body():
+        op = _BUILTIN_OPS.get(atom.relation)
+        if op is None:
+            raise QueryError(
+                f"builtin {atom.relation} has no relational-algebra translation"
+            )
+        if atom.arity != 2:
+            raise QueryError(f"comparison builtin must be binary: {atom}")
+        operands = []
+        for term in atom.args:
+            if isinstance(term, Constant):
+                operands.append(term.value)
+            else:
+                position = var_position.get(term)
+                if position is None:
+                    raise QueryError(
+                        f"builtin {atom} uses variable {term} not bound relationally"
+                    )
+                operands.append(Col(position))
+        conditions.append(Comparison(operands[0], op, operands[1]))
+
+    if conditions:
+        condition = conditions[0] if len(conditions) == 1 else And(*conditions)
+        tree = Selection(condition, tree)
+
+    # 3. Project onto the head (constants in the head become literal columns).
+    head_columns = []
+    for term in query.head.args:
+        if isinstance(term, Constant):
+            head_columns.append(term)
+        else:
+            head_columns.append(var_position[term])
+    return Projection(head_columns, tree)
+
+
+def view_output_relation(query: ConjunctiveQuery) -> Tuple[str, int]:
+    """The (relation name, arity) the translated tree's rows correspond to."""
+    return query.head.relation, query.head.arity

@@ -1,0 +1,33 @@
+"""Baselines this paper generalizes: Grahne–Mendelzon 0/1 case, Motro checks."""
+
+from repro.baselines.grahne_mendelzon import (
+    certain_facts_01,
+    is_consistent_01,
+    lower_bound_facts,
+    possible_facts_01,
+    upper_bound_facts,
+)
+from repro.baselines.information_manifold import (
+    canonical_database,
+    certain_answer_im,
+)
+from repro.baselines.motro import (
+    answer_is_complete,
+    answer_is_sound,
+    classify_answer,
+    real_world_answer,
+)
+
+__all__ = [
+    "is_consistent_01",
+    "certain_facts_01",
+    "possible_facts_01",
+    "lower_bound_facts",
+    "upper_bound_facts",
+    "canonical_database",
+    "certain_answer_im",
+    "answer_is_sound",
+    "answer_is_complete",
+    "classify_answer",
+    "real_world_answer",
+]

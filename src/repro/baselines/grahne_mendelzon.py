@@ -1,0 +1,109 @@
+"""The Grahne–Mendelzon 0/1 special case, solved analytically.
+
+Grahne & Mendelzon (1999) — which this paper generalizes — consider sources
+that are fully *sound* (s = 1, c = 0), fully *complete* (c = 1, s = 0), or
+*exact*. For identity views over one relation the possible worlds have a
+closed-form characterization:
+
+* every fact of a sound source is in every world (v ⊆ D);
+* every world is contained in every complete source's extension (D ⊆ v);
+
+hence, with L = ∪{v : sound} and U = ∩{v : complete} (U = the whole fact
+space when no source is complete):
+
+* consistent  ⇔  L ⊆ U;
+* certain facts  = L;
+* possible facts = U.
+
+These analytical answers are the oracle for experiment E9: our general
+machinery, run at bounds c, s ∈ {0, 1}, must coincide with them.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from repro.exceptions import SourceError
+from repro.model.atoms import Atom
+from repro.sources.collection import SourceCollection
+
+
+def _classify(collection: SourceCollection) -> Tuple[list, list]:
+    """(sound sources, complete sources); bounds must be 0/1."""
+    relation = collection.identity_relation()
+    if relation is None:
+        raise SourceError("the 0/1 baseline requires identity views")
+    sound, complete = [], []
+    for source in collection:
+        if source.soundness_bound not in (0, 1) or source.completeness_bound not in (0, 1):
+            raise SourceError(
+                f"source {source.name} has fractional bounds; the 0/1 "
+                "baseline applies only to sound/complete/exact sources"
+            )
+        if source.soundness_bound == 1:
+            sound.append(source)
+        if source.completeness_bound == 1:
+            complete.append(source)
+    return sound, complete
+
+
+def _global_extension(source, relation: str) -> FrozenSet[Atom]:
+    return frozenset(Atom(relation, f.args) for f in source.extension)
+
+
+def lower_bound_facts(collection: SourceCollection) -> FrozenSet[Atom]:
+    """L = ∪ extensions of sound sources — facts forced into every world."""
+    relation = collection.identity_relation()
+    sound, _ = _classify(collection)
+    out: FrozenSet[Atom] = frozenset()
+    for source in sound:
+        out |= _global_extension(source, relation)
+    return out
+
+
+def upper_bound_facts(
+    collection: SourceCollection,
+) -> Optional[FrozenSet[Atom]]:
+    """U = ∩ extensions of complete sources; ``None`` when unconstrained."""
+    relation = collection.identity_relation()
+    _, complete = _classify(collection)
+    if not complete:
+        return None
+    out = _global_extension(complete[0], relation)
+    for source in complete[1:]:
+        out &= _global_extension(source, relation)
+    return out
+
+
+def is_consistent_01(collection: SourceCollection) -> bool:
+    """Closed-form consistency: L ⊆ U (vacuous without complete sources)."""
+    lower = lower_bound_facts(collection)
+    upper = upper_bound_facts(collection)
+    return upper is None or lower <= upper
+
+
+def certain_facts_01(collection: SourceCollection) -> FrozenSet[Atom]:
+    """The certain base facts of the 0/1 collection (= L when consistent)."""
+    if not is_consistent_01(collection):
+        raise SourceError("inconsistent 0/1 collection has no semantics")
+    return lower_bound_facts(collection)
+
+
+def possible_facts_01(
+    collection: SourceCollection, domain: Iterable
+) -> FrozenSet[Atom]:
+    """The possible base facts over a finite domain (= U, or the fact space)."""
+    if not is_consistent_01(collection):
+        raise SourceError("inconsistent 0/1 collection has no semantics")
+    upper = upper_bound_facts(collection)
+    if upper is not None:
+        return upper
+    relation = collection.identity_relation()
+    from itertools import product
+    from repro.model.terms import as_term
+
+    constants = [as_term(c) for c in domain]
+    arity = collection.sources[0].view.head.arity
+    return frozenset(
+        Atom(relation, combo) for combo in product(constants, repeat=arity)
+    )

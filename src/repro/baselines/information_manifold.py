@@ -1,0 +1,96 @@
+"""Information-Manifold-style certain answers from sound views.
+
+Related work (Kirk/Levy/Sagiv/Srivastava; Grahne & Mendelzon prove the
+correspondence): for *sound* views, the Information Manifold algorithm
+computes exactly the certain answer. The classical construction: every fact
+of a sound source is a true view fact, so its view body holds in every
+possible world under some witness — build a canonical database whose
+existential positions carry labeled nulls, evaluate the query over it, and
+keep the answers that mention no nulls.
+
+In our partial-quality setting only sources declaring ``s = 1`` contribute
+(a fact from a partially sound source is *individually* uncertain, so it can
+never force an answer by itself). The result is therefore a sound
+*lower bound* on the true certain answer Q_*(S): completeness constraints
+can force additional certain facts that this view-based route cannot see —
+tests and experiment E9 measure that gap.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List
+
+from repro.model.atoms import Atom
+from repro.model.database import GlobalDatabase
+from repro.model.terms import Constant, FreshConstantFactory
+from repro.model.valuation import Substitution, match_atom
+from repro.queries.conjunctive import ConjunctiveQuery
+from repro.queries.evaluation import evaluate
+from repro.sources.collection import SourceCollection
+
+NULL_PREFIX = "_null"
+
+
+def canonical_database(collection: SourceCollection) -> GlobalDatabase:
+    """Ground the bodies of all fully-sound sources, nulls for existentials.
+
+    Each extension fact of each source with ``soundness_bound == 1`` is
+    matched against its view head; unbound body variables become distinct
+    labeled nulls (fresh constants with the ``_null`` prefix). View bodies
+    with built-in atoms contribute only when the built-ins are fully ground
+    after head matching and evaluate to true (otherwise the witness shape is
+    unknown and the fact is skipped — keeping the construction sound).
+    """
+    taken = collection.all_constants()
+    factory = FreshConstantFactory(taken=taken, prefix=NULL_PREFIX)
+    facts: List[Atom] = []
+    for source in collection:
+        if source.soundness_bound != 1:
+            continue
+        view = source.view
+        for view_fact in sorted(source.extension):
+            theta = match_atom(view.head, view_fact)
+            if theta is None:
+                continue
+            bound = theta.domain()
+            nulls = {
+                v: factory.fresh()
+                for atom in view.body
+                for v in atom.variables()
+                if v not in bound
+            }
+            grounding = Substitution({**dict(theta.items()), **nulls})
+            builtin_ok = True
+            for builtin_atom in view.builtin_body():
+                grounded = builtin_atom.substitute(theta)
+                if not grounded.is_ground():
+                    builtin_ok = False  # existential builtin: witness unknown
+                    break
+                if not view.builtins.check_atom(grounded):
+                    builtin_ok = False  # provider's own claim is contradictory
+                    break
+            if not builtin_ok:
+                continue
+            facts.extend(
+                atom.substitute(grounding) for atom in view.relational_body()
+            )
+    return GlobalDatabase(facts)
+
+
+def _mentions_null(fact: Atom) -> bool:
+    return any(
+        isinstance(a, Constant)
+        and isinstance(a.value, str)
+        and a.value.startswith(NULL_PREFIX)
+        for a in fact.args
+    )
+
+
+def certain_answer_im(
+    query: ConjunctiveQuery, collection: SourceCollection
+) -> FrozenSet[Atom]:
+    """The Information-Manifold certain answer from sound views only."""
+    canonical = canonical_database(collection)
+    return frozenset(
+        f for f in evaluate(query, canonical) if not _mentions_null(f)
+    )

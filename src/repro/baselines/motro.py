@@ -1,0 +1,50 @@
+"""Motro-style sound/complete answer validation.
+
+Motro assumes a "real world" database exists and calls a multidatabase
+answer *sound* when it is contained in the hypothetical real-world answer
+and *complete* when it contains it. Our generators materialize the real
+world, so these checks are executable — they ground experiment E9 and the
+workload evaluations (is the certain answer always sound? is the possible
+answer always complete?).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple, Union
+
+from repro.model.atoms import Atom
+from repro.model.database import GlobalDatabase
+from repro.queries.conjunctive import ConjunctiveQuery
+from repro.algebra.ast import AlgebraQuery
+
+Query = Union[ConjunctiveQuery, AlgebraQuery]
+
+
+def real_world_answer(query: Query, real_world: GlobalDatabase) -> FrozenSet:
+    """The hypothetical answer computed over the real-world database."""
+    if isinstance(query, ConjunctiveQuery):
+        return query.apply(real_world)
+    return query.evaluate(real_world)
+
+
+def answer_is_sound(
+    answer: Iterable, query: Query, real_world: GlobalDatabase
+) -> bool:
+    """Motro-soundness: the answer ⊆ the real-world answer."""
+    return frozenset(answer) <= real_world_answer(query, real_world)
+
+
+def answer_is_complete(
+    answer: Iterable, query: Query, real_world: GlobalDatabase
+) -> bool:
+    """Motro-completeness: the answer ⊇ the real-world answer."""
+    return frozenset(answer) >= real_world_answer(query, real_world)
+
+
+def classify_answer(
+    answer: Iterable, query: Query, real_world: GlobalDatabase
+) -> Tuple[bool, bool]:
+    """(sound?, complete?) of an assembled answer against the real world."""
+    reference = real_world_answer(query, real_world)
+    answer_set = frozenset(answer)
+    return answer_set <= reference, answer_set >= reference

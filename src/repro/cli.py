@@ -1,0 +1,247 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands operate on source-collection files in the :mod:`repro.io` format:
+
+* ``check FILE`` — decide CONSISTENCY; print the verdict and a witness.
+* ``confidence FILE --domain a,b,c`` — exact base-fact confidences
+  (identity-view collections), ranked.
+* ``worlds FILE --domain a,b,c [--limit N]`` — enumerate possible worlds.
+* ``audit FILE --world WORLDFILE`` — measured vs declared quality against a
+  reference database.
+* ``answer FILE --query 'ans(x) <- R(x)' --domain a,b,c`` — certain and
+  possible answers with per-tuple confidence.
+
+Exit status: 0 on success (and a consistent collection for ``check``),
+1 for an inconsistent collection, 2 for usage/input errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.exceptions import ReproError
+from repro.io.serialization import load_collection, load_database
+from repro.queries.parser import parse_rule
+from repro.confidence.answers import answer_query
+from repro.confidence.base_facts import covered_fact_confidences
+from repro.confidence.worlds import possible_worlds
+from repro.consistency.checker import check_consistency
+
+
+def _domain(value: str) -> List[str]:
+    items = [v.strip() for v in value.split(",") if v.strip()]
+    if not items:
+        raise argparse.ArgumentTypeError("domain must be a comma-separated list")
+    return items
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Query partially sound and complete data sources "
+        "(Mendelzon & Mihaila, PODS 2001).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser("check", help="decide CONSISTENCY")
+    check.add_argument("file", help="source-collection file")
+
+    confidence = commands.add_parser(
+        "confidence", help="exact base-fact confidences (identity views)"
+    )
+    confidence.add_argument("file")
+    confidence.add_argument("--domain", type=_domain, required=True)
+
+    worlds = commands.add_parser("worlds", help="enumerate possible worlds")
+    worlds.add_argument("file")
+    worlds.add_argument("--domain", type=_domain, required=True)
+    worlds.add_argument("--limit", type=int, default=20)
+
+    audit = commands.add_parser(
+        "audit", help="measured vs declared quality against a reference world"
+    )
+    audit.add_argument("file")
+    audit.add_argument("--world", required=True, help="database file")
+
+    answer = commands.add_parser(
+        "answer", help="certain/possible answers with confidences"
+    )
+    answer.add_argument("file")
+    answer.add_argument("--query", required=True, help="e.g. 'ans(x) <- R(x)'")
+    answer.add_argument("--domain", type=_domain, required=True)
+
+    consensus = commands.add_parser(
+        "consensus", help="conflict analysis: trust, blame, repairs, relaxation"
+    )
+    consensus.add_argument("file")
+
+    rewrite = commands.add_parser(
+        "rewrite", help="answer a global-schema query using the views"
+    )
+    rewrite.add_argument("file")
+    rewrite.add_argument("--query", required=True, help="e.g. 'ans(x) <- R(x, y)'")
+    rewrite.add_argument(
+        "--plans-only", action="store_true", help="print plans, skip execution"
+    )
+
+    return parser
+
+
+def cmd_check(args) -> int:
+    collection = load_collection(args.file)
+    result = check_consistency(collection)
+    status = "CONSISTENT" if result.consistent else (
+        "INCONSISTENT" if result.decisive else "UNDECIDED (search truncated)"
+    )
+    print(f"{status}  (method: {result.method}, "
+          f"combinations tried: {result.combinations_tried})")
+    if result.witness is not None:
+        print("witness possible world:")
+        for f in sorted(result.witness):
+            print(f"  {f}")
+    return 0 if result.consistent else 1
+
+
+def cmd_confidence(args) -> int:
+    collection = load_collection(args.file)
+    confidences = covered_fact_confidences(collection, args.domain)
+    for f, conf in sorted(confidences.items(), key=lambda kv: (-kv[1], str(kv[0]))):
+        print(f"{float(conf):8.4f}  {conf!s:>10}  {f}")
+    return 0
+
+
+def cmd_worlds(args) -> int:
+    collection = load_collection(args.file)
+    count = 0
+    for world in possible_worlds(collection, args.domain):
+        count += 1
+        if count <= args.limit:
+            shown = ", ".join(str(f) for f in sorted(world))
+            print(f"world {count}: {{{shown}}}")
+    if count > args.limit:
+        print(f"... and {count - args.limit} more")
+    print(f"total possible worlds: {count}")
+    return 0 if count else 1
+
+
+def cmd_audit(args) -> int:
+    collection = load_collection(args.file)
+    world = load_database(args.world)
+    ok = True
+    for source in collection:
+        measured_c = source.completeness(world)
+        measured_s = source.soundness(world)
+        c_ok = measured_c >= source.completeness_bound
+        s_ok = measured_s >= source.soundness_bound
+        ok = ok and c_ok and s_ok
+        print(
+            f"{source.name}: completeness {measured_c} "
+            f"(declared >= {source.completeness_bound}) "
+            f"[{'ok' if c_ok else 'VIOLATED'}], "
+            f"soundness {measured_s} "
+            f"(declared >= {source.soundness_bound}) "
+            f"[{'ok' if s_ok else 'VIOLATED'}]"
+        )
+    print("world admitted" if ok else "world NOT admitted")
+    return 0 if ok else 1
+
+
+def cmd_answer(args) -> int:
+    collection = load_collection(args.file)
+    query = parse_rule(args.query)
+    result = answer_query(query, collection, args.domain)
+    print(f"possible worlds: {result.world_count}")
+    print("certain answer:")
+    for f in sorted(result.certain):
+        print(f"  {f}")
+    print("possible answer (ranked by confidence):")
+    for f, conf in result.ranked():
+        print(f"  {float(conf):8.4f}  {f}")
+    return 0
+
+
+def cmd_consensus(args) -> int:
+    from repro.consensus import (
+        blame_scores,
+        consensus_trust_scores,
+        minimal_inconsistent_subcollections,
+        repair_via_hitting_set,
+        trust_scores,
+        uniform_relaxation,
+    )
+
+    collection = load_collection(args.file)
+    conflicts = minimal_inconsistent_subcollections(collection)
+    if not conflicts:
+        print("collection is consistent: every source fully trusted")
+        return 0
+    print(f"minimal conflicts ({len(conflicts)}):")
+    for conflict in conflicts:
+        print(f"  {{{', '.join(sorted(conflict))}}}")
+    trust = trust_scores(collection)
+    consensus = consensus_trust_scores(collection)
+    blame = blame_scores(collection)
+    print("\nper-source scores (consensus trust / unweighted trust / blame):")
+    for source in collection:
+        name = source.name
+        print(
+            f"  {name}: {float(consensus[name]):.3f} / "
+            f"{float(trust[name]):.3f} / {float(blame[name]):.3f}"
+        )
+    repair, _ = repair_via_hitting_set(collection)
+    print(f"\nminimum repair (drop): {{{', '.join(sorted(repair))}}}")
+    discount, _ = uniform_relaxation(collection)
+    print(f"uniform bound discount restoring consistency: ~{float(discount):.3f}")
+    return 1
+
+
+def cmd_rewrite(args) -> int:
+    from repro.rewriting import execute_all, find_rewritings
+
+    collection = load_collection(args.file)
+    query = parse_rule(args.query)
+    views = [source.view for source in collection]
+    plans = find_rewritings(query, views)
+    if not plans:
+        print("no sound rewriting exists over these views")
+        return 1
+    print(f"{len(plans)} verified sound plan(s):")
+    for plan in plans:
+        tag = "EQUIVALENT" if plan.equivalent else "sound"
+        print(f"  [{tag}] {plan.plan}")
+    if args.plans_only:
+        return 0
+    print("\nanswers from the sources (ranked by support):")
+    for answer in execute_all(plans, collection):
+        print(
+            f"  {float(answer.support):6.3f}  {answer.fact}  "
+            f"via {', '.join(sorted(answer.sources))}"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "check": cmd_check,
+    "confidence": cmd_confidence,
+    "worlds": cmd_worlds,
+    "audit": cmd_audit,
+    "answer": cmd_answer,
+    "consensus": cmd_consensus,
+    "rewrite": cmd_rewrite,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

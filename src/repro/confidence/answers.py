@@ -1,0 +1,187 @@
+"""Certain and possible answers, and possible-worlds query confidence (§5).
+
+* ``Q_*(S) = ∩_{D ∈ poss(S)} Q(D)`` — the certain answer;
+* ``Q^*(S) = ∪_{D ∈ poss(S)} Q(D)`` — the possible answer;
+* ``confidence_Q(t) = Pr(t ∈ Q(D) | D ∈ poss(S))`` — per-tuple confidence.
+
+Queries may be conjunctive queries (facts over ``ans``) or relational-algebra
+trees (rows). Worlds are enumerated (arbitrary views, small domains) or
+sampled exactly (identity views, via :class:`WorldSampler`).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, Optional, Tuple, Union
+
+from repro.exceptions import InconsistentCollectionError
+from repro.model.atoms import Atom
+from repro.model.database import GlobalDatabase
+from repro.queries.conjunctive import ConjunctiveQuery
+from repro.algebra.ast import AlgebraQuery, Row
+from repro.sources.collection import SourceCollection
+from repro.confidence.worlds import possible_worlds
+
+Query = Union[ConjunctiveQuery, AlgebraQuery]
+Answer = Union[Atom, Row]
+
+
+def _apply(query: Query, world: GlobalDatabase) -> FrozenSet[Answer]:
+    if isinstance(query, ConjunctiveQuery):
+        return query.apply(world)
+    return query.evaluate(world)
+
+
+def _worlds(
+    collection: SourceCollection,
+    domain: Iterable,
+    worlds: Optional[Iterable[GlobalDatabase]],
+) -> Iterator[GlobalDatabase]:
+    if worlds is not None:
+        return iter(worlds)
+    return possible_worlds(collection, domain)
+
+
+class QueryAnswer:
+    """Certain answer, possible answer, and per-tuple confidences of a query."""
+
+    __slots__ = ("certain", "possible", "confidences", "world_count")
+
+    def __init__(
+        self,
+        certain: FrozenSet[Answer],
+        possible: FrozenSet[Answer],
+        confidences: Dict[Answer, Fraction],
+        world_count: int,
+    ):
+        self.certain = certain
+        self.possible = possible
+        self.confidences = confidences
+        self.world_count = world_count
+
+    def ranked(self) -> Tuple[Tuple[Answer, Fraction], ...]:
+        """Possible answers sorted by decreasing confidence."""
+        return tuple(
+            sorted(self.confidences.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryAnswer(certain={len(self.certain)}, "
+            f"possible={len(self.possible)}, worlds={self.world_count})"
+        )
+
+
+def answer_query(
+    query: Query,
+    collection: SourceCollection,
+    domain: Iterable,
+    worlds: Optional[Iterable[GlobalDatabase]] = None,
+) -> QueryAnswer:
+    """Evaluate a query under possible-worlds semantics.
+
+    *worlds* may supply a pre-enumerated (or exactly sampled) collection of
+    worlds; otherwise poss(S) is enumerated over the finite fact space of
+    sch(S) × *domain*.
+    """
+    counts: Dict[Answer, int] = {}
+    certain: Optional[set] = None
+    total = 0
+    for world in _worlds(collection, domain, worlds):
+        total += 1
+        result = _apply(query, world)
+        for answer in result:
+            counts[answer] = counts.get(answer, 0) + 1
+        if certain is None:
+            certain = set(result)
+        else:
+            certain &= result
+    if total == 0:
+        raise InconsistentCollectionError(
+            "collection admits no possible database over this domain"
+        )
+    confidences = {a: Fraction(c, total) for a, c in counts.items()}
+    return QueryAnswer(
+        certain=frozenset(certain or ()),
+        possible=frozenset(counts),
+        confidences=confidences,
+        world_count=total,
+    )
+
+
+def certain_answer(
+    query: Query,
+    collection: SourceCollection,
+    domain: Iterable,
+    worlds: Optional[Iterable[GlobalDatabase]] = None,
+) -> FrozenSet[Answer]:
+    """``Q_*(S)`` — facts present in the answer over every possible world."""
+    return answer_query(query, collection, domain, worlds=worlds).certain
+
+
+def possible_answer(
+    query: Query,
+    collection: SourceCollection,
+    domain: Iterable,
+    worlds: Optional[Iterable[GlobalDatabase]] = None,
+) -> FrozenSet[Answer]:
+    """``Q^*(S)`` — facts present in the answer over some possible world."""
+    return answer_query(query, collection, domain, worlds=worlds).possible
+
+
+def query_confidence(
+    query: Query,
+    collection: SourceCollection,
+    domain: Iterable,
+    answer: Answer,
+    worlds: Optional[Iterable[GlobalDatabase]] = None,
+) -> Fraction:
+    """``confidence_Q(t)`` for one answer tuple, by world counting."""
+    return answer_query(query, collection, domain, worlds=worlds).confidences.get(
+        answer, Fraction(0)
+    )
+
+
+def certain_answer_lower_bound(
+    query: Query,
+    collection: SourceCollection,
+    domain: Iterable,
+) -> FrozenSet[Answer]:
+    """Certain answers derivable from the *certain base facts* alone.
+
+    Identity-view collections: the facts with confidence 1 form a database
+    contained in every possible world, so by monotonicity any (conjunctive
+    or σ/π/×/∪-algebra) answer over it belongs to the certain answer —
+    a sound under-approximation obtained without enumerating worlds.
+
+    Complementary to the Information-Manifold route: this one *does* see
+    facts forced by completeness bounds (they have confidence 1) but cannot
+    use existential witnesses from non-identity sound views; IM is the
+    mirror image. Both are subsets of the true certain answer.
+    """
+    from repro.confidence.base_facts import covered_fact_confidences
+
+    confidences = covered_fact_confidences(collection, domain)
+    certain_db = GlobalDatabase(
+        f for f, confidence in confidences.items() if confidence == 1
+    )
+    return _apply(query, certain_db)
+
+
+def estimate_answer_confidences(
+    query: Query,
+    sampler,
+    samples: int,
+) -> Dict[Answer, float]:
+    """Monte-Carlo answer confidences from an exact world sampler.
+
+    *sampler* is a :class:`~repro.confidence.montecarlo.WorldSampler`;
+    the identity-view route to query confidences when enumeration is too
+    expensive.
+    """
+    counts: Dict[Answer, int] = {}
+    for _ in range(samples):
+        world = sampler.sample()
+        for answer in _apply(query, world):
+            counts[answer] = counts.get(answer, 0) + 1
+    return {a: c / samples for a, c in counts.items()}

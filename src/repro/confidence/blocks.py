@@ -1,0 +1,469 @@
+"""Signature-block decomposition for identity-view collections (Section 5.1).
+
+Section 5.1 reduces confidence computation to counting 0/1 integer solutions
+of a linear system Γ with one variable per fact in the finite fact space —
+"at least in principle", in exponential time. This module supplies the
+principled exact algorithm that makes the computation practical, exploiting
+the symmetry implicit in the paper's own Example 5.1:
+
+Two facts contained in exactly the same view extensions (the same *membership
+signature*) are interchangeable in Γ. Grouping the fact space into signature
+blocks B_1..B_g (plus one *anonymous* block for facts outside every
+extension), the number of solutions depends only on the per-block occupancy
+counts (n_1..n_g, n_0), with weight ``∏_j C(|B_j|, n_j)``. A dynamic program
+over blocks, whose state is the per-source sound counts (t_1..t_n) plus the
+covered total, sums these weights; the anonymous block is folded in
+analytically at the end via partial binomial sums. Example 5.1's closed
+forms — e.g. confidence(R(b)) = (2m+2)/(2m+3) — drop out exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SourceError
+from repro.model.atoms import Atom
+from repro.model.terms import Constant, as_term
+from repro.sources.collection import SourceCollection
+
+
+class SignatureBlock:
+    """A maximal set of facts sharing one membership signature."""
+
+    __slots__ = ("signature", "facts")
+
+    def __init__(self, signature: FrozenSet[int], facts: Sequence[Atom]):
+        self.signature = signature
+        self.facts: Tuple[Atom, ...] = tuple(sorted(facts))
+
+    @property
+    def size(self) -> int:
+        return len(self.facts)
+
+    def __repr__(self) -> str:
+        sig = ",".join(str(i) for i in sorted(self.signature))
+        return f"SignatureBlock({{{sig}}}, size={self.size})"
+
+
+class IdentityInstance:
+    """An identity-view collection over a finite domain, in set form.
+
+    All views must be identities over one global relation (the §5.1 /
+    Corollary 3.4 setting). Extension facts become *global* facts by renaming
+    the local relation to the global one; the fact space is every fact over
+    the relation with constants from *domain*.
+
+    >>> from repro.queries import identity_view
+    >>> from repro.model import fact
+    >>> from repro.sources import SourceDescriptor, SourceCollection
+    >>> col = SourceCollection([
+    ...     SourceDescriptor(identity_view("V1", "R", 1),
+    ...                      [fact("V1", "a"), fact("V1", "b")], 0.5, 0.5),
+    ... ])
+    >>> inst = IdentityInstance(col, ["a", "b", "c"])
+    >>> inst.fact_space_size
+    3
+    """
+
+    def __init__(self, collection: SourceCollection, domain: Iterable):
+        relation = collection.identity_relation()
+        if relation is None:
+            raise SourceError(
+                "IdentityInstance requires all views to be identities over one "
+                "global relation (Section 5.1 special case)"
+            )
+        self.collection = collection
+        self.relation = relation
+        self.arity = collection.sources[0].view.head.arity
+        self.domain: Tuple[Constant, ...] = tuple(
+            as_term(c) for c in dict.fromkeys(domain)
+        )
+        domain_set = set(self.domain)
+        self.fact_space_size = len(self.domain) ** self.arity
+
+        # Per-source data, in collection order.
+        self.names: List[str] = []
+        self.extensions: List[FrozenSet[Atom]] = []
+        self.completeness_bounds: List[Fraction] = []
+        self.soundness_bounds: List[Fraction] = []
+        self.min_sound: List[int] = []
+        for source in collection:
+            global_ext = frozenset(
+                Atom(relation, f.args) for f in source.extension
+            )
+            for f in global_ext:
+                missing = [a for a in f.args if a not in domain_set]
+                if missing:
+                    raise SourceError(
+                        f"extension fact {f} uses constants outside the domain: "
+                        f"{missing}"
+                    )
+            self.names.append(source.name)
+            self.extensions.append(global_ext)
+            self.completeness_bounds.append(source.completeness_bound)
+            self.soundness_bounds.append(source.soundness_bound)
+            self.min_sound.append(source.min_sound_count())
+
+        # Block decomposition of the covered fact space.
+        by_signature: Dict[FrozenSet[int], List[Atom]] = {}
+        for f in frozenset().union(*self.extensions) if self.extensions else frozenset():
+            signature = frozenset(
+                i for i, ext in enumerate(self.extensions) if f in ext
+            )
+            by_signature.setdefault(signature, []).append(f)
+        self.blocks: Tuple[SignatureBlock, ...] = tuple(
+            SignatureBlock(sig, facts)
+            for sig, facts in sorted(
+                by_signature.items(), key=lambda kv: (sorted(kv[0]), len(kv[1]))
+            )
+        )
+        self.covered_size = sum(b.size for b in self.blocks)
+        self.anonymous_size = self.fact_space_size - self.covered_size
+        self._fact_block: Dict[Atom, int] = {
+            f: j for j, block in enumerate(self.blocks) for f in block.facts
+        }
+
+    # -- structure -------------------------------------------------------------
+
+    @property
+    def n_sources(self) -> int:
+        return len(self.names)
+
+    def block_of(self, fact: Atom) -> Optional[int]:
+        """Index of the block containing *fact*; ``None`` for anonymous facts.
+
+        Accepts both global facts over the instance relation and local facts
+        (same argument tuple, any local name).
+        """
+        return self._fact_block.get(Atom(self.relation, fact.args))
+
+    def in_fact_space(self, fact: Atom) -> bool:
+        """Is *fact* (as a global fact) part of the finite fact space?"""
+        renamed = Atom(self.relation, fact.args)
+        if renamed.relation != self.relation or renamed.arity != self.arity:
+            return False
+        domain_set = set(self.domain)
+        return all(a in domain_set for a in renamed.args)
+
+    # -- constraint predicates ----------------------------------------------------
+
+    def state_is_final_feasible(self, sound_counts: Sequence[int], total: int) -> bool:
+        """Do (t_1..t_n, |D|) satisfy every soundness and completeness bound?"""
+        for i in range(self.n_sources):
+            if sound_counts[i] < self.min_sound[i]:
+                return False
+            if sound_counts[i] < self.completeness_bounds[i] * total:
+                return False
+        return True
+
+    def max_total_for(self, sound_counts: Sequence[int]) -> Optional[int]:
+        """The largest |D| the completeness bounds allow for given t_i.
+
+        ``None`` means unbounded (every completeness bound is zero).
+        """
+        cap: Optional[int] = None
+        for i in range(self.n_sources):
+            c = self.completeness_bounds[i]
+            if c > 0:
+                limit = int(Fraction(sound_counts[i]) / c)
+                cap = limit if cap is None else min(cap, limit)
+        return cap
+
+
+def _partial_binomial_sum(n: int, k_max: int) -> int:
+    """``Σ_{k=0..min(k_max, n)} C(n, k)``; 2^n when k_max >= n."""
+    if k_max < 0:
+        return 0
+    if k_max >= n:
+        return 1 << n
+    return sum(math.comb(n, k) for k in range(k_max + 1))
+
+
+class BlockCounter:
+    """Counts possible worlds of an :class:`IdentityInstance` exactly.
+
+    The dynamic program sweeps signature blocks; a state is the tuple of
+    per-source sound counts plus the covered-fact total, mapped to the total
+    combinatorial weight of ways to reach it. The anonymous block (facts
+    outside every extension) is folded in at the end with partial binomial
+    sums, so its size never enters the state space — which is what keeps
+    Example 5.1 polynomial in m.
+    """
+
+    def __init__(self, instance: IdentityInstance):
+        self.instance = instance
+        self._world_count: Optional[int] = None
+
+    # -- the DP -----------------------------------------------------------------
+
+    def _sweep(
+        self,
+        skip_one_of_block: Optional[int] = None,
+        initial_sound: Optional[Sequence[int]] = None,
+        initial_total: int = 0,
+    ) -> Dict[Tuple[Tuple[int, ...], int], int]:
+        """Run the block DP with at most one skipped fact (common case)."""
+        skips = {} if skip_one_of_block is None else {skip_one_of_block: 1}
+        return self._sweep_multi(skips, initial_sound, initial_total)
+
+    def _sweep_multi(
+        self,
+        skip_counts: Dict[int, int],
+        initial_sound: Optional[Sequence[int]] = None,
+        initial_total: int = 0,
+    ) -> Dict[Tuple[Tuple[int, ...], int], int]:
+        """Run the block DP.
+
+        *skip_counts* reduces block sizes (facts forced in or out of the
+        world are no longer free choices). *initial_sound*/*initial_total*
+        seed the state with the contribution of forced-in facts.
+        """
+        inst = self.instance
+        n = inst.n_sources
+        start_sound = tuple(initial_sound) if initial_sound else (0,) * n
+        states: Dict[Tuple[Tuple[int, ...], int], int] = {
+            (start_sound, initial_total): 1
+        }
+        for j, block in enumerate(inst.blocks):
+            size = block.size - skip_counts.get(j, 0)
+            if size < 0:
+                return {}
+            signature = block.signature
+            next_states: Dict[Tuple[Tuple[int, ...], int], int] = {}
+            for (sound, total), weight in states.items():
+                for chosen in range(size + 1):
+                    coefficient = math.comb(size, chosen)
+                    new_sound = tuple(
+                        sound[i] + (chosen if i in signature else 0)
+                        for i in range(n)
+                    )
+                    key = (new_sound, total + chosen)
+                    next_states[key] = next_states.get(key, 0) + weight * coefficient
+            states = next_states
+        return states
+
+    def _finish(
+        self,
+        states: Dict[Tuple[Tuple[int, ...], int], int],
+        anonymous_size: int,
+    ) -> int:
+        """Fold the anonymous block into swept states and total the count."""
+        inst = self.instance
+        total_count = 0
+        for (sound, covered_total), weight in states.items():
+            if any(sound[i] < inst.min_sound[i] for i in range(inst.n_sources)):
+                continue
+            cap = inst.max_total_for(sound)
+            if cap is None:
+                anonymous_choices = 1 << anonymous_size
+            else:
+                budget = cap - covered_total
+                if budget < 0:
+                    continue
+                anonymous_choices = _partial_binomial_sum(anonymous_size, budget)
+            total_count += weight * anonymous_choices
+        return total_count
+
+    # -- public API ----------------------------------------------------------------
+
+    def count_worlds(self) -> int:
+        """``|poss(S)|`` restricted to the finite fact space (``N_sol(Γ)``).
+
+        Memoized — it is the denominator of every confidence query.
+        """
+        if self._world_count is None:
+            self._world_count = self._finish(
+                self._sweep(), self.instance.anonymous_size
+            )
+        return self._world_count
+
+    # -- ranked access ------------------------------------------------------------
+
+    def block_confidences(self) -> Dict[int, Fraction]:
+        """Confidence per signature block (all its facts share the value)."""
+        from repro.exceptions import InconsistentCollectionError
+
+        denominator = self.count_worlds()
+        if denominator == 0:
+            raise InconsistentCollectionError(
+                "collection admits no possible database over this domain"
+            )
+        out: Dict[int, Fraction] = {}
+        for j, block in enumerate(self.instance.blocks):
+            if block.facts:
+                out[j] = Fraction(
+                    self.count_worlds_containing(block.facts[0]), denominator
+                )
+        return out
+
+    def top_k_facts(self, k: int) -> List[Tuple[Atom, Fraction]]:
+        """The k most-confident covered facts, computed per block.
+
+        One counting pass per block (facts in a block are interchangeable),
+        so the cost is independent of k and of block sizes.
+        """
+        if k <= 0:
+            return []
+        per_block = self.block_confidences()
+        ranked_blocks = sorted(
+            per_block.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        out: List[Tuple[Atom, Fraction]] = []
+        for j, confidence in ranked_blocks:
+            for f in self.instance.blocks[j].facts:
+                out.append((f, confidence))
+                if len(out) == k:
+                    return out
+        return out
+
+    def count_worlds_containing(self, fact: Atom) -> int:
+        """``N_sol(Γ[x_fact / 1])``: worlds that contain *fact*."""
+        return self.count_worlds_containing_all([fact])
+
+    def count_worlds_containing_all(self, facts: Iterable[Atom]) -> int:
+        """Worlds containing *every* fact in *facts* (joint count).
+
+        Generalizes the paper's ``Γ[x_p/1]`` to fixing several variables at
+        once; each forced fact seeds the DP and shrinks its block. Duplicate
+        facts are collapsed. The basis for joint and conditional
+        confidences.
+        """
+        inst = self.instance
+        forced = {Atom(inst.relation, f.args) for f in facts}
+        if not forced:
+            return self.count_worlds()
+        per_block: Dict[Optional[int], int] = {}
+        for f in forced:
+            if not inst.in_fact_space(f):
+                return 0
+            per_block[inst.block_of(f)] = per_block.get(inst.block_of(f), 0) + 1
+        seed_sound = [0] * inst.n_sources
+        seed_total = 0
+        skip_counts: Dict[int, int] = {}
+        anonymous_forced = 0
+        for j, count in per_block.items():
+            seed_total += count
+            if j is None:
+                anonymous_forced = count
+                continue
+            skip_counts[j] = count
+            for i in inst.blocks[j].signature:
+                seed_sound[i] += count
+        states = self._sweep_multi(
+            skip_counts, initial_sound=seed_sound, initial_total=seed_total
+        )
+        return self._finish(states, inst.anonymous_size - anonymous_forced)
+
+    def count_worlds_excluding(self, fact: Atom) -> int:
+        """Worlds that do *not* contain *fact* (``N_sol(Γ[x_fact / 0])``)."""
+        inst = self.instance
+        if not inst.in_fact_space(fact):
+            return self.count_worlds()
+        j = inst.block_of(fact)
+        if j is None:
+            states = self._sweep()
+            return self._finish(states, inst.anonymous_size - 1)
+        states = self._sweep(skip_one_of_block=j)
+        return self._finish(states, inst.anonymous_size)
+
+    def confidence(self, fact: Atom) -> Fraction:
+        """``confidence(t) = N_sol(Γ[x_t/1]) / N_sol(Γ)`` (Section 5.1).
+
+        Raises :class:`~repro.exceptions.InconsistentCollectionError` when the
+        collection admits no possible world over the fact space.
+        """
+        from repro.exceptions import InconsistentCollectionError
+
+        denominator = self.count_worlds()
+        if denominator == 0:
+            raise InconsistentCollectionError(
+                "collection admits no possible database over this domain"
+            )
+        return Fraction(self.count_worlds_containing(fact), denominator)
+
+    def joint_confidence(self, facts: Iterable[Atom]) -> Fraction:
+        """``Pr(all facts ∈ D | D ∈ poss(S))``."""
+        from repro.exceptions import InconsistentCollectionError
+
+        denominator = self.count_worlds()
+        if denominator == 0:
+            raise InconsistentCollectionError(
+                "collection admits no possible database over this domain"
+            )
+        return Fraction(self.count_worlds_containing_all(facts), denominator)
+
+    def conditional_confidence(self, fact: Atom, given: Iterable[Atom]) -> Fraction:
+        """``Pr(fact ∈ D | given ⊆ D, D ∈ poss(S))``.
+
+        Raises :class:`~repro.exceptions.InconsistentCollectionError` when no
+        possible world contains all the *given* facts.
+        """
+        from repro.exceptions import InconsistentCollectionError
+
+        given = list(given)
+        denominator = self.count_worlds_containing_all(given)
+        if denominator == 0:
+            raise InconsistentCollectionError(
+                "no possible world contains all the conditioning facts"
+            )
+        numerator = self.count_worlds_containing_all(list(given) + [fact])
+        return Fraction(numerator, denominator)
+
+    def covariance(self, left: Atom, right: Atom) -> Fraction:
+        """``Pr(both) − Pr(left)·Pr(right)``: the membership correlation the
+        Definition 5.1 calculus ignores (zero means independent).
+        """
+        return self.joint_confidence([left, right]) - (
+            self.confidence(left) * self.confidence(right)
+        )
+
+    def world_size_distribution(self) -> Dict[int, int]:
+        """Number of possible worlds per database size |D|.
+
+        Exact, via the same DP: swept states carry the covered total, and
+        the anonymous block contributes ``C(N₀, j)`` worlds of j extra
+        facts. Summing the distribution reproduces ``count_worlds()``; its
+        mean equals Σ_t confidence(t) (linearity of expectation) — both are
+        asserted in the test suite.
+        """
+        inst = self.instance
+        states = self._sweep()
+        distribution: Dict[int, int] = {}
+        for (sound, covered_total), weight in states.items():
+            if any(
+                sound[i] < inst.min_sound[i] for i in range(inst.n_sources)
+            ):
+                continue
+            cap = inst.max_total_for(sound)
+            if cap is None:
+                budget = inst.anonymous_size
+            else:
+                budget = cap - covered_total
+                if budget < 0:
+                    continue
+                budget = min(budget, inst.anonymous_size)
+            for extra in range(budget + 1):
+                size = covered_total + extra
+                distribution[size] = distribution.get(size, 0) + (
+                    weight * math.comb(inst.anonymous_size, extra)
+                )
+        return distribution
+
+    def expected_world_size(self) -> Fraction:
+        """``E[|D|]`` over a uniformly random possible world."""
+        from repro.exceptions import InconsistentCollectionError
+
+        distribution = self.world_size_distribution()
+        total = sum(distribution.values())
+        if total == 0:
+            raise InconsistentCollectionError(
+                "collection admits no possible database over this domain"
+            )
+        weighted = sum(size * count for size, count in distribution.items())
+        return Fraction(weighted, total)
+
+    def is_consistent(self) -> bool:
+        """Non-emptiness of poss(S) over the finite fact space."""
+        return self.count_worlds() > 0

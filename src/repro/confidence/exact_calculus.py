@@ -1,0 +1,239 @@
+"""An exact confidence calculus for monotone algebra queries.
+
+Definition 5.1 propagates tuple confidences with ⊕ and ·, implicitly
+assuming the combined membership events are independent — experiment E6
+shows real deviations when a projection merges correlated facts or a
+product reuses the same relation. This module removes the assumption for
+the §5.1 setting (identity-view collections):
+
+* Every produced tuple's membership event is a **positive DNF** over base
+  facts: scans yield single-fact monomials, selections filter, projections
+  take unions of alternatives, products conjoin monomials pairwise, unions
+  merge alternatives. Monotone operators never introduce negation.
+* The probability of a positive DNF follows by inclusion–exclusion, where
+  every term is the probability of a *conjunction of base facts* — exactly
+  what :meth:`BlockCounter.count_worlds_containing_all` computes in
+  polynomial time.
+
+The result equals the possible-worlds confidence ``confidence_Q(t)``
+*exactly* (differentially tested against world enumeration), at a cost
+exponential only in the number of DNF alternatives per tuple (capped;
+typical projections merge a handful of rows). Facts outside every
+extension ("anonymous") are folded into the event population when their
+number is enumerable; otherwise information-losing queries are refused
+rather than silently under-counted.
+
+This is the constructive form of the paper's Theorem 5.1: the calculus is
+correct once the probability of unions is computed from the true joint
+distribution instead of the independence approximation.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.exceptions import DomainTooLargeError, QueryError
+from repro.model.atoms import Atom
+from repro.algebra.ast import (
+    AlgebraQuery,
+    Product,
+    Projection,
+    RelationScan,
+    Row,
+    Selection,
+    UnionNode,
+)
+from repro.confidence.blocks import BlockCounter, IdentityInstance
+
+#: A monomial is a conjunction of base facts; an event is a set of monomials.
+Monomial = FrozenSet[Atom]
+Event = FrozenSet[Monomial]
+
+#: Inclusion–exclusion over k alternatives costs 2^k joint counts.
+MAX_ALTERNATIVES = 16
+
+#: Anonymous facts are folded into the event population only up to this
+#: count; beyond it, information-losing queries are refused (see
+#: :meth:`ExactCalculus.confidences`).
+MAX_ANONYMOUS_ENUMERATION = 32
+
+
+def _absorb(monomials: Iterable[Monomial]) -> Event:
+    """Drop monomials subsumed by smaller ones (absorption: a ∨ ab = a)."""
+    unique = sorted(set(monomials), key=len)
+    kept: List[Monomial] = []
+    for monomial in unique:
+        if not any(existing <= monomial for existing in kept):
+            kept.append(monomial)
+    return frozenset(kept)
+
+
+def event_probability(event: Event, counter: BlockCounter) -> Fraction:
+    """Probability that at least one monomial holds, by inclusion–exclusion."""
+    monomials = sorted(event, key=lambda m: (len(m), sorted(map(str, m))))
+    if not monomials:
+        return Fraction(0)
+    if len(monomials) > MAX_ALTERNATIVES:
+        raise DomainTooLargeError(
+            f"event has {len(monomials)} alternatives "
+            f"(> {MAX_ALTERNATIVES}); inclusion-exclusion would need "
+            f"2^{len(monomials)} joint counts"
+        )
+    total_worlds = counter.count_worlds()
+    if total_worlds == 0:
+        from repro.exceptions import InconsistentCollectionError
+
+        raise InconsistentCollectionError(
+            "collection admits no possible database over this domain"
+        )
+    probability = Fraction(0)
+    for size in range(1, len(monomials) + 1):
+        sign = 1 if size % 2 == 1 else -1
+        for subset in combinations(monomials, size):
+            conjunction: Set[Atom] = set()
+            for monomial in subset:
+                conjunction |= monomial
+            count = counter.count_worlds_containing_all(conjunction)
+            probability += sign * Fraction(count, total_worlds)
+    return probability
+
+
+def _is_lossy(query: AlgebraQuery) -> bool:
+    """Does any projection in the tree drop information?
+
+    A projection keeping every child column (in any order, possibly with
+    duplicates or added literals) maps distinct child rows to distinct
+    images, so facts outside the event population cannot collide with a
+    tracked row's image. Dropping a column (or keeping only literals) can.
+    """
+    if isinstance(query, Projection):
+        child_width = query.child.width()
+        kept = {c for c in query.columns if isinstance(c, int)}
+        if child_width >= 0 and kept != set(range(child_width)):
+            return True
+        return _is_lossy(query.child)
+    if isinstance(query, Selection):
+        return _is_lossy(query.child)
+    if isinstance(query, (Product, UnionNode)):
+        return _is_lossy(query.left) or _is_lossy(query.right)
+    return False
+
+
+class ExactCalculus:
+    """Exact conf_Q over an identity-view collection.
+
+    The event population is the **whole fact space** whenever the anonymous
+    part (facts outside every extension) is small enough to enumerate
+    (≤ ``MAX_ANONYMOUS_ENUMERATION``); then every query is exact. With a
+    huge anonymous population, only *information-preserving* queries (no
+    column-dropping projections) are answered — a lossy image could also be
+    produced by un-enumerated anonymous facts, which would silently
+    under-count, so those queries raise instead.
+
+    >>> # see tests/confidence/test_exact_calculus.py
+    """
+
+    def __init__(self, instance: IdentityInstance):
+        self.instance = instance
+        self.counter = BlockCounter(instance)
+        covered = [f for block in instance.blocks for f in block.facts]
+        self.population_complete = (
+            instance.anonymous_size <= MAX_ANONYMOUS_ENUMERATION
+        )
+        if self.population_complete and instance.anonymous_size > 0:
+            from itertools import product as iter_product
+
+            covered_set = set(covered)
+            for combo in iter_product(instance.domain, repeat=instance.arity):
+                candidate = Atom(instance.relation, combo)
+                if candidate not in covered_set:
+                    covered.append(candidate)
+        self._population: Tuple[Atom, ...] = tuple(covered)
+
+    # -- symbolic pass ---------------------------------------------------------
+
+    def events(self, query: AlgebraQuery) -> Dict[Row, Event]:
+        """Membership events for every derivable row (over the population)."""
+        if isinstance(query, RelationScan):
+            if query.relation != self.instance.relation:
+                raise QueryError(
+                    f"exact calculus scans only the identity relation "
+                    f"{self.instance.relation!r}, got {query.relation!r}"
+                )
+            if query.arity != self.instance.arity:
+                raise QueryError(
+                    f"scan arity {query.arity} != relation arity "
+                    f"{self.instance.arity}"
+                )
+            return {
+                f.args: frozenset({frozenset({f})}) for f in self._population
+            }
+        if isinstance(query, Selection):
+            child = self.events(query.child)
+            return {
+                row: event
+                for row, event in child.items()
+                if query.condition(row)
+            }
+        if isinstance(query, Projection):
+            child = self.events(query.child)
+            grouped: Dict[Row, Set[Monomial]] = {}
+            for row, event in child.items():
+                image = tuple(
+                    row[c] if isinstance(c, int) else c for c in query.columns
+                )
+                grouped.setdefault(image, set()).update(event)
+            return {image: _absorb(ms) for image, ms in grouped.items()}
+        if isinstance(query, Product):
+            left = self.events(query.left)
+            right = self.events(query.right)
+            out: Dict[Row, Event] = {}
+            for l_row, l_event in left.items():
+                for r_row, r_event in right.items():
+                    monomials = {
+                        l_mono | r_mono
+                        for l_mono in l_event
+                        for r_mono in r_event
+                    }
+                    out[l_row + r_row] = _absorb(monomials)
+            return out
+        if isinstance(query, UnionNode):
+            left = self.events(query.left)
+            right = self.events(query.right)
+            out = dict(left)
+            for row, event in right.items():
+                if row in out:
+                    out[row] = _absorb(out[row] | event)
+                else:
+                    out[row] = event
+            return out
+        raise QueryError(f"no exact rule for node {type(query).__name__}")
+
+    # -- numeric pass -----------------------------------------------------------
+
+    def confidences(self, query: AlgebraQuery) -> Dict[Row, Fraction]:
+        """Exact possible-worlds confidence of every derivable row.
+
+        Raises :class:`~repro.exceptions.DomainTooLargeError` for an
+        information-losing query when the anonymous population could not be
+        enumerated (the result would silently under-count).
+        """
+        if not self.population_complete and _is_lossy(query):
+            raise DomainTooLargeError(
+                f"{self.instance.anonymous_size} anonymous facts (> "
+                f"{MAX_ANONYMOUS_ENUMERATION}) cannot be folded into the "
+                "event population, and this query drops columns — anonymous "
+                "facts could contribute to its answers. Use world "
+                "enumeration or sampling instead."
+            )
+        return {
+            row: event_probability(event, self.counter)
+            for row, event in self.events(query).items()
+        }
+
+    def confidence(self, query: AlgebraQuery, row: Row) -> Fraction:
+        """Exact confidence of one row (0 when not derivable from covered
+        facts)."""
+        return self.confidences(query).get(row, Fraction(0))

@@ -1,0 +1,163 @@
+"""The 0/1 linear system Γ of Section 5.1, materialized explicitly.
+
+For an identity-view collection over a finite domain, Section 5.1 enumerates
+the fact space t_1..t_N, associates a 0/1 variable x_i with each fact, and
+collects, per source, the inequalities
+
+    Σ_{t_j ∈ v_i} x_j (1 − c_i)  −  Σ_{t_j ∉ v_i} c_i x_j  ≥ 0      (completeness)
+    Σ_{t_j ∈ v_i} x_j                                  ≥ s_i |v_i|  (soundness)
+
+This module builds Γ with exact Fraction coefficients, enumerates its 0/1
+solutions by brute force (2^N — the paper's "at least in principle" method),
+and serves as the differential-testing oracle for the polynomial
+block-counting algorithm in :mod:`repro.confidence.blocks`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import DomainTooLargeError
+from repro.model.atoms import Atom
+from repro.model.database import GlobalDatabase
+from repro.confidence.blocks import IdentityInstance
+
+#: Refuse brute-force enumeration beyond this many variables (2^24 worlds).
+MAX_BRUTE_FORCE_VARIABLES = 24
+
+
+class Inequality:
+    """``Σ coefficients[j]·x_j ≥ bound`` with exact rational coefficients."""
+
+    __slots__ = ("coefficients", "bound", "label")
+
+    def __init__(self, coefficients: Sequence[Fraction], bound: Fraction, label: str):
+        self.coefficients = tuple(coefficients)
+        self.bound = bound
+        self.label = label
+
+    def satisfied_by(self, assignment: Sequence[int]) -> bool:
+        total = sum(
+            c * x for c, x in zip(self.coefficients, assignment) if x and c
+        )
+        return total >= self.bound
+
+    def __repr__(self) -> str:
+        return f"Inequality({self.label!r}, bound={self.bound})"
+
+
+class GammaSystem:
+    """The explicit system Γ: one 0/1 variable per fact of the fact space.
+
+    >>> # see tests/confidence/test_linear_system.py for full examples
+    """
+
+    def __init__(self, instance: IdentityInstance):
+        self.instance = instance
+        self.facts: Tuple[Atom, ...] = tuple(
+            sorted(
+                Atom(instance.relation, combo)
+                for combo in product(instance.domain, repeat=instance.arity)
+            )
+        )
+        self._index: Dict[Atom, int] = {f: j for j, f in enumerate(self.facts)}
+        self.inequalities: List[Inequality] = []
+        for i in range(instance.n_sources):
+            extension = instance.extensions[i]
+            c = instance.completeness_bounds[i]
+            s = instance.soundness_bounds[i]
+            k = len(extension)
+            membership = [f in extension for f in self.facts]
+            completeness_coeffs = [
+                (Fraction(1) - c) if member else -c for member in membership
+            ]
+            soundness_coeffs = [
+                Fraction(1) if member else Fraction(0) for member in membership
+            ]
+            self.inequalities.append(
+                Inequality(
+                    completeness_coeffs,
+                    Fraction(0),
+                    f"completeness[{instance.names[i]}]",
+                )
+            )
+            self.inequalities.append(
+                Inequality(
+                    soundness_coeffs, s * k, f"soundness[{instance.names[i]}]"
+                )
+            )
+
+    @property
+    def n_variables(self) -> int:
+        return len(self.facts)
+
+    def variable_of(self, fact: Atom) -> Optional[int]:
+        """Index of the variable for *fact* (local names accepted)."""
+        return self._index.get(Atom(self.instance.relation, fact.args))
+
+    def satisfied_by(self, assignment: Sequence[int]) -> bool:
+        """Does a full 0/1 assignment satisfy every inequality?"""
+        return all(ineq.satisfied_by(assignment) for ineq in self.inequalities)
+
+    def _check_size(self) -> None:
+        if self.n_variables > MAX_BRUTE_FORCE_VARIABLES:
+            raise DomainTooLargeError(
+                f"brute-force enumeration over {self.n_variables} variables "
+                f"(> {MAX_BRUTE_FORCE_VARIABLES}); use BlockCounter instead"
+            )
+
+    def solutions(self) -> Iterator[Tuple[int, ...]]:
+        """All satisfying 0/1 assignments, by exhaustive enumeration."""
+        self._check_size()
+        for assignment in product((0, 1), repeat=self.n_variables):
+            if self.satisfied_by(assignment):
+                yield assignment
+
+    def solution_databases(self) -> Iterator[GlobalDatabase]:
+        """Solutions as global databases (the possible worlds)."""
+        for assignment in self.solutions():
+            yield GlobalDatabase(
+                f for f, x in zip(self.facts, assignment) if x
+            )
+
+    def count_solutions(self, fixed: Dict[Atom, int] = None) -> int:
+        """``N_sol(Γ)`` (or of Γ with some variables substituted).
+
+        *fixed* maps facts to forced values, implementing the paper's
+        ``Γ[x_p/1]`` notation.
+        """
+        self._check_size()
+        forced: Dict[int, int] = {}
+        if fixed:
+            for fact, value in fixed.items():
+                index = self.variable_of(fact)
+                if index is None:
+                    if value:
+                        return 0  # forcing a fact outside the fact space: impossible
+                    continue
+                forced[index] = 1 if value else 0
+        free = [j for j in range(self.n_variables) if j not in forced]
+        count = 0
+        assignment = [0] * self.n_variables
+        for index, value in forced.items():
+            assignment[index] = value
+        for combo in product((0, 1), repeat=len(free)):
+            for j, value in zip(free, combo):
+                assignment[j] = value
+            if self.satisfied_by(assignment):
+                count += 1
+        return count
+
+    def confidence(self, fact: Atom) -> Fraction:
+        """``N_sol(Γ[x_p/1]) / N_sol(Γ)`` by brute force (oracle method)."""
+        from repro.exceptions import InconsistentCollectionError
+
+        denominator = self.count_solutions()
+        if denominator == 0:
+            raise InconsistentCollectionError(
+                "collection admits no possible database over this domain"
+            )
+        numerator = self.count_solutions({fact: 1})
+        return Fraction(numerator, denominator)

@@ -1,0 +1,122 @@
+"""The confidence propagation calculus conf_Q (Definition 5.1).
+
+Structural rules over a relational-algebra tree:
+
+* ``Q = R``                 → base-fact confidences;
+* ``Q = π_Att Q'``          → ⊕ over the preimage (noisy-or);
+* ``Q = σ_φ Q'``            → unchanged for surviving tuples;
+* ``Q = Q' × Q''``          → product of the factors' confidences;
+* ``Q = Q' ∪ Q''``          → ⊕ of the two contributions (extension).
+
+Theorem 5.1 states conf_Q(t) = confidence_Q(t); the ⊕ and × rules treat the
+contributing events as independent, which holds when the combined tuples'
+memberships are independent in the possible-world distribution. Experiment
+E6 measures how the calculus tracks the exact possible-world confidence when
+that assumption is stressed (shared base facts, correlated sources).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from numbers import Real
+from typing import Dict, Iterable, Mapping, Union
+
+from repro.exceptions import QueryError
+from repro.model.atoms import Atom
+from repro.model.terms import Constant
+from repro.algebra.ast import (
+    AlgebraQuery,
+    Product,
+    Projection,
+    RelationScan,
+    Row,
+    Selection,
+    UnionNode,
+)
+
+Number = Union[Fraction, float]
+BaseConfidences = Mapping[str, Mapping[Row, Number]]
+
+
+def oplus(probabilities: Iterable[Number]) -> Number:
+    """``⊕ p_i = 1 − ∏(1 − p_i)`` — probability of a union of independent
+    events (the paper's Notation in Section 5.2)."""
+    product_term: Number = 1
+    for p in probabilities:
+        product_term = product_term * (1 - p)
+    return 1 - product_term
+
+
+def base_confidences_from_facts(
+    confidences: Mapping[Atom, Number]
+) -> Dict[str, Dict[Row, Number]]:
+    """Regroup fact→confidence into relation→row→confidence for propagation."""
+    out: Dict[str, Dict[Row, Number]] = {}
+    for fact, confidence in confidences.items():
+        out.setdefault(fact.relation, {})[fact.args] = confidence
+    return out
+
+
+def propagate(
+    query: AlgebraQuery, base: BaseConfidences
+) -> Dict[Row, Number]:
+    """conf_Q for every tuple in the (represented) possible answer.
+
+    *base* maps each scanned relation to the confidences of its possible
+    facts (e.g. from
+    :func:`repro.confidence.base_facts.covered_fact_confidences`, regrouped
+    by :func:`base_confidences_from_facts`). Tuples absent from *base* are
+    treated as confidence 0 and never produced.
+    """
+    if isinstance(query, RelationScan):
+        relation_confidences = base.get(query.relation, {})
+        return {
+            row: confidence
+            for row, confidence in relation_confidences.items()
+            if len(row) == query.arity and confidence != 0
+        }
+    if isinstance(query, Selection):
+        child = propagate(query.child, base)
+        return {
+            row: confidence
+            for row, confidence in child.items()
+            if query.condition(row)
+        }
+    if isinstance(query, Projection):
+        child = propagate(query.child, base)
+        grouped: Dict[Row, list] = {}
+        for row, confidence in child.items():
+            image = tuple(
+                row[c] if isinstance(c, int) else c for c in query.columns
+            )
+            grouped.setdefault(image, []).append(confidence)
+        return {image: oplus(confs) for image, confs in grouped.items()}
+    if isinstance(query, Product):
+        left = propagate(query.left, base)
+        right = propagate(query.right, base)
+        return {
+            l_row + r_row: l_conf * r_conf
+            for l_row, l_conf in left.items()
+            for r_row, r_conf in right.items()
+        }
+    if isinstance(query, UnionNode):
+        left = propagate(query.left, base)
+        right = propagate(query.right, base)
+        out: Dict[Row, Number] = dict(left)
+        for row, confidence in right.items():
+            if row in out:
+                out[row] = oplus([out[row], confidence])
+            else:
+                out[row] = confidence
+        return out
+    raise QueryError(f"no confidence rule for node {type(query).__name__}")
+
+
+def propagate_facts(
+    query: AlgebraQuery,
+    fact_confidences: Mapping[Atom, Number],
+    answer_relation: str = "ans",
+) -> Dict[Atom, Number]:
+    """Convenience wrapper: fact-level in, fact-level out."""
+    rows = propagate(query, base_confidences_from_facts(fact_confidences))
+    return {Atom(answer_relation, row): conf for row, conf in rows.items()}

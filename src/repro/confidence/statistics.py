@@ -1,0 +1,88 @@
+"""Aggregate statistics over the possible-world distribution.
+
+Beyond per-tuple confidence, users of an integration system ask aggregate
+questions: *how many answers should I expect?* *how big is the true
+database likely to be?* Linearity of expectation makes expected cardinality
+exact even though tuple memberships are correlated — no independence
+assumption is needed, unlike the Definition 5.1 calculus:
+
+    E[|Q(D)|] = Σ_{t ∈ Q^*(S)} confidence_Q(t)
+
+For identity collections these sums are exact Fractions via block counting;
+for arbitrary queries they come from world enumeration or exact sampling.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, Optional, Union
+
+from repro.model.atoms import Atom
+from repro.queries.conjunctive import ConjunctiveQuery
+from repro.algebra.ast import AlgebraQuery
+from repro.sources.collection import SourceCollection
+from repro.confidence.answers import answer_query
+from repro.confidence.blocks import BlockCounter, IdentityInstance
+
+Query = Union[ConjunctiveQuery, AlgebraQuery]
+
+
+def expected_base_size(
+    collection: SourceCollection, domain: Iterable
+) -> Fraction:
+    """``E[|D|]`` for an identity collection (exact, block DP)."""
+    return BlockCounter(
+        IdentityInstance(collection, domain)
+    ).expected_world_size()
+
+
+def world_size_distribution(
+    collection: SourceCollection, domain: Iterable
+) -> Dict[int, Fraction]:
+    """``Pr(|D| = k)`` for an identity collection, as exact probabilities."""
+    counter = BlockCounter(IdentityInstance(collection, domain))
+    counts = counter.world_size_distribution()
+    total = sum(counts.values())
+    if total == 0:
+        from repro.exceptions import InconsistentCollectionError
+
+        raise InconsistentCollectionError(
+            "collection admits no possible database over this domain"
+        )
+    return {size: Fraction(count, total) for size, count in counts.items()}
+
+
+def expected_answer_cardinality(
+    query: Query,
+    collection: SourceCollection,
+    domain: Iterable,
+    worlds=None,
+) -> Fraction:
+    """``E[|Q(D)|]`` — the expected number of answers to a query.
+
+    Computed as the sum of the per-answer confidences (linearity of
+    expectation; exact regardless of correlations). *worlds* may supply
+    pre-enumerated or exactly-sampled worlds, as in
+    :func:`repro.confidence.answers.answer_query`.
+    """
+    result = answer_query(query, collection, domain, worlds=worlds)
+    return sum(result.confidences.values(), Fraction(0))
+
+
+def answer_cardinality_bounds(
+    query: Query,
+    collection: SourceCollection,
+    domain: Iterable,
+    worlds=None,
+) -> Dict[str, Fraction]:
+    """Certain/expected/possible answer counts in one shot.
+
+    ``|Q_*| ≤ E[|Q(D)|] ≤ |Q^*|`` always holds; returned under the keys
+    ``"certain"``, ``"expected"``, ``"possible"``.
+    """
+    result = answer_query(query, collection, domain, worlds=worlds)
+    return {
+        "certain": Fraction(len(result.certain)),
+        "expected": sum(result.confidences.values(), Fraction(0)),
+        "possible": Fraction(len(result.possible)),
+    }

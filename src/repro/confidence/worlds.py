@@ -1,0 +1,82 @@
+"""Possible-world enumeration (the set poss(S), Section 3).
+
+Two enumeration routes:
+
+* :func:`possible_worlds` — fully generic brute force over every subset of
+  the fact space of ``sch(S)`` with constants from a given finite domain.
+  Works for arbitrary view definitions; exponential, guarded by a size cap.
+  This is the ground-truth oracle for everything else.
+* :func:`possible_worlds_identity` — identity-view collections: enumerate
+  via the Γ system (still exponential, but only over one relation's space).
+
+Both yield :class:`~repro.model.database.GlobalDatabase` objects.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator, List, Optional
+
+from repro.exceptions import DomainTooLargeError, SourceError
+from repro.model.atoms import Atom
+from repro.model.database import GlobalDatabase
+from repro.sources.collection import SourceCollection
+from repro.confidence.blocks import IdentityInstance
+from repro.confidence.linear_system import GammaSystem
+
+#: Refuse generic enumeration beyond this many candidate facts (2^22 subsets).
+MAX_FACT_SPACE = 22
+
+
+def fact_space(collection: SourceCollection, domain: Iterable) -> List[Atom]:
+    """Every fact over ``sch(S)`` with constants from *domain*, sorted."""
+    schema = collection.schema()
+    return sorted(schema.fact_space(domain))
+
+
+def possible_worlds(
+    collection: SourceCollection,
+    domain: Iterable,
+    max_facts: Optional[int] = None,
+) -> Iterator[GlobalDatabase]:
+    """Enumerate ``poss(S)`` over the finite fact space, smallest worlds first.
+
+    *max_facts* optionally restricts enumeration to worlds of at most that
+    many facts (useful with Lemma 3.1's bound when deciding consistency).
+    """
+    candidates = fact_space(collection, domain)
+    if len(candidates) > MAX_FACT_SPACE:
+        raise DomainTooLargeError(
+            f"fact space has {len(candidates)} facts (> {MAX_FACT_SPACE}); "
+            "use the identity-case BlockCounter or Monte-Carlo estimation"
+        )
+    limit = len(candidates) if max_facts is None else min(max_facts, len(candidates))
+    for size in range(limit + 1):
+        for combo in combinations(candidates, size):
+            world = GlobalDatabase(combo)
+            if collection.admits(world):
+                yield world
+
+
+def count_possible_worlds(
+    collection: SourceCollection, domain: Iterable
+) -> int:
+    """``|poss(S)|`` over the finite fact space, by enumeration."""
+    return sum(1 for _ in possible_worlds(collection, domain))
+
+
+def is_consistent_over(collection: SourceCollection, domain: Iterable) -> bool:
+    """Non-emptiness of poss(S) over the finite fact space."""
+    for _ in possible_worlds(collection, domain):
+        return True
+    return False
+
+
+def possible_worlds_identity(
+    collection: SourceCollection, domain: Iterable
+) -> Iterator[GlobalDatabase]:
+    """Enumerate poss(S) for an identity-view collection via the Γ system."""
+    if collection.identity_relation() is None:
+        raise SourceError("possible_worlds_identity requires identity views")
+    system = GammaSystem(IdentityInstance(collection, domain))
+    yield from system.solution_databases()

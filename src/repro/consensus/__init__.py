@@ -1,0 +1,46 @@
+"""Consensus & trust (the paper's §6 future-work direction, made concrete).
+
+Conflict analysis over source collections: maximal consistent
+sub-collections, minimal conflicts, repairs, trust/blame scores, and bound
+relaxation.
+"""
+
+from repro.consensus.relaxation import (
+    most_fixable_source,
+    per_source_relaxation,
+    scaled_collection,
+    uniform_relaxation,
+)
+from repro.consensus.subcollections import (
+    is_consistent_subset,
+    maximal_consistent_subcollections,
+    minimal_inconsistent_subcollections,
+    minimal_repairs,
+    repair_via_hitting_set,
+    subcollection,
+)
+from repro.consensus.trust import (
+    blame_scores,
+    consensus_trust_scores,
+    rank_by_trust,
+    suspect_sources,
+    trust_scores,
+)
+
+__all__ = [
+    "subcollection",
+    "is_consistent_subset",
+    "maximal_consistent_subcollections",
+    "minimal_inconsistent_subcollections",
+    "minimal_repairs",
+    "repair_via_hitting_set",
+    "trust_scores",
+    "consensus_trust_scores",
+    "blame_scores",
+    "rank_by_trust",
+    "suspect_sources",
+    "scaled_collection",
+    "uniform_relaxation",
+    "per_source_relaxation",
+    "most_fixable_source",
+]

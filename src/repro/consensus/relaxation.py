@@ -1,0 +1,122 @@
+"""Bound relaxation: the gentlest correction restoring consistency.
+
+Dropping sources (repairs) is drastic; often the right diagnosis is that
+providers *over-promised*. Relaxation finds the smallest uniform discount
+λ ∈ [0, 1] such that scaling every declared bound by (1 − λ) makes the
+collection consistent — or, per source, the discount needed on one
+provider's claims alone. Both are monotone in λ (lower bounds only get
+looser), so binary search against the exact consistency oracle converges to
+any requested precision.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Iterable, Optional, Tuple
+
+from repro.sources.collection import SourceCollection
+from repro.sources.descriptor import SourceDescriptor
+from repro.consistency.checker import check_consistency
+from repro.consensus.subcollections import Oracle, _default_oracle
+
+
+def scaled_collection(
+    collection: SourceCollection,
+    factor: Fraction,
+    only: Optional[Iterable[str]] = None,
+) -> SourceCollection:
+    """Bounds multiplied by *factor* (for all sources, or only the named ones)."""
+    targets = set(only) if only is not None else None
+    scaled = []
+    for source in collection:
+        if targets is None or source.name in targets:
+            scaled.append(
+                source.with_bounds(
+                    completeness_bound=source.completeness_bound * factor,
+                    soundness_bound=source.soundness_bound * factor,
+                )
+            )
+        else:
+            scaled.append(source)
+    return SourceCollection(scaled)
+
+
+def uniform_relaxation(
+    collection: SourceCollection,
+    precision: Fraction = Fraction(1, 128),
+    oracle: Optional[Oracle] = None,
+) -> Tuple[Fraction, SourceCollection]:
+    """The smallest uniform discount λ restoring consistency (within *precision*).
+
+    Returns ``(λ, relaxed_collection)``; λ = 0 when already consistent. The
+    returned λ is an upper bound at most *precision* above the true infimum,
+    and the returned collection is guaranteed consistent.
+    """
+    oracle = oracle if oracle is not None else _default_oracle
+    if oracle(collection):
+        return Fraction(0), collection
+    low, high = Fraction(0), Fraction(1)  # scaling by 0 is always consistent
+    while high - low > precision:
+        mid = (low + high) / 2
+        if oracle(scaled_collection(collection, Fraction(1) - mid)):
+            high = mid
+        else:
+            low = mid
+    return high, scaled_collection(collection, Fraction(1) - high)
+
+
+def per_source_relaxation(
+    collection: SourceCollection,
+    source_name: str,
+    precision: Fraction = Fraction(1, 128),
+    oracle: Optional[Oracle] = None,
+) -> Optional[Fraction]:
+    """The discount needed on *one* source's bounds alone, or ``None``.
+
+    ``None`` means even completely discounting this provider (λ = 1, i.e.
+    dropping its claims while keeping its data) cannot restore consistency —
+    the conflict does not hinge on this source.
+    """
+    oracle = oracle if oracle is not None else _default_oracle
+    if oracle(collection):
+        return Fraction(0)
+    if not oracle(scaled_collection(collection, Fraction(0), only=[source_name])):
+        return None
+    low, high = Fraction(0), Fraction(1)
+    while high - low > precision:
+        mid = (low + high) / 2
+        relaxed = scaled_collection(
+            collection, Fraction(1) - mid, only=[source_name]
+        )
+        if oracle(relaxed):
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def most_fixable_source(
+    collection: SourceCollection,
+    precision: Fraction = Fraction(1, 128),
+    oracle: Optional[Oracle] = None,
+) -> Optional[Tuple[str, Fraction]]:
+    """The single source whose smallest solo discount restores consistency.
+
+    Returns ``(name, λ)`` for the cheapest fix, or ``None`` when no single
+    source can absorb the conflict. The cheapest-to-fix source is a natural
+    "likely culprit" under the assumption that exactly one provider
+    mis-reported.
+    """
+    oracle = oracle if oracle is not None else _default_oracle
+    if oracle(collection):
+        return None  # nothing to fix
+    best: Optional[Tuple[str, Fraction]] = None
+    for source in collection:
+        discount = per_source_relaxation(
+            collection, source.name, precision, oracle
+        )
+        if discount is None:
+            continue
+        if best is None or discount < best[1]:
+            best = (source.name, discount)
+    return best

@@ -1,0 +1,132 @@
+"""Maximal consistent and minimal inconsistent sub-collections.
+
+The paper's discussion (§6) proposes exploring "how a notion of consensus
+can be defined and used to detect the most trustworthy sources" when some
+providers report wrong estimates. The classical tooling for that is
+conflict analysis:
+
+* consistency is **anti-monotone** in the source set — dropping a source
+  only relaxes the constraints on poss(S), so every subset of a consistent
+  collection is consistent;
+* the interesting structure is therefore the antichain of **maximal
+  consistent sub-collections** (MCSs) and its dual, the **minimal
+  inconsistent sub-collections** (conflicts / MISes);
+* a **minimal repair** is a smallest set of sources whose removal restores
+  consistency — the complement of a largest MCS, equivalently a minimum
+  hitting set of the conflicts (connecting back to Theorem 3.2's reduction
+  machinery, now used in the opposite direction).
+
+All searches use the exact consistency oracle and are exponential in the
+number of sources — appropriate for the tens-of-sources regime the paper's
+scenarios describe.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, FrozenSet, List, Optional, Tuple
+
+from repro.sources.collection import SourceCollection
+from repro.consistency.checker import check_consistency
+
+Oracle = Callable[[SourceCollection], bool]
+Names = FrozenSet[str]
+
+
+def _default_oracle(collection: SourceCollection) -> bool:
+    return check_consistency(collection).consistent
+
+
+def subcollection(collection: SourceCollection, names: Names) -> SourceCollection:
+    """The sub-collection holding exactly the named sources (order kept)."""
+    return SourceCollection([s for s in collection if s.name in names])
+
+
+def is_consistent_subset(
+    collection: SourceCollection, names: Names, oracle: Optional[Oracle] = None
+) -> bool:
+    """Consistency of the named sub-collection (empty set is consistent)."""
+    oracle = oracle if oracle is not None else _default_oracle
+    return oracle(subcollection(collection, names))
+
+
+def maximal_consistent_subcollections(
+    collection: SourceCollection, oracle: Optional[Oracle] = None
+) -> List[Names]:
+    """All maximal consistent source subsets, largest first.
+
+    Enumerates subsets by decreasing size, keeping those consistent and not
+    covered by an already-found maximal set. Anti-monotonicity makes this
+    exact. A consistent collection yields exactly one MCS: everything.
+    """
+    oracle = oracle if oracle is not None else _default_oracle
+    all_names = [s.name for s in collection.sources]
+    found: List[Names] = []
+    for size in range(len(all_names), -1, -1):
+        for combo in combinations(all_names, size):
+            candidate = frozenset(combo)
+            if any(candidate <= maximal for maximal in found):
+                continue
+            if is_consistent_subset(collection, candidate, oracle):
+                found.append(candidate)
+    return sorted(found, key=lambda s: (-len(s), sorted(s)))
+
+
+def minimal_inconsistent_subcollections(
+    collection: SourceCollection, oracle: Optional[Oracle] = None
+) -> List[Names]:
+    """All minimal inconsistent source subsets (the conflicts), smallest first.
+
+    Empty when the collection is consistent. Each conflict is a set of
+    providers whose claims are *jointly* impossible although every proper
+    subset is satisfiable — the unit of blame for trust analysis.
+    """
+    oracle = oracle if oracle is not None else _default_oracle
+    all_names = [s.name for s in collection.sources]
+    conflicts: List[Names] = []
+    for size in range(1, len(all_names) + 1):
+        for combo in combinations(all_names, size):
+            candidate = frozenset(combo)
+            if any(conflict <= candidate for conflict in conflicts):
+                continue
+            if not is_consistent_subset(collection, candidate, oracle):
+                conflicts.append(candidate)
+    return sorted(conflicts, key=lambda s: (len(s), sorted(s)))
+
+
+def minimal_repairs(
+    collection: SourceCollection, oracle: Optional[Oracle] = None
+) -> List[Names]:
+    """Smallest source sets whose removal restores consistency.
+
+    Computed as complements of the largest MCSs; for a consistent collection
+    the only repair is the empty set.
+    """
+    maximal_sets = maximal_consistent_subcollections(collection, oracle)
+    if not maximal_sets:
+        return []
+    all_names = frozenset(s.name for s in collection.sources)
+    best_size = max(len(m) for m in maximal_sets)
+    return sorted(
+        (all_names - m for m in maximal_sets if len(m) == best_size),
+        key=sorted,
+    )
+
+
+def repair_via_hitting_set(
+    collection: SourceCollection, oracle: Optional[Oracle] = None
+) -> Tuple[Names, List[Names]]:
+    """A minimum repair computed as a hitting set of the conflicts.
+
+    Returns ``(repair, conflicts)``. Every conflict must lose at least one
+    member, so minimum repairs are exactly minimum hitting sets of the
+    conflict family — the same combinatorial core Theorem 3.2 reduces *from*.
+    A consistent collection returns the empty repair.
+    """
+    from repro.reductions.hitting_set import minimum_hitting_set
+
+    conflicts = minimal_inconsistent_subcollections(collection, oracle)
+    if not conflicts:
+        return frozenset(), []
+    repair = frozenset(minimum_hitting_set(conflicts))
+    return repair, conflicts

@@ -1,0 +1,107 @@
+"""Trust and blame scores for sources (the §6 consensus notion).
+
+Given the conflict structure of a collection:
+
+* **trust(S)** — the fraction of maximal consistent sub-collections that
+  retain S. A source compatible with every way of making the collection
+  consistent scores 1; a source that must always be dropped scores 0.
+* **blame(S)** — the fraction of minimal conflicts that involve S,
+  normalized by conflict membership. Sources appearing in many small
+  conflicts are the likely bad reporters.
+
+Both degrade gracefully: for a consistent collection every source has
+trust 1 and blame 0.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional
+
+from repro.sources.collection import SourceCollection
+from repro.consensus.subcollections import (
+    Oracle,
+    maximal_consistent_subcollections,
+    minimal_inconsistent_subcollections,
+)
+
+
+def trust_scores(
+    collection: SourceCollection, oracle: Optional[Oracle] = None
+) -> Dict[str, Fraction]:
+    """Per-source membership rate across maximal consistent sub-collections."""
+    maximal_sets = maximal_consistent_subcollections(collection, oracle)
+    names = [s.name for s in collection.sources]
+    if not maximal_sets:
+        return {name: Fraction(0) for name in names}
+    return {
+        name: Fraction(
+            sum(1 for m in maximal_sets if name in m), len(maximal_sets)
+        )
+        for name in names
+    }
+
+
+def consensus_trust_scores(
+    collection: SourceCollection, oracle: Optional[Oracle] = None
+) -> Dict[str, Fraction]:
+    """Membership rate across *maximum-cardinality* MCSs only.
+
+    The majority-consensus reading of §6: the most believable worlds are the
+    ones compatible with the largest coalition of providers, so a source
+    outside every largest coalition scores 0 even if it forms a small
+    self-consistent island. For the classic two-against-one conflict this
+    yields 1/1/0 where the unweighted :func:`trust_scores` gives 1/2 each.
+    """
+    maximal_sets = maximal_consistent_subcollections(collection, oracle)
+    names = [s.name for s in collection.sources]
+    if not maximal_sets:
+        return {name: Fraction(0) for name in names}
+    best = max(len(m) for m in maximal_sets)
+    largest = [m for m in maximal_sets if len(m) == best]
+    return {
+        name: Fraction(sum(1 for m in largest if name in m), len(largest))
+        for name in names
+    }
+
+
+def blame_scores(
+    collection: SourceCollection, oracle: Optional[Oracle] = None
+) -> Dict[str, Fraction]:
+    """Per-source participation rate across minimal conflicts."""
+    conflicts = minimal_inconsistent_subcollections(collection, oracle)
+    names = [s.name for s in collection.sources]
+    if not conflicts:
+        return {name: Fraction(0) for name in names}
+    return {
+        name: Fraction(
+            sum(1 for c in conflicts if name in c), len(conflicts)
+        )
+        for name in names
+    }
+
+
+def rank_by_trust(
+    collection: SourceCollection, oracle: Optional[Oracle] = None
+) -> List[str]:
+    """Most to least trustworthy (consensus trust desc, blame asc)."""
+    consensus = consensus_trust_scores(collection, oracle)
+    trust = trust_scores(collection, oracle)
+    blame = blame_scores(collection, oracle)
+    return sorted(
+        trust,
+        key=lambda name: (-consensus[name], -trust[name], blame[name], name),
+    )
+
+
+def suspect_sources(
+    collection: SourceCollection, oracle: Optional[Oracle] = None
+) -> List[str]:
+    """Sources with below-1 trust, most suspicious first.
+
+    Empty for a consistent collection — nobody needs to be doubted.
+    """
+    trust = trust_scores(collection, oracle)
+    suspects = [name for name, score in trust.items() if score < 1]
+    blame = blame_scores(collection, oracle)
+    return sorted(suspects, key=lambda name: (trust[name], -blame[name], name))

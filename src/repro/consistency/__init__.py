@@ -1,0 +1,27 @@
+"""CONSISTENCY of source collections (Section 3)."""
+
+from repro.consistency.bounds import (
+    canonical_domain,
+    constant_bound,
+    size_bound,
+    verify_witness,
+)
+from repro.consistency.checker import (
+    check_consistency,
+    is_consistent,
+    quotient_valuations,
+)
+from repro.consistency.identity import check_identity
+from repro.consistency.result import ConsistencyResult
+
+__all__ = [
+    "ConsistencyResult",
+    "check_consistency",
+    "check_identity",
+    "is_consistent",
+    "quotient_valuations",
+    "size_bound",
+    "constant_bound",
+    "canonical_domain",
+    "verify_witness",
+]

@@ -1,0 +1,48 @@
+"""Lemma 3.1 search-space bounds and the canonical constant pool dom_0.
+
+Lemma 3.1: if poss(S) ≠ ∅ there is a possible database with at most
+``m·p`` facts, where ``m = max_i |body(φ_i)|`` and ``p = Σ_i |v_i|``; such a
+database involves at most ``m·p·k`` constants (k the maximum arity). The
+NP membership argument of Theorem 3.2 fixes a constant pool dom_0 of that
+size, containing every constant from the view extensions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.model.terms import Constant, FreshConstantFactory
+from repro.sources.collection import SourceCollection
+
+
+def size_bound(collection: SourceCollection) -> int:
+    """``max_i |body(φ_i)| · Σ_i |v_i|`` — the Lemma 3.1 fact-count bound."""
+    return collection.lemma31_size_bound()
+
+
+def constant_bound(collection: SourceCollection) -> int:
+    """``m·p·k`` — enough constants for a bounded witness (Theorem 3.2 i)."""
+    return collection.lemma31_constant_bound()
+
+
+def canonical_domain(collection: SourceCollection, extra: int = None) -> List[Constant]:
+    """The pool dom_0: all extension/view constants plus fresh ones.
+
+    *extra* overrides the number of fresh constants added (defaults to
+    filling dom_0 up to the ``m·p·k`` bound, but never fewer than one fresh
+    constant per view variable — the quotient search needs that many at most).
+    """
+    known: Set[Constant] = collection.all_constants()
+    if extra is None:
+        variables = set()
+        for source in collection:
+            variables |= source.view.variables()
+        extra = max(constant_bound(collection) - len(known), len(variables))
+    factory = FreshConstantFactory(taken=known, prefix="_d")
+    fresh = [factory.fresh() for _ in range(max(0, extra))]
+    return sorted(known) + fresh
+
+
+def verify_witness(collection: SourceCollection, witness) -> bool:
+    """Check a claimed witness: in poss(S) *and* within the size bound."""
+    return collection.admits(witness) and len(witness) <= size_bound(collection)

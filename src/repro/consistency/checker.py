@@ -1,0 +1,163 @@
+"""The CONSISTENCY decision procedure for general view definitions (§3).
+
+Strategy (exponential by necessity — Theorem 3.2 proves NP-completeness):
+
+1. **Identity fast path** — when every view is an identity over one global
+   relation, delegate to the signature-block dynamic program.
+2. **Canonical freeze** — for each allowable sound-subset combination U
+   (Theorem 4.1's 𝒰), build the tableau T^U(S), freeze its variables to
+   distinct fresh constants, and test the resulting database against the
+   poss(S) predicate. Any hit is a genuine witness.
+3. **Quotient search** — when freezing misses, enumerate homomorphic images
+   of T^U(S): valuations of its variables over the constant pool (extension
+   and view constants plus canonically-ordered fresh constants). Lemma 3.1's
+   proof shows a consistent collection always has a witness of this shape,
+   so exhausting the quotients of every U is a *complete* decision
+   procedure.
+
+Views whose bodies mention built-in predicates are rejected here (freezing
+cannot invent constants satisfying arithmetic constraints); decide those
+over an explicit finite domain with
+:func:`repro.confidence.worlds.is_consistent_over`.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator, List, Optional, Sequence, Set
+
+from repro.exceptions import SourceError
+from repro.model.database import GlobalDatabase
+from repro.model.terms import Constant, FreshConstantFactory, Variable
+from repro.model.valuation import Valuation
+from repro.sources.collection import SourceCollection
+from repro.tableaux.construction import allowable_combinations, template_for_combination
+from repro.tableaux.tableau import Tableau
+from repro.consistency.identity import check_identity
+from repro.consistency.result import ConsistencyResult
+
+#: Default cap on quotient valuations examined per combination.
+DEFAULT_MAX_QUOTIENTS = 200_000
+#: Default cap on allowable combinations examined.
+DEFAULT_MAX_COMBINATIONS = 100_000
+
+
+def _reject_builtins(collection: SourceCollection) -> None:
+    for source in collection:
+        if source.view.builtin_body():
+            raise SourceError(
+                f"view of source {source.name} uses built-ins; decide "
+                "consistency over an explicit finite domain instead "
+                "(repro.confidence.worlds.is_consistent_over)"
+            )
+
+
+def quotient_valuations(
+    variables: Sequence[Variable], constants: Sequence[Constant]
+) -> Iterator[Valuation]:
+    """All valuations of *variables* over *constants* plus fresh constants,
+    canonical up to renaming of the fresh part.
+
+    Fresh constants are introduced in restricted-growth order (a variable may
+    map to fresh constant #j only if #0..#j−1 are already used), so each
+    identification pattern is enumerated exactly once.
+    """
+    variables = sorted(variables)
+    factory = FreshConstantFactory(taken=constants, prefix="_q")
+    fresh_pool: List[Constant] = [factory.fresh() for _ in range(len(variables))]
+
+    def extend(index: int, images: List[Constant], used_fresh: int) -> Iterator[Valuation]:
+        if index == len(variables):
+            yield Valuation(dict(zip(variables, images)))
+            return
+        for c in constants:
+            yield from extend(index + 1, images + [c], used_fresh)
+        for j in range(used_fresh + 1):
+            if j < len(fresh_pool):
+                yield from extend(
+                    index + 1, images + [fresh_pool[j]], max(used_fresh, j + 1)
+                )
+
+    yield from extend(0, [], 0)
+
+
+def check_consistency(
+    collection: SourceCollection,
+    max_quotients: int = DEFAULT_MAX_QUOTIENTS,
+    max_combinations: int = DEFAULT_MAX_COMBINATIONS,
+) -> ConsistencyResult:
+    """Decide whether ``poss(S) ≠ ∅``, producing a witness when consistent.
+
+    A negative result with ``decisive=False`` means a resource cap was hit
+    before the search space was exhausted; raise the caps to settle it.
+    """
+    if not collection.sources:
+        return ConsistencyResult(
+            consistent=True, witness=GlobalDatabase(), method="empty-collection"
+        )
+    if collection.identity_relation() is not None:
+        return check_identity(collection)
+    _reject_builtins(collection)
+
+    base_constants = sorted(collection.all_constants())
+    combinations_tried = 0
+    truncated = False
+
+    # Pass 1: canonical freeze of every combination (cheap, often decisive).
+    frozen_attempts: List[Tableau] = []
+    for combination in allowable_combinations(collection):
+        combinations_tried += 1
+        if combinations_tried > max_combinations:
+            truncated = True
+            break
+        template = template_for_combination(collection, combination)
+        tableau = template.tableaux[0]
+        frozen, _ = tableau.freeze(base_constants)
+        witness = GlobalDatabase(frozen.atoms)
+        if collection.admits(witness):
+            return ConsistencyResult(
+                consistent=True,
+                witness=witness,
+                method="canonical-freeze",
+                combinations_tried=combinations_tried,
+            )
+        frozen_attempts.append(tableau)
+
+    # Pass 2: complete quotient search over each combination's tableau.
+    quotients_tried = 0
+    for tableau in frozen_attempts:
+        for valuation in quotient_valuations(
+            sorted(tableau.variables()), base_constants
+        ):
+            quotients_tried += 1
+            if quotients_tried > max_quotients:
+                truncated = True
+                break
+            witness = GlobalDatabase(tableau.substitute(valuation).atoms)
+            if collection.admits(witness):
+                return ConsistencyResult(
+                    consistent=True,
+                    witness=witness,
+                    method="quotient-search",
+                    combinations_tried=combinations_tried,
+                )
+        if truncated:
+            break
+
+    return ConsistencyResult(
+        consistent=False,
+        decisive=not truncated,
+        method="exhausted" if not truncated else "truncated",
+        combinations_tried=combinations_tried,
+    )
+
+
+def is_consistent(collection: SourceCollection) -> bool:
+    """Convenience wrapper; raises on an indecisive (truncated) negative."""
+    result = check_consistency(collection)
+    if not result.consistent and not result.decisive:
+        raise SourceError(
+            "consistency search truncated by resource caps; call "
+            "check_consistency with higher limits"
+        )
+    return result.consistent

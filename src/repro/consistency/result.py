@@ -1,0 +1,54 @@
+"""Result object returned by the consistency deciders."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.model.database import GlobalDatabase
+
+
+class ConsistencyResult:
+    """Outcome of a CONSISTENCY decision.
+
+    Attributes
+    ----------
+    consistent:
+        Whether a possible database was found (``poss(S) ≠ ∅``).
+    witness:
+        A member of poss(S) when one was found, else ``None``. The witness
+        always satisfies Lemma 3.1's size bound.
+    decisive:
+        ``True`` when the verdict is definitive. A negative verdict from a
+        truncated search (resource limits hit) sets this to ``False``.
+    method:
+        Which strategy produced the verdict (``"identity-dp"``,
+        ``"canonical-freeze"``, ``"quotient-search"``, ``"exhausted"``).
+    combinations_tried:
+        Number of allowable sound-subset combinations examined.
+    """
+
+    __slots__ = ("consistent", "witness", "decisive", "method", "combinations_tried")
+
+    def __init__(
+        self,
+        consistent: bool,
+        witness: Optional[GlobalDatabase] = None,
+        decisive: bool = True,
+        method: str = "",
+        combinations_tried: int = 0,
+    ):
+        self.consistent = consistent
+        self.witness = witness
+        self.decisive = decisive
+        self.method = method
+        self.combinations_tried = combinations_tried
+
+    def __bool__(self) -> bool:
+        return self.consistent
+
+    def __repr__(self) -> str:
+        return (
+            f"ConsistencyResult(consistent={self.consistent}, "
+            f"decisive={self.decisive}, method={self.method!r}, "
+            f"combinations_tried={self.combinations_tried})"
+        )

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch every failure mode of the library with a single ``except`` clause while
+still being able to discriminate finer-grained conditions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ModelError(ReproError):
+    """Malformed relational-model object (term, atom, fact, database)."""
+
+
+class ArityError(ModelError):
+    """An atom's argument count disagrees with its relation's declared arity."""
+
+
+class NotGroundError(ModelError):
+    """A ground object (fact, database) was required but variables occur."""
+
+
+class QueryError(ReproError):
+    """Malformed query or view definition."""
+
+
+class UnsafeQueryError(QueryError):
+    """A query whose head contains variables not bound in the body."""
+
+
+class ParseError(QueryError):
+    """The Datalog-style text parser rejected its input."""
+
+
+class BuiltinError(QueryError):
+    """A built-in predicate was used with unbound arguments or bad arity."""
+
+
+class SourceError(ReproError):
+    """Malformed source descriptor or source collection."""
+
+
+class BoundError(SourceError):
+    """A soundness/completeness bound outside the interval [0, 1]."""
+
+
+class InconsistentCollectionError(ReproError):
+    """An operation requiring a consistent source collection was applied to
+    a collection whose set of possible databases is empty."""
+
+
+class DomainTooLargeError(ReproError):
+    """An exact possible-worlds computation was requested over a domain too
+    large for exhaustive methods; use the Monte-Carlo estimator instead."""
+
+
+class ReductionError(ReproError):
+    """A problem reduction received an instance outside its stated form."""

@@ -1,0 +1,19 @@
+"""High-level integration facade: mediator and source-ordering planner."""
+
+from repro.integration.mediator import Mediator
+from repro.integration.planner import (
+    coverage_estimate,
+    order_sources,
+    plan_prefix,
+    query_relations,
+    relevant_sources,
+)
+
+__all__ = [
+    "Mediator",
+    "order_sources",
+    "relevant_sources",
+    "plan_prefix",
+    "coverage_estimate",
+    "query_relations",
+]

@@ -1,0 +1,258 @@
+"""The mediator: a high-level facade over the whole library.
+
+A :class:`Mediator` plays the role of the paper's integration system: data
+providers register source descriptors; users check collection consistency,
+ask for base-fact confidences, and pose queries answered under the
+possible-worlds semantics with per-tuple confidence annotations.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.exceptions import InconsistentCollectionError, SourceError
+from repro.model.atoms import Atom
+from repro.model.database import GlobalDatabase
+from repro.model.terms import Constant
+from repro.queries.conjunctive import ConjunctiveQuery
+from repro.algebra.ast import AlgebraQuery
+from repro.algebra.translate import cq_to_algebra
+from repro.sources.collection import SourceCollection
+from repro.sources.descriptor import SourceDescriptor
+from repro.consistency.checker import check_consistency
+from repro.consistency.result import ConsistencyResult
+from repro.confidence.answers import QueryAnswer, answer_query
+from repro.confidence.base_facts import covered_fact_confidences
+from repro.confidence.blocks import BlockCounter, IdentityInstance
+from repro.confidence.montecarlo import WorldSampler
+from repro.confidence.query_conf import propagate_facts
+
+Query = Union[ConjunctiveQuery, AlgebraQuery]
+
+
+class Mediator:
+    """Uniform access to a collection of partially sound/complete sources.
+
+    >>> from repro.queries import identity_view
+    >>> from repro.model import fact
+    >>> m = Mediator()
+    >>> _ = m.register(SourceDescriptor(identity_view("V1", "R", 1),
+    ...                [fact("V1", "a")], 0.5, 1.0, name="S1"))
+    >>> m.check_consistency().consistent
+    True
+    """
+
+    def __init__(self, sources: Iterable[SourceDescriptor] = ()):
+        self._sources: List[SourceDescriptor] = list(sources)
+
+    # -- registration -----------------------------------------------------------
+
+    def register(self, source: SourceDescriptor) -> "Mediator":
+        """Add a source (chainable). Names must stay unique."""
+        if any(s.name == source.name for s in self._sources):
+            raise SourceError(f"source {source.name!r} already registered")
+        self._sources.append(source)
+        return self
+
+    def deregister(self, name: str) -> "Mediator":
+        """Remove a source by name."""
+        remaining = [s for s in self._sources if s.name != name]
+        if len(remaining) == len(self._sources):
+            raise SourceError(f"no source named {name!r}")
+        self._sources = remaining
+        return self
+
+    @property
+    def collection(self) -> SourceCollection:
+        """The current sources as an immutable collection."""
+        return SourceCollection(self._sources)
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+    # -- consistency --------------------------------------------------------------
+
+    def check_consistency(self, **limits) -> ConsistencyResult:
+        """Decide whether some global database honours every declared bound."""
+        return check_consistency(self.collection, **limits)
+
+    def audit(self, database: GlobalDatabase) -> Dict[str, Dict[str, Fraction]]:
+        """Measured completeness/soundness of every source against a
+        reference database, alongside the declared bounds."""
+        report: Dict[str, Dict[str, Fraction]] = {}
+        for source in self._sources:
+            report[source.name] = {
+                "completeness": source.completeness(database),
+                "declared_completeness": source.completeness_bound,
+                "soundness": source.soundness(database),
+                "declared_soundness": source.soundness_bound,
+            }
+        return report
+
+    # -- confidence ----------------------------------------------------------------
+
+    def base_confidences(self, domain: Iterable) -> Dict[Atom, Fraction]:
+        """Exact confidences of all source-claimed facts (identity views)."""
+        return covered_fact_confidences(self.collection, domain)
+
+    def world_sampler(
+        self, domain: Iterable, rng: Optional[random.Random] = None
+    ) -> WorldSampler:
+        """An exact uniform sampler over poss(S) (identity views)."""
+        return WorldSampler(IdentityInstance(self.collection, domain), rng)
+
+    # -- querying ------------------------------------------------------------------
+
+    def query(
+        self,
+        query: Query,
+        domain: Iterable,
+        method: str = "enumerate",
+        samples: int = 1000,
+        rng: Optional[random.Random] = None,
+    ) -> QueryAnswer:
+        """Answer a query with certain/possible sets and tuple confidences.
+
+        Methods:
+
+        * ``"enumerate"`` — exact, enumerates poss(S) (small fact spaces);
+        * ``"sample"`` — exact uniform world sampling (identity views),
+          confidences are Monte-Carlo frequencies over *samples* worlds.
+        """
+        collection = self.collection
+        if method == "enumerate":
+            return answer_query(query, collection, domain)
+        if method == "sample":
+            sampler = self.world_sampler(domain, rng)
+            worlds = [sampler.sample() for _ in range(samples)]
+            return answer_query(query, collection, domain, worlds=worlds)
+        raise SourceError(f"unknown query method: {method!r}")
+
+    def propagated_confidences(
+        self,
+        query: Query,
+        domain: Iterable,
+        answer_relation: str = "ans",
+    ) -> Dict[Atom, Fraction]:
+        """Definition 5.1 calculus: propagate base confidences up the tree.
+
+        Conjunctive queries are translated to algebra first. Fast (no world
+        enumeration) but exact only under the calculus's independence
+        assumptions — see Theorem 5.1 and experiment E6.
+        """
+        tree = cq_to_algebra(query) if isinstance(query, ConjunctiveQuery) else query
+        base = self.base_confidences(domain)
+        return propagate_facts(tree, base, answer_relation=answer_relation)
+
+    # -- statistics -----------------------------------------------------------------
+
+    def expected_database_size(self, domain: Iterable) -> Fraction:
+        """``E[|D|]`` over a uniformly random possible world (identity views)."""
+        from repro.confidence.statistics import expected_base_size
+
+        return expected_base_size(self.collection, domain)
+
+    def size_distribution(self, domain: Iterable) -> Dict[int, Fraction]:
+        """``Pr(|D| = k)`` (identity views, exact)."""
+        from repro.confidence.statistics import world_size_distribution
+
+        return world_size_distribution(self.collection, domain)
+
+    def expected_answer_count(self, query: Query, domain: Iterable) -> Fraction:
+        """``E[|Q(D)|]`` by linearity of expectation (exact, no independence
+        assumption needed)."""
+        from repro.confidence.statistics import expected_answer_cardinality
+
+        return expected_answer_cardinality(query, self.collection, domain)
+
+    # -- consensus ---------------------------------------------------------------------
+
+    def consensus_report(self) -> Dict[str, object]:
+        """Conflict analysis in one call: conflicts, trust/blame, repair,
+        and the uniform relaxation discount.
+
+        For a consistent collection the report is trivial (no conflicts,
+        full trust, empty repair, zero discount).
+        """
+        from repro.consensus import (
+            blame_scores,
+            consensus_trust_scores,
+            minimal_inconsistent_subcollections,
+            repair_via_hitting_set,
+            trust_scores,
+            uniform_relaxation,
+        )
+
+        collection = self.collection
+        conflicts = minimal_inconsistent_subcollections(collection)
+        repair, _ = repair_via_hitting_set(collection)
+        discount, _ = uniform_relaxation(collection)
+        return {
+            "consistent": not conflicts,
+            "conflicts": conflicts,
+            "trust": trust_scores(collection),
+            "consensus_trust": consensus_trust_scores(collection),
+            "blame": blame_scores(collection),
+            "repair": repair,
+            "relaxation_discount": discount,
+        }
+
+    # -- rewriting ------------------------------------------------------------------------
+
+    def rewrite(self, query: ConjunctiveQuery):
+        """Verified sound rewritings of *query* over the registered views."""
+        from repro.rewriting import find_rewritings
+
+        return find_rewritings(query, [s.view for s in self._sources])
+
+    def answer_from_sources(self, query: ConjunctiveQuery):
+        """Best-effort answers assembled directly from source extensions.
+
+        Finds all sound rewritings and unions their annotated answers
+        (provenance + support score). Fast — no possible-world reasoning —
+        but the answers inherit the sources' noise; use :meth:`query` for
+        the exact probabilistic semantics.
+        """
+        from repro.rewriting import execute_all
+
+        return execute_all(self.rewrite(query), self.collection)
+
+    # -- certain answers ------------------------------------------------------------------
+
+    def certain_answers(
+        self, query: ConjunctiveQuery, domain: Optional[Iterable] = None,
+        method: str = "enumerate",
+    ):
+        """Certain answers by the requested route.
+
+        * ``"enumerate"`` — exact, needs *domain* (finite fact space);
+        * ``"templates"`` — Theorem 4.1 route (sound under-approximation,
+          no domain needed);
+        * ``"im"`` — Information-Manifold sound-view route (fast sound
+          under-approximation, no domain needed);
+        * ``"base-facts"`` — evaluate over the confidence-1 base facts
+          (identity views; sees completeness-forced facts, needs *domain*).
+        """
+        if method == "enumerate":
+            if domain is None:
+                raise SourceError("method 'enumerate' requires a domain")
+            from repro.confidence.answers import certain_answer
+
+            return certain_answer(query, self.collection, domain)
+        if method == "base-facts":
+            if domain is None:
+                raise SourceError("method 'base-facts' requires a domain")
+            from repro.confidence.answers import certain_answer_lower_bound
+
+            return certain_answer_lower_bound(query, self.collection, domain)
+        if method == "templates":
+            from repro.tableaux.query_answers import certain_answer_from_templates
+
+            return certain_answer_from_templates(query, self.collection)
+        if method == "im":
+            from repro.baselines.information_manifold import certain_answer_im
+
+            return certain_answer_im(query, self.collection)
+        raise SourceError(f"unknown certain-answer method: {method!r}")

@@ -1,0 +1,23 @@
+"""Serialization of collections/databases and the command-line interface."""
+
+from repro.io.serialization import (
+    dumps_collection,
+    dumps_database,
+    load_collection,
+    load_database,
+    loads_collection,
+    loads_database,
+    save_collection,
+    save_database,
+)
+
+__all__ = [
+    "dumps_collection",
+    "loads_collection",
+    "load_collection",
+    "save_collection",
+    "dumps_database",
+    "loads_database",
+    "load_database",
+    "save_database",
+]

@@ -1,0 +1,184 @@
+"""Text serialization for source collections and databases.
+
+A line-oriented, human-editable format (the CLI's on-disk representation)::
+
+    # comments and blank lines are ignored
+    source S1 completeness=1/2 soundness=0.5
+    view V1(x) <- R(x)
+    fact V1("a")
+    fact V1("b")
+
+    source S2 completeness=0.5 soundness=1/2
+    view V2(x) <- R(x)
+    fact V2("b")
+
+Each ``source`` line opens a descriptor; the following ``view`` line is
+mandatory and ``fact`` lines populate its extension. Databases serialize as
+plain ``fact`` lines, one per fact. Round-tripping is exact: bounds are
+rendered as fractions, constants via the parser's literal syntax.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, List, Optional, Tuple
+
+from repro.exceptions import ParseError
+from repro.model.atoms import Atom
+from repro.model.database import GlobalDatabase
+from repro.model.terms import Constant
+from repro.queries.builtins import BuiltinRegistry, default_registry
+from repro.queries.parser import parse_fact, parse_rule
+from repro.sources.collection import SourceCollection
+from repro.sources.descriptor import SourceDescriptor, as_bound
+
+
+def _render_value(value) -> str:
+    """A constant value in the parser's literal syntax."""
+    if isinstance(value, str):
+        return '"' + value.replace('"', "") + '"'
+    return str(value)
+
+
+def _render_fact(fact: Atom) -> str:
+    inner = ", ".join(_render_value(a.value) for a in fact.args)
+    return f"{fact.relation}({inner})"
+
+
+def dumps_database(database: GlobalDatabase) -> str:
+    """Serialize a database as one ``fact`` line per fact, sorted."""
+    lines = [f"fact {_render_fact(f)}" for f in sorted(database)]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def loads_database(text: str) -> GlobalDatabase:
+    """Parse a database serialized by :func:`dumps_database`."""
+    facts: List[Atom] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if not line.startswith("fact "):
+            raise ParseError(f"line {line_number}: expected 'fact ...', got {raw!r}")
+        facts.append(parse_fact(line[len("fact "):]))
+    return GlobalDatabase(facts)
+
+
+def dumps_collection(collection: SourceCollection) -> str:
+    """Serialize a source collection in the line format above."""
+    chunks: List[str] = []
+    for source in collection:
+        lines = [
+            f"source {source.name} "
+            f"completeness={source.completeness_bound} "
+            f"soundness={source.soundness_bound}",
+            f"view {source.view}",
+        ]
+        lines += [f"fact {_render_fact(f)}" for f in sorted(source.extension)]
+        chunks.append("\n".join(lines))
+    return "\n\n".join(chunks) + ("\n" if chunks else "")
+
+
+def _parse_source_line(line: str, line_number: int) -> Tuple[str, Fraction, Fraction]:
+    parts = line.split()
+    if len(parts) != 4:
+        raise ParseError(
+            f"line {line_number}: expected "
+            f"'source NAME completeness=C soundness=S', got {line!r}"
+        )
+    name = parts[1]
+    bounds = {}
+    for token in parts[2:]:
+        if "=" not in token:
+            raise ParseError(f"line {line_number}: bad bound token {token!r}")
+        key, _, value = token.partition("=")
+        if key not in ("completeness", "soundness"):
+            raise ParseError(f"line {line_number}: unknown bound {key!r}")
+        bounds[key] = as_bound(value)
+    if set(bounds) != {"completeness", "soundness"}:
+        raise ParseError(
+            f"line {line_number}: both completeness= and soundness= required"
+        )
+    return name, bounds["completeness"], bounds["soundness"]
+
+
+def loads_collection(
+    text: str, builtins: Optional[BuiltinRegistry] = None
+) -> SourceCollection:
+    """Parse a collection serialized by :func:`dumps_collection`."""
+    registry = builtins if builtins is not None else default_registry()
+    sources: List[SourceDescriptor] = []
+    current: Optional[dict] = None
+
+    def flush():
+        nonlocal current
+        if current is None:
+            return
+        if current["view"] is None:
+            raise ParseError(f"source {current['name']}: missing view line")
+        sources.append(
+            SourceDescriptor(
+                current["view"],
+                current["facts"],
+                current["completeness"],
+                current["soundness"],
+                name=current["name"],
+            )
+        )
+        current = None
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("source "):
+            flush()
+            name, completeness, soundness = _parse_source_line(line, line_number)
+            current = {
+                "name": name,
+                "completeness": completeness,
+                "soundness": soundness,
+                "view": None,
+                "facts": [],
+            }
+        elif line.startswith("view "):
+            if current is None:
+                raise ParseError(f"line {line_number}: view before any source")
+            if current["view"] is not None:
+                raise ParseError(
+                    f"line {line_number}: duplicate view for source "
+                    f"{current['name']}"
+                )
+            current["view"] = parse_rule(line[len("view "):], registry)
+        elif line.startswith("fact "):
+            if current is None:
+                raise ParseError(f"line {line_number}: fact before any source")
+            current["facts"].append(parse_fact(line[len("fact "):]))
+        else:
+            raise ParseError(f"line {line_number}: unrecognized line {raw!r}")
+    flush()
+    return SourceCollection(sources)
+
+
+def load_collection(path: str, builtins: Optional[BuiltinRegistry] = None) -> SourceCollection:
+    """Read a collection from a file."""
+    with open(path) as handle:
+        return loads_collection(handle.read(), builtins)
+
+
+def save_collection(collection: SourceCollection, path: str) -> None:
+    """Write a collection to a file."""
+    with open(path, "w") as handle:
+        handle.write(dumps_collection(collection))
+
+
+def load_database(path: str) -> GlobalDatabase:
+    """Read a database from a file of ``fact`` lines."""
+    with open(path) as handle:
+        return loads_database(handle.read())
+
+
+def save_database(database: GlobalDatabase, path: str) -> None:
+    """Write a database to a file of ``fact`` lines."""
+    with open(path, "w") as handle:
+        handle.write(dumps_database(database))

@@ -1,0 +1,54 @@
+"""Relational model substrate (paper Section 2.1).
+
+Terms, atoms, facts, schemas, global databases, valuations and substitutions
+— the vocabulary every other subsystem builds on.
+"""
+
+from repro.model.atoms import Atom, atom, fact
+from repro.model.database import EMPTY_DATABASE, GlobalDatabase
+from repro.model.schema import GlobalSchema, RelationSchema, schema_of_atoms
+from repro.model.terms import (
+    Constant,
+    FreshConstantFactory,
+    FreshVariableFactory,
+    Term,
+    Variable,
+    as_term,
+    constants_in,
+    is_constant,
+    is_variable,
+    variables_in,
+)
+from repro.model.valuation import (
+    Substitution,
+    Valuation,
+    compatible,
+    match_atom,
+    unify_atoms,
+)
+
+__all__ = [
+    "Atom",
+    "atom",
+    "fact",
+    "GlobalDatabase",
+    "EMPTY_DATABASE",
+    "GlobalSchema",
+    "RelationSchema",
+    "schema_of_atoms",
+    "Constant",
+    "Variable",
+    "Term",
+    "as_term",
+    "is_constant",
+    "is_variable",
+    "constants_in",
+    "variables_in",
+    "FreshConstantFactory",
+    "FreshVariableFactory",
+    "Substitution",
+    "Valuation",
+    "compatible",
+    "match_atom",
+    "unify_atoms",
+]

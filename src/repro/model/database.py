@@ -1,0 +1,129 @@
+"""Global databases (Section 2.1).
+
+A global database ``D`` over a schema is a finite set of facts. The class is
+immutable (so databases can be members of sets of possible worlds) and keeps
+a per-relation index used by the query evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Set, Tuple
+
+from repro.exceptions import NotGroundError
+from repro.model.atoms import Atom
+from repro.model.schema import GlobalSchema, schema_of_atoms
+from repro.model.terms import Constant
+
+
+class GlobalDatabase:
+    """An immutable finite set of facts.
+
+    >>> from repro.model.atoms import fact
+    >>> db = GlobalDatabase([fact("R", 1), fact("R", 2), fact("S", 1, 2)])
+    >>> len(db)
+    3
+    >>> sorted(str(f) for f in db.extension("R"))
+    ['R(1)', 'R(2)']
+    """
+
+    __slots__ = ("_facts", "_by_relation", "_hash")
+
+    def __init__(self, facts: Iterable[Atom] = ()):
+        collected = frozenset(facts)
+        for f in collected:
+            if not f.is_ground():
+                raise NotGroundError(f"database may only contain facts, got {f}")
+        self._facts: FrozenSet[Atom] = collected
+        by_relation: Dict[str, Set[Atom]] = {}
+        for f in collected:
+            by_relation.setdefault(f.relation, set()).add(f)
+        self._by_relation = {
+            name: frozenset(facts_) for name, facts_ in by_relation.items()
+        }
+        self._hash = hash(self._facts)
+
+    # -- set interface -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._facts)
+
+    def __contains__(self, f: Atom) -> bool:
+        return f in self._facts
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GlobalDatabase) and self._facts == other._facts
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __le__(self, other: "GlobalDatabase") -> bool:
+        return self._facts <= other._facts
+
+    def __lt__(self, other: "GlobalDatabase") -> bool:
+        return self._facts < other._facts
+
+    def facts(self) -> FrozenSet[Atom]:
+        """The underlying frozen set of facts."""
+        return self._facts
+
+    # -- relational access ---------------------------------------------------
+
+    def extension(self, relation: str) -> FrozenSet[Atom]:
+        """``D(R)``: all facts over relation *relation* (Section 2.1)."""
+        return self._by_relation.get(relation, frozenset())
+
+    def relations(self) -> Tuple[str, ...]:
+        """Relation names with a non-empty extension, sorted."""
+        return tuple(sorted(self._by_relation))
+
+    def tuples(self, relation: str) -> Set[Tuple]:
+        """Extension of *relation* as raw Python value tuples."""
+        return {tuple(c.value for c in f.args) for f in self.extension(relation)}
+
+    def constants(self) -> Set[Constant]:
+        """The active domain: every constant appearing in some fact."""
+        out: Set[Constant] = set()
+        for f in self._facts:
+            out.update(f.args)
+        return out
+
+    def schema(self) -> GlobalSchema:
+        """The schema inferred from the stored facts."""
+        return schema_of_atoms(self._facts)
+
+    # -- algebraic combinations ----------------------------------------------
+
+    def union(self, other: "GlobalDatabase") -> "GlobalDatabase":
+        """Set union of two databases."""
+        return GlobalDatabase(self._facts | other._facts)
+
+    def intersection(self, other: "GlobalDatabase") -> "GlobalDatabase":
+        """Set intersection of two databases."""
+        return GlobalDatabase(self._facts & other._facts)
+
+    def difference(self, other: "GlobalDatabase") -> "GlobalDatabase":
+        """Set difference of two databases."""
+        return GlobalDatabase(self._facts - other._facts)
+
+    def with_facts(self, extra: Iterable[Atom]) -> "GlobalDatabase":
+        """A new database with *extra* facts added."""
+        return GlobalDatabase(self._facts | frozenset(extra))
+
+    def without_facts(self, removed: Iterable[Atom]) -> "GlobalDatabase":
+        """A new database with *removed* facts dropped."""
+        return GlobalDatabase(self._facts - frozenset(removed))
+
+    def restrict_to(self, relations: Iterable[str]) -> "GlobalDatabase":
+        """Only the facts over the given relation names."""
+        wanted = set(relations)
+        return GlobalDatabase(f for f in self._facts if f.relation in wanted)
+
+    def __repr__(self) -> str:
+        shown = ", ".join(str(f) for f in sorted(self._facts))
+        return f"GlobalDatabase({{{shown}}})"
+
+
+EMPTY_DATABASE = GlobalDatabase()

@@ -1,0 +1,157 @@
+"""Global schemas (Section 2.1).
+
+A global schema is a finite set of relation names, each with a fixed arity.
+The schema object validates atoms/facts against declared arities and supplies
+the fact-space enumeration needed by the finite-domain possible-world
+machinery of Sections 4 and 5.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple
+
+from repro.exceptions import ArityError, ModelError
+from repro.model.atoms import Atom
+from repro.model.terms import Constant
+
+
+class RelationSchema:
+    """A single relation name with its arity and optional attribute names."""
+
+    __slots__ = ("name", "arity", "attributes")
+
+    def __init__(self, name: str, arity: int, attributes: Sequence[str] = None):
+        if not isinstance(name, str) or not name:
+            raise ModelError(f"relation name must be a non-empty string: {name!r}")
+        if arity < 0:
+            raise ModelError(f"arity must be non-negative: {arity}")
+        if attributes is not None and len(attributes) != arity:
+            raise ModelError(
+                f"relation {name}: {len(attributes)} attribute names for arity {arity}"
+            )
+        self.name = name
+        self.arity = arity
+        self.attributes: Tuple[str, ...] = (
+            tuple(attributes) if attributes is not None
+            else tuple(f"a{i}" for i in range(arity))
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RelationSchema)
+            and self.name == other.name
+            and self.arity == other.arity
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.arity))
+
+    def __repr__(self) -> str:
+        return f"RelationSchema({self.name!r}, {self.arity})"
+
+
+class GlobalSchema:
+    """A set of relation names with arities; validates atoms against them.
+
+    >>> schema = GlobalSchema({"R": 2, "S": 1})
+    >>> schema.arity("R")
+    2
+    """
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Mapping[str, int] = None):
+        self._relations: Dict[str, RelationSchema] = {}
+        if relations:
+            for name, arity in relations.items():
+                self.add(name, arity)
+
+    def add(self, name: str, arity: int, attributes: Sequence[str] = None) -> RelationSchema:
+        """Declare a relation; re-declaring with a different arity raises."""
+        existing = self._relations.get(name)
+        if existing is not None:
+            if existing.arity != arity:
+                raise ArityError(
+                    f"relation {name} re-declared with arity {arity}, was {existing.arity}"
+                )
+            return existing
+        rel = RelationSchema(name, arity, attributes)
+        self._relations[name] = rel
+        return rel
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._relations))
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GlobalSchema) and self._relations == other._relations
+
+    def relation(self, name: str) -> RelationSchema:
+        """The :class:`RelationSchema` for *name*; raises ``ModelError`` if absent."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise ModelError(f"unknown relation: {name}") from None
+
+    def arity(self, name: str) -> int:
+        """Declared arity of relation *name*."""
+        return self.relation(name).arity
+
+    def validate_atom(self, atom: Atom) -> None:
+        """Raise :class:`ArityError` when *atom* disagrees with the schema."""
+        declared = self.arity(atom.relation)
+        if atom.arity != declared:
+            raise ArityError(
+                f"atom {atom} has arity {atom.arity}, schema declares {declared}"
+            )
+
+    def max_arity(self) -> int:
+        """The largest declared arity (0 for an empty schema)."""
+        return max((r.arity for r in self._relations.values()), default=0)
+
+    def merged(self, other: "GlobalSchema") -> "GlobalSchema":
+        """A new schema containing the relations of both operands."""
+        merged = GlobalSchema()
+        for rel in self._relations.values():
+            merged.add(rel.name, rel.arity, rel.attributes)
+        for rel in other._relations.values():
+            merged.add(rel.name, rel.arity, rel.attributes)
+        return merged
+
+    def fact_space(self, domain: Iterable) -> Iterator[Atom]:
+        """Enumerate every fact over the schema with constants from *domain*.
+
+        This is the enumeration ``t_1, ..., t_N`` of Section 5.1 (with
+        ``N = Σ_R |dom|^arity(R)``). Facts are produced relation by relation
+        in lexicographic argument order, giving a deterministic indexing.
+        """
+        constants = [c if isinstance(c, Constant) else Constant(c) for c in domain]
+        for name in sorted(self._relations):
+            arity = self._relations[name].arity
+            for combo in product(constants, repeat=arity):
+                yield Atom(name, combo)
+
+    def fact_space_size(self, domain_size: int) -> int:
+        """``Σ_R domain_size**arity(R)`` without enumerating."""
+        return sum(domain_size ** r.arity for r in self._relations.values())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}/{self._relations[n].arity}" for n in sorted(self._relations))
+        return f"GlobalSchema({{{inner}}})"
+
+
+def schema_of_atoms(atoms: Iterable[Atom]) -> GlobalSchema:
+    """Infer a :class:`GlobalSchema` from the atoms' names and arities.
+
+    Raises :class:`ArityError` when one relation name is used at two arities.
+    """
+    schema = GlobalSchema()
+    for atom in atoms:
+        schema.add(atom.relation, atom.arity)
+    return schema

@@ -1,0 +1,110 @@
+"""Built-in global relations (Section 1.1 uses ``After(y, 1900)``).
+
+Built-ins are infinite, computable relations: they cannot be stored in a
+:class:`~repro.model.database.GlobalDatabase`, so the evaluator checks them
+once all their arguments are bound to constants. A registry maps relation
+names to predicate functions over Python values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Optional
+
+from repro.exceptions import BuiltinError
+from repro.model.atoms import Atom
+from repro.model.terms import Constant
+
+
+class Builtin:
+    """A named computable predicate of fixed arity."""
+
+    __slots__ = ("name", "arity", "predicate")
+
+    def __init__(self, name: str, arity: int, predicate: Callable[..., bool]):
+        if arity < 1:
+            raise BuiltinError(f"builtin {name} must have positive arity")
+        self.name = name
+        self.arity = arity
+        self.predicate = predicate
+
+    def check(self, values: Iterable[Any]) -> bool:
+        """Evaluate the predicate on ground argument values."""
+        args = tuple(values)
+        if len(args) != self.arity:
+            raise BuiltinError(
+                f"builtin {self.name} called with {len(args)} args, arity {self.arity}"
+            )
+        try:
+            return bool(self.predicate(*args))
+        except TypeError:
+            # Heterogeneous comparisons (e.g. `1990 > "x"`) simply fail the
+            # predicate rather than aborting evaluation.
+            return False
+
+    def __repr__(self) -> str:
+        return f"Builtin({self.name!r}, {self.arity})"
+
+
+class BuiltinRegistry:
+    """A set of built-ins visible to one evaluation context.
+
+    The default registry carries the comparison predicates the motivating
+    example needs (``After``, ``Before``) plus the standard ones.
+
+    >>> registry = default_registry()
+    >>> registry.is_builtin("After")
+    True
+    """
+
+    __slots__ = ("_builtins",)
+
+    def __init__(self, builtins: Iterable[Builtin] = ()):
+        self._builtins: Dict[str, Builtin] = {}
+        for b in builtins:
+            self.register(b)
+
+    def register(self, builtin: Builtin) -> None:
+        """Add or replace a builtin."""
+        self._builtins[builtin.name] = builtin
+
+    def is_builtin(self, name: str) -> bool:
+        return name in self._builtins
+
+    def get(self, name: str) -> Optional[Builtin]:
+        return self._builtins.get(name)
+
+    def names(self) -> frozenset:
+        return frozenset(self._builtins)
+
+    def check_atom(self, atom: Atom) -> bool:
+        """Evaluate a ground builtin atom.
+
+        Raises :class:`BuiltinError` if the atom is not ground — callers
+        (the evaluator) must defer builtins until their variables are bound.
+        """
+        builtin = self._builtins.get(atom.relation)
+        if builtin is None:
+            raise BuiltinError(f"unknown builtin: {atom.relation}")
+        if not atom.is_ground():
+            raise BuiltinError(f"builtin atom not ground at check time: {atom}")
+        values = [arg.value for arg in atom.args if isinstance(arg, Constant)]
+        return builtin.check(values)
+
+
+def default_registry() -> BuiltinRegistry:
+    """The standard registry: After/Before plus six comparison predicates."""
+    return BuiltinRegistry(
+        [
+            Builtin("After", 2, lambda x, y: x > y),
+            Builtin("Before", 2, lambda x, y: x < y),
+            Builtin("Lt", 2, lambda x, y: x < y),
+            Builtin("Le", 2, lambda x, y: x <= y),
+            Builtin("Gt", 2, lambda x, y: x > y),
+            Builtin("Ge", 2, lambda x, y: x >= y),
+            Builtin("Eq", 2, lambda x, y: x == y),
+            Builtin("Neq", 2, lambda x, y: x != y),
+        ]
+    )
+
+
+EMPTY_REGISTRY = BuiltinRegistry()

@@ -1,0 +1,93 @@
+"""Homomorphisms, query containment, and minimization.
+
+Classical tableau machinery (Chandra–Merlin): Q1 ⊆ Q2 iff there is a
+homomorphism from Q2's canonical (frozen) database to Q1's that maps head to
+head. Used by tests as an independent oracle and by the mediator when pruning
+redundant sources. Built-in atoms are not supported here (containment with
+arithmetic built-ins is a harder problem the paper does not need).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.exceptions import QueryError
+from repro.model.atoms import Atom
+from repro.model.database import GlobalDatabase
+from repro.model.terms import Constant, FreshConstantFactory, Variable
+from repro.model.valuation import Substitution, match_atom
+from repro.queries.conjunctive import ConjunctiveQuery
+from repro.queries.evaluation import valuations
+
+
+def freeze(query: ConjunctiveQuery) -> Tuple[GlobalDatabase, Atom, Substitution]:
+    """The canonical database of *query*: each variable becomes a fresh constant.
+
+    Returns ``(frozen_body_db, frozen_head, freezing_substitution)``.
+    """
+    if query.builtin_body():
+        raise QueryError("containment machinery does not support builtins")
+    factory = FreshConstantFactory(taken=query.constants(), prefix="_frz")
+    freezing = Substitution({v: factory.fresh() for v in query.variables()})
+    frozen_body = [freezing.apply(b) for b in query.body]
+    frozen_head = freezing.apply(query.head)
+    return GlobalDatabase(frozen_body), frozen_head, freezing
+
+
+def homomorphisms(
+    source: ConjunctiveQuery, target_db: GlobalDatabase
+) -> Iterator[Substitution]:
+    """All homomorphisms from *source*'s body into *target_db*."""
+    yield from valuations(source, target_db)
+
+
+def is_contained_in(sub: ConjunctiveQuery, sup: ConjunctiveQuery) -> bool:
+    """Chandra–Merlin test: ``sub ⊆ sup`` as queries over every database.
+
+    There must be a homomorphism from *sup* into the frozen body of *sub*
+    mapping ``head(sup)`` to the frozen ``head(sub)``.
+    """
+    if sub.head.arity != sup.head.arity:
+        return False
+    frozen_db, frozen_head, _ = freeze(sub)
+    sup_renamed = sup.standardized_apart(sub.variables())
+    seed = match_atom(sup_renamed.head, frozen_head)
+    if seed is None:
+        return False
+    seeded = sup_renamed.substitute(seed)
+    for _ in valuations(seeded, frozen_db):
+        return True
+    return False
+
+
+def is_equivalent(left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:
+    """Mutual containment."""
+    return is_contained_in(left, right) and is_contained_in(right, left)
+
+
+def minimize(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The core of *query*: drop body atoms while preserving equivalence.
+
+    Greedy: repeatedly try to remove one atom and check equivalence with the
+    original; classical results guarantee the result is a minimal equivalent
+    query (the core, unique up to renaming).
+    """
+    if query.builtin_body():
+        raise QueryError("minimization does not support builtins")
+    body = list(query.body)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(body)):
+            if len(body) == 1:
+                break
+            candidate_body = body[:i] + body[i + 1:]
+            try:
+                candidate = ConjunctiveQuery(query.head, candidate_body, query.builtins)
+            except QueryError:
+                continue  # removal broke safety
+            if is_equivalent(candidate, query):
+                body = candidate_body
+                changed = True
+                break
+    return ConjunctiveQuery(query.head, body, query.builtins)

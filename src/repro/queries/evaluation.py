@@ -1,0 +1,156 @@
+"""Conjunctive-query evaluation over global databases.
+
+The evaluator is a backtracking join: it orders body atoms greedily (ground
+and highly-bound atoms first, builtins as soon as their variables are bound)
+and extends substitutions atom by atom. A naive cross-product evaluator is
+kept as an oracle for differential testing.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import BuiltinError
+from repro.model.atoms import Atom
+from repro.model.database import GlobalDatabase
+from repro.model.terms import Constant, Variable
+from repro.model.valuation import Substitution, match_atom
+from repro.queries.conjunctive import ConjunctiveQuery
+
+
+def _bound_score(atom: Atom, bound: Set[Variable]) -> Tuple[int, int]:
+    """Ordering key: prefer atoms with fewer unbound variables, then smaller."""
+    unbound = sum(1 for v in atom.variables() if v not in bound)
+    return (unbound, atom.arity)
+
+
+def _order_body(query: ConjunctiveQuery) -> List[Atom]:
+    """Greedy join order over relational atoms (builtins handled separately)."""
+    remaining = list(query.relational_body())
+    bound: Set[Variable] = set()
+    ordered: List[Atom] = []
+    while remaining:
+        best = min(remaining, key=lambda a: _bound_score(a, bound))
+        remaining.remove(best)
+        ordered.append(best)
+        bound |= best.variables()
+    return ordered
+
+
+def valuations(
+    query: ConjunctiveQuery, database: GlobalDatabase
+) -> Iterator[Substitution]:
+    """All substitutions over the body variables that embed the body in *database*.
+
+    Built-in atoms are checked as soon as every one of their variables is
+    bound; safety guarantees this happens before the end.
+    """
+    ordered = _order_body(query)
+    builtins_pending = list(query.builtin_body())
+    registry = query.builtins
+
+    def check_ready_builtins(subst: Substitution, pending: List[Atom]) -> Optional[List[Atom]]:
+        """Evaluate builtins whose variables are now all bound.
+
+        Returns the still-pending list, or ``None`` if a builtin failed.
+        """
+        still = []
+        for b in pending:
+            grounded = subst.apply(b)
+            if grounded.is_ground():
+                if not registry.check_atom(grounded):
+                    return None
+            else:
+                still.append(b)
+        return still
+
+    def extend(index: int, subst: Substitution, pending: List[Atom]) -> Iterator[Substitution]:
+        if index == len(ordered):
+            if pending:
+                # Safety should prevent this; guard anyway.
+                raise BuiltinError(
+                    f"builtin atoms left unbound after full join: {pending}"
+                )
+            yield subst
+            return
+        atom = ordered[index]
+        for candidate in database.extension(atom.relation):
+            extended = match_atom(atom, candidate, subst)
+            if extended is None:
+                continue
+            still = check_ready_builtins(extended, pending)
+            if still is None:
+                continue
+            yield from extend(index + 1, extended, still)
+
+    initial_pending = check_ready_builtins(Substitution(), builtins_pending)
+    if initial_pending is None:
+        return
+    yield from extend(0, Substitution(), initial_pending)
+
+
+def evaluate(query: ConjunctiveQuery, database: GlobalDatabase) -> FrozenSet[Atom]:
+    """``Q(D)``: the set of ground head facts produced by the query."""
+    out: Set[Atom] = set()
+    for subst in valuations(query, database):
+        head = subst.apply(query.head)
+        if head.is_ground():
+            out.add(head)
+    return frozenset(out)
+
+
+def evaluate_naive(query: ConjunctiveQuery, database: GlobalDatabase) -> FrozenSet[Atom]:
+    """Cross-product evaluation; the differential-testing oracle.
+
+    Enumerates every assignment of body atoms to database facts, checks
+    consistency and builtins at the end. Exponential, only for tests.
+    """
+    relational = query.relational_body()
+    registry = query.builtins
+    out: Set[Atom] = set()
+    candidate_lists: List[Sequence[Atom]] = [
+        sorted(database.extension(b.relation)) for b in relational
+    ]
+    for combo in product(*candidate_lists):
+        subst: Optional[Substitution] = Substitution()
+        for pattern, ground in zip(relational, combo):
+            subst = match_atom(pattern, ground, subst)
+            if subst is None:
+                break
+        if subst is None:
+            continue
+        ok = True
+        for b in query.builtin_body():
+            grounded = subst.apply(b)
+            if not grounded.is_ground() or not registry.check_atom(grounded):
+                ok = False
+                break
+        if not ok:
+            continue
+        head = subst.apply(query.head)
+        if head.is_ground():
+            out.add(head)
+    return frozenset(out)
+
+
+def supporting_valuation(
+    query: ConjunctiveQuery, database: GlobalDatabase, head_fact: Atom
+) -> Optional[Substitution]:
+    """A valuation θ with ``head(φ)θ == head_fact`` and ``body(φ)θ ⊆ D``.
+
+    This is the witness-choosing step of Lemma 3.1's proof. Returns ``None``
+    when *head_fact* is not derivable.
+    """
+    seed = match_atom(query.head, head_fact)
+    if seed is None:
+        return None
+    grounded = query.substitute(seed)
+    for body_subst in valuations(grounded, database):
+        return seed.compose(body_subst)
+    return None
+
+
+def derives(query: ConjunctiveQuery, database: GlobalDatabase, head_fact: Atom) -> bool:
+    """True when ``head_fact ∈ φ(D)``, without materializing all of φ(D)."""
+    return supporting_valuation(query, database, head_fact) is not None

@@ -1,0 +1,169 @@
+"""A small Datalog-style parser for queries, views, and facts.
+
+Grammar (whitespace-insensitive)::
+
+    rule    := atom ("<-" | ":-") atom ("," atom)*
+    atom    := NAME "(" term ("," term)* ")" | NAME "(" ")"
+    term    := NAME | NUMBER | STRING
+
+Conventions, matching the paper's notation:
+
+* identifiers beginning with a **lowercase** letter (or ``_``) are variables;
+* identifiers beginning with an **uppercase** letter are relation names;
+* numbers (``1900``, ``-3.5``) and single/double-quoted strings are constants.
+
+>>> q = parse_rule('V1(s,y,m,v) <- Temperature(s,y,m,v), After(y,1900)')
+>>> str(q)
+"V1(s, y, m, v) <- Temperature(s, y, m, v), After(y, 1900)"
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, NamedTuple, Tuple
+
+from repro.exceptions import NotGroundError, ParseError
+from repro.model.atoms import Atom
+from repro.model.terms import Constant, Term, Variable
+from repro.queries.builtins import BuiltinRegistry, default_registry
+from repro.queries.conjunctive import ConjunctiveQuery
+
+_TOKEN_SPEC = [
+    ("ARROW", r"<-|:-"),
+    ("NAME", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("NUMBER", r"-?\d+\.\d+|-?\d+"),
+    ("STRING", r'"[^"]*"|\'[^\']*\''),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("SKIP", r"[ \t\r\n]+"),
+    ("BAD", r"."),
+]
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pat})" for name, pat in _TOKEN_SPEC))
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    pos: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens = []
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup
+        if kind == "SKIP":
+            continue
+        if kind == "BAD":
+            raise ParseError(f"unexpected character {match.group()!r} at {match.start()}")
+        tokens.append(_Token(kind, match.group(), match.start()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self) -> _Token:
+        if self.index >= len(self.tokens):
+            raise ParseError(f"unexpected end of input: {self.text!r}")
+        return self.tokens[self.index]
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.tokens)
+
+    def take(self, kind: str) -> _Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind} at position {token.pos}, got {token.kind} "
+                f"({token.text!r}) in {self.text!r}"
+            )
+        self.index += 1
+        return token
+
+    def term(self) -> Term:
+        token = self.peek()
+        if token.kind == "NAME":
+            self.index += 1
+            if token.text[0].islower() or token.text[0] == "_":
+                return Variable(token.text)
+            return Constant(token.text)
+        if token.kind == "NUMBER":
+            self.index += 1
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Constant(value)
+        if token.kind == "STRING":
+            self.index += 1
+            return Constant(token.text[1:-1])
+        raise ParseError(
+            f"expected a term at position {token.pos}, got {token.text!r}"
+        )
+
+    def atom(self) -> Atom:
+        name = self.take("NAME").text
+        self.take("LPAREN")
+        args: List[Term] = []
+        if self.peek().kind != "RPAREN":
+            args.append(self.term())
+            while self.peek().kind == "COMMA":
+                self.take("COMMA")
+                args.append(self.term())
+        self.take("RPAREN")
+        return Atom(name, args)
+
+    def rule(self) -> Tuple[Atom, List[Atom]]:
+        head = self.atom()
+        self.take("ARROW")
+        body = [self.atom()]
+        while not self.at_end() and self.peek().kind == "COMMA":
+            self.take("COMMA")
+            body.append(self.atom())
+        if not self.at_end():
+            token = self.peek()
+            raise ParseError(f"trailing input at position {token.pos}: {token.text!r}")
+        return head, body
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom, e.g. ``"R(x, 'Canada')"``."""
+    parser = _Parser(text)
+    atom = parser.atom()
+    if not parser.at_end():
+        token = parser.peek()
+        raise ParseError(f"trailing input at position {token.pos}: {token.text!r}")
+    return atom
+
+
+def parse_fact(text: str) -> Atom:
+    """Parse a ground atom; raises if the text contains variables."""
+    atom = parse_atom(text)
+    if not atom.is_ground():
+        raise NotGroundError(f"expected a fact but found variables: {atom}")
+    return atom
+
+
+def parse_rule(
+    text: str, builtins: BuiltinRegistry = None
+) -> ConjunctiveQuery:
+    """Parse ``head <- body`` into a :class:`ConjunctiveQuery`.
+
+    The default builtin registry (``After``, ``Before``, comparisons) is used
+    unless one is supplied.
+    """
+    registry = builtins if builtins is not None else default_registry()
+    head, body = _Parser(text).rule()
+    return ConjunctiveQuery(head, body, registry)
+
+
+def parse_program(text: str, builtins: BuiltinRegistry = None) -> List[ConjunctiveQuery]:
+    """Parse one rule per non-empty, non-comment (``%`` or ``#``) line."""
+    rules = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("%") or stripped.startswith("#"):
+            continue
+        rules.append(parse_rule(stripped, builtins))
+    return rules

@@ -1,0 +1,37 @@
+"""Problem reductions of Section 3: HS, HS*, and CONSISTENCY."""
+
+from repro.reductions.hitting_set import (
+    HittingSetInstance,
+    HSStarInstance,
+    minimum_hitting_set,
+    solve_exact,
+    solve_greedy,
+)
+from repro.reductions.hs_star import (
+    hs_to_hs_star,
+    map_solution_back,
+    map_solution_forward,
+)
+from repro.reductions.hs_to_consistency import (
+    GLOBAL_RELATION,
+    database_to_hitting_set,
+    hitting_set_to_database,
+    hs_star_to_collection,
+    solve_hs_star_via_consistency,
+)
+
+__all__ = [
+    "HittingSetInstance",
+    "HSStarInstance",
+    "solve_exact",
+    "solve_greedy",
+    "minimum_hitting_set",
+    "hs_to_hs_star",
+    "map_solution_back",
+    "map_solution_forward",
+    "hs_star_to_collection",
+    "database_to_hitting_set",
+    "hitting_set_to_database",
+    "solve_hs_star_via_consistency",
+    "GLOBAL_RELATION",
+]

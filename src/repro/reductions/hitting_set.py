@@ -1,0 +1,126 @@
+"""HITTING SET and its special case HS* (Section 3, Theorem 3.2).
+
+HS: given subsets A_1..A_n of a finite set S and K ≤ |S|, is there A ⊆ S
+with |A| ≤ K hitting every A_i? HS* additionally requires A_n to be a
+singleton. Both an exact branch-and-bound solver and the classical greedy
+approximation are provided; the exact solver is the ground truth for the
+reduction round-trip experiments (E3).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ReductionError
+
+
+class HittingSetInstance:
+    """An instance (C = {A_1..A_n}, K) of HITTING SET.
+
+    >>> inst = HittingSetInstance([{1, 2}, {2, 3}], 1)
+    >>> inst.is_hitting_set({2})
+    True
+    """
+
+    __slots__ = ("subsets", "universe", "k")
+
+    def __init__(self, subsets: Iterable[Iterable], k: int):
+        self.subsets: Tuple[FrozenSet, ...] = tuple(frozenset(a) for a in subsets)
+        if not self.subsets:
+            raise ReductionError("HITTING SET requires at least one subset")
+        for i, a in enumerate(self.subsets):
+            if not a:
+                raise ReductionError(f"subset A_{i + 1} is empty (never hittable)")
+        self.universe: FrozenSet = frozenset().union(*self.subsets)
+        if k < 0:
+            raise ReductionError(f"K must be non-negative: {k}")
+        self.k = k
+
+    @property
+    def n(self) -> int:
+        return len(self.subsets)
+
+    def is_hitting_set(self, candidate: Iterable) -> bool:
+        """Does *candidate* intersect every subset and respect |A| ≤ K?"""
+        a = frozenset(candidate)
+        return len(a) <= self.k and all(a & subset for subset in self.subsets)
+
+    def __repr__(self) -> str:
+        return f"HittingSetInstance(n={self.n}, |S|={len(self.universe)}, K={self.k})"
+
+
+class HSStarInstance(HittingSetInstance):
+    """HS*: the last subset must be a singleton."""
+
+    def __init__(self, subsets: Iterable[Iterable], k: int):
+        super().__init__(subsets, k)
+        if len(self.subsets[-1]) != 1:
+            raise ReductionError(
+                f"HS* requires the last subset to be a singleton, got "
+                f"{set(self.subsets[-1])!r}"
+            )
+
+
+def solve_exact(instance: HittingSetInstance) -> Optional[FrozenSet]:
+    """A hitting set of size ≤ K, or ``None`` — branch and bound.
+
+    Branches on the elements of an unhit subset of minimum size; prunes when
+    the budget is exhausted. Complete: explores every way to hit each
+    uncovered subset.
+    """
+    subsets = sorted(instance.subsets, key=len)
+
+    best: List[Optional[FrozenSet]] = [None]
+
+    def search(chosen: Set, index_hint: int) -> bool:
+        unhit = [a for a in subsets if not (a & chosen)]
+        if not unhit:
+            best[0] = frozenset(chosen)
+            return True
+        if len(chosen) >= instance.k:
+            return False
+        target = min(unhit, key=len)
+        for element in sorted(target, key=repr):
+            chosen.add(element)
+            if search(chosen, index_hint + 1):
+                return True
+            chosen.remove(element)
+        return False
+
+    search(set(), 0)
+    return best[0]
+
+
+def solve_greedy(instance: HittingSetInstance) -> FrozenSet:
+    """Greedy ln(n)-approximation: repeatedly pick the element hitting the
+    most uncovered subsets. May exceed K; callers compare its size to the
+    exact optimum (the E3 baseline)."""
+    uncovered = list(instance.subsets)
+    chosen: Set = set()
+    while uncovered:
+        counts: dict = {}
+        for subset in uncovered:
+            for element in subset:
+                counts[element] = counts.get(element, 0) + 1
+        element = max(sorted(counts, key=repr), key=lambda e: counts[e])
+        chosen.add(element)
+        uncovered = [a for a in uncovered if element not in a]
+    return frozenset(chosen)
+
+
+def minimum_hitting_set(subsets: Iterable[Iterable]) -> FrozenSet:
+    """The minimum-cardinality hitting set (binary search over K)."""
+    probe = HittingSetInstance(subsets, 0)
+    lo, hi = 1, len(probe.universe)
+    best: Optional[FrozenSet] = None
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        solution = solve_exact(HittingSetInstance(subsets, mid))
+        if solution is not None:
+            best = solution
+            hi = mid - 1
+        else:
+            lo = mid + 1
+    if best is None:
+        raise ReductionError("no hitting set exists (unreachable for valid input)")
+    return best

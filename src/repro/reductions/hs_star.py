@@ -1,0 +1,43 @@
+"""Lemma 3.3: HITTING SET reduces to HS*.
+
+Given an HS instance (C, K) over S, add a brand-new element a, the singleton
+subset {a}, and raise the budget to K + 1. Solutions map back and forth by
+adding/removing a.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Tuple
+
+from repro.exceptions import ReductionError
+from repro.reductions.hitting_set import HittingSetInstance, HSStarInstance
+
+
+def fresh_element(instance: HittingSetInstance):
+    """An element guaranteed outside the instance's universe."""
+    candidate = "_hs_star_fresh"
+    while candidate in instance.universe:
+        candidate += "_"
+    return candidate
+
+
+def hs_to_hs_star(instance: HittingSetInstance) -> Tuple[HSStarInstance, object]:
+    """The Lemma 3.3 transformation; returns (HS* instance, fresh element a)."""
+    a = fresh_element(instance)
+    subsets = list(instance.subsets) + [frozenset([a])]
+    return HSStarInstance(subsets, instance.k + 1), a
+
+
+def map_solution_back(solution: FrozenSet, fresh: object) -> FrozenSet:
+    """HS* solution → HS solution: drop the fresh element."""
+    if fresh not in solution:
+        raise ReductionError(
+            "HS* solution must contain the fresh element (it hits the "
+            "singleton subset)"
+        )
+    return solution - {fresh}
+
+
+def map_solution_forward(solution: FrozenSet, fresh: object) -> FrozenSet:
+    """HS solution → HS* solution: add the fresh element."""
+    return solution | {fresh}

@@ -1,0 +1,82 @@
+"""Theorem 3.2: HS* reduces to CONSISTENCY.
+
+Each subset A_i becomes a source with the identity view V_i(x) ← R(x),
+extension {V_i(a) : a ∈ A_i}, completeness bound 1/K and soundness bound
+1/|A_i|. A possible database D maps to the hitting set {a : R(a) ∈ D};
+conversely a hitting set A' yields the witness D = {R(a) : a ∈ A'}.
+
+Because the images are identity-view collections, this reduction composed
+with :func:`repro.consistency.identity.check_identity` is an (exponential
+in general, but often fast) hitting-set solver — exactly the
+cross-validation experiment E3 runs.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import FrozenSet, Optional, Tuple
+
+from repro.exceptions import ReductionError
+from repro.model.atoms import Atom
+from repro.model.database import GlobalDatabase
+from repro.queries.conjunctive import identity_view
+from repro.sources.collection import SourceCollection
+from repro.sources.descriptor import SourceDescriptor
+from repro.reductions.hitting_set import HSStarInstance
+
+GLOBAL_RELATION = "R"
+
+
+def hs_star_to_collection(instance: HSStarInstance) -> SourceCollection:
+    """Build the Theorem 3.2 source collection for an HS* instance."""
+    if instance.k == 0:
+        raise ReductionError("K must be positive for the 1/K completeness bound")
+    sources = []
+    for i, subset in enumerate(instance.subsets, start=1):
+        view = identity_view(f"V{i}", GLOBAL_RELATION, 1)
+        extension = [Atom(f"V{i}", (element,)) for element in sorted(subset, key=repr)]
+        sources.append(
+            SourceDescriptor(
+                view,
+                extension,
+                completeness_bound=Fraction(1, instance.k),
+                soundness_bound=Fraction(1, len(subset)),
+                name=f"S{i}",
+            )
+        )
+    return SourceCollection(sources)
+
+
+def database_to_hitting_set(database: GlobalDatabase) -> FrozenSet:
+    """CONSISTENCY witness → HS* solution: ``{a : R(a) ∈ D}``."""
+    return frozenset(
+        fact.args[0].value for fact in database.extension(GLOBAL_RELATION)
+    )
+
+
+def hitting_set_to_database(solution: FrozenSet) -> GlobalDatabase:
+    """HS* solution → CONSISTENCY witness: ``{R(a) : a ∈ A'}``."""
+    return GlobalDatabase(Atom(GLOBAL_RELATION, (element,)) for element in solution)
+
+
+def solve_hs_star_via_consistency(
+    instance: HSStarInstance,
+) -> Optional[FrozenSet]:
+    """Decide HS* by deciding CONSISTENCY of the reduced collection.
+
+    Returns a hitting set of size ≤ K or ``None``. The returned set is
+    *verified* against the instance before being handed back.
+    """
+    from repro.consistency.identity import check_identity
+
+    collection = hs_star_to_collection(instance)
+    result = check_identity(collection)
+    if not result.consistent:
+        return None
+    solution = database_to_hitting_set(result.witness)
+    if not instance.is_hitting_set(solution):
+        raise ReductionError(
+            f"reduction produced an invalid hitting set {set(solution)!r} "
+            f"for {instance!r} — this indicates a bug"
+        )
+    return solution

@@ -1,0 +1,46 @@
+"""Answering queries using views (the §1.2 context, made executable).
+
+Plans over view relations, expansion to the global schema, bucket-style
+candidate generation verified by containment, and execution over actual
+source extensions with provenance annotations.
+"""
+
+from repro.rewriting.executor import (
+    AnnotatedAnswer,
+    execute_all,
+    execute_annotated,
+    execute_plan,
+    source_database,
+)
+from repro.rewriting.expansion import (
+    expand_atom,
+    expand_plan,
+    is_equivalent_rewriting,
+    is_sound_rewriting,
+    view_map,
+)
+from repro.rewriting.planner import (
+    RewritePlan,
+    best_rewriting,
+    bucket_candidates,
+    candidate_plans,
+    find_rewritings,
+)
+
+__all__ = [
+    "view_map",
+    "expand_atom",
+    "expand_plan",
+    "is_sound_rewriting",
+    "is_equivalent_rewriting",
+    "bucket_candidates",
+    "candidate_plans",
+    "find_rewritings",
+    "best_rewriting",
+    "RewritePlan",
+    "source_database",
+    "execute_plan",
+    "execute_annotated",
+    "execute_all",
+    "AnnotatedAnswer",
+]

@@ -1,0 +1,98 @@
+"""Executing rewritings over actual source extensions.
+
+A plan's body atoms are over view relations, and the sources' extensions
+*are* databases over those relations — so executing a plan against the
+union of extensions needs nothing but the ordinary CQ evaluator. The
+answer's relationship to the truth is then governed by the sources'
+quality:
+
+* with **exact** sources a sound rewriting returns only true Q-answers and
+  an equivalent rewriting returns exactly Q(D);
+* with partially sound/complete sources the answer inherits the noise —
+  each tuple is annotated with a heuristic *support score*,
+  ``∏ soundness_bound`` over the contributing sources (the chance that all
+  the extension facts used are correct, under an independence reading).
+  This is a heuristic ranking aid, **not** the exact possible-worlds
+  confidence (use :mod:`repro.confidence` for that) — experiment E15
+  compares the two.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, FrozenSet, List, Mapping, NamedTuple, Tuple
+
+from repro.model.atoms import Atom
+from repro.model.database import GlobalDatabase
+from repro.queries.conjunctive import ConjunctiveQuery
+from repro.queries.evaluation import valuations
+from repro.sources.collection import SourceCollection
+
+
+class AnnotatedAnswer(NamedTuple):
+    """One answer tuple with provenance and a heuristic support score."""
+
+    fact: Atom
+    sources: FrozenSet[str]
+    support: Fraction
+
+
+def source_database(collection: SourceCollection) -> GlobalDatabase:
+    """The union of all view extensions, as one database over local names."""
+    facts: List[Atom] = []
+    for source in collection:
+        facts.extend(source.extension)
+    return GlobalDatabase(facts)
+
+
+def execute_plan(
+    plan: ConjunctiveQuery, collection: SourceCollection
+) -> FrozenSet[Atom]:
+    """The plan's answers over the sources' actual contents."""
+    return plan.apply(source_database(collection))
+
+
+def execute_annotated(
+    plan: ConjunctiveQuery, collection: SourceCollection
+) -> List[AnnotatedAnswer]:
+    """Answers with contributing-source provenance and support scores.
+
+    When several derivations produce one answer, the best (highest-support)
+    derivation is kept.
+    """
+    by_view: Dict[str, object] = {s.view.head_relation(): s for s in collection}
+    database = source_database(collection)
+    best: Dict[Atom, AnnotatedAnswer] = {}
+    for substitution in valuations(plan, database):
+        head = substitution.apply(plan.head)
+        if not head.is_ground():
+            continue
+        names = frozenset(
+            by_view[a.relation].name for a in plan.body if a.relation in by_view
+        )
+        support = Fraction(1)
+        for a in plan.body:
+            source = by_view.get(a.relation)
+            if source is not None:
+                support *= source.soundness_bound
+        candidate = AnnotatedAnswer(head, names, support)
+        existing = best.get(head)
+        if existing is None or candidate.support > existing.support:
+            best[head] = candidate
+    return sorted(
+        best.values(), key=lambda a: (-a.support, str(a.fact))
+    )
+
+
+def execute_all(
+    plans: List, collection: SourceCollection
+) -> List[AnnotatedAnswer]:
+    """Union the annotated answers of several plans (best support kept)."""
+    best: Dict[Atom, AnnotatedAnswer] = {}
+    for rewriting in plans:
+        plan = rewriting.plan if hasattr(rewriting, "plan") else rewriting
+        for answer in execute_annotated(plan, collection):
+            existing = best.get(answer.fact)
+            if existing is None or answer.support > existing.support:
+                best[answer.fact] = answer
+    return sorted(best.values(), key=lambda a: (-a.support, str(a.fact)))

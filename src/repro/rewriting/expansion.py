@@ -1,0 +1,98 @@
+"""Expanding plans over views back to the global schema.
+
+A *plan* is a conjunctive query whose body atoms are over **local** (view)
+relations. Its *expansion* replaces every view atom by the view's body,
+with the view head unified against the atom's arguments and existential
+variables standardized apart per occurrence — the classical definition from
+the answering-queries-using-views literature the paper builds on (§1.2).
+
+A plan is a **sound rewriting** of a query Q when its expansion is
+contained in Q; then, over any global database, executing the plan on the
+views' *exact* contents returns only Q-answers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.exceptions import QueryError
+from repro.model.atoms import Atom
+from repro.model.terms import FreshVariableFactory
+from repro.model.valuation import Substitution, unify_atoms
+from repro.queries.conjunctive import ConjunctiveQuery
+from repro.queries.containment import is_contained_in, is_equivalent
+
+
+def view_map(views: Iterable[ConjunctiveQuery]) -> Dict[str, ConjunctiveQuery]:
+    """Index views by head relation name; duplicate names are rejected."""
+    out: Dict[str, ConjunctiveQuery] = {}
+    for view in views:
+        name = view.head_relation()
+        if name in out:
+            raise QueryError(f"duplicate view relation {name!r}")
+        out[name] = view
+    return out
+
+
+def expand_atom(
+    atom: Atom,
+    view: ConjunctiveQuery,
+    fresh: FreshVariableFactory,
+) -> List[Atom]:
+    """The body of *view* with its head unified against *atom*.
+
+    Existential view variables are renamed freshly for this occurrence.
+    Raises when unification fails (the plan atom cannot come from the view).
+    """
+    renamed = view.standardized_apart([])
+    # standardize with the provided factory to stay apart from everything
+    renaming = Substitution(
+        {v: fresh.fresh() for v in renamed.variables()}
+    )
+    isolated = renamed.substitute(renaming)
+    unifier = unify_atoms(isolated.head, atom)
+    if unifier is None:
+        raise QueryError(
+            f"plan atom {atom} does not unify with view head {view.head}"
+        )
+    return [b.substitute(unifier) for b in isolated.body]
+
+
+def expand_plan(
+    plan: ConjunctiveQuery,
+    views: Mapping[str, ConjunctiveQuery],
+) -> ConjunctiveQuery:
+    """The expansion of *plan*: a conjunctive query over global relations."""
+    fresh = FreshVariableFactory(taken=plan.variables(), prefix="_e")
+    body: List[Atom] = []
+    registry = None
+    for atom in plan.body:
+        view = views.get(atom.relation)
+        if view is None:
+            raise QueryError(f"plan atom {atom} is not over a known view")
+        if registry is None:
+            registry = view.builtins
+        body.extend(expand_atom(atom, view, fresh))
+    if registry is None:
+        registry = plan.builtins
+    return ConjunctiveQuery(plan.head, body, registry)
+
+
+def is_sound_rewriting(
+    plan: ConjunctiveQuery,
+    query: ConjunctiveQuery,
+    views: Mapping[str, ConjunctiveQuery],
+) -> bool:
+    """Expansion ⊑ query (containment; builtin-free fragment)."""
+    expansion = expand_plan(plan, views)
+    return is_contained_in(expansion, query)
+
+
+def is_equivalent_rewriting(
+    plan: ConjunctiveQuery,
+    query: ConjunctiveQuery,
+    views: Mapping[str, ConjunctiveQuery],
+) -> bool:
+    """Expansion ≡ query: the plan loses nothing."""
+    expansion = expand_plan(plan, views)
+    return is_equivalent(expansion, query)

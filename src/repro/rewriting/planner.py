@@ -1,0 +1,220 @@
+"""A MiniCon-style planner: generate candidate plans, verify by containment.
+
+For each view, *coverage descriptions* map **sets** of query atoms into the
+view body under one simultaneous unifier (so a join view can supply several
+subgoals at once, keeping their shared variables connected). Plans are
+covers of the query's atom set by such descriptions, and every candidate is
+**verified** by expansion + containment — only sound rewritings are
+returned; generate-and-test keeps the implementation honest. Equivalence is
+additionally checked to flag lossless plans.
+
+Restrictions (the classical CQ fragment): no built-ins in queries or views
+(containment with arithmetic is a harder problem the paper does not need).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Tuple,
+)
+
+from repro.exceptions import QueryError, UnsafeQueryError
+from repro.model.atoms import Atom
+from repro.model.terms import FreshVariableFactory, Variable
+from repro.model.valuation import Substitution, unify_atoms
+from repro.queries.conjunctive import ConjunctiveQuery
+from repro.rewriting.expansion import (
+    expand_plan,
+    is_equivalent_rewriting,
+    is_sound_rewriting,
+    view_map,
+)
+
+
+class RewritePlan(NamedTuple):
+    """A verified rewriting: the plan, its expansion, and lossiness."""
+
+    plan: ConjunctiveQuery
+    expansion: ConjunctiveQuery
+    equivalent: bool
+
+
+def _check_fragment(query: ConjunctiveQuery, views: Iterable[ConjunctiveQuery]):
+    if query.builtin_body():
+        raise QueryError("the planner handles the builtin-free CQ fragment")
+    for view in views:
+        if view.builtin_body():
+            raise QueryError(
+                f"view {view.head_relation()} uses builtins; the planner "
+                "handles the builtin-free CQ fragment"
+            )
+
+
+class Coverage(NamedTuple):
+    """One way a view can supply a set of query atoms simultaneously."""
+
+    covered: FrozenSet[int]   # indices into the query's relational body
+    plan_atom: Atom           # the view head under the combined unifier
+
+
+def _unify_under(
+    theta: Substitution, left: Atom, right: Atom
+) -> Optional[Substitution]:
+    """Extend *theta* to also unify left and right, or ``None``."""
+    mgu = unify_atoms(left.substitute(theta), right.substitute(theta))
+    if mgu is None:
+        return None
+    return theta.compose(mgu)
+
+
+def bucket_candidates(query_atom: Atom, view: ConjunctiveQuery) -> List[Atom]:
+    """Plan atoms over *view* that could supply the single *query_atom*.
+
+    Kept as the simple single-atom interface; the planner itself uses
+    :func:`coverage_candidates`, which also finds multi-atom coverages.
+    """
+    isolated = view.standardized_apart(query_atom.variables())
+    candidates: List[Atom] = []
+    for body_atom in isolated.relational_body():
+        unifier = unify_atoms(body_atom, query_atom)
+        if unifier is None:
+            continue
+        candidates.append(isolated.head.substitute(unifier))
+    return candidates
+
+
+def coverage_candidates(
+    query: ConjunctiveQuery, view: ConjunctiveQuery
+) -> List[Coverage]:
+    """All maximal-information coverages of query-atom sets by *view*.
+
+    Depth-first extension: starting from each query atom, greedily try to
+    also map further query atoms into the same view occurrence under the
+    accumulated unifier. Every consistent partial mapping is emitted (the
+    containment check later discards unsound ones); subsets covered by an
+    identical plan atom are deduplicated.
+    """
+    query_atoms = list(query.relational_body())
+    taken = query.variables()
+    isolated = view.standardized_apart(taken)
+    body_atoms = list(isolated.relational_body())
+    coverages: Dict[Tuple[FrozenSet[int], Atom], None] = {}
+
+    def extend(index: int, covered: FrozenSet[int], theta: Substitution):
+        if covered:
+            plan_atom = isolated.head.substitute(theta)
+            coverages[(covered, plan_atom)] = None
+        if index == len(query_atoms):
+            return
+        # skip query_atoms[index]
+        extend(index + 1, covered, theta)
+        # or map it to some view body atom
+        for body_atom in body_atoms:
+            extended = _unify_under(theta, body_atom, query_atoms[index])
+            if extended is not None:
+                extend(index + 1, covered | {index}, extended)
+
+    extend(0, frozenset(), Substitution())
+    return [Coverage(covered, atom) for covered, atom in coverages]
+
+
+def candidate_plans(
+    query: ConjunctiveQuery,
+    views: Iterable[ConjunctiveQuery],
+    max_candidates: int = 10_000,
+) -> Iterator[ConjunctiveQuery]:
+    """All coverage-combination plans (unverified)."""
+    view_list = list(views)
+    _check_fragment(query, view_list)
+    n_atoms = len(query.relational_body())
+    all_coverages: List[Coverage] = []
+    for view in view_list:
+        all_coverages.extend(coverage_candidates(query, view))
+    # index coverages by the smallest atom they cover (cover-search order)
+    produced = 0
+    emitted: set = set()
+
+    def search(
+        uncovered: FrozenSet[int], chosen: Tuple[Atom, ...]
+    ) -> Iterator[ConjunctiveQuery]:
+        nonlocal produced
+        if not uncovered:
+            body = frozenset(chosen)
+            if body in emitted:
+                return
+            emitted.add(body)
+            produced += 1
+            if produced > max_candidates:
+                raise QueryError(
+                    f"candidate space exceeds {max_candidates}; refine the "
+                    "query or the view set"
+                )
+            try:
+                yield ConjunctiveQuery(query.head, sorted(body), query.builtins)
+            except UnsafeQueryError:
+                pass  # head variable lost by this combination
+            return
+        target = min(uncovered)
+        for coverage in all_coverages:
+            if target not in coverage.covered:
+                continue
+            yield from search(
+                uncovered - coverage.covered, chosen + (coverage.plan_atom,)
+            )
+
+    yield from search(frozenset(range(n_atoms)), ())
+
+
+def find_rewritings(
+    query: ConjunctiveQuery,
+    views: Iterable[ConjunctiveQuery],
+    max_candidates: int = 10_000,
+) -> List[RewritePlan]:
+    """All verified sound rewritings, equivalent plans first.
+
+    Duplicate plans (same body as a set) are collapsed.
+    """
+    view_index = view_map(views)
+    seen: set = set()
+    out: List[RewritePlan] = []
+    for plan in candidate_plans(query, view_index.values(), max_candidates):
+        key = (plan.head, frozenset(plan.body))
+        if key in seen:
+            continue
+        seen.add(key)
+        try:
+            expansion = expand_plan(plan, view_index)
+        except (QueryError, UnsafeQueryError):
+            continue
+        from repro.queries.containment import is_contained_in, is_equivalent
+
+        if not is_contained_in(expansion, query):
+            continue
+        out.append(
+            RewritePlan(
+                plan=plan,
+                expansion=expansion,
+                equivalent=is_equivalent(expansion, query),
+            )
+        )
+    out.sort(key=lambda r: (not r.equivalent, str(r.plan)))
+    return out
+
+
+def best_rewriting(
+    query: ConjunctiveQuery,
+    views: Iterable[ConjunctiveQuery],
+) -> Optional[RewritePlan]:
+    """An equivalent rewriting when one exists, else a maximal sound one,
+    else ``None``."""
+    rewritings = find_rewritings(query, views)
+    return rewritings[0] if rewritings else None

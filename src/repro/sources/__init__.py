@@ -1,0 +1,44 @@
+"""Source model (Sections 2.2–2.3): descriptors, collections, measures."""
+
+from repro.sources.collection import SourceCollection
+from repro.sources.descriptor import SourceDescriptor, as_bound
+from repro.sources.measures import (
+    completeness,
+    completeness_of_extension,
+    is_complete,
+    is_exact,
+    is_sound,
+    precision,
+    recall,
+    soundness,
+    soundness_of_extension,
+)
+from repro.sources.quality import (
+    clopper_pearson_lower,
+    completeness_from_fd,
+    estimate_completeness,
+    estimate_soundness,
+    intended_size_from_fd,
+    required_sample_size,
+)
+
+__all__ = [
+    "SourceDescriptor",
+    "SourceCollection",
+    "as_bound",
+    "completeness",
+    "soundness",
+    "completeness_of_extension",
+    "soundness_of_extension",
+    "is_sound",
+    "is_complete",
+    "is_exact",
+    "recall",
+    "precision",
+    "clopper_pearson_lower",
+    "estimate_soundness",
+    "estimate_completeness",
+    "required_sample_size",
+    "intended_size_from_fd",
+    "completeness_from_fd",
+]

@@ -1,0 +1,160 @@
+"""Source collections S = {S_1, ..., S_n} (Section 3).
+
+A collection aggregates source descriptors, exposes the global schema
+``sch(S)`` (relation names occurring in the view definitions), the Lemma 3.1
+search-space bound, and the defining predicate of ``poss(S)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.exceptions import SourceError
+from repro.model.atoms import Atom
+from repro.model.database import GlobalDatabase
+from repro.model.schema import GlobalSchema
+from repro.model.terms import Constant
+from repro.sources.descriptor import SourceDescriptor
+
+
+class SourceCollection:
+    """An ordered, immutable collection of source descriptors.
+
+    >>> from repro.queries import identity_view
+    >>> from repro.model import fact
+    >>> col = SourceCollection([
+    ...     SourceDescriptor(identity_view("V1", "R", 1),
+    ...                      [fact("V1", "a")], "1/2", "1/2"),
+    ... ])
+    >>> len(col)
+    1
+    """
+
+    __slots__ = ("sources",)
+
+    def __init__(self, sources: Iterable[SourceDescriptor]):
+        self.sources: Tuple[SourceDescriptor, ...] = tuple(sources)
+        names = [s.name for s in self.sources]
+        if len(set(names)) != len(names):
+            duplicated = sorted({n for n in names if names.count(n) > 1})
+            raise SourceError(f"duplicate source names: {', '.join(duplicated)}")
+
+    def __len__(self) -> int:
+        return len(self.sources)
+
+    def __iter__(self) -> Iterator[SourceDescriptor]:
+        return iter(self.sources)
+
+    def __getitem__(self, index: int) -> SourceDescriptor:
+        return self.sources[index]
+
+    def by_name(self, name: str) -> SourceDescriptor:
+        """Look a source up by name."""
+        for s in self.sources:
+            if s.name == name:
+                return s
+        raise SourceError(f"no source named {name!r}")
+
+    # -- schema & domain --------------------------------------------------------
+
+    def schema(self) -> GlobalSchema:
+        """``sch(S)``: global relation names occurring in the view bodies."""
+        schema = GlobalSchema()
+        for s in self.sources:
+            for atom in s.view.relational_body():
+                schema.add(atom.relation, atom.arity)
+        return schema
+
+    def extension_constants(self) -> Set[Constant]:
+        """All constants occurring in view extensions."""
+        out: Set[Constant] = set()
+        for s in self.sources:
+            for f in s.extension:
+                out.update(f.args)
+        return out
+
+    def view_constants(self) -> Set[Constant]:
+        """All constants occurring in view definitions."""
+        out: Set[Constant] = set()
+        for s in self.sources:
+            out |= s.view.constants()
+        return out
+
+    def all_constants(self) -> Set[Constant]:
+        """Constants from both extensions and view definitions."""
+        return self.extension_constants() | self.view_constants()
+
+    # -- paper quantities ---------------------------------------------------------
+
+    def total_extension_size(self) -> int:
+        """``p = Σ |v_i|``."""
+        return sum(s.size() for s in self.sources)
+
+    def max_body_size(self) -> int:
+        """``m = max_i |body(φ_i)|`` (0 for an empty collection)."""
+        return max((s.view.body_size() for s in self.sources), default=0)
+
+    def lemma31_size_bound(self) -> int:
+        """Lemma 3.1: a consistent collection has a possible database with at
+        most ``max_i |body(φ_i)| · Σ |v_i|`` facts."""
+        return self.max_body_size() * self.total_extension_size()
+
+    def lemma31_constant_bound(self) -> int:
+        """``m · p · k``: enough constants for the Theorem 3.2 NP witness."""
+        return self.lemma31_size_bound() * max(
+            self.schema().max_arity(),
+            max((s.view.head.arity for s in self.sources), default=0),
+        )
+
+    # -- the poss(S) predicate ----------------------------------------------------
+
+    def admits(self, database: GlobalDatabase) -> bool:
+        """``D ∈ poss(S)``: every source's declared bounds hold w.r.t. D."""
+        return all(s.satisfied_by(database) for s in self.sources)
+
+    def violations(self, database: GlobalDatabase) -> List[str]:
+        """Human-readable list of bound violations of *database* (empty when
+        the database is possible). Useful in tests and audits."""
+        problems = []
+        for s in self.sources:
+            c = s.completeness(database)
+            if c < s.completeness_bound:
+                problems.append(
+                    f"{s.name}: completeness {c} < declared {s.completeness_bound}"
+                )
+            snd = s.soundness(database)
+            if snd < s.soundness_bound:
+                problems.append(
+                    f"{s.name}: soundness {snd} < declared {s.soundness_bound}"
+                )
+        return problems
+
+    # -- structure ---------------------------------------------------------------
+
+    def all_identity(self) -> bool:
+        """True when every view is an identity view (§5.1 special case)."""
+        return all(s.is_identity() for s in self.sources)
+
+    def identity_relation(self) -> Optional[str]:
+        """When all views are identities over one global relation, its name.
+
+        Returns ``None`` if views differ or are not identities — the §5.1
+        algorithms require this to be non-None.
+        """
+        if not self.sources or not self.all_identity():
+            return None
+        relations = {s.view.body[0].relation for s in self.sources}
+        if len(relations) != 1:
+            return None
+        arities = {s.view.body[0].arity for s in self.sources}
+        if len(arities) != 1:
+            return None
+        return relations.pop()
+
+    def extended(self, *extra: SourceDescriptor) -> "SourceCollection":
+        """A new collection with additional sources appended."""
+        return SourceCollection(self.sources + tuple(extra))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(s.name for s in self.sources)
+        return f"SourceCollection([{inner}])"

@@ -1,0 +1,96 @@
+"""Completeness and soundness measures (Definitions 2.1 and 2.2).
+
+Measures are exact rationals (:class:`fractions.Fraction`), not floats: the
+consistency checker compares them against declared lower bounds, and float
+rounding at the boundary (e.g. 1/3 vs declared 0.3333333333333333) would make
+the decision procedure unreliable.
+
+Edge conventions (the paper leaves |φ(D)| = 0 and |v| = 0 implicit):
+
+* completeness with ``φ(D) = ∅`` is 1 — an empty intended content is fully
+  covered by anything;
+* soundness with ``v = ∅`` is 1 — an empty extension contains no wrong facts.
+
+These are the unique conventions under which "sound ⇔ s = 1" and
+"complete ⇔ c = 1" (Section 2.2's qualitative notions) hold in all cases.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import FrozenSet, Iterable, Set
+
+from repro.model.atoms import Atom
+from repro.model.database import GlobalDatabase
+from repro.queries.conjunctive import ConjunctiveQuery
+
+
+def completeness_of_extension(
+    extension: Iterable[Atom], intended: Iterable[Atom]
+) -> Fraction:
+    """``|v ∩ φ(D)| / |φ(D)|`` given the materialized sets (Definition 2.1)."""
+    v = frozenset(extension)
+    phi = frozenset(intended)
+    if not phi:
+        return Fraction(1)
+    return Fraction(len(v & phi), len(phi))
+
+
+def soundness_of_extension(
+    extension: Iterable[Atom], intended: Iterable[Atom]
+) -> Fraction:
+    """``|v ∩ φ(D)| / |v|`` given the materialized sets (Definition 2.2)."""
+    v = frozenset(extension)
+    phi = frozenset(intended)
+    if not v:
+        return Fraction(1)
+    return Fraction(len(v & phi), len(v))
+
+
+def completeness(
+    view: ConjunctiveQuery, extension: Iterable[Atom], database: GlobalDatabase
+) -> Fraction:
+    """``c_D(S)`` for a source with view *view* and extension *extension*."""
+    return completeness_of_extension(extension, view.apply(database))
+
+
+def soundness(
+    view: ConjunctiveQuery, extension: Iterable[Atom], database: GlobalDatabase
+) -> Fraction:
+    """``s_D(S)`` for a source with view *view* and extension *extension*."""
+    return soundness_of_extension(extension, view.apply(database))
+
+
+def is_sound(
+    view: ConjunctiveQuery, extension: Iterable[Atom], database: GlobalDatabase
+) -> bool:
+    """Qualitative soundness: ``v ⊆ φ(D)`` (Section 2.2)."""
+    return frozenset(extension) <= view.apply(database)
+
+
+def is_complete(
+    view: ConjunctiveQuery, extension: Iterable[Atom], database: GlobalDatabase
+) -> bool:
+    """Qualitative completeness: ``v ⊇ φ(D)`` (Section 2.2)."""
+    return frozenset(extension) >= view.apply(database)
+
+
+def is_exact(
+    view: ConjunctiveQuery, extension: Iterable[Atom], database: GlobalDatabase
+) -> bool:
+    """Both sound and complete: ``v = φ(D)``."""
+    return frozenset(extension) == view.apply(database)
+
+
+def recall(returned: Iterable, correct: Iterable) -> Fraction:
+    """Information-retrieval recall; identical in form to completeness.
+
+    The paper (Section 2.2) notes recall ↔ completeness, precision ↔
+    soundness; these aliases make that correspondence executable.
+    """
+    return completeness_of_extension(returned, correct)
+
+
+def precision(returned: Iterable, correct: Iterable) -> Fraction:
+    """Information-retrieval precision; identical in form to soundness."""
+    return soundness_of_extension(returned, correct)

@@ -1,0 +1,48 @@
+"""Tableaux, constraints, and database templates (Section 4)."""
+
+from repro.tableaux.constraints import Constraint
+from repro.tableaux.construction import (
+    allowable_combinations,
+    cardinality_constraint,
+    materialize_builtins,
+    minimal_combinations,
+    source_tableau,
+    template_for_combination,
+    templates_for_collection,
+)
+from repro.tableaux.possible_worlds import (
+    direct_possible_worlds,
+    template_possible_worlds,
+    theorem41_holds,
+)
+from repro.tableaux.query_answers import (
+    answer_tableau,
+    answer_template,
+    certain_answer_from_tableau,
+    certain_answer_from_template,
+    certain_answer_from_templates,
+)
+from repro.tableaux.tableau import Tableau
+from repro.tableaux.template import DatabaseTemplate, union_of_reps
+
+__all__ = [
+    "Tableau",
+    "Constraint",
+    "DatabaseTemplate",
+    "union_of_reps",
+    "allowable_combinations",
+    "minimal_combinations",
+    "source_tableau",
+    "cardinality_constraint",
+    "template_for_combination",
+    "templates_for_collection",
+    "materialize_builtins",
+    "template_possible_worlds",
+    "direct_possible_worlds",
+    "theorem41_holds",
+    "certain_answer_from_tableau",
+    "certain_answer_from_template",
+    "certain_answer_from_templates",
+    "answer_tableau",
+    "answer_template",
+]

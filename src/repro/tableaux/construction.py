@@ -1,0 +1,203 @@
+"""Constructing the templates T^U(S), C^U(S) of Section 4.
+
+For a source collection S and an *allowable combination* U = (u_1, ..., u_n)
+of sound subsets (u_i ⊆ v_i with |u_i| ≥ s_i·|v_i|):
+
+* ``T^U(S_i)`` grounds the view body once per chosen fact u ∈ u_i (head
+  matched to u, existential variables freshly renamed per fact);
+* ``C^U(S_i)`` is the cardinality constraint: a tableau V^U(S_i) of
+  m_i + 1 = ⌊|u_i|/c_i⌋ + 1 "rows" of the view body with fresh head
+  variables, together with the substitutions θ_{p,r} equating two rows —
+  so any database deriving more than m_i distinct head facts violates it.
+
+The resulting :class:`~repro.tableaux.template.DatabaseTemplate` per U, and
+their union over all allowable U, realize Theorem 4.1:
+``poss(S) = ∪_U rep(T^U(S))``.
+
+Views whose bodies contain built-in atoms are supported by *materializing*
+the built-in relations over the finite domain (:func:`materialize_builtins`);
+the template machinery itself treats every atom as stored.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SourceError
+from repro.model.atoms import Atom
+from repro.model.database import GlobalDatabase
+from repro.model.terms import Constant, FreshVariableFactory, Variable, as_term
+from repro.model.valuation import Substitution, match_atom
+from repro.queries.builtins import BuiltinRegistry
+from repro.sources.collection import SourceCollection
+from repro.sources.descriptor import SourceDescriptor
+from repro.util.combinatorics import subsets_of_size_at_least
+from repro.tableaux.constraints import Constraint
+from repro.tableaux.tableau import Tableau
+from repro.tableaux.template import DatabaseTemplate
+
+SoundCombination = Tuple[FrozenSet[Atom], ...]
+
+
+def allowable_combinations(collection: SourceCollection) -> Iterator[SoundCombination]:
+    """The set 𝒰 of Theorem 4.1: all (u_1..u_n) with u_i ⊆ v_i, |u_i| ≥ s_i|v_i|."""
+    per_source = [
+        [frozenset(u) for u in subsets_of_size_at_least(
+            sorted(s.extension), s.min_sound_count())]
+        for s in collection
+    ]
+    for combo in product(*per_source):
+        yield tuple(combo)
+
+
+def minimal_combinations(collection: SourceCollection) -> Iterator[SoundCombination]:
+    """Only the minimum-cardinality sound subsets (|u_i| = ⌈s_i|v_i|⌉).
+
+    Useful as a cheaper first pass in consistency checking: enlarging u_i
+    only tightens the soundness side trivially but loosens the completeness
+    cap, so minimal subsets are not always sufficient — callers fall back to
+    :func:`allowable_combinations` for completeness.
+    """
+    from itertools import combinations
+
+    per_source = [
+        [frozenset(u) for u in combinations(sorted(s.extension), s.min_sound_count())]
+        for s in collection
+    ]
+    for combo in product(*per_source):
+        yield tuple(combo)
+
+
+def _ground_body_for_fact(
+    source: SourceDescriptor,
+    u: Atom,
+    fresh: FreshVariableFactory,
+) -> List[Atom]:
+    """Body atoms witnessing head fact *u*, with fresh existential variables."""
+    theta = match_atom(source.view.head, u)
+    if theta is None:
+        raise SourceError(
+            f"extension fact {u} does not match the head of view {source.view}"
+        )
+    bound = theta.domain()
+    existential = {
+        v: fresh.fresh()
+        for atom in source.view.body
+        for v in atom.variables()
+        if v not in bound
+    }
+    renaming = Substitution({**dict(theta.items()), **existential})
+    return [atom.substitute(renaming) for atom in source.view.body]
+
+
+def source_tableau(
+    source: SourceDescriptor,
+    sound_subset: Iterable[Atom],
+    fresh: FreshVariableFactory,
+) -> Tableau:
+    """``T^U(S_i)``: grounded bodies for every chosen sound fact."""
+    atoms: List[Atom] = []
+    for u in sorted(sound_subset):
+        atoms.extend(_ground_body_for_fact(source, u, fresh))
+    return Tableau(atoms)
+
+
+def cardinality_constraint(
+    source: SourceDescriptor,
+    sound_count: int,
+    fresh: FreshVariableFactory,
+) -> Optional[Constraint]:
+    """``C^U(S_i)``: |φ_i(D)| ≤ m_i = ⌊sound_count / c_i⌋, as (V, Θ).
+
+    Returns ``None`` when c_i = 0 (no completeness constraint).
+    """
+    m = source.max_intended_size(sound_count)
+    if m is None:
+        return None
+    head_vars = sorted(source.view.head.variables())
+    rows: List[Dict[Variable, Variable]] = []
+    body_atoms: List[Atom] = []
+    for _ in range(m + 1):
+        row_map = {v: fresh.fresh() for v in head_vars}
+        existential = {
+            v: fresh.fresh()
+            for atom in source.view.body
+            for v in atom.variables()
+            if v not in row_map
+        }
+        renaming = Substitution({**row_map, **existential})
+        body_atoms.extend(atom.substitute(renaming) for atom in source.view.body)
+        rows.append(row_map)
+    thetas: List[Substitution] = []
+    for p in range(m + 1):
+        for r in range(m + 1):
+            if p == r:
+                continue
+            thetas.append(
+                Substitution({rows[p][v]: rows[r][v] for v in head_vars})
+            )
+    if not head_vars and m >= 1:
+        # A variable-free head can produce at most one fact; the cardinality
+        # bound m_i >= 1 is vacuous.
+        return None
+    if not thetas:
+        # m = 0: *no* embedding of even a single row is allowed, i.e.
+        # φ_i(D) must be empty. Θ is empty, so any embedding violates.
+        pass
+    return Constraint(Tableau(body_atoms), thetas, label=f"card[{source.name}]<= {m}")
+
+
+def template_for_combination(
+    collection: SourceCollection,
+    combination: SoundCombination,
+) -> DatabaseTemplate:
+    """``𝒯^U(S) = ⟨T^U(S), C^U(S)⟩`` for one allowable combination U."""
+    taken: set = set()
+    for s in collection:
+        taken |= s.view.variables()
+    fresh = FreshVariableFactory(taken=taken, prefix="_t")
+    tableau = Tableau([])
+    constraints: List[Constraint] = []
+    for source, sound_subset in zip(collection, combination):
+        tableau = tableau | source_tableau(source, sound_subset, fresh)
+        constraint = cardinality_constraint(source, len(sound_subset), fresh)
+        if constraint is not None:
+            constraints.append(constraint)
+    return DatabaseTemplate([tableau], constraints)
+
+
+def templates_for_collection(
+    collection: SourceCollection,
+) -> Iterator[Tuple[SoundCombination, DatabaseTemplate]]:
+    """All (U, 𝒯^U(S)) pairs — the right-hand side of Theorem 4.1."""
+    for combination in allowable_combinations(collection):
+        yield combination, template_for_combination(collection, combination)
+
+
+def materialize_builtins(
+    registry: BuiltinRegistry, domain: Iterable, names: Iterable[str]
+) -> GlobalDatabase:
+    """Built-in relations as explicit binary fact sets over a finite domain.
+
+    Lets the tableau machinery (which has no built-in evaluation) reason
+    about views like ``V(s,y,v) ← Temperature(s,y,v), After(y,1900)``:
+    add these facts to candidate databases before membership checks.
+    """
+    constants = [as_term(c) for c in domain]
+    facts: List[Atom] = []
+    for name in names:
+        builtin = registry.get(name)
+        if builtin is None:
+            raise SourceError(f"unknown builtin: {name}")
+        if builtin.arity != 2:
+            raise SourceError(
+                f"only binary builtins can be materialized, {name} has arity "
+                f"{builtin.arity}"
+            )
+        for a in constants:
+            for b in constants:
+                if builtin.check((a.value, b.value)):
+                    facts.append(Atom(name, (a, b)))
+    return GlobalDatabase(facts)

@@ -1,0 +1,53 @@
+"""Theorem 4.1 machinery: poss(S) as a union of template representations.
+
+Provides both sides of the theorem over a finite fact space so they can be
+compared exactly:
+
+* the *direct* side — enumerate databases and filter with the poss(S)
+  predicate (:func:`repro.confidence.worlds.possible_worlds`);
+* the *template* side — enumerate ∪_U rep(T^U(S)).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from repro.model.database import GlobalDatabase
+from repro.model.schema import GlobalSchema
+from repro.sources.collection import SourceCollection
+from repro.tableaux.construction import templates_for_collection
+from repro.tableaux.template import union_of_reps
+
+
+def template_possible_worlds(
+    collection: SourceCollection,
+    domain: Iterable,
+    schema: Optional[GlobalSchema] = None,
+    max_facts: Optional[int] = None,
+) -> Set[GlobalDatabase]:
+    """``∪_U rep(T^U(S))`` over the finite fact space of sch(S) × domain."""
+    schema = schema if schema is not None else collection.schema()
+    templates = [t for _, t in templates_for_collection(collection)]
+    return union_of_reps(templates, domain, schema=schema, max_facts=max_facts)
+
+
+def direct_possible_worlds(
+    collection: SourceCollection,
+    domain: Iterable,
+    max_facts: Optional[int] = None,
+) -> Set[GlobalDatabase]:
+    """poss(S) over the finite fact space, via the defining predicate."""
+    from repro.confidence.worlds import possible_worlds
+
+    return set(possible_worlds(collection, domain, max_facts=max_facts))
+
+
+def theorem41_holds(
+    collection: SourceCollection,
+    domain: Iterable,
+    max_facts: Optional[int] = None,
+) -> bool:
+    """Check ``poss(S) == ∪_U rep(T^U(S))`` over the finite fact space."""
+    return direct_possible_worlds(collection, domain, max_facts=max_facts) == (
+        template_possible_worlds(collection, domain, max_facts=max_facts)
+    )

@@ -1,0 +1,131 @@
+"""Certain answers computed from database templates (§6 future work).
+
+The paper's discussion proposes using the Theorem 4.1 representation "to
+compute a finite representation of the answer to any query". This module
+implements the classical route:
+
+* for one tableau T, every database in its representation contains a
+  valuation image of T, and conjunctive queries are monotone — so a
+  null-free answer of Q over the *frozen* tableau (variables to labeled
+  nulls) is in Q(D) for **every** represented database;
+* for a template ⟨T_1..T_m, C⟩ a certain answer must hold under every
+  tableau alternative: intersect over the T_i;
+* for a source collection S, poss(S) = ∪_U rep(T^U(S)) (Theorem 4.1), so
+  certain answers over poss(S) are the intersection over the allowable
+  combinations U.
+
+Constraints C only *remove* databases from a representation, so the result
+is a sound **under-approximation** of the true certain answer (exact when no
+constraint prunes a tableau's minimal worlds — in particular for templates
+without constraints). Differential tests compare it against exhaustive
+world enumeration on finite domains.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from repro.model.atoms import Atom
+from repro.model.database import GlobalDatabase
+from repro.model.terms import Constant
+from repro.queries.conjunctive import ConjunctiveQuery
+from repro.queries.evaluation import evaluate
+from repro.sources.collection import SourceCollection
+from repro.tableaux.construction import templates_for_collection
+from repro.tableaux.tableau import Tableau
+from repro.tableaux.template import DatabaseTemplate
+
+NULL_PREFIX = "_frz"
+
+
+def _mentions_null(fact: Atom) -> bool:
+    return any(
+        isinstance(a, Constant)
+        and isinstance(a.value, str)
+        and a.value.startswith(NULL_PREFIX)
+        for a in fact.args
+    )
+
+
+def certain_answer_from_tableau(
+    query: ConjunctiveQuery, tableau: Tableau
+) -> FrozenSet[Atom]:
+    """Null-free answers of *query* over the frozen tableau."""
+    frozen, _ = tableau.freeze()
+    database = GlobalDatabase(frozen.atoms)
+    return frozenset(
+        f for f in evaluate(query, database) if not _mentions_null(f)
+    )
+
+
+def answer_tableau(query: ConjunctiveQuery, tableau: Tableau) -> Tableau:
+    """The *symbolic* answer: query evaluated with variables kept as variables.
+
+    The paper's §6 asks for "a finite representation of the answer to any
+    query" from the Theorem 4.1 templates. For a single tableau this is the
+    classical construction: freeze variables to labeled nulls, evaluate, and
+    map the nulls back — producing answer atoms that may carry variables.
+    An atom like ``ans(a, y)`` reads "in every represented database there is
+    an answer (a, w) for *some* witness w" — strictly more informative than
+    the certain answer (its ground atoms) alone.
+    """
+    frozen, freezing = tableau.freeze()
+    unfreeze = {
+        constant: variable for variable, constant in freezing.items()
+    }
+    database = GlobalDatabase(frozen.atoms)
+    answers = []
+    for answer in evaluate(query, database):
+        answers.append(
+            Atom(
+                answer.relation,
+                tuple(unfreeze.get(a, a) for a in answer.args),
+            )
+        )
+    return Tableau(answers)
+
+
+def answer_template(
+    query: ConjunctiveQuery, template: DatabaseTemplate
+) -> DatabaseTemplate:
+    """The §6 finite answer representation: one answer tableau per
+    alternative, packaged as a (constraint-free) template over ``ans``."""
+    return DatabaseTemplate(
+        [answer_tableau(query, t) for t in template.tableaux], []
+    )
+
+
+def certain_answer_from_template(
+    query: ConjunctiveQuery, template: DatabaseTemplate
+) -> FrozenSet[Atom]:
+    """Certain answers over ``rep(T)`` (sound under-approximation).
+
+    An empty template (no tableaux) represents no databases; by convention
+    the certain answer is then empty rather than "everything".
+    """
+    result: Optional[FrozenSet[Atom]] = None
+    for tableau in template.tableaux:
+        answers = certain_answer_from_tableau(query, tableau)
+        result = answers if result is None else (result & answers)
+        if not result:
+            break
+    return result if result is not None else frozenset()
+
+
+def certain_answer_from_templates(
+    query: ConjunctiveQuery, collection: SourceCollection
+) -> FrozenSet[Atom]:
+    """Certain answers over poss(S) via Theorem 4.1's template family.
+
+    Intersects the per-combination certain answers across all allowable
+    sound-subset combinations 𝒰. Sound: every returned fact is in Q(D) for
+    every possible database. Exponential in Σ|v_i| (the set 𝒰 is), like
+    everything exact in this problem space.
+    """
+    result: Optional[FrozenSet[Atom]] = None
+    for _, template in templates_for_collection(collection):
+        answers = certain_answer_from_template(query, template)
+        result = answers if result is None else (result & answers)
+        if not result:
+            break
+    return result if result is not None else frozenset()

@@ -1,0 +1,111 @@
+"""Database templates ⟨T_1, ..., T_m, C⟩ and rep(T) (Definition 4.1).
+
+A template compactly represents the set of databases that (i) contain a
+valuation image of at least one of its tableaux and (ii) satisfy every
+constraint. Membership testing is exact; enumeration over a finite domain is
+provided for the Theorem 4.1 differential tests.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.exceptions import DomainTooLargeError
+from repro.model.atoms import Atom
+from repro.model.database import GlobalDatabase
+from repro.model.schema import GlobalSchema, schema_of_atoms
+from repro.model.terms import Constant, as_term
+from repro.tableaux.constraints import Constraint
+from repro.tableaux.tableau import Tableau
+
+#: Enumeration guard, matching repro.confidence.worlds.MAX_FACT_SPACE.
+MAX_ENUMERATION_FACTS = 22
+
+
+class DatabaseTemplate:
+    """⟨T_1, ..., T_m, C⟩: alternative tableaux plus shared constraints.
+
+    >>> from repro.model import atom, Variable
+    >>> t = DatabaseTemplate([Tableau([atom("R", "a", Variable("x"))])], [])
+    >>> len(t.tableaux)
+    1
+    """
+
+    __slots__ = ("tableaux", "constraints")
+
+    def __init__(
+        self, tableaux: Iterable[Tableau], constraints: Iterable[Constraint] = ()
+    ):
+        self.tableaux: Tuple[Tableau, ...] = tuple(tableaux)
+        self.constraints: Tuple[Constraint, ...] = tuple(constraints)
+
+    # -- membership (Definition 4.1) ---------------------------------------------
+
+    def admits(self, database: GlobalDatabase) -> bool:
+        """``D ∈ rep(T)``: some tableau embeds in D and all constraints hold."""
+        if not any(t.embeds_in(database) for t in self.tableaux):
+            return False
+        return all(c.satisfied_by(database) for c in self.constraints)
+
+    def violated_constraints(self, database: GlobalDatabase) -> List[Constraint]:
+        """Constraints *database* breaks (diagnostics)."""
+        return [c for c in self.constraints if not c.satisfied_by(database)]
+
+    # -- schema & enumeration -------------------------------------------------------
+
+    def schema(self) -> GlobalSchema:
+        """Relations mentioned by tableaux and constraint tableaux."""
+        atoms: List[Atom] = []
+        for t in self.tableaux:
+            atoms.extend(t)
+        for c in self.constraints:
+            atoms.extend(c.tableau)
+        return schema_of_atoms(atoms)
+
+    def represented_databases(
+        self,
+        domain: Iterable,
+        schema: Optional[GlobalSchema] = None,
+        max_facts: Optional[int] = None,
+    ) -> Iterator[GlobalDatabase]:
+        """Enumerate ``rep(T)`` restricted to facts over *schema* × *domain*.
+
+        Definition 4.1 allows arbitrary supersets; restricting to a finite
+        fact space makes the set finite. *schema* defaults to the template's
+        own schema (pass ``sch(S)`` when comparing against poss(S)).
+        """
+        schema = schema if schema is not None else self.schema()
+        constants = [as_term(c) for c in domain]
+        candidates = sorted(schema.fact_space(constants))
+        if len(candidates) > MAX_ENUMERATION_FACTS:
+            raise DomainTooLargeError(
+                f"fact space has {len(candidates)} facts (> {MAX_ENUMERATION_FACTS})"
+            )
+        limit = len(candidates) if max_facts is None else min(max_facts, len(candidates))
+        for size in range(limit + 1):
+            for combo in combinations(candidates, size):
+                database = GlobalDatabase(combo)
+                if self.admits(database):
+                    yield database
+
+    def __repr__(self) -> str:
+        return (
+            f"DatabaseTemplate(tableaux={len(self.tableaux)}, "
+            f"constraints={len(self.constraints)})"
+        )
+
+
+def union_of_reps(
+    templates: Iterable[DatabaseTemplate],
+    domain: Iterable,
+    schema: Optional[GlobalSchema] = None,
+    max_facts: Optional[int] = None,
+) -> Set[GlobalDatabase]:
+    """``∪_U rep(T^U(S))`` over a finite fact space (Theorem 4.1's right side)."""
+    worlds: Set[GlobalDatabase] = set()
+    for template in templates:
+        worlds.update(
+            template.represented_databases(domain, schema=schema, max_facts=max_facts)
+        )
+    return worlds

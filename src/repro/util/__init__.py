@@ -1,0 +1,27 @@
+"""Utility subpackage: combinatorics and small iteration helpers.
+
+These helpers back the possible-world enumeration and solution-counting
+machinery in :mod:`repro.consistency` and :mod:`repro.confidence`.
+"""
+
+from repro.util.combinatorics import (
+    binomial,
+    count_vectors,
+    multinomial,
+    powerset,
+    subsets_of_size,
+    subsets_of_size_at_least,
+)
+from repro.util.itertools2 import first, pairwise_distinct, unique_everseen
+
+__all__ = [
+    "binomial",
+    "count_vectors",
+    "multinomial",
+    "powerset",
+    "subsets_of_size",
+    "subsets_of_size_at_least",
+    "first",
+    "pairwise_distinct",
+    "unique_everseen",
+]

@@ -1,0 +1,38 @@
+"""Small iteration helpers shared across the library."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+H = TypeVar("H", bound=Hashable)
+
+
+def first(iterable: Iterable[T], default: Optional[T] = None) -> Optional[T]:
+    """Return the first element of *iterable*, or *default* if it is empty."""
+    for item in iterable:
+        return item
+    return default
+
+
+def unique_everseen(iterable: Iterable[H]) -> Iterator[H]:
+    """Yield elements in order, skipping any already yielded.
+
+    >>> list(unique_everseen([1, 2, 1, 3, 2]))
+    [1, 2, 3]
+    """
+    seen = set()
+    for item in iterable:
+        if item not in seen:
+            seen.add(item)
+            yield item
+
+
+def pairwise_distinct(items: Iterable[H]) -> bool:
+    """True when no element of *items* occurs twice."""
+    seen = set()
+    for item in items:
+        if item in seen:
+            return False
+        seen.add(item)
+    return True

@@ -1,0 +1,27 @@
+"""Synthetic workload generators: climatology, caches, random collections."""
+
+from repro.workloads import accounting, caches, climatology
+from repro.workloads.perturb import (
+    PerturbationResult,
+    corrupt_fact,
+    perturb_extension,
+    slack_bound,
+)
+from repro.workloads.random_sources import (
+    consistent_identity_collection,
+    random_identity_collection,
+    universe,
+)
+
+__all__ = [
+    "perturb_extension",
+    "corrupt_fact",
+    "slack_bound",
+    "PerturbationResult",
+    "random_identity_collection",
+    "consistent_identity_collection",
+    "universe",
+    "climatology",
+    "caches",
+    "accounting",
+]

@@ -1,0 +1,123 @@
+"""Web caches / mirror sites workload (the paper's closing remark, §6).
+
+"All the results [in the identity-view special case] can be expressed in
+terms of sets ... multiple caches of a set of objects (e.g. Web pages),
+multiple mirror-sites of a given site."
+
+We model an origin site as a set of live object identifiers and each cache
+or mirror as a stale, partial copy: objects may be *missing* (never fetched
+or evicted → incompleteness) or *stale* (still present although deleted at
+the origin → unsoundness). Every cache is an identity view over the global
+relation ``Live(object)``, so the full §5.1 machinery applies: consistency,
+exact confidence per object, certain/possible live sets.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro.model.atoms import Atom
+from repro.model.database import GlobalDatabase
+from repro.queries.conjunctive import identity_view
+from repro.sources.collection import SourceCollection
+from repro.sources.descriptor import SourceDescriptor
+from repro.sources.measures import (
+    completeness_of_extension,
+    soundness_of_extension,
+)
+from repro.workloads.perturb import slack_bound
+
+RELATION = "Live"
+
+
+class CacheFleet:
+    """An origin object set plus a fleet of stale partial caches."""
+
+    __slots__ = ("origin", "collection", "objects", "domain")
+
+    def __init__(
+        self,
+        origin: GlobalDatabase,
+        collection: SourceCollection,
+        objects: Sequence[str],
+        domain: Sequence[str],
+    ):
+        self.origin = origin
+        self.collection = collection
+        self.objects = tuple(objects)
+        self.domain = tuple(domain)
+
+    def live_objects(self) -> frozenset:
+        """Object ids live at the origin (the ground truth)."""
+        return frozenset(f.args[0].value for f in self.origin)
+
+
+def generate(
+    n_objects: int = 30,
+    n_retired: int = 10,
+    n_caches: int = 4,
+    miss_rate: float = 0.2,
+    stale_rate: float = 0.15,
+    slack: float = 0.0,
+    rng: Optional[random.Random] = None,
+) -> CacheFleet:
+    """Generate a cache fleet.
+
+    The universe holds ``n_objects`` live and ``n_retired`` deleted objects.
+    Each cache contains a live object with probability ``1 − miss_rate`` and
+    a retired object with probability ``stale_rate``. Declared bounds are
+    the measured quality of each cache against the origin (optionally
+    under-promised by *slack*), so the origin is a possible world and the
+    fleet is consistent by construction.
+    """
+    rng = rng if rng is not None else random.Random()
+    live = [f"obj{i}" for i in range(n_objects)]
+    retired = [f"old{i}" for i in range(n_retired)]
+    domain = live + retired
+    origin = GlobalDatabase(Atom(RELATION, (o,)) for o in live)
+    intended = frozenset(origin.facts())
+
+    sources: List[SourceDescriptor] = []
+    for i in range(1, n_caches + 1):
+        view = identity_view(f"Cache{i}", RELATION, 1)
+        held: List[Atom] = []
+        for o in live:
+            if rng.random() >= miss_rate:
+                held.append(Atom(f"Cache{i}", (o,)))
+        for o in retired:
+            if rng.random() < stale_rate:
+                held.append(Atom(f"Cache{i}", (o,)))
+        extension = frozenset(held)
+        as_global = frozenset(Atom(RELATION, f.args) for f in extension)
+        measured_c = completeness_of_extension(as_global, intended)
+        measured_s = soundness_of_extension(as_global, intended)
+        sources.append(
+            SourceDescriptor(
+                view,
+                extension,
+                slack_bound(measured_c, slack),
+                slack_bound(measured_s, slack),
+                name=f"Cache{i}",
+            )
+        )
+    return CacheFleet(
+        origin=origin,
+        collection=SourceCollection(sources),
+        objects=live,
+        domain=domain,
+    )
+
+
+def ranking_quality(
+    ranked_objects: Sequence[str], live: frozenset, k: int
+) -> Fraction:
+    """Precision@k of a confidence ranking against the true live set."""
+    if k <= 0:
+        return Fraction(1)
+    top = list(ranked_objects)[:k]
+    if not top:
+        return Fraction(0)
+    hits = sum(1 for o in top if o in live)
+    return Fraction(hits, len(top))

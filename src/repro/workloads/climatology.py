@@ -1,0 +1,198 @@
+"""GHCN-style climatology workload (the paper's motivating example, §1.1).
+
+A synthetic stand-in for the Global Historical Climatology Network: the
+paper only uses GHCN to *motivate* the model (per-country/per-period sources
+over a global ``Temperature``/``Station`` schema with declared quality
+estimates), so a generator with a known ground truth — which real GHCN data
+cannot offer — is the right substrate for verifying the semantics.
+
+Schema:
+
+* ``Station(id, country)`` — station directory (single source S0);
+* ``Temperature(station, year, month, value)`` — mean monthly temperatures.
+
+Sources mirror the paper's:
+
+* ``S0`` — the station directory, near-exact;
+* one source per country, covering that country's stations after a cutoff
+  year (``V(s,y,m,v) ← Temperature(s,y,m,v), Station(s,c), After(y,y0)``);
+* optionally a single-station source (the paper's S3).
+
+Each source's extension is a perturbed copy of its intended content; its
+declared bounds are the measured values, so the ground truth is a possible
+world. The completeness of temperature sources is also derivable a priori
+from the functional dependency ``station, year, month → value`` (stations ×
+years × months), as §2.2 describes — exposed via ``fd_intended_size``.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.model.atoms import Atom
+from repro.model.database import GlobalDatabase
+from repro.queries.builtins import default_registry
+from repro.queries.parser import parse_rule
+from repro.sources.collection import SourceCollection
+from repro.sources.descriptor import SourceDescriptor
+from repro.workloads.perturb import perturb_extension, slack_bound
+
+
+class ClimatologyWorkload:
+    """A generated climatology scenario with ground truth and sources."""
+
+    __slots__ = (
+        "ground_truth",
+        "collection",
+        "countries",
+        "stations",
+        "years",
+        "months",
+        "value_domain",
+    )
+
+    def __init__(
+        self,
+        ground_truth: GlobalDatabase,
+        collection: SourceCollection,
+        countries: Sequence[str],
+        stations: Dict[str, List[int]],
+        years: Sequence[int],
+        months: Sequence[int],
+        value_domain: Sequence[int],
+    ):
+        self.ground_truth = ground_truth
+        self.collection = collection
+        self.countries = tuple(countries)
+        self.stations = stations
+        self.years = tuple(years)
+        self.months = tuple(months)
+        self.value_domain = tuple(value_domain)
+
+    def fd_intended_size(self, country: str, cutoff_year: int) -> int:
+        """|φ(D)| from the FD argument: stations × qualifying years × months."""
+        qualifying_years = sum(1 for y in self.years if y > cutoff_year)
+        return len(self.stations[country]) * qualifying_years * len(self.months)
+
+    def station_count(self) -> int:
+        return sum(len(ids) for ids in self.stations.values())
+
+
+def _seasonal_value(station: int, year: int, month: int, rng: random.Random) -> int:
+    """A plausible integer mean temperature (°C ×1) with seasonal shape."""
+    seasonal = [-8, -6, -1, 6, 12, 17, 20, 19, 14, 8, 2, -5][month - 1]
+    return seasonal + (station % 7) - 3 + rng.randint(-2, 2)
+
+
+def generate(
+    n_countries: int = 2,
+    stations_per_country: int = 2,
+    years: Sequence[int] = (1990, 1991),
+    months: Sequence[int] = (1, 7),
+    cutoff_years: Optional[Dict[str, int]] = None,
+    drop_rate: float = 0.15,
+    corrupt_rate: float = 0.08,
+    slack: float = 0.0,
+    include_single_station_source: bool = True,
+    rng: Optional[random.Random] = None,
+) -> ClimatologyWorkload:
+    """Generate a climatology workload.
+
+    *cutoff_years* maps a country to the first year NOT excluded (the
+    paper's "since 1900"/"since 1800"); defaults to covering all years.
+    """
+    rng = rng if rng is not None else random.Random()
+    registry = default_registry()
+    countries = [f"C{i}" for i in range(1, n_countries + 1)]
+    stations: Dict[str, List[int]] = {}
+    station_facts: List[Atom] = []
+    next_id = 100
+    for country in countries:
+        ids = []
+        for _ in range(stations_per_country):
+            ids.append(next_id)
+            station_facts.append(Atom("Station", (next_id, country)))
+            next_id += 1
+        stations[country] = ids
+
+    temperature_facts: List[Atom] = []
+    value_domain_set = set()
+    for country in countries:
+        for station in stations[country]:
+            for year in years:
+                for month in months:
+                    value = _seasonal_value(station, year, month, rng)
+                    value_domain_set.add(value)
+                    temperature_facts.append(
+                        Atom("Temperature", (station, year, month, value))
+                    )
+    ground_truth = GlobalDatabase(station_facts + temperature_facts)
+    value_domain = sorted(value_domain_set)
+
+    cutoff_years = cutoff_years or {}
+    sources: List[SourceDescriptor] = []
+
+    # S0: the station directory — exact by default (single authority).
+    view0 = parse_rule("V0(s, c) <- Station(s, c)", registry)
+    intended0 = view0.apply(ground_truth)
+    sources.append(
+        SourceDescriptor(view0, intended0, Fraction(1), Fraction(1), name="S0")
+    )
+
+    # One temperature source per country, with an After(year, cutoff) filter.
+    for i, country in enumerate(countries, start=1):
+        cutoff = cutoff_years.get(country, min(years) - 1)
+        view = parse_rule(
+            f'V{i}(s, y, m, v) <- Temperature(s, y, m, v), '
+            f'Station(s, "{country}"), After(y, {cutoff})',
+            registry,
+        )
+        intended = view.apply(ground_truth)
+        perturbed = perturb_extension(
+            intended,
+            drop_rate,
+            corrupt_rate,
+            value_domain,  # corruption flips measurement values
+            rng,
+        )
+        sources.append(
+            SourceDescriptor(
+                view,
+                perturbed.extension,
+                slack_bound(perturbed.completeness, slack),
+                slack_bound(perturbed.soundness, slack),
+                name=f"S{i}",
+            )
+        )
+
+    if include_single_station_source and countries:
+        station = stations[countries[0]][0]
+        index = len(countries) + 1
+        view = parse_rule(
+            f"V{index}(y, m, v) <- Temperature({station}, y, m, v)", registry
+        )
+        intended = view.apply(ground_truth)
+        perturbed = perturb_extension(
+            intended, drop_rate, corrupt_rate, value_domain, rng
+        )
+        sources.append(
+            SourceDescriptor(
+                view,
+                perturbed.extension,
+                slack_bound(perturbed.completeness, slack),
+                slack_bound(perturbed.soundness, slack),
+                name=f"S{index}",
+            )
+        )
+
+    return ClimatologyWorkload(
+        ground_truth=ground_truth,
+        collection=SourceCollection(sources),
+        countries=countries,
+        stations=stations,
+        years=years,
+        months=months,
+        value_domain=value_domain,
+    )

@@ -1,0 +1,118 @@
+"""Perturbation model: manufacture partially sound/complete extensions.
+
+Given a source's *intended* content (the view applied to a ground-truth
+world), produce its *actual* extension by
+
+* **dropping** each intended fact with probability ``drop_rate``
+  (reducing completeness), and
+* **corrupting** each surviving fact with probability ``corrupt_rate`` —
+  replacing one argument with a random domain value so the fact is (almost
+  surely) wrong (reducing soundness).
+
+The true measures of the perturbed extension are computed against the
+intended content, so declared bounds can be set to the measured values —
+which guarantees the ground truth itself is a possible world, i.e. the
+generated collection is consistent by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SourceError
+from repro.model.atoms import Atom
+from repro.model.terms import Constant, as_term
+from repro.sources.measures import (
+    completeness_of_extension,
+    soundness_of_extension,
+)
+
+
+class PerturbationResult:
+    """A perturbed extension with its exact measured quality."""
+
+    __slots__ = ("extension", "completeness", "soundness", "dropped", "corrupted")
+
+    def __init__(
+        self,
+        extension: FrozenSet[Atom],
+        completeness: Fraction,
+        soundness: Fraction,
+        dropped: int,
+        corrupted: int,
+    ):
+        self.extension = extension
+        self.completeness = completeness
+        self.soundness = soundness
+        self.dropped = dropped
+        self.corrupted = corrupted
+
+    def __repr__(self) -> str:
+        return (
+            f"PerturbationResult(|v|={len(self.extension)}, "
+            f"c={self.completeness}, s={self.soundness}, "
+            f"dropped={self.dropped}, corrupted={self.corrupted})"
+        )
+
+
+def corrupt_fact(
+    fact: Atom, domain_values: Sequence, rng: random.Random
+) -> Atom:
+    """Replace one random argument with a random domain value."""
+    if fact.arity == 0:
+        return fact
+    position = rng.randrange(fact.arity)
+    args = list(fact.args)
+    args[position] = as_term(rng.choice(list(domain_values)))
+    return Atom(fact.relation, args)
+
+
+def perturb_extension(
+    intended: Iterable[Atom],
+    drop_rate: float,
+    corrupt_rate: float,
+    domain_values: Sequence,
+    rng: Optional[random.Random] = None,
+) -> PerturbationResult:
+    """Drop and corrupt intended facts; measure the damage exactly."""
+    if not 0 <= drop_rate <= 1 or not 0 <= corrupt_rate <= 1:
+        raise SourceError("rates must lie in [0, 1]")
+    rng = rng if rng is not None else random.Random()
+    intended_set = frozenset(intended)
+    kept: List[Atom] = []
+    dropped = 0
+    corrupted = 0
+    for fact in sorted(intended_set):
+        if rng.random() < drop_rate:
+            dropped += 1
+            continue
+        if rng.random() < corrupt_rate:
+            mutated = corrupt_fact(fact, domain_values, rng)
+            corrupted += 1
+            kept.append(mutated)
+        else:
+            kept.append(fact)
+    extension = frozenset(kept)
+    return PerturbationResult(
+        extension=extension,
+        completeness=completeness_of_extension(extension, intended_set),
+        soundness=soundness_of_extension(extension, intended_set),
+        dropped=dropped,
+        corrupted=corrupted,
+    )
+
+
+def slack_bound(measured: Fraction, slack: float = 0.0) -> Fraction:
+    """A declared lower bound at or below the measured value.
+
+    ``slack = 0`` declares exactly the measured quality; positive slack
+    under-promises (``measured · (1 − slack)``), modelling conservative
+    providers. Under-promising can only enlarge poss(S), so consistency is
+    preserved.
+    """
+    if not 0 <= slack <= 1:
+        raise SourceError(f"slack must lie in [0, 1]: {slack}")
+    bound = measured * (Fraction(1) - Fraction(str(slack)))
+    return max(Fraction(0), min(Fraction(1), bound))

@@ -1,0 +1,95 @@
+"""Random identity-view source collections (the §5.1 / Corollary 3.4 shape).
+
+Two generators:
+
+* :func:`random_identity_collection` — arbitrary random extensions and
+  bounds; may be consistent or not (exercise the consistency checker).
+* :func:`consistent_identity_collection` — starts from a hidden ground-truth
+  set and perturbs per-source copies, declaring the *measured* quality, so
+  the ground truth is a possible world and the collection is consistent by
+  construction. Returns the ground truth for evaluation (E7/E8 style).
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro.model.atoms import Atom
+from repro.model.database import GlobalDatabase
+from repro.queries.conjunctive import identity_view
+from repro.sources.collection import SourceCollection
+from repro.sources.descriptor import SourceDescriptor
+from repro.workloads.perturb import perturb_extension, slack_bound
+
+DEFAULT_RELATION = "R"
+
+
+def universe(size: int, prefix: str = "e") -> List[str]:
+    """A universe of *size* distinguishable constants."""
+    return [f"{prefix}{i}" for i in range(size)]
+
+
+def random_identity_collection(
+    n_sources: int,
+    universe_size: int,
+    extension_size: Tuple[int, int] = (2, 6),
+    completeness_range: Tuple[float, float] = (0.2, 0.8),
+    soundness_range: Tuple[float, float] = (0.2, 0.8),
+    rng: Optional[random.Random] = None,
+    relation: str = DEFAULT_RELATION,
+) -> SourceCollection:
+    """A random identity-view collection over a shared universe."""
+    rng = rng if rng is not None else random.Random()
+    pool = universe(universe_size)
+    sources = []
+    for i in range(1, n_sources + 1):
+        low, high = extension_size
+        size = rng.randint(low, min(high, universe_size))
+        elements = rng.sample(pool, size)
+        view = identity_view(f"V{i}", relation, 1)
+        extension = [Atom(f"V{i}", (e,)) for e in elements]
+        c = Fraction(str(round(rng.uniform(*completeness_range), 3)))
+        s = Fraction(str(round(rng.uniform(*soundness_range), 3)))
+        sources.append(SourceDescriptor(view, extension, c, s, name=f"S{i}"))
+    return SourceCollection(sources)
+
+
+def consistent_identity_collection(
+    n_sources: int,
+    universe_size: int,
+    truth_size: int,
+    drop_rate: float = 0.2,
+    corrupt_rate: float = 0.1,
+    slack: float = 0.0,
+    rng: Optional[random.Random] = None,
+    relation: str = DEFAULT_RELATION,
+) -> Tuple[SourceCollection, GlobalDatabase, List[str]]:
+    """A consistent collection of noisy copies of a hidden ground truth.
+
+    Each source holds a perturbed copy of the true set and declares its
+    measured quality (optionally under-promised by *slack*). Returns
+    ``(collection, ground_truth, domain)``.
+    """
+    rng = rng if rng is not None else random.Random()
+    pool = universe(universe_size)
+    truth_elements = rng.sample(pool, min(truth_size, universe_size))
+    ground_truth = GlobalDatabase(Atom(relation, (e,)) for e in truth_elements)
+    sources = []
+    for i in range(1, n_sources + 1):
+        view = identity_view(f"V{i}", relation, 1)
+        intended = {Atom(f"V{i}", f.args) for f in ground_truth}
+        result = perturb_extension(
+            intended, drop_rate, corrupt_rate, pool, rng
+        )
+        sources.append(
+            SourceDescriptor(
+                view,
+                result.extension,
+                slack_bound(result.completeness, slack),
+                slack_bound(result.soundness, slack),
+                name=f"S{i}",
+            )
+        )
+    return SourceCollection(sources), ground_truth, pool

@@ -1,0 +1,85 @@
+"""Tests for selection conditions."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.model import Constant
+from repro.algebra.conditions import (
+    ALWAYS,
+    And,
+    Col,
+    Comparison,
+    Not,
+    Or,
+    TrueCondition,
+)
+
+
+def row(*values):
+    return tuple(Constant(v) for v in values)
+
+
+class TestComparison:
+    def test_col_vs_literal(self):
+        cond = Comparison(Col(0), ">", 1900)
+        assert cond(row(1950))
+        assert not cond(row(1850))
+
+    def test_col_vs_col(self):
+        cond = Comparison(Col(0), "=", Col(1))
+        assert cond(row(5, 5))
+        assert not cond(row(5, 6))
+
+    def test_literal_vs_col(self):
+        cond = Comparison(1900, "<", Col(0))
+        assert cond(row(1950))
+
+    def test_constant_wrapper_operand(self):
+        cond = Comparison(Col(0), "=", Constant("Canada"))
+        assert cond(row("Canada"))
+
+    def test_all_operators(self):
+        assert Comparison(Col(0), "<=", 5)(row(5))
+        assert Comparison(Col(0), ">=", 5)(row(5))
+        assert Comparison(Col(0), "!=", 5)(row(6))
+        assert Comparison(Col(0), "==", 5)(row(5))
+
+    def test_unknown_operator(self):
+        with pytest.raises(QueryError):
+            Comparison(Col(0), "~", 5)
+
+    def test_out_of_range_column(self):
+        with pytest.raises(QueryError):
+            Comparison(Col(3), "=", 1)(row(1))
+
+    def test_negative_column_rejected(self):
+        with pytest.raises(QueryError):
+            Col(-1)
+
+    def test_heterogeneous_types_false(self):
+        assert not Comparison(Col(0), ">", 5)(row("abc"))
+
+
+class TestBooleanCombinators:
+    def test_and(self):
+        cond = And(Comparison(Col(0), ">", 1), Comparison(Col(0), "<", 5))
+        assert cond(row(3))
+        assert not cond(row(7))
+
+    def test_or(self):
+        cond = Or(Comparison(Col(0), "=", 1), Comparison(Col(0), "=", 2))
+        assert cond(row(2))
+        assert not cond(row(3))
+
+    def test_not(self):
+        assert Not(Comparison(Col(0), "=", 1))(row(2))
+
+    def test_operator_overloads(self):
+        gt = Comparison(Col(0), ">", 0)
+        lt = Comparison(Col(0), "<", 10)
+        assert (gt & lt)(row(5))
+        assert (gt | lt)(row(-1))
+        assert (~gt)(row(-1))
+
+    def test_always(self):
+        assert ALWAYS(row()) and isinstance(ALWAYS, TrueCondition)

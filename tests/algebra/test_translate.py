@@ -1,0 +1,80 @@
+"""Tests for CQ → algebra translation, including the oracle comparison."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.model import GlobalDatabase, fact
+from repro.queries import evaluate, parse_rule
+from repro.queries.builtins import Builtin, default_registry
+from repro.algebra import cq_to_algebra, rows_to_facts
+
+
+@pytest.fixture
+def db():
+    return GlobalDatabase(
+        [
+            fact("Temperature", 438432, 1899, 1, -5),
+            fact("Temperature", 438432, 1950, 7, 20),
+            fact("Temperature", 100, 1950, 7, 25),
+            fact("Station", 438432, "Canada"),
+            fact("Station", 100, "US"),
+        ]
+    )
+
+
+def assert_agrees(rule_text, db):
+    q = parse_rule(rule_text)
+    translated = rows_to_facts(
+        cq_to_algebra(q).evaluate(db), q.head.relation
+    )
+    assert translated == evaluate(q, db), rule_text
+
+
+class TestTranslation:
+    def test_single_scan(self, db):
+        assert_agrees("V(s, c) <- Station(s, c)", db)
+
+    def test_join(self, db):
+        assert_agrees(
+            'V(s, y, v) <- Temperature(s, y, m, v), Station(s, "Canada")', db
+        )
+
+    def test_builtin_condition(self, db):
+        assert_agrees(
+            "V(s, y) <- Temperature(s, y, m, v), After(y, 1900)", db
+        )
+
+    def test_constant_in_head(self, db):
+        assert_agrees("V(438432, y) <- Temperature(438432, y, m, v)", db)
+
+    def test_repeated_variable_in_body(self, db):
+        extended = db.with_facts([fact("E", 1, 1), fact("E", 1, 2)])
+        assert_agrees("V(x) <- E(x, x)", extended)
+
+    def test_builtin_both_variables(self, db):
+        extended = db.with_facts([fact("P", 1, 2), fact("P", 3, 2)])
+        assert_agrees("V(x, y) <- P(x, y), Lt(x, y)", extended)
+
+    def test_full_motivating_view(self, db):
+        assert_agrees(
+            'V1(s, y, m, v) <- Temperature(s, y, m, v), '
+            'Station(s, "Canada"), After(y, 1900)',
+            db,
+        )
+
+
+class TestTranslationErrors:
+    def test_no_relational_body(self):
+        from repro.model import atom
+        from repro.queries import ConjunctiveQuery
+
+        empty = ConjunctiveQuery(atom("V"), [], default_registry())
+        with pytest.raises(QueryError):
+            cq_to_algebra(empty)
+
+    def test_unsupported_builtin(self):
+        registry = default_registry()
+        registry.register(Builtin("Odd", 1, lambda x: x % 2 == 1))
+        q = parse_rule("V(x) <- R(x), Odd(x)", registry)
+        with pytest.raises(QueryError):
+            cq_to_algebra(q)

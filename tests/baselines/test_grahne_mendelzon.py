@@ -1,0 +1,135 @@
+"""Tests for the Grahne–Mendelzon 0/1 baseline and its agreement with the
+general machinery at c, s ∈ {0, 1}."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import SourceError
+from repro.model import fact
+from repro.queries import identity_view, parse_rule
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.baselines import (
+    certain_facts_01,
+    is_consistent_01,
+    lower_bound_facts,
+    possible_facts_01,
+    upper_bound_facts,
+)
+from repro.confidence import covered_fact_confidences, enumeration_confidences
+from repro.consistency import check_identity
+
+
+def col_01(*specs):
+    """specs: (values, kind) with kind in {sound, complete, exact}."""
+    bounds = {"sound": (0, 1), "complete": (1, 0), "exact": (1, 1)}
+    sources = []
+    for i, (values, kind) in enumerate(specs, start=1):
+        c, s = bounds[kind]
+        sources.append(
+            SourceDescriptor(
+                identity_view(f"V{i}", "R", 1),
+                [fact(f"V{i}", v) for v in values],
+                c,
+                s,
+                name=f"S{i}",
+            )
+        )
+    return SourceCollection(sources)
+
+
+class TestClosedForm:
+    def test_lower_is_union_of_sound(self):
+        col = col_01((["a"], "sound"), (["b", "c"], "sound"))
+        values = {f.args[0].value for f in lower_bound_facts(col)}
+        assert values == {"a", "b", "c"}
+
+    def test_upper_is_intersection_of_complete(self):
+        col = col_01((["a", "b"], "complete"), (["b", "c"], "complete"))
+        values = {f.args[0].value for f in upper_bound_facts(col)}
+        assert values == {"b"}
+
+    def test_upper_none_without_complete_sources(self):
+        col = col_01((["a"], "sound"))
+        assert upper_bound_facts(col) is None
+
+    def test_consistency(self):
+        assert is_consistent_01(col_01((["a"], "sound"), (["a", "b"], "complete")))
+        assert not is_consistent_01(col_01((["a"], "sound"), (["b"], "complete")))
+        assert is_consistent_01(col_01((["a"], "sound")))  # no upper bound
+
+    def test_certain_and_possible(self):
+        col = col_01((["a"], "sound"), (["a", "b"], "complete"))
+        assert {f.args[0].value for f in certain_facts_01(col)} == {"a"}
+        assert {f.args[0].value for f in possible_facts_01(col, ["a", "b", "z"])} == {
+            "a",
+            "b",
+        }
+
+    def test_possible_without_complete_is_fact_space(self):
+        col = col_01((["a"], "sound"))
+        assert len(possible_facts_01(col, ["a", "b", "c"])) == 3
+
+    def test_inconsistent_has_no_semantics(self):
+        col = col_01((["a"], "sound"), (["b"], "complete"))
+        with pytest.raises(SourceError):
+            certain_facts_01(col)
+
+    def test_fractional_bounds_rejected(self):
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1), [], "1/2", 1, name="S"
+                )
+            ]
+        )
+        with pytest.raises(SourceError):
+            is_consistent_01(col)
+
+    def test_non_identity_rejected(self):
+        col = SourceCollection(
+            [SourceDescriptor(parse_rule("V(x) <- R(x,y)"), [], 1, 1, name="S")]
+        )
+        with pytest.raises(SourceError):
+            is_consistent_01(col)
+
+
+class TestAgreementWithGeneralMachinery:
+    """E9's core claim: our framework restricted to 0/1 bounds reproduces the
+    Grahne–Mendelzon analytical answers."""
+
+    @pytest.mark.parametrize(
+        "specs",
+        [
+            ((["a"], "sound"), (["a", "b"], "complete")),
+            ((["a", "b"], "exact"),),
+            ((["a"], "sound"), (["b"], "sound"), (["a", "b", "c"], "complete")),
+            ((["a"], "complete"), (["a"], "sound")),
+        ],
+    )
+    def test_consistency_agrees(self, specs):
+        col = col_01(*specs)
+        assert is_consistent_01(col) == check_identity(col).consistent
+
+    def test_inconsistency_agrees(self):
+        col = col_01((["a"], "sound"), (["b"], "complete"))
+        assert not is_consistent_01(col)
+        assert not check_identity(col).consistent
+
+    def test_certain_facts_have_confidence_one(self):
+        col = col_01((["a"], "sound"), (["a", "b"], "complete"))
+        domain = ["a", "b", "z"]
+        confidences = enumeration_confidences(col, domain)
+        for f in certain_facts_01(col):
+            assert confidences[f] == 1
+        # facts outside the possible set have confidence 0
+        possible = possible_facts_01(col, domain)
+        for f, confidence in confidences.items():
+            if f not in possible:
+                assert confidence == 0
+
+    def test_exact_source_pins_everything(self):
+        col = col_01((["a", "b"], "exact"),)
+        confidences = covered_fact_confidences(col, ["a", "b", "z"])
+        assert confidences[fact("R", "a")] == 1
+        assert confidences[fact("R", "b")] == 1

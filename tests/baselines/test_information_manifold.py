@@ -1,0 +1,144 @@
+"""Tests for the Information-Manifold certain-answer baseline."""
+
+import pytest
+
+from repro.model import fact
+from repro.queries import identity_view, parse_rule
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.baselines import canonical_database, certain_answer_im
+from repro.confidence import certain_answer
+
+from tests.conftest import example51_domain, make_example51_collection
+
+
+class TestCanonicalDatabase:
+    def test_identity_sound_source(self):
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1), [fact("V1", "a")], 0, 1, name="S1"
+                )
+            ]
+        )
+        canonical = canonical_database(col)
+        assert fact("R", "a") in canonical
+
+    def test_partially_sound_source_ignored(self):
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1),
+                    [fact("V1", "a")],
+                    0,
+                    "1/2",
+                    name="S1",
+                )
+            ]
+        )
+        assert len(canonical_database(col)) == 0
+
+    def test_existentials_become_nulls(self):
+        view = parse_rule("V(x) <- R(x, y)")
+        col = SourceCollection(
+            [SourceDescriptor(view, [fact("V", "a"), fact("V", "b")], 0, 1, name="S")]
+        )
+        canonical = canonical_database(col)
+        assert len(canonical) == 2
+        seconds = {f.args[1].value for f in canonical}
+        assert len(seconds) == 2  # distinct nulls per fact
+        assert all(str(s).startswith("_null") for s in seconds)
+
+    def test_ground_builtin_checked(self):
+        view = parse_rule("V(y) <- T(y), After(y, 1900)")
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    view, [fact("V", 1950), fact("V", 1800)], 0, 1, name="S"
+                )
+            ]
+        )
+        canonical = canonical_database(col)
+        # the 1800 fact contradicts its own view's builtin: skipped
+        assert fact("T", 1950) in canonical
+        assert fact("T", 1800) not in canonical
+
+
+class TestCertainAnswerIM:
+    def test_identity_certain_facts(self):
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1), [fact("V1", "a")], 0, 1, name="S1"
+                )
+            ]
+        )
+        q = parse_rule("ans(x) <- R(x)")
+        assert certain_answer_im(q, col) == frozenset({fact("ans", "a")})
+
+    def test_join_through_nulls(self):
+        """A join answer is certain only when it avoids nulls."""
+        v1 = parse_rule("V1(x, y) <- R(x, y)")
+        col = SourceCollection(
+            [SourceDescriptor(v1, [fact("V1", "a", "b")], 0, 1, name="S1")]
+        )
+        q_certain = parse_rule("ans(x) <- R(x, y)")
+        q_null = parse_rule("ans(x, y) <- R(x, z), R(z, y)")
+        assert certain_answer_im(q_certain, col) == frozenset({fact("ans", "a")})
+        assert certain_answer_im(q_null, col) == frozenset()
+
+    def test_projection_view_null_not_leaked(self):
+        view = parse_rule("V(x) <- R(x, y)")
+        col = SourceCollection(
+            [SourceDescriptor(view, [fact("V", "a")], 0, 1, name="S")]
+        )
+        q = parse_rule("ans(x, y) <- R(x, y)")
+        # the witness's second column is a null: no certain binary answer
+        assert certain_answer_im(q, col) == frozenset()
+        q_projected = parse_rule("ans(x) <- R(x, y)")
+        assert certain_answer_im(q_projected, col) == frozenset({fact("ans", "a")})
+
+
+class TestSoundLowerBound:
+    """IM answers must always be contained in the true certain answer."""
+
+    def test_subset_of_possible_worlds_certain(self, example51):
+        # make S1 fully sound so IM has something to say
+        upgraded = SourceCollection(
+            [
+                example51[0].with_bounds(soundness_bound=1),
+                example51[1],
+            ]
+        )
+        q = parse_rule("ans(x) <- R(x)")
+        im = certain_answer_im(q, upgraded)
+        exact = certain_answer(q, upgraded, example51_domain(1))
+        assert im <= exact
+        assert fact("ans", "a") in im and fact("ans", "b") in im
+
+    def test_gap_when_completeness_forces_facts(self):
+        """Completeness can force certain facts IM cannot see."""
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1),
+                    [fact("V1", "a")],
+                    1,  # complete
+                    0,  # not sound at all
+                    name="S1",
+                ),
+                SourceDescriptor(
+                    identity_view("V2", "R", 1),
+                    [fact("V2", "a"), fact("V2", "b")],
+                    0,
+                    "1/2",
+                    name="S2",
+                ),
+            ]
+        )
+        q = parse_rule("ans(x) <- R(x)")
+        im = certain_answer_im(q, col)
+        exact = certain_answer(q, col, ["a", "b"])
+        # S2's soundness forces one of {a,b} in D; S1's completeness says
+        # D ⊆ {a}; hence R(a) is certain — but no source is fully sound.
+        assert im == frozenset()
+        assert fact("ans", "a") in exact

@@ -1,0 +1,60 @@
+"""Tests for the Motro-style answer classification."""
+
+from repro.model import GlobalDatabase, fact
+from repro.queries import parse_rule
+from repro.algebra import RelationScan
+from repro.baselines import (
+    answer_is_complete,
+    answer_is_sound,
+    classify_answer,
+    real_world_answer,
+)
+from repro.confidence import answer_query
+
+from tests.conftest import example51_domain, make_example51_collection
+
+
+REAL_WORLD = GlobalDatabase([fact("R", "a"), fact("R", "b")])
+
+
+class TestClassification:
+    def test_real_world_answer_cq(self):
+        q = parse_rule("ans(x) <- R(x)")
+        assert real_world_answer(q, REAL_WORLD) == frozenset(
+            {fact("ans", "a"), fact("ans", "b")}
+        )
+
+    def test_real_world_answer_algebra(self):
+        result = real_world_answer(RelationScan("R", 1), REAL_WORLD)
+        assert len(result) == 2
+
+    def test_sound_answer(self):
+        q = parse_rule("ans(x) <- R(x)")
+        assert answer_is_sound([fact("ans", "a")], q, REAL_WORLD)
+        assert not answer_is_sound([fact("ans", "z")], q, REAL_WORLD)
+
+    def test_complete_answer(self):
+        q = parse_rule("ans(x) <- R(x)")
+        full = [fact("ans", "a"), fact("ans", "b"), fact("ans", "z")]
+        assert answer_is_complete(full, q, REAL_WORLD)
+        assert not answer_is_complete([fact("ans", "a")], q, REAL_WORLD)
+
+    def test_classify_exact(self):
+        q = parse_rule("ans(x) <- R(x)")
+        exact = [fact("ans", "a"), fact("ans", "b")]
+        assert classify_answer(exact, q, REAL_WORLD) == (True, True)
+
+
+class TestBridgeToPossibleWorlds:
+    """Certain answers are Motro-sound and possible answers Motro-complete
+    whenever the real world is itself a possible world."""
+
+    def test_certain_sound_possible_complete(self):
+        collection = make_example51_collection()
+        domain = example51_domain(1)
+        real_world = GlobalDatabase([fact("R", "a"), fact("R", "b")])
+        assert collection.admits(real_world)
+        q = RelationScan("R", 1)
+        qa = answer_query(q, collection, domain)
+        assert answer_is_sound(qa.certain, q, real_world)
+        assert answer_is_complete(qa.possible, q, real_world)

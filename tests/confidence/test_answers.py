@@ -1,0 +1,134 @@
+"""Tests for certain/possible answers and query confidence (Section 5)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import InconsistentCollectionError
+from repro.model import Constant, fact
+from repro.queries import identity_view, parse_rule
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.algebra import Col, Comparison, Projection, RelationScan, Selection
+from repro.confidence import (
+    WorldSampler,
+    IdentityInstance,
+    answer_query,
+    certain_answer,
+    estimate_answer_confidences,
+    possible_answer,
+    query_confidence,
+)
+
+from tests.conftest import example51_domain, make_example51_collection
+
+
+def row(*values):
+    return tuple(Constant(v) for v in values)
+
+
+class TestIdentityQuery:
+    def test_answer_structure(self, example51):
+        qa = answer_query(RelationScan("R", 1), example51, example51_domain(1))
+        assert qa.world_count == 7
+        assert qa.confidences[row("b")] == Fraction(6, 7)
+        assert qa.certain == frozenset()          # nothing is in all 7 worlds
+        assert row("d1") in qa.possible
+
+    def test_certain_answer_when_forced(self):
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1), [fact("V1", "a")], 0, 1, name="S1"
+                )
+            ]
+        )
+        assert certain_answer(RelationScan("R", 1), col, ["a", "b"]) == frozenset(
+            {row("a")}
+        )
+
+    def test_certain_subset_of_possible(self, example51):
+        qa = answer_query(RelationScan("R", 1), example51, example51_domain(1))
+        assert qa.certain <= qa.possible
+
+    def test_ranked_ordering(self, example51):
+        qa = answer_query(RelationScan("R", 1), example51, example51_domain(1))
+        ranked = qa.ranked()
+        confidences = [c for _, c in ranked]
+        assert confidences == sorted(confidences, reverse=True)
+        assert ranked[0][0] == row("b")
+
+
+class TestConjunctiveQueries:
+    def test_cq_answers_are_ans_facts(self, example51):
+        q = parse_rule("ans(x) <- R(x)")
+        qa = answer_query(q, example51, example51_domain(1))
+        assert fact("ans", "b") in qa.possible
+        assert qa.confidences[fact("ans", "b")] == Fraction(6, 7)
+
+    def test_join_query_over_worlds(self):
+        view = parse_rule("V(x) <- R(x, y)")
+        col = SourceCollection(
+            [SourceDescriptor(view, [fact("V", "a")], 1, 1, name="S1")]
+        )
+        q = parse_rule("ans(x, y) <- R(x, y)")
+        qa = answer_query(q, col, ["a", "b"])
+        # every possible world has some R(a, _) fact; none has R(b, _)
+        possible_firsts = {f.args[0].value for f in qa.possible}
+        assert possible_firsts == {"a"}
+
+
+class TestAlgebraOperators:
+    def test_selection_confidence(self, example51):
+        q = Selection(Comparison(Col(0), "=", "b"), RelationScan("R", 1))
+        assert query_confidence(
+            q, example51, example51_domain(1), row("b")
+        ) == Fraction(6, 7)
+        assert query_confidence(
+            q, example51, example51_domain(1), row("a")
+        ) == 0
+
+    def test_projection_confidence(self, example51):
+        q = Projection([0], RelationScan("R", 1))
+        qa = answer_query(q, example51, example51_domain(1))
+        assert qa.confidences[row("b")] == Fraction(6, 7)
+
+    def test_missing_answer_zero(self, example51):
+        assert query_confidence(
+            RelationScan("R", 1), example51, example51_domain(1), row("zz")
+        ) == 0
+
+
+class TestErrorsAndSampledWorlds:
+    def test_inconsistent_raises(self):
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1), [fact("V1", "a")], 1, 1, name="S1"
+                ),
+                SourceDescriptor(
+                    identity_view("V2", "R", 1), [fact("V2", "b")], 0, 1, name="S2"
+                ),
+            ]
+        )
+        with pytest.raises(InconsistentCollectionError):
+            answer_query(RelationScan("R", 1), col, ["a", "b"])
+
+    def test_precomputed_worlds(self, example51, rng):
+        sampler = WorldSampler(
+            IdentityInstance(example51, example51_domain(1)), rng
+        )
+        worlds = [sampler.sample() for _ in range(500)]
+        qa = answer_query(
+            RelationScan("R", 1), example51, example51_domain(1), worlds=worlds
+        )
+        assert qa.world_count == 500
+        assert abs(float(qa.confidences[row("b")]) - 6 / 7) < 0.07
+
+    def test_estimate_answer_confidences(self, example51, rng):
+        sampler = WorldSampler(
+            IdentityInstance(example51, example51_domain(1)), rng
+        )
+        estimates = estimate_answer_confidences(
+            RelationScan("R", 1), sampler, 800
+        )
+        assert abs(estimates[row("b")] - 6 / 7) < 0.06

@@ -1,0 +1,101 @@
+"""Tests for the base-fact confidence API."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import InconsistentCollectionError
+from repro.model import fact
+from repro.queries import identity_view, parse_rule
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.confidence import (
+    anonymous_fact_confidence,
+    certain_facts,
+    covered_fact_confidences,
+    enumeration_confidences,
+    fact_confidence,
+    plausible_facts,
+)
+
+from tests.conftest import example51_domain, make_example51_collection
+
+
+class TestFactConfidence:
+    def test_identity_route(self, example51):
+        assert fact_confidence(
+            example51, example51_domain(1), fact("R", "b")
+        ) == Fraction(6, 7)
+
+    def test_general_route_matches_identity(self, example51):
+        domain = example51_domain(1)
+        via_enumeration = enumeration_confidences(
+            example51, domain, [fact("R", "b"), fact("R", "a")]
+        )
+        assert via_enumeration[fact("R", "b")] == Fraction(6, 7)
+        assert via_enumeration[fact("R", "a")] == Fraction(4, 7)
+
+    def test_non_identity_views(self):
+        view = parse_rule("V(x) <- R(x, y)")
+        col = SourceCollection(
+            [SourceDescriptor(view, [fact("V", "a")], 1, 1, name="S1")]
+        )
+        confidences = enumeration_confidences(col, ["a", "b"])
+        # every world derives V(a), so some R(a, _) fact must exist
+        r_aa = confidences[fact("R", "a", "a")]
+        r_ab = confidences[fact("R", "a", "b")]
+        assert r_aa > 0 and r_ab > 0
+        # and nothing may produce V(b)
+        assert confidences[fact("R", "b", "a")] == 0
+        assert confidences[fact("R", "b", "b")] == 0
+
+
+class TestCoveredConfidences:
+    def test_example51(self, example51):
+        confidences = covered_fact_confidences(example51, example51_domain(2))
+        assert confidences[fact("R", "b")] == Fraction(8, 9)
+        assert confidences[fact("R", "a")] == confidences[fact("R", "c")]
+        assert set(confidences) == {
+            fact("R", "a"),
+            fact("R", "b"),
+            fact("R", "c"),
+        }
+
+    def test_anonymous_confidence(self, example51):
+        confidence = anonymous_fact_confidence(example51, example51_domain(2))
+        assert confidence == Fraction(2, 9)
+
+    def test_anonymous_none_when_fully_covered(self, example51):
+        assert anonymous_fact_confidence(example51, ["a", "b", "c"]) is None
+
+    def test_inconsistent_raises(self):
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1), [fact("V1", "a")], 1, 1, name="S1"
+                ),
+                SourceDescriptor(
+                    identity_view("V2", "R", 1), [fact("V2", "b")], 0, 1, name="S2"
+                ),
+            ]
+        )
+        with pytest.raises(InconsistentCollectionError):
+            covered_fact_confidences(col, ["a", "b"])
+
+
+class TestSelectors:
+    def test_certain_facts(self):
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1), [fact("V1", "a")], 0, 1, name="S1"
+                )
+            ]
+        )
+        confidences = covered_fact_confidences(col, ["a", "b"])
+        assert certain_facts(confidences) == frozenset({fact("R", "a")})
+
+    def test_plausible_facts_threshold(self, example51):
+        confidences = covered_fact_confidences(example51, example51_domain(2))
+        above_half = plausible_facts(confidences, Fraction(3, 5))
+        assert above_half == frozenset({fact("R", "b")})
+        assert plausible_facts(confidences) == frozenset(confidences)

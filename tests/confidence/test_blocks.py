@@ -1,0 +1,167 @@
+"""Tests for the signature-block decomposition and BlockCounter."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import InconsistentCollectionError, SourceError
+from repro.model import fact
+from repro.queries import identity_view, parse_rule
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.confidence import BlockCounter, IdentityInstance
+
+from tests.conftest import example51_domain, make_example51_collection
+
+
+def single_source(ext_values, c, s, relation="R"):
+    return SourceCollection(
+        [
+            SourceDescriptor(
+                identity_view("V1", relation, 1),
+                [fact("V1", v) for v in ext_values],
+                c,
+                s,
+                name="S1",
+            )
+        ]
+    )
+
+
+class TestIdentityInstance:
+    def test_blocks_of_example51(self, example51):
+        inst = IdentityInstance(example51, example51_domain(3))
+        signatures = {b.signature: b.size for b in inst.blocks}
+        assert signatures == {
+            frozenset({0}): 1,       # a
+            frozenset({0, 1}): 1,    # b
+            frozenset({1}): 1,       # c
+        }
+        assert inst.anonymous_size == 3
+        assert inst.fact_space_size == 6
+
+    def test_block_of(self, example51):
+        inst = IdentityInstance(example51, example51_domain(1))
+        b_block = inst.block_of(fact("R", "b"))
+        assert inst.blocks[b_block].signature == frozenset({0, 1})
+        assert inst.block_of(fact("R", "d1")) is None
+
+    def test_block_of_accepts_local_names(self, example51):
+        inst = IdentityInstance(example51, example51_domain(1))
+        assert inst.block_of(fact("V1", "b")) == inst.block_of(fact("R", "b"))
+
+    def test_requires_identity_views(self):
+        view = parse_rule("V(x) <- R(x, y)")
+        col = SourceCollection([SourceDescriptor(view, [], 0, 0, name="A")])
+        with pytest.raises(SourceError):
+            IdentityInstance(col, ["a"])
+
+    def test_extension_outside_domain_rejected(self, example51):
+        with pytest.raises(SourceError):
+            IdentityInstance(example51, ["a", "b"])  # "c" missing
+
+    def test_duplicate_domain_values_collapsed(self, example51):
+        inst = IdentityInstance(example51, ["a", "b", "c", "c", "a"])
+        assert inst.fact_space_size == 3
+
+    def test_min_sound_counts(self, example51):
+        inst = IdentityInstance(example51, example51_domain(1))
+        assert inst.min_sound == [1, 1]
+
+
+class TestBlockCounterBasics:
+    def test_single_exact_source(self):
+        col = single_source(["a", "b"], 1, 1)
+        bc = BlockCounter(IdentityInstance(col, ["a", "b", "c"]))
+        # only world: {a, b}
+        assert bc.count_worlds() == 1
+        assert bc.confidence(fact("R", "a")) == 1
+        assert bc.confidence(fact("R", "c")) == 0
+
+    def test_sound_only_source(self):
+        col = single_source(["a"], 0, 1)
+        bc = BlockCounter(IdentityInstance(col, ["a", "b"]))
+        # a forced in; b free: 2 worlds
+        assert bc.count_worlds() == 2
+        assert bc.confidence(fact("R", "a")) == 1
+        assert bc.confidence(fact("R", "b")) == Fraction(1, 2)
+
+    def test_complete_only_source(self):
+        col = single_source(["a"], 1, 0)
+        bc = BlockCounter(IdentityInstance(col, ["a", "b"]))
+        # D ⊆ {a}: worlds {} and {a}
+        assert bc.count_worlds() == 2
+        assert bc.confidence(fact("R", "a")) == Fraction(1, 2)
+        assert bc.confidence(fact("R", "b")) == 0
+
+    def test_unconstrained_source(self):
+        col = single_source(["a"], 0, 0)
+        bc = BlockCounter(IdentityInstance(col, ["a", "b"]))
+        assert bc.count_worlds() == 4  # every subset
+
+    def test_inconsistent_collection_raises_on_confidence(self):
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1), [fact("V1", "a")], 1, 1, name="S1"
+                ),
+                SourceDescriptor(
+                    identity_view("V2", "R", 1), [fact("V2", "b")], 0, 1, name="S2"
+                ),
+            ]
+        )
+        bc = BlockCounter(IdentityInstance(col, ["a", "b"]))
+        assert bc.count_worlds() == 0
+        assert not bc.is_consistent()
+        with pytest.raises(InconsistentCollectionError):
+            bc.confidence(fact("R", "a"))
+
+
+class TestCountingInvariants:
+    def test_containing_plus_excluding_equals_total(self, example51):
+        inst = IdentityInstance(example51, example51_domain(2))
+        bc = BlockCounter(inst)
+        total = bc.count_worlds()
+        for value in example51_domain(2):
+            f = fact("R", value)
+            assert (
+                bc.count_worlds_containing(f) + bc.count_worlds_excluding(f)
+                == total
+            ), value
+
+    def test_fact_outside_space_has_zero_confidence(self, example51):
+        bc = BlockCounter(IdentityInstance(example51, example51_domain(1)))
+        assert bc.count_worlds_containing(fact("R", "zz")) == 0
+        assert bc.confidence(fact("R", "zz")) == 0
+
+    def test_same_block_same_confidence(self, example51):
+        bc = BlockCounter(IdentityInstance(example51, example51_domain(4)))
+        anonymous = [fact("R", f"d{i}") for i in range(1, 5)]
+        confidences = {bc.confidence(f) for f in anonymous}
+        assert len(confidences) == 1
+
+    def test_confidences_in_unit_interval(self, example51):
+        bc = BlockCounter(IdentityInstance(example51, example51_domain(3)))
+        for value in example51_domain(3):
+            confidence = bc.confidence(fact("R", value))
+            assert 0 <= confidence <= 1
+
+
+class TestArityTwo:
+    def test_binary_relation(self):
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "E", 2),
+                    [fact("V1", 1, 2), fact("V1", 2, 1)],
+                    "1/2",
+                    "1/2",
+                    name="S1",
+                )
+            ]
+        )
+        inst = IdentityInstance(col, [1, 2])
+        bc = BlockCounter(inst)
+        assert inst.fact_space_size == 4
+        assert inst.anonymous_size == 2
+        assert bc.count_worlds() > 0
+        assert 0 < bc.confidence(fact("E", 1, 2)) <= 1

@@ -1,0 +1,99 @@
+"""Tests for the certain-base-facts route to certain answers, including its
+incomparability with the Information-Manifold route."""
+
+import pytest
+
+from repro.model import fact
+from repro.queries import identity_view, parse_rule
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.baselines import certain_answer_im
+from repro.confidence import certain_answer, certain_answer_lower_bound
+
+
+def identity_source(name, values, c, s):
+    return SourceDescriptor(
+        identity_view(f"V{name}", "R", 1),
+        [fact(f"V{name}", v) for v in values],
+        c,
+        s,
+        name=name,
+    )
+
+
+class TestSoundness:
+    def test_subset_of_exact(self, example51):
+        from tests.conftest import example51_domain
+
+        q = parse_rule("ans(x) <- R(x)")
+        domain = example51_domain(1)
+        lower = certain_answer_lower_bound(q, example51, domain)
+        exact = certain_answer(q, example51, domain)
+        assert lower <= exact
+
+    def test_sound_source_facts_found(self):
+        col = SourceCollection([identity_source("A", ["a", "b"], 0, 1)])
+        q = parse_rule("ans(x) <- R(x)")
+        assert certain_answer_lower_bound(q, col, ["a", "b", "c"]) == frozenset(
+            {fact("ans", "a"), fact("ans", "b")}
+        )
+
+    def test_join_over_certain_facts(self):
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "E", 2),
+                    [fact("V1", 1, 2), fact("V1", 2, 3)],
+                    0,
+                    1,
+                    name="A",
+                )
+            ]
+        )
+        q = parse_rule("ans(x, z) <- E(x, y), E(y, z)")
+        result = certain_answer_lower_bound(q, col, [1, 2, 3])
+        assert result == frozenset({fact("ans", 1, 3)})
+
+
+class TestIncomparabilityWithIM:
+    def test_completeness_forced_fact_visible_here_not_im(self):
+        """This route sees completeness-forced certain facts; IM cannot."""
+        col = SourceCollection(
+            [
+                identity_source("A", ["a"], 1, 0),        # complete
+                identity_source("B", ["a", "b"], 0, "1/2"),  # partially sound
+            ]
+        )
+        q = parse_rule("ans(x) <- R(x)")
+        lower = certain_answer_lower_bound(q, col, ["a", "b"])
+        via_im = certain_answer_im(q, col)
+        exact = certain_answer(q, col, ["a", "b"])
+        assert fact("ans", "a") in exact
+        assert fact("ans", "a") in lower       # forced fact has confidence 1
+        assert via_im == frozenset()           # no fully sound source
+
+    def test_existential_witness_visible_to_im_not_here(self):
+        """IM uses witnesses from non-identity sound views; this route is
+        identity-only and cannot (covered_fact_confidences requires the
+        §5.1 shape)."""
+        from repro.exceptions import SourceError
+
+        view = parse_rule("V(x) <- R(x, y)")
+        col = SourceCollection(
+            [SourceDescriptor(view, [fact("V", "a")], 0, 1, name="A")]
+        )
+        q = parse_rule("ans(x) <- R(x, y)")
+        assert certain_answer_im(q, col) == frozenset({fact("ans", "a")})
+        with pytest.raises(SourceError):
+            certain_answer_lower_bound(q, col, ["a", "b"])
+
+
+class TestAlgebraQueries:
+    def test_algebra_tree_supported(self):
+        from repro.algebra import RelationScan
+        from repro.model import Constant
+
+        col = SourceCollection([identity_source("A", ["a"], 0, 1)])
+        result = certain_answer_lower_bound(
+            RelationScan("R", 1), col, ["a", "b"]
+        )
+        assert result == frozenset({(Constant("a"),)})

@@ -1,0 +1,192 @@
+"""Tests for the exact (independence-free) confidence calculus."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import DomainTooLargeError, QueryError
+from repro.model import Constant, fact
+from repro.queries import identity_view
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.algebra import (
+    Col,
+    Comparison,
+    Product,
+    Projection,
+    RelationScan,
+    Selection,
+    UnionNode,
+)
+from repro.confidence import (
+    ExactCalculus,
+    IdentityInstance,
+    answer_query,
+    covered_fact_confidences,
+    event_probability,
+    propagate,
+    base_confidences_from_facts,
+)
+
+from tests.conftest import example51_domain, make_example51_collection
+
+
+def row(*values):
+    return tuple(Constant(v) for v in values)
+
+
+@pytest.fixture
+def calculus():
+    return ExactCalculus(
+        IdentityInstance(make_example51_collection(), example51_domain(1))
+    )
+
+
+SCAN = RelationScan("R", 1)
+
+
+class TestEvents:
+    def test_scan_events_single_monomials(self, calculus):
+        events = calculus.events(SCAN)
+        # covered facts a, b, c plus the enumerated anonymous fact d1
+        assert set(events) == {row("a"), row("b"), row("c"), row("d1")}
+        assert events[row("b")] == frozenset({frozenset({fact("R", "b")})})
+
+    def test_projection_merges_alternatives(self, calculus):
+        events = calculus.events(Projection([Constant("t")], SCAN))
+        merged = events[row("t")]
+        assert len(merged) == 4  # a or b or c or the anonymous d1
+
+    def test_product_conjoins(self, calculus):
+        events = calculus.events(Product(SCAN, SCAN))
+        pair = events[row("a", "b")]
+        assert pair == frozenset({frozenset({fact("R", "a"), fact("R", "b")})})
+
+    def test_absorption(self, calculus):
+        """(a) ∨ (a ∧ b) absorbs to (a): self-union after product shape."""
+        q = UnionNode(SCAN, Projection([0], Product(SCAN, SCAN)))
+        events = calculus.events(q)
+        assert events[row("a")] == frozenset({frozenset({fact("R", "a")})})
+
+    def test_wrong_relation_rejected(self, calculus):
+        with pytest.raises(QueryError):
+            calculus.events(RelationScan("S", 1))
+
+    def test_wrong_arity_rejected(self, calculus):
+        with pytest.raises(QueryError):
+            calculus.events(RelationScan("R", 2))
+
+
+class TestExactness:
+    """The calculus must equal world enumeration on every operator —
+    including exactly the cases where Definition 5.1 deviates (E6)."""
+
+    QUERIES = [
+        SCAN,
+        Selection(Comparison(Col(0), "=", "b"), SCAN),
+        Projection([0], SCAN),
+        Projection([Constant("t")], SCAN),          # merging projection
+        Product(SCAN, SCAN),                        # correlated self-product
+        UnionNode(SCAN, SCAN),                      # self-union
+        Projection([0], Product(SCAN, SCAN)),
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES, ids=lambda q: type(q).__name__)
+    def test_matches_enumeration(self, query):
+        collection = make_example51_collection()
+        domain = example51_domain(1)
+        calculus = ExactCalculus(IdentityInstance(collection, domain))
+        enumerated = answer_query(query, collection, domain).confidences
+        for r, confidence in calculus.confidences(query).items():
+            assert enumerated.get(r, Fraction(0)) == confidence, r
+
+    def test_repairs_def51_deviation(self):
+        """Where the ⊕/· calculus is approximate, the exact calculus is not."""
+        collection = make_example51_collection()
+        domain = example51_domain(1)
+        calculus = ExactCalculus(IdentityInstance(collection, domain))
+        query = Projection([Constant("t")], SCAN)
+        exact = answer_query(query, collection, domain).confidences[row("t")]
+        via_exact_calculus = calculus.confidence(query, row("t"))
+        base = base_confidences_from_facts(
+            covered_fact_confidences(collection, domain)
+        )
+        via_def51 = propagate(query, base)[row("t")]
+        assert via_exact_calculus == exact == 1
+        assert via_def51 != exact  # Def 5.1's independence gap
+
+    def test_confidence_of_missing_row_zero(self, calculus):
+        assert calculus.confidence(SCAN, row("zz")) == 0
+
+
+class TestAnonymousPopulation:
+    def test_anonymous_facts_in_population(self, calculus):
+        assert calculus.population_complete
+        confidence = calculus.confidence(SCAN, row("d1"))
+        assert confidence == Fraction(2, 7)  # the Example 5.1 anonymous value
+
+    def test_collapse_counts_anonymous_contribution(self):
+        """The bug hypothesis found: P(R nonempty) must include worlds made
+        only of anonymous facts."""
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1),
+                    [fact("V1", "a")], "1/4", "1/4", name="S1",
+                )
+            ]
+        )
+        domain = ["a", "b", "c", "d"]
+        calculus = ExactCalculus(IdentityInstance(col, domain))
+        query = Projection([Constant("t")], SCAN)
+        exact = answer_query(query, col, domain).confidences[row("t")]
+        assert calculus.confidence(query, row("t")) == exact
+
+    def test_huge_anonymous_lossy_query_refused(self):
+        collection = make_example51_collection()
+        domain = example51_domain(100)  # 100 anonymous facts > cap
+        calculus = ExactCalculus(IdentityInstance(collection, domain))
+        assert not calculus.population_complete
+        with pytest.raises(DomainTooLargeError):
+            calculus.confidences(Projection([Constant("t")], SCAN))
+
+    def test_huge_anonymous_lossless_query_ok(self):
+        collection = make_example51_collection()
+        domain = example51_domain(100)
+        calculus = ExactCalculus(IdentityInstance(collection, domain))
+        confidences = calculus.confidences(
+            Projection([0], SCAN)  # information-preserving
+        )
+        assert confidences[row("b")] == calculus.counter.confidence(
+            fact("R", "b")
+        )
+
+
+class TestEventProbability:
+    def test_single_monomial_is_marginal(self, calculus):
+        probability = event_probability(
+            frozenset({frozenset({fact("R", "b")})}), calculus.counter
+        )
+        assert probability == Fraction(6, 7)
+
+    def test_empty_event_zero(self, calculus):
+        assert event_probability(frozenset(), calculus.counter) == 0
+
+    def test_inclusion_exclusion_pair(self, calculus):
+        """P(a ∨ c) = P(a) + P(c) − P(a ∧ c), against direct counting."""
+        a, c = fact("R", "a"), fact("R", "c")
+        event = frozenset({frozenset({a}), frozenset({c})})
+        counter = calculus.counter
+        direct = Fraction(
+            counter.count_worlds_containing(a)
+            + counter.count_worlds_containing(c)
+            - counter.count_worlds_containing_all([a, c]),
+            counter.count_worlds(),
+        )
+        assert event_probability(event, counter) == direct
+
+    def test_alternative_cap(self, calculus):
+        big_event = frozenset(
+            frozenset({fact("R", f"x{i}")}) for i in range(20)
+        )
+        with pytest.raises(DomainTooLargeError):
+            event_probability(big_event, calculus.counter)

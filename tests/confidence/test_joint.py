@@ -1,0 +1,124 @@
+"""Tests for joint, conditional, and covariance confidences."""
+
+from fractions import Fraction
+from itertools import combinations
+
+import pytest
+
+from repro.exceptions import InconsistentCollectionError
+from repro.model import fact
+from repro.queries import identity_view
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.confidence import BlockCounter, GammaSystem, IdentityInstance
+
+from tests.conftest import example51_domain, make_example51_collection
+
+
+@pytest.fixture
+def counter():
+    return BlockCounter(
+        IdentityInstance(make_example51_collection(), example51_domain(2))
+    )
+
+
+class TestJointCounting:
+    def test_pairwise_agrees_with_brute_force(self):
+        collection = make_example51_collection()
+        domain = example51_domain(2)
+        instance = IdentityInstance(collection, domain)
+        blocks = BlockCounter(instance)
+        gamma = GammaSystem(instance)
+        for left, right in combinations([fact("R", v) for v in domain], 2):
+            brute = gamma.count_solutions({left: 1, right: 1})
+            assert blocks.count_worlds_containing_all([left, right]) == brute
+
+    def test_triple_agrees_with_brute_force(self):
+        collection = make_example51_collection()
+        domain = example51_domain(1)
+        instance = IdentityInstance(collection, domain)
+        blocks = BlockCounter(instance)
+        gamma = GammaSystem(instance)
+        triple = [fact("R", "a"), fact("R", "b"), fact("R", "d1")]
+        brute = gamma.count_solutions({f: 1 for f in triple})
+        assert blocks.count_worlds_containing_all(triple) == brute
+
+    def test_empty_set_is_total(self, counter):
+        assert counter.count_worlds_containing_all([]) == counter.count_worlds()
+
+    def test_duplicates_collapsed(self, counter):
+        single = counter.count_worlds_containing(fact("R", "b"))
+        doubled = counter.count_worlds_containing_all(
+            [fact("R", "b"), fact("R", "b")]
+        )
+        assert single == doubled
+
+    def test_fact_outside_space_zero(self, counter):
+        assert counter.count_worlds_containing_all(
+            [fact("R", "b"), fact("R", "zz")]
+        ) == 0
+
+    def test_local_names_accepted(self, counter):
+        assert counter.count_worlds_containing_all(
+            [fact("V1", "b")]
+        ) == counter.count_worlds_containing(fact("R", "b"))
+
+
+class TestJointConfidence:
+    def test_joint_at_most_marginals(self, counter):
+        joint = counter.joint_confidence([fact("R", "a"), fact("R", "b")])
+        assert joint <= counter.confidence(fact("R", "a"))
+        assert joint <= counter.confidence(fact("R", "b"))
+
+    def test_joint_of_singleton_is_marginal(self, counter):
+        assert counter.joint_confidence([fact("R", "a")]) == counter.confidence(
+            fact("R", "a")
+        )
+
+    def test_chain_rule(self, counter):
+        """P(a, b) = P(b) · P(a | b)."""
+        a, b = fact("R", "a"), fact("R", "b")
+        assert counter.joint_confidence([a, b]) == (
+            counter.confidence(b) * counter.conditional_confidence(a, [b])
+        )
+
+
+class TestConditional:
+    def test_conditioning_on_impossible_raises(self, counter):
+        with pytest.raises(InconsistentCollectionError):
+            counter.conditional_confidence(fact("R", "a"), [fact("R", "zz")])
+
+    def test_self_conditioning_is_one(self, counter):
+        b = fact("R", "b")
+        assert counter.conditional_confidence(b, [b]) == 1
+
+    def test_negative_correlation_in_example51(self, counter):
+        """Adding a forces the world bigger, making other facts harder."""
+        a, b = fact("R", "a"), fact("R", "b")
+        assert counter.conditional_confidence(a, [b]) < counter.confidence(a)
+
+
+class TestCovariance:
+    def test_sign_matches_conditional_shift(self, counter):
+        a, b = fact("R", "a"), fact("R", "b")
+        cov = counter.covariance(a, b)
+        assert cov < 0  # negative correlation, cf. conditional test above
+
+    def test_symmetry(self, counter):
+        a, c = fact("R", "a"), fact("R", "c")
+        assert counter.covariance(a, c) == counter.covariance(c, a)
+
+    def test_certain_fact_has_zero_covariance(self):
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1), [fact("V1", "a")], 0, 1, name="S1"
+                ),
+                SourceDescriptor(
+                    identity_view("V2", "R", 1), [fact("V2", "b")], 0, "1/2",
+                    name="S2",
+                ),
+            ]
+        )
+        counter = BlockCounter(IdentityInstance(col, ["a", "b", "c"]))
+        assert counter.confidence(fact("R", "a")) == 1
+        assert counter.covariance(fact("R", "a"), fact("R", "b")) == 0

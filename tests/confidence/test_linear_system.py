@@ -1,0 +1,91 @@
+"""Tests for the explicit Γ system of Section 5.1."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import DomainTooLargeError
+from repro.model import fact
+from repro.queries import identity_view
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.confidence import GammaSystem, IdentityInstance
+
+from tests.conftest import example51_domain, make_example51_collection
+
+
+@pytest.fixture
+def gamma():
+    return GammaSystem(
+        IdentityInstance(make_example51_collection(), example51_domain(1))
+    )
+
+
+class TestConstruction:
+    def test_variable_count(self, gamma):
+        assert gamma.n_variables == 4  # a, b, c, d1
+
+    def test_two_inequalities_per_source(self, gamma):
+        assert len(gamma.inequalities) == 4
+        labels = {i.label for i in gamma.inequalities}
+        assert "completeness[S1]" in labels and "soundness[S2]" in labels
+
+    def test_completeness_coefficients(self, gamma):
+        """Members get (1−c), non-members −c — the paper's final form."""
+        ineq = next(i for i in gamma.inequalities if i.label == "completeness[S1]")
+        member_index = gamma.variable_of(fact("R", "a"))
+        outside_index = gamma.variable_of(fact("R", "d1"))
+        assert ineq.coefficients[member_index] == Fraction(1, 2)
+        assert ineq.coefficients[outside_index] == Fraction(-1, 2)
+        assert ineq.bound == 0
+
+    def test_soundness_bound_value(self, gamma):
+        ineq = next(i for i in gamma.inequalities if i.label == "soundness[S1]")
+        assert ineq.bound == Fraction(1)  # s*k = 0.5 * 2
+
+    def test_variable_of_local_name(self, gamma):
+        assert gamma.variable_of(fact("V1", "a")) == gamma.variable_of(
+            fact("R", "a")
+        )
+        assert gamma.variable_of(fact("R", "zz")) is None
+
+
+class TestSolutions:
+    def test_solution_count_m1(self, gamma):
+        assert gamma.count_solutions() == 7
+
+    def test_solution_databases_are_possible_worlds(self, gamma):
+        collection = make_example51_collection()
+        worlds = list(gamma.solution_databases())
+        assert len(worlds) == 7
+        for world in worlds:
+            assert collection.admits(world)
+
+    def test_fixed_variable_counting(self, gamma):
+        total = gamma.count_solutions()
+        with_b = gamma.count_solutions({fact("R", "b"): 1})
+        without_b = gamma.count_solutions({fact("R", "b"): 0})
+        assert with_b + without_b == total
+        assert with_b == 6 and without_b == 1
+
+    def test_forcing_outside_fact_space(self, gamma):
+        assert gamma.count_solutions({fact("R", "zz"): 1}) == 0
+        assert gamma.count_solutions({fact("R", "zz"): 0}) == 7
+
+    def test_confidence(self, gamma):
+        assert gamma.confidence(fact("R", "b")) == Fraction(6, 7)
+
+    def test_satisfied_by_spot_checks(self, gamma):
+        index = {f: j for j, f in enumerate(gamma.facts)}
+        only_b = [0] * 4
+        only_b[index[fact("R", "b")]] = 1
+        assert gamma.satisfied_by(only_b)
+        assert not gamma.satisfied_by([0, 0, 0, 0])
+
+
+class TestSizeGuard:
+    def test_large_domain_rejected(self):
+        collection = make_example51_collection()
+        domain = example51_domain(30)  # 33 variables > cap
+        gamma = GammaSystem(IdentityInstance(collection, domain))
+        with pytest.raises(DomainTooLargeError):
+            gamma.count_solutions()

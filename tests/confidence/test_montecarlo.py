@@ -1,0 +1,95 @@
+"""Tests for exact world sampling and Monte-Carlo estimation."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.exceptions import InconsistentCollectionError
+from repro.model import fact
+from repro.queries import identity_view
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.confidence import BlockCounter, IdentityInstance, WorldSampler
+from repro.confidence.montecarlo import rejection_sample_worlds
+
+from tests.conftest import example51_domain, make_example51_collection
+
+
+@pytest.fixture
+def sampler(rng):
+    instance = IdentityInstance(make_example51_collection(), example51_domain(1))
+    return WorldSampler(instance, rng)
+
+
+class TestSamplerCorrectness:
+    def test_count_matches_block_counter(self, sampler):
+        instance = sampler.instance
+        assert sampler.count_worlds() == BlockCounter(instance).count_worlds() == 7
+
+    def test_samples_are_possible_worlds(self, sampler):
+        collection = make_example51_collection()
+        for _ in range(200):
+            assert collection.admits(sampler.sample())
+
+    def test_distribution_is_uniform(self, rng):
+        """χ²-style sanity: each of the 7 worlds appears ≈ 1/7 of the time."""
+        instance = IdentityInstance(
+            make_example51_collection(), example51_domain(1)
+        )
+        sampler = WorldSampler(instance, rng)
+        draws = 7000
+        histogram = Counter(sampler.sample() for _ in range(draws))
+        assert len(histogram) == 7
+        for world, count in histogram.items():
+            assert abs(count / draws - 1 / 7) < 0.03, world
+
+    def test_estimate_converges_to_exact(self, rng):
+        instance = IdentityInstance(
+            make_example51_collection(), example51_domain(3)
+        )
+        sampler = WorldSampler(instance, rng)
+        exact = float(BlockCounter(instance).confidence(fact("R", "b")))
+        estimate = sampler.estimate_confidence(fact("R", "b"), 4000)
+        assert abs(estimate - exact) < 0.03
+
+    def test_estimate_confidences_batch(self, sampler):
+        estimates = sampler.estimate_confidences(
+            [fact("R", "a"), fact("R", "b")], 500
+        )
+        assert set(estimates) == {fact("R", "a"), fact("R", "b")}
+        assert estimates[fact("R", "b")] > estimates[fact("R", "a")]
+
+    def test_inconsistent_collection_raises(self, rng):
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1), [fact("V1", "a")], 1, 1, name="S1"
+                ),
+                SourceDescriptor(
+                    identity_view("V2", "R", 1), [fact("V2", "b")], 0, 1, name="S2"
+                ),
+            ]
+        )
+        sampler = WorldSampler(IdentityInstance(col, ["a", "b"]), rng)
+        assert sampler.count_worlds() == 0
+        with pytest.raises(InconsistentCollectionError):
+            sampler.sample()
+
+    def test_large_anonymous_block(self, rng):
+        """Sampling must work when the anonymous pool is big (rejection path)."""
+        instance = IdentityInstance(
+            make_example51_collection(), example51_domain(300)
+        )
+        sampler = WorldSampler(instance, rng)
+        world = sampler.sample()
+        assert make_example51_collection().admits(world)
+
+
+class TestRejectionSampler:
+    def test_generic_views(self, rng, example51):
+        worlds = rejection_sample_worlds(
+            example51, example51_domain(1), samples=20, rng=rng
+        )
+        assert len(worlds) == 20
+        for world in worlds:
+            assert example51.admits(world)

@@ -1,0 +1,45 @@
+"""Guard-path tests for the Monte-Carlo module."""
+
+import random
+
+import pytest
+
+from repro.exceptions import DomainTooLargeError, InconsistentCollectionError
+from repro.model import fact
+from repro.queries import identity_view
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.confidence.montecarlo import rejection_sample_worlds
+
+from tests.conftest import example51_domain, make_example51_collection
+
+
+class TestRejectionSamplerGuards:
+    def test_large_fact_space_rejected(self):
+        collection = make_example51_collection()
+        with pytest.raises(DomainTooLargeError):
+            rejection_sample_worlds(
+                collection, example51_domain(40), samples=1
+            )
+
+    def test_inconsistent_collection_times_out(self):
+        collection = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1), [fact("V1", "a")], 1, 1, name="S1"
+                ),
+                SourceDescriptor(
+                    identity_view("V2", "R", 1), [fact("V2", "b")], 0, 1, name="S2"
+                ),
+            ]
+        )
+        with pytest.raises(InconsistentCollectionError):
+            rejection_sample_worlds(
+                collection, ["a", "b"], samples=1,
+                rng=random.Random(0), max_tries=50,
+            )
+
+    def test_zero_samples(self):
+        collection = make_example51_collection()
+        assert rejection_sample_worlds(
+            collection, example51_domain(1), samples=0
+        ) == []

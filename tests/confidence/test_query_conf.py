@@ -1,0 +1,183 @@
+"""Tests for the Definition 5.1 propagation calculus."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.model import Constant, fact
+from repro.algebra import (
+    Col,
+    Comparison,
+    Product,
+    Projection,
+    RelationScan,
+    Selection,
+    UnionNode,
+)
+from repro.confidence import (
+    answer_query,
+    covered_fact_confidences,
+    base_confidences_from_facts,
+    oplus,
+    propagate,
+    propagate_facts,
+)
+
+from tests.conftest import example51_domain, make_example51_collection
+
+
+def row(*values):
+    return tuple(Constant(v) for v in values)
+
+
+HALF = Fraction(1, 2)
+THIRD = Fraction(1, 3)
+
+
+@pytest.fixture
+def base():
+    return {
+        "R": {row(1, "x"): HALF, row(2, "y"): THIRD, row(2, "x"): Fraction(1)},
+        "S": {row("x"): Fraction(3, 4)},
+    }
+
+
+class TestOplus:
+    def test_empty(self):
+        assert oplus([]) == 0
+
+    def test_single(self):
+        assert oplus([HALF]) == HALF
+
+    def test_two_halves(self):
+        assert oplus([HALF, HALF]) == Fraction(3, 4)
+
+    def test_one_dominates(self):
+        assert oplus([Fraction(1), THIRD]) == 1
+
+    def test_floats_supported(self):
+        assert oplus([0.5, 0.5]) == pytest.approx(0.75)
+
+
+class TestBaseCase:
+    def test_scan_filters_arity_and_zeros(self, base):
+        base_with_zero = dict(base)
+        base_with_zero["R"] = dict(base["R"])
+        base_with_zero["R"][row(9, "z")] = Fraction(0)
+        result = propagate(RelationScan("R", 2), base_with_zero)
+        assert row(9, "z") not in result
+        assert result[row(1, "x")] == HALF
+
+    def test_missing_relation_empty(self, base):
+        assert propagate(RelationScan("T", 1), base) == {}
+
+
+class TestOperatorRules:
+    def test_selection_passthrough(self, base):
+        q = Selection(Comparison(Col(0), "=", 2), RelationScan("R", 2))
+        result = propagate(q, base)
+        assert result == {row(2, "y"): THIRD, row(2, "x"): Fraction(1)}
+
+    def test_projection_oplus(self, base):
+        q = Projection([1], RelationScan("R", 2))
+        result = propagate(q, base)
+        # column 1 = "x" from rows with conf 1/2 and 1 -> oplus = 1
+        assert result[row("x")] == 1
+        assert result[row("y")] == THIRD
+
+    def test_projection_with_literal(self, base):
+        q = Projection([Constant("tag"), 0], RelationScan("R", 2))
+        result = propagate(q, base)
+        assert result[row("tag", 1)] == HALF
+
+    def test_product_multiplies(self, base):
+        q = Product(RelationScan("R", 2), RelationScan("S", 1))
+        result = propagate(q, base)
+        assert result[row(1, "x", "x")] == HALF * Fraction(3, 4)
+
+    def test_union_oplus_on_overlap(self, base):
+        q = UnionNode(
+            Projection([1], RelationScan("R", 2)),
+            RelationScan("S", 1),
+        )
+        result = propagate(q, base)
+        # "x" from projection has conf 1; union with S's 3/4 stays 1
+        assert result[row("x")] == 1
+        assert result[row("y")] == THIRD
+
+    def test_unknown_node_rejected(self, base):
+        class Weird(RelationScan.__bases__[0]):
+            pass
+
+        with pytest.raises(QueryError):
+            propagate(Weird(), base)
+
+
+class TestMonotonicityInvariants:
+    def test_selection_never_increases(self, base):
+        before = propagate(RelationScan("R", 2), base)
+        after = propagate(
+            Selection(Comparison(Col(0), ">", 0), RelationScan("R", 2)), base
+        )
+        for r, confidence in after.items():
+            assert confidence == before[r]
+
+    def test_projection_at_least_max_contributor(self, base):
+        before = propagate(RelationScan("R", 2), base)
+        after = propagate(Projection([1], RelationScan("R", 2)), base)
+        for r, confidence in before.items():
+            image = (r[1],)
+            assert after[image] >= confidence
+
+    def test_product_at_most_min_factor(self, base):
+        left = propagate(RelationScan("R", 2), base)
+        right = propagate(RelationScan("S", 1), base)
+        combined = propagate(
+            Product(RelationScan("R", 2), RelationScan("S", 1)), base
+        )
+        for l_row, l_conf in left.items():
+            for r_row, r_conf in right.items():
+                assert combined[l_row + r_row] <= min(l_conf, r_conf)
+
+
+class TestTheorem51Agreement:
+    """Theorem 5.1: conf_Q == possible-world confidence. Exact for selection;
+    for π over *distinct base facts* the independence assumption is the only
+    gap, which the single-relation Example 5.1 lets us measure directly."""
+
+    def test_selection_exact(self, example51):
+        domain = example51_domain(1)
+        base = base_confidences_from_facts(
+            covered_fact_confidences(example51, domain)
+        )
+        q = Selection(Comparison(Col(0), "=", "b"), RelationScan("R", 1))
+        propagated = propagate(q, base)
+        exact = answer_query(q, example51, domain).confidences
+        assert propagated[row("b")] == exact[row("b")]
+
+    def test_projection_deviation_is_bounded(self, example51):
+        """π merging correlated facts: calculus is approximate; measure it."""
+        domain = example51_domain(1)
+        base = base_confidences_from_facts(
+            covered_fact_confidences(example51, domain)
+        )
+        # project R(x) onto a constant column: merges a, b, c into one tuple
+        q = Projection([Constant("any")], RelationScan("R", 1))
+        propagated = propagate(q, base)[row("any")]
+        exact = answer_query(q, example51, domain).confidences[row("any")]
+        assert exact == 1  # every world is nonempty on {a,b,c}
+        assert propagated <= 1
+        assert propagated > Fraction(9, 10)  # close, but the gap is real
+
+
+class TestFactLevelWrapper:
+    def test_propagate_facts(self, base):
+        result = propagate_facts(
+            Projection([1], RelationScan("R", 2)),
+            {
+                fact("R", 1, "x"): HALF,
+                fact("R", 2, "x"): Fraction(1),
+            },
+        )
+        assert result[fact("ans", "x")] == 1

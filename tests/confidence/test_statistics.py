@@ -1,0 +1,125 @@
+"""Tests for world-size distributions and expected cardinalities."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import InconsistentCollectionError
+from repro.model import fact
+from repro.queries import identity_view, parse_rule
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.algebra import RelationScan
+from repro.confidence import (
+    BlockCounter,
+    GammaSystem,
+    IdentityInstance,
+    answer_cardinality_bounds,
+    expected_answer_cardinality,
+    expected_base_size,
+    world_size_distribution,
+)
+
+from tests.conftest import example51_domain, make_example51_collection
+
+
+@pytest.fixture
+def counter():
+    return BlockCounter(
+        IdentityInstance(make_example51_collection(), example51_domain(1))
+    )
+
+
+class TestSizeDistribution:
+    def test_sums_to_world_count(self, counter):
+        distribution = counter.world_size_distribution()
+        assert sum(distribution.values()) == counter.count_worlds() == 7
+
+    def test_matches_enumeration(self, counter):
+        """Hand-checkable m=1 case: sizes 1,2,2,2,2,3,4 of the 7 worlds."""
+        assert counter.world_size_distribution() == {1: 1, 2: 4, 3: 1, 4: 1}
+
+    def test_matches_brute_force_sizes(self):
+        collection = make_example51_collection()
+        domain = example51_domain(2)
+        instance = IdentityInstance(collection, domain)
+        gamma = GammaSystem(instance)
+        expected: dict = {}
+        for world in gamma.solution_databases():
+            expected[len(world)] = expected.get(len(world), 0) + 1
+        assert BlockCounter(instance).world_size_distribution() == expected
+
+    def test_probability_version_normalized(self, example51):
+        probabilities = world_size_distribution(example51, example51_domain(1))
+        assert sum(probabilities.values()) == 1
+
+    def test_inconsistent_raises(self):
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1), [fact("V1", "a")], 1, 1, name="S1"
+                ),
+                SourceDescriptor(
+                    identity_view("V2", "R", 1), [fact("V2", "b")], 0, 1, name="S2"
+                ),
+            ]
+        )
+        with pytest.raises(InconsistentCollectionError):
+            world_size_distribution(col, ["a", "b"])
+
+
+class TestExpectedSize:
+    def test_linearity_of_expectation(self, counter):
+        """E[|D|] == Σ_t confidence(t) over the whole fact space."""
+        total_confidence = sum(
+            (counter.confidence(fact("R", v)) for v in example51_domain(1)),
+            Fraction(0),
+        )
+        assert counter.expected_world_size() == total_confidence
+
+    def test_value_m1(self, counter):
+        # sizes {1:1, 2:4, 3:1, 4:1} -> (1 + 8 + 3 + 4)/7
+        assert counter.expected_world_size() == Fraction(16, 7)
+
+    def test_module_level_wrapper(self, example51):
+        assert expected_base_size(
+            example51, example51_domain(1)
+        ) == Fraction(16, 7)
+
+
+class TestExpectedAnswers:
+    def test_scan_equals_base_size(self, example51):
+        expected = expected_answer_cardinality(
+            RelationScan("R", 1), example51, example51_domain(1)
+        )
+        assert expected == Fraction(16, 7)
+
+    def test_bounds_ordering(self, example51):
+        bounds = answer_cardinality_bounds(
+            RelationScan("R", 1), example51, example51_domain(1)
+        )
+        assert bounds["certain"] <= bounds["expected"] <= bounds["possible"]
+        assert bounds["certain"] == 0 and bounds["possible"] == 4
+
+    def test_certain_only_collection(self):
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1),
+                    [fact("V1", "a"), fact("V1", "b")],
+                    1, 1, name="S1",
+                )
+            ]
+        )
+        bounds = answer_cardinality_bounds(
+            RelationScan("R", 1), col, ["a", "b", "c"]
+        )
+        assert bounds == {
+            "certain": Fraction(2),
+            "expected": Fraction(2),
+            "possible": Fraction(2),
+        }
+
+    def test_cq_query(self, example51):
+        q = parse_rule("ans(x) <- R(x)")
+        expected = expected_answer_cardinality(q, example51, example51_domain(1))
+        assert expected == Fraction(16, 7)

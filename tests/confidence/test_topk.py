@@ -1,0 +1,63 @@
+"""Tests for block-level confidences and top-k ranking."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import InconsistentCollectionError
+from repro.model import fact
+from repro.queries import identity_view
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.confidence import BlockCounter, IdentityInstance
+
+from tests.conftest import example51_domain, make_example51_collection
+
+
+@pytest.fixture
+def counter():
+    return BlockCounter(
+        IdentityInstance(make_example51_collection(), example51_domain(2))
+    )
+
+
+class TestBlockConfidences:
+    def test_matches_per_fact(self, counter):
+        per_block = counter.block_confidences()
+        for j, confidence in per_block.items():
+            for f in counter.instance.blocks[j].facts:
+                assert counter.confidence(f) == confidence
+
+    def test_inconsistent_raises(self):
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1), [fact("V1", "a")], 1, 1, name="S1"
+                ),
+                SourceDescriptor(
+                    identity_view("V2", "R", 1), [fact("V2", "b")], 0, 1, name="S2"
+                ),
+            ]
+        )
+        counter = BlockCounter(IdentityInstance(col, ["a", "b"]))
+        with pytest.raises(InconsistentCollectionError):
+            counter.block_confidences()
+
+
+class TestTopK:
+    def test_ordering(self, counter):
+        ranked = counter.top_k_facts(3)
+        assert ranked[0] == (fact("R", "b"), Fraction(8, 9))
+        confidences = [c for _, c in ranked]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_k_larger_than_covered(self, counter):
+        ranked = counter.top_k_facts(100)
+        assert len(ranked) == 3  # a, b, c are covered
+
+    def test_k_zero(self, counter):
+        assert counter.top_k_facts(0) == []
+
+    def test_memoized_world_count(self, counter):
+        first = counter.count_worlds()
+        assert counter.count_worlds() == first
+        assert counter._world_count == first

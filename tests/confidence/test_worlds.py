@@ -1,0 +1,101 @@
+"""Tests for possible-world enumeration."""
+
+import pytest
+
+from repro.exceptions import DomainTooLargeError, SourceError
+from repro.model import GlobalDatabase, fact
+from repro.queries import identity_view, parse_rule
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.confidence.worlds import (
+    count_possible_worlds,
+    fact_space,
+    is_consistent_over,
+    possible_worlds,
+    possible_worlds_identity,
+)
+
+from tests.conftest import example51_domain, make_example51_collection
+
+
+class TestFactSpace:
+    def test_identity_space(self, example51):
+        space = fact_space(example51, ["a", "b"])
+        assert space == [fact("R", "a"), fact("R", "b")]
+
+    def test_multi_relation_space(self):
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    parse_rule("V(x) <- R(x, y), S(y)"), [], 0, 0, name="A"
+                )
+            ]
+        )
+        space = fact_space(col, ["a", "b"])
+        assert len(space) == 4 + 2  # R/2 and S/1
+
+
+class TestEnumeration:
+    def test_example51_m1(self, example51):
+        worlds = set(possible_worlds(example51, example51_domain(1)))
+        assert len(worlds) == 7
+        assert GlobalDatabase([fact("R", "b")]) in worlds
+        assert GlobalDatabase([]) not in worlds
+
+    def test_every_world_admitted(self, example51):
+        for world in possible_worlds(example51, example51_domain(1)):
+            assert example51.admits(world)
+
+    def test_max_facts_cutoff(self, example51):
+        small = list(possible_worlds(example51, example51_domain(1), max_facts=1))
+        assert small == [GlobalDatabase([fact("R", "b")])]
+
+    def test_count(self, example51):
+        assert count_possible_worlds(example51, example51_domain(1)) == 7
+
+    def test_consistency_probe(self, example51):
+        assert is_consistent_over(example51, example51_domain(1))
+
+    def test_inconsistent_over_domain(self):
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1), [fact("V1", "a")], 1, 1, name="S1"
+                ),
+                SourceDescriptor(
+                    identity_view("V2", "R", 1), [fact("V2", "b")], 0, 1, name="S2"
+                ),
+            ]
+        )
+        assert not is_consistent_over(col, ["a", "b"])
+
+    def test_domain_guard(self, example51):
+        with pytest.raises(DomainTooLargeError):
+            list(possible_worlds(example51, example51_domain(30)))
+
+
+class TestIdentityRoute:
+    def test_agrees_with_generic(self, example51):
+        domain = example51_domain(1)
+        generic = set(possible_worlds(example51, domain))
+        identity = set(possible_worlds_identity(example51, domain))
+        assert generic == identity
+
+    def test_requires_identity(self):
+        col = SourceCollection(
+            [SourceDescriptor(parse_rule("V(x) <- R(x, y)"), [], 0, 0, name="A")]
+        )
+        with pytest.raises(SourceError):
+            list(possible_worlds_identity(col, ["a"]))
+
+
+class TestGeneralViews:
+    def test_projection_view_worlds(self):
+        view = parse_rule("V(x) <- R(x, y)")
+        col = SourceCollection(
+            [SourceDescriptor(view, [fact("V", "a")], 1, 1, name="S1")]
+        )
+        worlds = list(possible_worlds(col, ["a", "b"]))
+        assert worlds  # consistent
+        for world in worlds:
+            derived = {f.args[0].value for f in view.apply(world)}
+            assert derived == {"a"}

@@ -1,0 +1,75 @@
+"""Shared fixtures: canonical small collections used across the suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.model import GlobalDatabase, fact
+from repro.queries import identity_view, parse_rule
+from repro.sources import SourceCollection, SourceDescriptor
+
+
+def make_example51_collection() -> SourceCollection:
+    """The paper's Example 5.1: S1 = ⟨Id_R, {R(a), R(b)}, 0.5, 0.5⟩,
+    S2 = ⟨Id_R, {R(b), R(c)}, 0.5, 0.5⟩."""
+    return SourceCollection(
+        [
+            SourceDescriptor(
+                identity_view("V1", "R", 1),
+                [fact("V1", "a"), fact("V1", "b")],
+                "1/2",
+                "1/2",
+                name="S1",
+            ),
+            SourceDescriptor(
+                identity_view("V2", "R", 1),
+                [fact("V2", "b"), fact("V2", "c")],
+                "1/2",
+                "1/2",
+                name="S2",
+            ),
+        ]
+    )
+
+
+def example51_domain(m: int):
+    """dom = {a, b, c, d_1 .. d_m}."""
+    return ["a", "b", "c"] + [f"d{i}" for i in range(1, m + 1)]
+
+
+@pytest.fixture
+def example51():
+    return make_example51_collection()
+
+
+@pytest.fixture
+def example51_dom2():
+    return example51_domain(2)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(20010617)  # PODS 2001 vintage
+
+
+@pytest.fixture
+def small_db():
+    return GlobalDatabase(
+        [
+            fact("R", 1, 2),
+            fact("R", 2, 3),
+            fact("R", 3, 1),
+            fact("S", 2, "x"),
+            fact("S", 3, "y"),
+        ]
+    )
+
+
+@pytest.fixture
+def exact_single_source():
+    view = parse_rule("V1(x) <- R(x,y)")
+    return SourceCollection(
+        [SourceDescriptor(view, [fact("V1", "a"), fact("V1", "b")], 1, 1, name="S1")]
+    )

@@ -1,0 +1,115 @@
+"""Tests for bound relaxation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.model import fact
+from repro.queries import identity_view
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.consistency import check_consistency
+from repro.consensus import (
+    most_fixable_source,
+    per_source_relaxation,
+    scaled_collection,
+    uniform_relaxation,
+)
+
+
+def source(name, values, c, s):
+    return SourceDescriptor(
+        identity_view(f"V{name}", "R", 1),
+        [fact(f"V{name}", v) for v in values],
+        c,
+        s,
+        name=name,
+    )
+
+
+@pytest.fixture
+def mildly_inconsistent():
+    """A says D = {x}; B is sound on {y}. Relaxing either claim a bit
+    (A's completeness or B's soundness) restores consistency."""
+    return SourceCollection(
+        [
+            source("A", ["x"], 1, 1),
+            source("B", ["y"], 0, 1),
+        ]
+    )
+
+
+class TestScaledCollection:
+    def test_scaling_all(self, mildly_inconsistent):
+        scaled = scaled_collection(mildly_inconsistent, Fraction(1, 2))
+        assert scaled.by_name("A").completeness_bound == Fraction(1, 2)
+        assert scaled.by_name("B").soundness_bound == Fraction(1, 2)
+
+    def test_scaling_only_named(self, mildly_inconsistent):
+        scaled = scaled_collection(
+            mildly_inconsistent, Fraction(1, 2), only=["B"]
+        )
+        assert scaled.by_name("A").completeness_bound == 1
+        assert scaled.by_name("B").soundness_bound == Fraction(1, 2)
+
+    def test_scaling_by_one_is_identity(self, mildly_inconsistent):
+        scaled = scaled_collection(mildly_inconsistent, Fraction(1))
+        assert scaled.sources == mildly_inconsistent.sources
+
+
+class TestUniformRelaxation:
+    def test_consistent_needs_no_discount(self, example51):
+        discount, relaxed = uniform_relaxation(example51)
+        assert discount == 0 and relaxed.sources == example51.sources
+
+    def test_inconsistent_gets_consistent_result(self, mildly_inconsistent):
+        discount, relaxed = uniform_relaxation(mildly_inconsistent)
+        assert 0 < discount <= 1
+        assert check_consistency(relaxed).consistent
+
+    def test_discount_near_true_threshold(self, mildly_inconsistent):
+        """D = {x, y} satisfies A at c = 1/2: the threshold is λ = 1/2."""
+        discount, _ = uniform_relaxation(
+            mildly_inconsistent, precision=Fraction(1, 256)
+        )
+        assert Fraction(1, 2) <= discount <= Fraction(1, 2) + Fraction(1, 256)
+
+    def test_tighter_precision_smaller_bound(self, mildly_inconsistent):
+        loose, _ = uniform_relaxation(mildly_inconsistent, Fraction(1, 8))
+        tight, _ = uniform_relaxation(mildly_inconsistent, Fraction(1, 512))
+        assert tight <= loose
+
+
+class TestPerSourceRelaxation:
+    def test_consistent_zero(self, example51):
+        assert per_source_relaxation(example51, "S1") == 0
+
+    def test_fixable_through_either_source(self, mildly_inconsistent):
+        for name in ("A", "B"):
+            discount = per_source_relaxation(mildly_inconsistent, name)
+            assert discount is not None and 0 < discount <= 1
+
+    def test_unfixable_source_returns_none(self):
+        """C's bounds are already 0 — discounting C cannot fix A vs B."""
+        collection = SourceCollection(
+            [
+                source("A", ["x"], 1, 1),
+                source("B", ["y"], 0, 1),
+                source("C", ["x"], 0, 0),
+            ]
+        )
+        assert per_source_relaxation(collection, "C") is None
+
+
+class TestMostFixable:
+    def test_consistent_returns_none(self, example51):
+        assert most_fixable_source(example51) is None
+
+    def test_identifies_cheapest_fix(self, mildly_inconsistent):
+        result = most_fixable_source(mildly_inconsistent)
+        assert result is not None
+        name, discount = result
+        assert name in ("A", "B") and 0 < discount <= 1
+        relaxed = scaled_collection(
+            mildly_inconsistent, Fraction(1) - discount, only=[name]
+        )
+        assert check_consistency(relaxed).consistent

@@ -1,0 +1,138 @@
+"""Tests for maximal consistent / minimal inconsistent sub-collections."""
+
+import pytest
+
+from repro.model import fact
+from repro.queries import identity_view
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.consensus import (
+    is_consistent_subset,
+    maximal_consistent_subcollections,
+    minimal_inconsistent_subcollections,
+    minimal_repairs,
+    repair_via_hitting_set,
+    subcollection,
+)
+
+
+def exact_source(name, values):
+    i = name
+    return SourceDescriptor(
+        identity_view(f"V{i}", "R", 1),
+        [fact(f"V{i}", v) for v in values],
+        1,
+        1,
+        name=name,
+    )
+
+
+def sound_source(name, values):
+    return SourceDescriptor(
+        identity_view(f"V{name}", "R", 1),
+        [fact(f"V{name}", v) for v in values],
+        0,
+        1,
+        name=name,
+    )
+
+
+@pytest.fixture
+def conflicting():
+    """A and B claim exact-but-different worlds; C agrees with A."""
+    return SourceCollection(
+        [
+            exact_source("A", ["x", "y"]),
+            exact_source("B", ["x", "z"]),
+            exact_source("C", ["x", "y"]),
+        ]
+    )
+
+
+class TestSubcollection:
+    def test_selection(self, conflicting):
+        sub = subcollection(conflicting, frozenset({"A", "C"}))
+        assert [s.name for s in sub] == ["A", "C"]
+
+    def test_empty_subset_consistent(self, conflicting):
+        assert is_consistent_subset(conflicting, frozenset())
+
+
+class TestMaximalConsistent:
+    def test_consistent_collection_single_mcs(self, example51):
+        assert maximal_consistent_subcollections(example51) == [
+            frozenset({"S1", "S2"})
+        ]
+
+    def test_conflicting_collection(self, conflicting):
+        maximal = maximal_consistent_subcollections(conflicting)
+        assert frozenset({"A", "C"}) in maximal
+        assert frozenset({"B"}) in maximal
+        assert len(maximal) == 2
+
+    def test_antichain(self, conflicting):
+        maximal = maximal_consistent_subcollections(conflicting)
+        for left in maximal:
+            for right in maximal:
+                if left != right:
+                    assert not left <= right
+
+    def test_all_mcs_members_consistent(self, conflicting):
+        for names in maximal_consistent_subcollections(conflicting):
+            assert is_consistent_subset(conflicting, names)
+
+
+class TestMinimalInconsistent:
+    def test_consistent_has_no_conflicts(self, example51):
+        assert minimal_inconsistent_subcollections(example51) == []
+
+    def test_conflicts_identified(self, conflicting):
+        conflicts = minimal_inconsistent_subcollections(conflicting)
+        assert frozenset({"A", "B"}) in conflicts
+        assert frozenset({"B", "C"}) in conflicts
+        assert len(conflicts) == 2
+
+    def test_conflicts_are_minimal(self, conflicting):
+        for conflict in minimal_inconsistent_subcollections(conflicting):
+            for name in conflict:
+                smaller = conflict - {name}
+                assert is_consistent_subset(conflicting, smaller)
+
+
+class TestRepairs:
+    def test_consistent_needs_empty_repair(self, example51):
+        assert minimal_repairs(example51) == [frozenset()]
+
+    def test_drop_b_is_the_repair(self, conflicting):
+        assert minimal_repairs(conflicting) == [frozenset({"B"})]
+
+    def test_hitting_set_route_agrees(self, conflicting):
+        repair, conflicts = repair_via_hitting_set(conflicting)
+        assert repair == frozenset({"B"})
+        assert len(conflicts) == 2
+        remaining = frozenset(s.name for s in conflicting) - repair
+        assert is_consistent_subset(conflicting, remaining)
+
+    def test_hitting_set_route_consistent_collection(self, example51):
+        repair, conflicts = repair_via_hitting_set(example51)
+        assert repair == frozenset() and conflicts == []
+
+
+class TestThreeWayConflict:
+    def test_mutually_exclusive_exact_sources(self):
+        collection = SourceCollection(
+            [
+                exact_source("A", ["x"]),
+                exact_source("B", ["y"]),
+                exact_source("C", ["z"]),
+            ]
+        )
+        maximal = maximal_consistent_subcollections(collection)
+        assert sorted(maximal, key=sorted) == [
+            frozenset({"A"}),
+            frozenset({"B"}),
+            frozenset({"C"}),
+        ]
+        conflicts = minimal_inconsistent_subcollections(collection)
+        assert len(conflicts) == 3  # every pair clashes
+        repair, _ = repair_via_hitting_set(collection)
+        assert len(repair) == 2  # drop any two

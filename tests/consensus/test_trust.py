@@ -1,0 +1,97 @@
+"""Tests for trust/blame scoring."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.model import fact
+from repro.queries import identity_view
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.consensus import (
+    blame_scores,
+    consensus_trust_scores,
+    rank_by_trust,
+    suspect_sources,
+    trust_scores,
+)
+
+
+def exact_source(name, values):
+    return SourceDescriptor(
+        identity_view(f"V{name}", "R", 1),
+        [fact(f"V{name}", v) for v in values],
+        1,
+        1,
+        name=name,
+    )
+
+
+@pytest.fixture
+def outvoted():
+    """A and C agree; B is the odd one out (two conflicts involve B)."""
+    return SourceCollection(
+        [
+            exact_source("A", ["x", "y"]),
+            exact_source("B", ["x", "z"]),
+            exact_source("C", ["x", "y"]),
+        ]
+    )
+
+
+class TestTrustScores:
+    def test_consistent_collection_full_trust(self, example51):
+        assert trust_scores(example51) == {
+            "S1": Fraction(1),
+            "S2": Fraction(1),
+        }
+
+    def test_unweighted_trust_treats_mcs_equally(self, outvoted):
+        """MCSs are {A, C} and {B}: every source sits in exactly one of two."""
+        trust = trust_scores(outvoted)
+        assert trust == {
+            "A": Fraction(1, 2),
+            "B": Fraction(1, 2),
+            "C": Fraction(1, 2),
+        }
+
+    def test_consensus_trust_rewards_the_majority(self, outvoted):
+        """Only the largest coalition {A, C} counts: B is fully distrusted."""
+        consensus = consensus_trust_scores(outvoted)
+        assert consensus == {
+            "A": Fraction(1),
+            "B": Fraction(0),
+            "C": Fraction(1),
+        }
+
+    def test_consensus_trust_consistent_collection(self, example51):
+        assert set(consensus_trust_scores(example51).values()) == {Fraction(1)}
+
+    def test_in_unit_interval(self, outvoted):
+        for scores in (trust_scores(outvoted), consensus_trust_scores(outvoted)):
+            for score in scores.values():
+                assert 0 <= score <= 1
+
+
+class TestBlameScores:
+    def test_consistent_collection_no_blame(self, example51):
+        assert set(blame_scores(example51).values()) == {Fraction(0)}
+
+    def test_odd_one_out_most_blamed(self, outvoted):
+        blame = blame_scores(outvoted)
+        assert blame["B"] == Fraction(1)       # in both conflicts
+        assert blame["A"] == Fraction(1, 2)
+
+
+class TestRanking:
+    def test_rank_by_trust(self, outvoted):
+        ranking = rank_by_trust(outvoted)
+        # A and C trusted equally; B last due to higher blame
+        assert ranking[-1] == "B"
+
+    def test_suspects(self, outvoted):
+        suspects = suspect_sources(outvoted)
+        assert set(suspects) == {"A", "B", "C"}  # all unweighted trust < 1
+        assert suspects[0] == "B"  # most suspicious first (blame tiebreak)
+
+    def test_no_suspects_when_consistent(self, example51):
+        assert suspect_sources(example51) == []

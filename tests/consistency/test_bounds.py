@@ -1,0 +1,62 @@
+"""Tests for the Lemma 3.1 bounds and the canonical domain."""
+
+from repro.model import Constant, GlobalDatabase, fact
+from repro.queries import parse_rule
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.consistency import (
+    canonical_domain,
+    check_consistency,
+    constant_bound,
+    size_bound,
+    verify_witness,
+)
+
+
+class TestBounds:
+    def test_size_bound_formula(self, example51):
+        assert size_bound(example51) == 1 * 4  # max body 1, total ext 4
+
+    def test_size_bound_with_join_bodies(self):
+        view = parse_rule("V(x) <- R(x, y), S(y, z), T(z)")
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    view, [fact("V", 1), fact("V", 2)], "1/2", "1/2", name="A"
+                )
+            ]
+        )
+        assert size_bound(col) == 3 * 2
+
+    def test_constant_bound(self, example51):
+        assert constant_bound(example51) == size_bound(example51) * 1
+
+
+class TestCanonicalDomain:
+    def test_contains_extension_constants(self, example51):
+        domain = canonical_domain(example51)
+        values = {c.value for c in domain}
+        assert {"a", "b", "c"} <= values
+
+    def test_fresh_constants_added(self, example51):
+        domain = canonical_domain(example51, extra=2)
+        assert len(domain) == 3 + 2
+        assert len(set(domain)) == len(domain)
+
+    def test_default_covers_view_variables(self):
+        view = parse_rule("V(x) <- R(x, y), S(y, z)")
+        col = SourceCollection([SourceDescriptor(view, [], 0, 0, name="A")])
+        domain = canonical_domain(col)
+        assert len(domain) >= 3  # x, y, z at least
+
+
+class TestLemma31Property:
+    """Every positive verdict must come with a witness inside the bound."""
+
+    def test_identity_witness(self, example51):
+        result = check_consistency(example51)
+        assert len(result.witness) <= size_bound(example51)
+
+    def test_general_witness(self, exact_single_source):
+        result = check_consistency(exact_single_source)
+        assert verify_witness(exact_single_source, result.witness)
+        assert len(result.witness) <= size_bound(exact_single_source)

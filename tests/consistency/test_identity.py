@@ -1,0 +1,103 @@
+"""Tests for the identity-view consistency DP."""
+
+import pytest
+
+from repro.exceptions import SourceError
+from repro.model import GlobalDatabase, fact
+from repro.queries import identity_view, parse_rule
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.consistency import check_identity, verify_witness
+from repro.confidence import BlockCounter, IdentityInstance
+
+
+def identity_col(*specs):
+    """specs: (values, c, s) triples."""
+    sources = []
+    for i, (values, c, s) in enumerate(specs, start=1):
+        sources.append(
+            SourceDescriptor(
+                identity_view(f"V{i}", "R", 1),
+                [fact(f"V{i}", v) for v in values],
+                c,
+                s,
+                name=f"S{i}",
+            )
+        )
+    return SourceCollection(sources)
+
+
+class TestBasicDecisions:
+    def test_example51_consistent(self, example51):
+        result = check_identity(example51)
+        assert result.consistent and result.method == "identity-dp"
+        assert verify_witness(example51, result.witness)
+
+    def test_single_exact_source(self):
+        col = identity_col((["a", "b"], 1, 1))
+        result = check_identity(col)
+        assert result.consistent
+        assert result.witness == GlobalDatabase([fact("R", "a"), fact("R", "b")])
+
+    def test_conflicting_exact_sources(self):
+        col = identity_col((["a"], 1, 1), (["b"], 1, 1))
+        assert not check_identity(col).consistent
+
+    def test_sound_fact_vs_foreign_completeness(self):
+        # S1 exact on {a}; S2 sound on {b}: D must contain b but equal {a}.
+        col = identity_col((["a"], 1, 1), (["b"], 0, 1))
+        assert not check_identity(col).consistent
+
+    def test_empty_collection_like(self):
+        col = identity_col(([], 0, 0))
+        result = check_identity(col)
+        assert result.consistent and len(result.witness) == 0
+
+    def test_zero_bounds_always_consistent(self):
+        col = identity_col((["a", "b"], 0, 0), (["c"], 0, 0))
+        assert check_identity(col).consistent
+
+    def test_requires_identity_shape(self):
+        col = SourceCollection(
+            [SourceDescriptor(parse_rule("V(x) <- R(x,y)"), [], 0, 0, name="A")]
+        )
+        with pytest.raises(SourceError):
+            check_identity(col)
+
+
+class TestWitnessProperties:
+    def test_witness_minimal_size(self, example51):
+        # smallest possible world of Example 5.1 is {b}
+        result = check_identity(example51)
+        assert result.witness == GlobalDatabase([fact("R", "b")])
+
+    def test_witness_within_lemma_bound(self):
+        col = identity_col((["a", "b", "c"], "1/3", "2/3"), (["b", "d"], "1/2", "1/2"))
+        result = check_identity(col)
+        if result.consistent:
+            assert verify_witness(col, result.witness)
+
+    def test_witness_subset_of_union(self, example51):
+        result = check_identity(example51)
+        union = {fact("R", "a"), fact("R", "b"), fact("R", "c")}
+        assert set(result.witness.facts()) <= union
+
+
+class TestAgainstBlockCounter:
+    """DP consistency must agree with world counting over the same domain."""
+
+    @pytest.mark.parametrize(
+        "specs",
+        [
+            ((["a", "b"], "1/2", "1/2"), (["b", "c"], "1/2", "1/2")),
+            ((["a"], 1, 1), (["b"], 0, 1)),
+            ((["a", "b"], 1, "1/2"), (["b"], "1/2", 1)),
+            ((["a", "b", "c"], "2/3", "2/3"),),
+            ((["a"], 1, 1), (["a", "b"], "1/2", "1/2")),
+        ],
+    )
+    def test_agreement(self, specs):
+        col = identity_col(*specs)
+        domain = sorted({v for values, _, _ in specs for v in values})
+        dp_says = check_identity(col).consistent
+        counting_says = BlockCounter(IdentityInstance(col, domain)).is_consistent()
+        assert dp_says == counting_says

@@ -1,0 +1,152 @@
+"""End-to-end integration tests: workloads → mediator → analyses.
+
+These flows tie multiple subsystems together, mirroring how a downstream
+user would drive the library.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.model import GlobalDatabase, fact
+from repro.queries import identity_view, parse_rule
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.algebra import RelationScan
+from repro.integration import Mediator
+from repro.workloads import caches
+from repro.workloads.random_sources import consistent_identity_collection
+
+from tests.conftest import example51_domain, make_example51_collection
+
+
+class TestCacheFleetFlow:
+    """Generate a cache fleet, audit it, rank liveness, sanity-check."""
+
+    def test_full_flow(self, rng):
+        fleet = caches.generate(
+            n_objects=10, n_retired=5, n_caches=3,
+            miss_rate=0.2, stale_rate=0.2, rng=rng,
+        )
+        mediator = Mediator(list(fleet.collection))
+
+        # consistency + audit against the (normally hidden) origin
+        assert mediator.check_consistency().consistent
+        report = mediator.audit(fleet.origin)
+        for name, row in report.items():
+            assert row["completeness"] >= row["declared_completeness"]
+            assert row["soundness"] >= row["declared_soundness"]
+
+        # exact confidences and statistics
+        confidences = mediator.base_confidences(fleet.domain)
+        expected_size = mediator.expected_database_size(fleet.domain)
+        # E[|D|] = Σ over ALL facts (covered + anonymous) of their
+        # confidence, so the covered sum is a lower bound.
+        assert expected_size >= sum(confidences.values(), Fraction(0))
+        distribution = mediator.size_distribution(fleet.domain)
+        assert sum(distribution.values()) == 1
+
+        # expected size must bracket the true origin plausibly
+        assert 0 < expected_size <= len(fleet.domain)
+
+    def test_sampled_query_flow(self, rng):
+        fleet = caches.generate(
+            n_objects=30, n_retired=10, n_caches=4, rng=rng,
+        )
+        mediator = Mediator(list(fleet.collection))
+        qa = mediator.query(
+            RelationScan(caches.RELATION, 1),
+            fleet.domain,
+            method="sample",
+            samples=300,
+            rng=rng,
+        )
+        assert qa.world_count == 300
+        # certain rows from sampling are at least the analytic certain facts
+        confidences = mediator.base_confidences(fleet.domain)
+        for f, confidence in confidences.items():
+            if confidence == 1:
+                assert f.args in qa.possible
+
+
+class TestConsensusFlow:
+    def test_report_consistent(self):
+        mediator = Mediator(list(make_example51_collection()))
+        report = mediator.consensus_report()
+        assert report["consistent"]
+        assert report["conflicts"] == []
+        assert report["repair"] == frozenset()
+        assert report["relaxation_discount"] == 0
+        assert set(report["trust"].values()) == {Fraction(1)}
+
+    def test_report_with_fabricator(self):
+        truth = ["a", "b"]
+        sources = [
+            SourceDescriptor(
+                identity_view(f"V{i}", "R", 1),
+                [fact(f"V{i}", v) for v in truth],
+                1, 1, name=f"honest{i}",
+            )
+            for i in (1, 2)
+        ]
+        sources.append(
+            SourceDescriptor(
+                identity_view("Vf", "R", 1), [fact("Vf", "zz")], 1, 1,
+                name="fabricator",
+            )
+        )
+        mediator = Mediator(sources)
+        report = mediator.consensus_report()
+        assert not report["consistent"]
+        assert report["repair"] == frozenset({"fabricator"})
+        assert report["consensus_trust"]["fabricator"] == 0
+        assert report["consensus_trust"]["honest1"] == 1
+        assert 0 < report["relaxation_discount"] <= 1
+
+
+class TestCertainAnswerRoutes:
+    def test_three_methods_nested(self):
+        collection = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1),
+                    [fact("V1", "a"), fact("V1", "b")],
+                    0, 1, name="S1",
+                ),
+            ]
+        )
+        mediator = Mediator(list(collection))
+        q = parse_rule("ans(x) <- R(x)")
+        exact = mediator.certain_answers(q, ["a", "b", "c"], method="enumerate")
+        via_templates = mediator.certain_answers(q, method="templates")
+        via_im = mediator.certain_answers(q, method="im")
+        assert via_im <= exact and via_templates <= exact
+        assert via_im == via_templates == exact  # all sound facts, no forcing
+
+    def test_enumerate_requires_domain(self):
+        from repro.exceptions import SourceError
+
+        mediator = Mediator(list(make_example51_collection()))
+        q = parse_rule("ans(x) <- R(x)")
+        with pytest.raises(SourceError):
+            mediator.certain_answers(q, method="enumerate")
+        with pytest.raises(SourceError):
+            mediator.certain_answers(q, method="psychic")
+
+
+class TestRandomCollectionFlow:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_generated_collections_fully_analyzable(self, seed):
+        collection, truth, domain = consistent_identity_collection(
+            3, 10, 5, slack=0.2, rng=random.Random(seed)
+        )
+        mediator = Mediator(list(collection))
+        assert mediator.check_consistency().consistent
+        confidences = mediator.base_confidences(domain)
+        # the ground truth only contains plausible facts
+        for f in truth:
+            assert confidences.get(f, Fraction(0)) >= 0
+        expected = mediator.expected_database_size(domain)
+        assert 0 <= expected <= len(domain)
+        report = mediator.consensus_report()
+        assert report["consistent"]

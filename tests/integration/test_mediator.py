@@ -1,0 +1,126 @@
+"""Tests for the Mediator facade."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import SourceError
+from repro.model import Constant, fact
+from repro.queries import identity_view, parse_rule
+from repro.sources import SourceDescriptor
+from repro.algebra import Col, Comparison, RelationScan, Selection
+from repro.integration import Mediator
+
+from tests.conftest import example51_domain, make_example51_collection
+
+
+def row(*values):
+    return tuple(Constant(v) for v in values)
+
+
+@pytest.fixture
+def mediator():
+    return Mediator(list(make_example51_collection()))
+
+
+class TestRegistration:
+    def test_register_and_len(self):
+        m = Mediator()
+        m.register(
+            SourceDescriptor(identity_view("V1", "R", 1), [], 0, 0, name="S1")
+        )
+        assert len(m) == 1
+
+    def test_duplicate_name_rejected(self, mediator):
+        with pytest.raises(SourceError):
+            mediator.register(
+                SourceDescriptor(identity_view("V9", "R", 1), [], 0, 0, name="S1")
+            )
+
+    def test_deregister(self, mediator):
+        mediator.deregister("S1")
+        assert len(mediator) == 1
+        with pytest.raises(SourceError):
+            mediator.deregister("S1")
+
+    def test_chaining(self):
+        m = Mediator().register(
+            SourceDescriptor(identity_view("V1", "R", 1), [], 0, 0, name="A")
+        ).register(
+            SourceDescriptor(identity_view("V2", "R", 1), [], 0, 0, name="B")
+        )
+        assert len(m) == 2
+
+
+class TestConsistencyAndAudit:
+    def test_check(self, mediator):
+        assert mediator.check_consistency().consistent
+
+    def test_audit_report(self, mediator):
+        from repro.model import GlobalDatabase
+
+        world = GlobalDatabase([fact("R", "b")])
+        report = mediator.audit(world)
+        assert report["S1"]["soundness"] == Fraction(1, 2)
+        assert report["S1"]["declared_soundness"] == Fraction(1, 2)
+        assert report["S1"]["completeness"] == Fraction(1)
+
+
+class TestQuerying:
+    def test_base_confidences(self, mediator):
+        confidences = mediator.base_confidences(example51_domain(1))
+        assert confidences[fact("R", "b")] == Fraction(6, 7)
+
+    def test_enumerate_query(self, mediator):
+        qa = mediator.query(RelationScan("R", 1), example51_domain(1))
+        assert qa.confidences[row("b")] == Fraction(6, 7)
+
+    def test_sample_query_close_to_exact(self, mediator, rng):
+        qa = mediator.query(
+            RelationScan("R", 1),
+            example51_domain(1),
+            method="sample",
+            samples=1500,
+            rng=rng,
+        )
+        assert abs(float(qa.confidences[row("b")]) - 6 / 7) < 0.05
+
+    def test_unknown_method(self, mediator):
+        with pytest.raises(SourceError):
+            mediator.query(RelationScan("R", 1), ["a"], method="psychic")
+
+    def test_propagated_confidences_cq(self, mediator):
+        q = parse_rule("ans(x) <- R(x)")
+        result = mediator.propagated_confidences(q, example51_domain(1))
+        assert result[fact("ans", "b")] == Fraction(6, 7)
+
+    def test_propagated_selection_matches_enumeration(self, mediator):
+        q = Selection(Comparison(Col(0), "=", "b"), RelationScan("R", 1))
+        propagated = mediator.propagated_confidences(q, example51_domain(1))
+        enumerated = mediator.query(q, example51_domain(1))
+        assert propagated[fact("ans", "b")] == enumerated.confidences[row("b")]
+
+    def test_world_sampler_counts(self, mediator, rng):
+        sampler = mediator.world_sampler(example51_domain(1), rng)
+        assert sampler.count_worlds() == 7
+
+
+class TestRewriteFacade:
+    def test_rewrite_finds_identity_plan(self, mediator):
+        q = parse_rule("ans(x) <- R(x)")
+        plans = mediator.rewrite(q)
+        assert plans and plans[0].equivalent
+
+    def test_answer_from_sources(self, mediator):
+        q = parse_rule("ans(x) <- R(x)")
+        answers = mediator.answer_from_sources(q)
+        values = {a.fact.args[0].value for a in answers}
+        assert values == {"a", "b", "c"}
+        # support = the contributing source's soundness bound (1/2)
+        for answer in answers:
+            assert answer.support == Fraction(1, 2)
+
+    def test_no_rewriting_empty(self, mediator):
+        q = parse_rule("ans(x) <- T(x)")
+        assert mediator.rewrite(q) == []
+        assert mediator.answer_from_sources(q) == []

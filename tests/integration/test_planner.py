@@ -1,0 +1,92 @@
+"""Tests for the completeness-driven source planner."""
+
+from fractions import Fraction
+
+from repro.model import fact
+from repro.queries import identity_view, parse_rule
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.algebra import RelationScan
+from repro.integration import (
+    coverage_estimate,
+    order_sources,
+    plan_prefix,
+    query_relations,
+    relevant_sources,
+)
+
+
+def collection():
+    return SourceCollection(
+        [
+            SourceDescriptor(
+                identity_view("V1", "R", 1), [fact("V1", "a")], "0.9", "0.5",
+                name="big",
+            ),
+            SourceDescriptor(
+                identity_view("V2", "R", 1), [fact("V2", "b")], "0.3", "0.9",
+                name="small",
+            ),
+            SourceDescriptor(
+                parse_rule("V3(x) <- S(x)"), [fact("V3", "c")], "0.8", "0.8",
+                name="other-relation",
+            ),
+        ]
+    )
+
+
+class TestRelevance:
+    def test_query_relations_cq(self):
+        q = parse_rule("ans(x) <- R(x), After(x, 0)")
+        assert query_relations(q) == {"R"}
+
+    def test_query_relations_algebra(self):
+        assert query_relations(RelationScan("R", 1)) == {"R"}
+
+    def test_relevant_sources_filters_relation(self):
+        relevant = relevant_sources(collection(), RelationScan("R", 1))
+        assert {s.name for s in relevant} == {"big", "small"}
+
+
+class TestOrdering:
+    def test_completeness_descending(self):
+        ordered = order_sources(collection(), RelationScan("R", 1))
+        assert [s.name for s in ordered] == ["big", "small"]
+
+    def test_tie_broken_by_soundness(self):
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1), [], "0.5", "0.2", name="less-sound"
+                ),
+                SourceDescriptor(
+                    identity_view("V2", "R", 1), [], "0.5", "0.8", name="more-sound"
+                ),
+            ]
+        )
+        ordered = order_sources(col, RelationScan("R", 1))
+        assert ordered[0].name == "more-sound"
+
+
+class TestCoveragePlan:
+    def test_coverage_estimate(self):
+        sources = order_sources(collection(), RelationScan("R", 1))
+        assert coverage_estimate(sources[:1]) == Fraction(9, 10)
+        # 1 - 0.1*0.7 = 0.93
+        assert coverage_estimate(sources) == Fraction(93, 100)
+
+    def test_plan_stops_at_target(self):
+        chosen, coverage = plan_prefix(
+            collection(), RelationScan("R", 1), target_coverage="0.85"
+        )
+        assert [s.name for s in chosen] == ["big"]
+        assert coverage >= Fraction(85, 100)
+
+    def test_plan_exhausts_when_unreachable(self):
+        chosen, coverage = plan_prefix(
+            collection(), RelationScan("R", 1), target_coverage="0.99"
+        )
+        assert len(chosen) == 2 and coverage < Fraction(99, 100)
+
+    def test_empty_relevant_set(self):
+        chosen, coverage = plan_prefix(collection(), RelationScan("T", 1))
+        assert chosen == [] and coverage == 0

@@ -1,0 +1,170 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.io import save_collection, save_database
+from repro.model import GlobalDatabase, fact
+
+from tests.conftest import make_example51_collection
+
+
+@pytest.fixture
+def collection_file(tmp_path):
+    path = str(tmp_path / "example51.sources")
+    save_collection(make_example51_collection(), path)
+    return path
+
+
+@pytest.fixture
+def inconsistent_file(tmp_path):
+    from repro.queries import identity_view
+    from repro.sources import SourceCollection, SourceDescriptor
+
+    collection = SourceCollection(
+        [
+            SourceDescriptor(
+                identity_view("V1", "R", 1), [fact("V1", "a")], 1, 1, name="S1"
+            ),
+            SourceDescriptor(
+                identity_view("V2", "R", 1), [fact("V2", "b")], 0, 1, name="S2"
+            ),
+        ]
+    )
+    path = str(tmp_path / "bad.sources")
+    save_collection(collection, path)
+    return path
+
+
+class TestCheck:
+    def test_consistent_exit_zero(self, collection_file, capsys):
+        assert main(["check", collection_file]) == 0
+        out = capsys.readouterr().out
+        assert "CONSISTENT" in out and "witness" in out
+
+    def test_inconsistent_exit_one(self, inconsistent_file, capsys):
+        assert main(["check", inconsistent_file]) == 1
+        assert "INCONSISTENT" in capsys.readouterr().out
+
+    def test_missing_file_exit_two(self, capsys):
+        assert main(["check", "/nonexistent/file"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestConfidence:
+    def test_ranked_output(self, collection_file, capsys):
+        assert main(
+            ["confidence", collection_file, "--domain", "a,b,c,d1"]
+        ) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.strip()]
+        assert "R('b')" in lines[0]  # highest confidence first
+        assert "6/7" in lines[0]
+
+
+class TestWorlds:
+    def test_enumeration_with_limit(self, collection_file, capsys):
+        assert main(
+            ["worlds", collection_file, "--domain", "a,b,c", "--limit", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "total possible worlds: 5" in out
+        assert "... and 3 more" in out
+
+
+class TestAudit:
+    def test_admitted_world(self, collection_file, tmp_path, capsys):
+        world_path = str(tmp_path / "world.facts")
+        save_database(GlobalDatabase([fact("R", "b")]), world_path)
+        assert main(["audit", collection_file, "--world", world_path]) == 0
+        assert "world admitted" in capsys.readouterr().out
+
+    def test_rejected_world(self, collection_file, tmp_path, capsys):
+        world_path = str(tmp_path / "empty.facts")
+        save_database(GlobalDatabase(), world_path)
+        assert main(["audit", collection_file, "--world", world_path]) == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+
+class TestConsensus:
+    def test_consistent_collection(self, collection_file, capsys):
+        assert main(["consensus", collection_file]) == 0
+        assert "fully trusted" in capsys.readouterr().out
+
+    def test_conflicting_collection(self, tmp_path, capsys):
+        from repro.queries import identity_view
+        from repro.sources import SourceCollection, SourceDescriptor
+
+        collection = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("VA", "R", 1),
+                    [fact("VA", "x"), fact("VA", "y")], 1, 1, name="A",
+                ),
+                SourceDescriptor(
+                    identity_view("VB", "R", 1),
+                    [fact("VB", "x"), fact("VB", "z")], 1, 1, name="B",
+                ),
+                SourceDescriptor(
+                    identity_view("VC", "R", 1),
+                    [fact("VC", "x"), fact("VC", "y")], 1, 1, name="C",
+                ),
+            ]
+        )
+        path = str(tmp_path / "conflict.sources")
+        save_collection(collection, path)
+        assert main(["consensus", path]) == 1
+        out = capsys.readouterr().out
+        assert "minimal conflicts" in out
+        assert "minimum repair (drop): {B}" in out
+        assert "uniform bound discount" in out
+
+
+class TestRewrite:
+    def test_rewrite_identity_views(self, collection_file, capsys):
+        assert main(
+            ["rewrite", collection_file, "--query", "ans(x) <- R(x)"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "EQUIVALENT" in out
+        assert "answers from the sources" in out
+
+    def test_plans_only(self, collection_file, capsys):
+        assert main(
+            [
+                "rewrite",
+                collection_file,
+                "--query",
+                "ans(x) <- R(x)",
+                "--plans-only",
+            ]
+        ) == 0
+        assert "answers" not in capsys.readouterr().out
+
+    def test_no_rewriting_exists(self, collection_file, capsys):
+        assert main(
+            ["rewrite", collection_file, "--query", "ans(x) <- T(x)"]
+        ) == 1
+        assert "no sound rewriting" in capsys.readouterr().out
+
+
+class TestAnswer:
+    def test_answer_output(self, collection_file, capsys):
+        assert main(
+            [
+                "answer",
+                collection_file,
+                "--query",
+                "ans(x) <- R(x)",
+                "--domain",
+                "a,b,c",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "possible worlds: 5" in out
+        assert "ans('b')" in out
+
+    def test_bad_query_exit_two(self, collection_file, capsys):
+        assert main(
+            ["answer", collection_file, "--query", "garbage", "--domain", "a"]
+        ) == 2

@@ -1,0 +1,126 @@
+"""Tests for the text serialization format."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.model import GlobalDatabase, fact
+from repro.io import (
+    dumps_collection,
+    dumps_database,
+    load_collection,
+    loads_collection,
+    loads_database,
+    save_collection,
+)
+
+from tests.conftest import make_example51_collection
+
+EXAMPLE_TEXT = """
+# Example 5.1
+source S1 completeness=1/2 soundness=0.5
+view V1(x) <- R(x)
+fact V1("a")
+fact V1("b")
+
+source S2 completeness=1/2 soundness=1/2
+view V2(x) <- R(x)
+fact V2("b")
+fact V2("c")
+"""
+
+
+class TestLoads:
+    def test_basic(self):
+        collection = loads_collection(EXAMPLE_TEXT)
+        assert len(collection) == 2
+        s1 = collection.by_name("S1")
+        assert s1.completeness_bound == Fraction(1, 2)
+        assert s1.soundness_bound == Fraction(1, 2)
+        assert fact("V1", "a") in s1.extension
+
+    def test_decimal_and_fraction_bounds_equal(self):
+        collection = loads_collection(EXAMPLE_TEXT)
+        assert (
+            collection.by_name("S1").soundness_bound
+            == collection.by_name("S2").soundness_bound
+        )
+
+    def test_views_with_builtins(self):
+        text = (
+            "source S completeness=1 soundness=1\n"
+            "view V(s, y) <- Temperature(s, y), After(y, 1900)\n"
+            'fact V(438432, 1950)\n'
+        )
+        collection = loads_collection(text)
+        assert len(collection.by_name("S").view.builtin_body()) == 1
+
+    def test_missing_view_rejected(self):
+        with pytest.raises(ParseError):
+            loads_collection("source S completeness=1 soundness=1\nfact V(1)\n")
+
+    def test_fact_before_source_rejected(self):
+        with pytest.raises(ParseError):
+            loads_collection('fact V("a")\n')
+
+    def test_duplicate_view_rejected(self):
+        text = (
+            "source S completeness=1 soundness=1\n"
+            "view V(x) <- R(x)\n"
+            "view V(x) <- R(x)\n"
+        )
+        with pytest.raises(ParseError):
+            loads_collection(text)
+
+    def test_bad_bound_token(self):
+        with pytest.raises(ParseError):
+            loads_collection("source S completeness=1 wrongness=1\nview V(x) <- R(x)\n")
+
+    def test_malformed_source_line(self):
+        with pytest.raises(ParseError):
+            loads_collection("source S\nview V(x) <- R(x)\n")
+
+    def test_unrecognized_line(self):
+        with pytest.raises(ParseError):
+            loads_collection("bogus line\n")
+
+
+class TestRoundTrip:
+    def test_collection_roundtrip(self, example51):
+        text = dumps_collection(example51)
+        loaded = loads_collection(text)
+        assert loaded.sources == example51.sources
+
+    def test_collection_with_numeric_constants(self):
+        text = (
+            "source S completeness=1/3 soundness=2/3\n"
+            "view V(s, y) <- Temperature(s, y)\n"
+            "fact V(438432, 1950)\n"
+        )
+        collection = loads_collection(text)
+        assert loads_collection(dumps_collection(collection)).sources == (
+            collection.sources
+        )
+
+    def test_database_roundtrip(self):
+        db = GlobalDatabase([fact("R", "a", 1), fact("S", 2.5)])
+        assert loads_database(dumps_database(db)) == db
+
+    def test_empty_database(self):
+        assert loads_database(dumps_database(GlobalDatabase())) == GlobalDatabase()
+
+    def test_file_roundtrip(self, tmp_path, example51):
+        path = str(tmp_path / "collection.sources")
+        save_collection(example51, path)
+        assert load_collection(path).sources == example51.sources
+
+
+class TestDatabaseParsing:
+    def test_comments_ignored(self):
+        db = loads_database("# comment\nfact R(1)\n\n")
+        assert db == GlobalDatabase([fact("R", 1)])
+
+    def test_non_fact_line_rejected(self):
+        with pytest.raises(ParseError):
+            loads_database("atom R(1)\n")

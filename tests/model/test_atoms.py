@@ -1,0 +1,79 @@
+"""Tests for repro.model.atoms."""
+
+import pytest
+
+from repro.exceptions import ModelError, NotGroundError
+from repro.model.atoms import Atom, atom, fact
+from repro.model.terms import Constant, Variable
+from repro.model.valuation import Substitution
+
+
+class TestAtom:
+    def test_construction_coerces_values(self):
+        a = Atom("R", (1, "x-const"))
+        assert a.args == (Constant(1), Constant("x-const"))
+
+    def test_variables_stay_variables(self):
+        a = Atom("R", (Variable("x"), 1))
+        assert a.variables() == {Variable("x")}
+        assert a.constants() == {Constant(1)}
+
+    def test_empty_relation_name_rejected(self):
+        with pytest.raises(ModelError):
+            Atom("", (1,))
+
+    def test_arity(self):
+        assert Atom("R", (1, 2, 3)).arity == 3
+        assert Atom("Nullary", ()).arity == 0
+
+    def test_is_ground(self):
+        assert Atom("R", (1, 2)).is_ground()
+        assert not Atom("R", (1, Variable("x"))).is_ground()
+        assert Atom("Nullary", ()).is_ground()
+
+    def test_equality_and_hash(self):
+        assert Atom("R", (1,)) == Atom("R", (1,))
+        assert Atom("R", (1,)) != Atom("S", (1,))
+        assert Atom("R", (1,)) != Atom("R", (2,))
+        assert len({Atom("R", (1,)), Atom("R", (1,))}) == 1
+
+    def test_substitute_with_dict(self):
+        x = Variable("x")
+        a = Atom("R", (x, 1))
+        assert a.substitute({x: Constant(9)}) == Atom("R", (9, 1))
+
+    def test_substitute_with_substitution(self):
+        x = Variable("x")
+        a = Atom("R", (x, x))
+        result = a.substitute(Substitution({x: Constant(2)}))
+        assert result == Atom("R", (2, 2))
+
+    def test_substitute_leaves_unbound(self):
+        x, y = Variable("x"), Variable("y")
+        a = Atom("R", (x, y))
+        result = a.substitute({x: Constant(1)})
+        assert result == Atom("R", (Constant(1), y))
+
+    def test_rename_relation(self):
+        assert Atom("V1", (1,)).rename_relation("R") == Atom("R", (1,))
+
+    def test_str_and_ordering(self):
+        assert str(Atom("R", (1, Variable("x")))) == "R(1, x)"
+        assert sorted([Atom("S", (1,)), Atom("R", (2,))])[0].relation == "R"
+
+    def test_iteration(self):
+        assert list(Atom("R", (1, 2))) == [Constant(1), Constant(2)]
+
+
+class TestFactConstructor:
+    def test_fact_builds_ground_atom(self):
+        f = fact("Station", 438432, "Canada")
+        assert f.is_ground() and f.relation == "Station"
+
+    def test_fact_rejects_variables(self):
+        with pytest.raises(NotGroundError):
+            fact("R", Variable("x"))
+
+    def test_atom_shorthand(self):
+        a = atom("R", Variable("x"), 1)
+        assert a.arity == 2 and not a.is_ground()

@@ -1,0 +1,97 @@
+"""Tests for repro.model.schema."""
+
+import pytest
+
+from repro.exceptions import ArityError, ModelError
+from repro.model.atoms import Atom, fact
+from repro.model.schema import GlobalSchema, RelationSchema, schema_of_atoms
+
+
+class TestRelationSchema:
+    def test_default_attribute_names(self):
+        rel = RelationSchema("R", 3)
+        assert rel.attributes == ("a0", "a1", "a2")
+
+    def test_explicit_attributes(self):
+        rel = RelationSchema("Station", 2, ["id", "country"])
+        assert rel.attributes == ("id", "country")
+
+    def test_attribute_count_mismatch(self):
+        with pytest.raises(ModelError):
+            RelationSchema("R", 2, ["only_one"])
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(ModelError):
+            RelationSchema("R", -1)
+
+
+class TestGlobalSchema:
+    def test_add_and_lookup(self):
+        schema = GlobalSchema({"R": 2})
+        assert "R" in schema and schema.arity("R") == 2
+
+    def test_unknown_relation(self):
+        with pytest.raises(ModelError):
+            GlobalSchema().arity("Missing")
+
+    def test_redeclare_same_arity_ok(self):
+        schema = GlobalSchema({"R": 2})
+        schema.add("R", 2)
+        assert len(schema) == 1
+
+    def test_redeclare_different_arity_rejected(self):
+        schema = GlobalSchema({"R": 2})
+        with pytest.raises(ArityError):
+            schema.add("R", 3)
+
+    def test_validate_atom(self):
+        schema = GlobalSchema({"R": 2})
+        schema.validate_atom(Atom("R", (1, 2)))
+        with pytest.raises(ArityError):
+            schema.validate_atom(Atom("R", (1,)))
+
+    def test_max_arity(self):
+        assert GlobalSchema({"R": 2, "S": 4}).max_arity() == 4
+        assert GlobalSchema().max_arity() == 0
+
+    def test_merged(self):
+        merged = GlobalSchema({"R": 1}).merged(GlobalSchema({"S": 2}))
+        assert "R" in merged and "S" in merged
+
+    def test_merged_conflict(self):
+        with pytest.raises(ArityError):
+            GlobalSchema({"R": 1}).merged(GlobalSchema({"R": 2}))
+
+    def test_iteration_sorted(self):
+        schema = GlobalSchema({"Z": 1, "A": 1})
+        assert list(schema) == ["A", "Z"]
+
+
+class TestFactSpace:
+    def test_fact_space_size(self):
+        schema = GlobalSchema({"R": 2, "S": 1})
+        assert schema.fact_space_size(3) == 9 + 3
+
+    def test_fact_space_enumeration(self):
+        schema = GlobalSchema({"R": 1, "S": 1})
+        facts = list(schema.fact_space(["a", "b"]))
+        assert len(facts) == 4
+        assert Atom("R", ("a",)) in facts and Atom("S", ("b",)) in facts
+
+    def test_fact_space_deterministic(self):
+        schema = GlobalSchema({"R": 2})
+        assert list(schema.fact_space([1, 2])) == list(schema.fact_space([1, 2]))
+
+    def test_nullary_relation_has_one_fact(self):
+        schema = GlobalSchema({"Flag": 0})
+        assert list(schema.fact_space(["a"])) == [Atom("Flag", ())]
+
+
+class TestSchemaOfAtoms:
+    def test_inference(self):
+        schema = schema_of_atoms([fact("R", 1, 2), fact("S", 1)])
+        assert schema.arity("R") == 2 and schema.arity("S") == 1
+
+    def test_conflicting_arities_rejected(self):
+        with pytest.raises(ArityError):
+            schema_of_atoms([fact("R", 1), fact("R", 1, 2)])

@@ -1,0 +1,112 @@
+"""Tests for repro.model.terms."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model.terms import (
+    Constant,
+    FreshConstantFactory,
+    FreshVariableFactory,
+    Variable,
+    as_term,
+    constants_in,
+    is_constant,
+    is_variable,
+    term_sort_key,
+    variables_in,
+)
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(1900) == Constant(1900)
+        assert Constant("a") != Constant("b")
+
+    def test_distinct_types_not_equal(self):
+        assert Constant(1) != Constant("1")
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({Constant(1), Constant(1), Constant(2)}) == 2
+
+    def test_not_equal_to_variable(self):
+        assert Constant("x") != Variable("x")
+
+    def test_unhashable_value_rejected(self):
+        with pytest.raises(ModelError):
+            Constant([1, 2])
+
+    def test_ordering_is_total_across_types(self):
+        values = [Constant(2), Constant("b"), Constant(1), Constant("a")]
+        ordered = sorted(values)
+        assert ordered.index(Constant(1)) < ordered.index(Constant(2))
+        assert ordered.index(Constant("a")) < ordered.index(Constant("b"))
+
+    def test_str_quotes_strings(self):
+        assert str(Constant("ca")) == "'ca'"
+        assert str(Constant(5)) == "5"
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            Variable("")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(ModelError):
+            Variable(3)
+
+    def test_sorting_by_name(self):
+        assert sorted([Variable("z"), Variable("a")]) == [Variable("a"), Variable("z")]
+
+
+class TestHelpers:
+    def test_as_term_passthrough(self):
+        v = Variable("x")
+        assert as_term(v) is v
+        c = Constant(1)
+        assert as_term(c) is c
+
+    def test_as_term_wraps_values(self):
+        assert as_term(42) == Constant(42)
+        assert as_term("Canada") == Constant("Canada")
+
+    def test_predicates(self):
+        assert is_constant(Constant(1)) and not is_constant(Variable("x"))
+        assert is_variable(Variable("x")) and not is_variable(Constant(1))
+
+    def test_constants_and_variables_in(self):
+        terms = [Constant(1), Variable("x"), Constant(2), Variable("x")]
+        assert constants_in(terms) == {Constant(1), Constant(2)}
+        assert variables_in(terms) == {Variable("x")}
+
+    def test_term_sort_key_constants_before_variables(self):
+        assert term_sort_key(Constant("z")) < term_sort_key(Variable("a"))
+
+
+class TestFreshFactories:
+    def test_fresh_variables_avoid_taken(self):
+        factory = FreshVariableFactory(taken=[Variable("_v1")])
+        fresh = factory.fresh()
+        assert fresh != Variable("_v1")
+
+    def test_fresh_variables_distinct(self):
+        factory = FreshVariableFactory()
+        assert len({factory.fresh() for _ in range(50)}) == 50
+
+    def test_reserve_extends_taken(self):
+        factory = FreshVariableFactory()
+        factory.reserve([Variable("_v1"), Variable("_v2")])
+        names = {factory.fresh().name for _ in range(5)}
+        assert "_v1" not in names and "_v2" not in names
+
+    def test_fresh_constants_avoid_taken_values(self):
+        factory = FreshConstantFactory(taken=[Constant("_c1")])
+        assert factory.fresh() != Constant("_c1")
+
+    def test_fresh_constants_distinct(self):
+        factory = FreshConstantFactory()
+        assert len({factory.fresh() for _ in range(50)}) == 50

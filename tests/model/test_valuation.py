@@ -1,0 +1,135 @@
+"""Tests for repro.model.valuation: substitutions, compatibility, matching."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model.atoms import Atom, atom, fact
+from repro.model.terms import Constant, Variable
+from repro.model.valuation import (
+    Substitution,
+    Valuation,
+    compatible,
+    match_atom,
+    unify_atoms,
+)
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+a, b = Constant("a"), Constant("b")
+
+
+class TestSubstitution:
+    def test_keys_must_be_variables(self):
+        with pytest.raises(ModelError):
+            Substitution({Constant(1): Constant(2)})
+
+    def test_get_identity_on_constants(self):
+        theta = Substitution({x: a})
+        assert theta.get(b) == b
+
+    def test_get_unbound_variable_default(self):
+        theta = Substitution({x: a})
+        assert theta.get(y) is None
+        assert theta.get(y, y) == y
+
+    def test_apply(self):
+        theta = Substitution({x: a, y: z})
+        assert theta.apply(atom("R", x, y)) == atom("R", a, z)
+
+    def test_compose_chains_images(self):
+        first = Substitution({x: y})
+        second = Substitution({y: a})
+        composed = first.compose(second)
+        assert composed.get(x) == a
+        assert composed.get(y) == a  # second's own binding kept
+
+    def test_extended(self):
+        theta = Substitution({x: a}).extended(y, b)
+        assert theta[y] == b and theta[x] == a
+
+    def test_is_valuation(self):
+        assert Substitution({x: a}).is_valuation()
+        assert not Substitution({x: y}).is_valuation()
+
+    def test_hashable(self):
+        assert len({Substitution({x: a}), Substitution({x: a})}) == 1
+
+
+class TestValuation:
+    def test_rejects_variable_image(self):
+        with pytest.raises(ModelError):
+            Valuation({x: y})
+
+    def test_extended_rejects_variable(self):
+        with pytest.raises(ModelError):
+            Valuation({x: a}).extended(y, z)
+
+
+class TestCompatibility:
+    """The Section 4 compatibility relation σ ~ θ."""
+
+    def test_compatible_when_images_agree(self):
+        sigma = Substitution({x: a, y: a})
+        theta = Substitution({x: y})
+        assert compatible(sigma, theta)
+
+    def test_incompatible_when_images_differ(self):
+        sigma = Substitution({x: a, y: b})
+        theta = Substitution({x: y})
+        assert not compatible(sigma, theta)
+
+    def test_variable_to_constant_binding(self):
+        theta = Substitution({x: b})
+        assert compatible(Substitution({x: b}), theta)
+        assert not compatible(Substitution({x: a}), theta)
+
+    def test_unbound_variables_act_as_identity(self):
+        # σ leaves both x and y alone: σ(x) = x ≠ y = σ(y).
+        theta = Substitution({x: y})
+        assert not compatible(Substitution(), theta)
+
+    def test_empty_theta_compatible_with_everything(self):
+        assert compatible(Substitution({x: a}), Substitution())
+
+
+class TestMatchAtom:
+    def test_simple_match(self):
+        sigma = match_atom(atom("R", x, y), fact("R", 1, 2))
+        assert sigma[x] == Constant(1) and sigma[y] == Constant(2)
+
+    def test_repeated_variable_must_agree(self):
+        assert match_atom(atom("R", x, x), fact("R", 1, 2)) is None
+        assert match_atom(atom("R", x, x), fact("R", 1, 1)) is not None
+
+    def test_constant_positions_checked(self):
+        assert match_atom(atom("R", a, x), fact("R", "a", 2)) is not None
+        assert match_atom(atom("R", a, x), fact("R", "b", 2)) is None
+
+    def test_relation_and_arity_mismatch(self):
+        assert match_atom(atom("R", x), fact("S", 1)) is None
+        assert match_atom(atom("R", x), fact("R", 1, 2)) is None
+
+    def test_seed_respected(self):
+        seed = Substitution({x: Constant(1)})
+        assert match_atom(atom("R", x), fact("R", 2), seed) is None
+        sigma = match_atom(atom("R", x), fact("R", 1), seed)
+        assert sigma[x] == Constant(1)
+
+
+class TestUnifyAtoms:
+    def test_unifies_variables_both_sides(self):
+        mgu = unify_atoms(atom("R", x, a), atom("R", b, y))
+        assert mgu.get(x) == b and mgu.get(y) == a
+
+    def test_constant_clash(self):
+        assert unify_atoms(atom("R", a), atom("R", b)) is None
+
+    def test_variable_chain(self):
+        mgu = unify_atoms(atom("R", x, x), atom("R", y, a))
+        assert mgu.get(x) == a and mgu.get(y) == a
+
+    def test_relation_mismatch(self):
+        assert unify_atoms(atom("R", x), atom("S", x)) is None
+
+    def test_identical_atoms(self):
+        mgu = unify_atoms(atom("R", x), atom("R", x))
+        assert mgu is not None and len(mgu) == 0

@@ -1,0 +1,67 @@
+"""Hypothesis strategies for random model objects and source collections."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import strategies as st
+
+from repro.model import Atom, GlobalDatabase, fact
+from repro.queries import identity_view
+from repro.sources import SourceCollection, SourceDescriptor
+
+VALUES = ["a", "b", "c", "d", "e"]
+
+
+@st.composite
+def unary_databases(draw, relation="R", values=VALUES):
+    """A small database over one unary relation."""
+    chosen = draw(st.sets(st.sampled_from(values), max_size=len(values)))
+    return GlobalDatabase(fact(relation, v) for v in chosen)
+
+
+@st.composite
+def binary_databases(draw, relations=("E",), values=(1, 2, 3)):
+    """A small database over binary relations."""
+    facts = draw(
+        st.sets(
+            st.builds(
+                lambda r, a, b: fact(r, a, b),
+                st.sampled_from(list(relations)),
+                st.sampled_from(list(values)),
+                st.sampled_from(list(values)),
+            ),
+            max_size=8,
+        )
+    )
+    return GlobalDatabase(facts)
+
+
+def bounds():
+    """Exact rational bounds in [0, 1] with small denominators."""
+    return st.builds(
+        Fraction,
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=1, max_value=4),
+    ).map(lambda f: min(f, Fraction(1)))
+
+
+@st.composite
+def identity_collections(draw, max_sources=3, values=VALUES):
+    """A random identity-view collection over a shared unary relation."""
+    n = draw(st.integers(min_value=1, max_value=max_sources))
+    sources = []
+    for i in range(1, n + 1):
+        extension_values = draw(
+            st.sets(st.sampled_from(values), min_size=0, max_size=3)
+        )
+        sources.append(
+            SourceDescriptor(
+                identity_view(f"V{i}", "R", 1),
+                [fact(f"V{i}", v) for v in sorted(extension_values)],
+                draw(bounds()),
+                draw(bounds()),
+                name=f"S{i}",
+            )
+        )
+    return SourceCollection(sources)

@@ -1,0 +1,90 @@
+"""Property tests: algebraic laws of the σ/π/×/∪ operators."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    ALWAYS,
+    Col,
+    Comparison,
+    Product,
+    Projection,
+    RelationScan,
+    Selection,
+    UnionNode,
+)
+
+from tests.property.strategies import binary_databases
+
+SCAN = RelationScan("E", 2)
+
+
+def conditions():
+    return st.sampled_from(
+        [
+            ALWAYS,
+            Comparison(Col(0), "=", 1),
+            Comparison(Col(0), "<", Col(1)),
+            Comparison(Col(1), "!=", 2),
+        ]
+    )
+
+
+@given(binary_databases(), conditions())
+@settings(max_examples=60, deadline=None)
+def test_selection_idempotent(db, condition):
+    once = Selection(condition, SCAN).evaluate(db)
+    twice = Selection(condition, Selection(condition, SCAN)).evaluate(db)
+    assert once == twice
+
+
+@given(binary_databases(), conditions(), conditions())
+@settings(max_examples=60, deadline=None)
+def test_selection_commutes(db, c1, c2):
+    a = Selection(c1, Selection(c2, SCAN)).evaluate(db)
+    b = Selection(c2, Selection(c1, SCAN)).evaluate(db)
+    assert a == b
+
+
+@given(binary_databases())
+@settings(max_examples=60, deadline=None)
+def test_projection_identity(db):
+    assert Projection([0, 1], SCAN).evaluate(db) == SCAN.evaluate(db)
+
+
+@given(binary_databases())
+@settings(max_examples=60, deadline=None)
+def test_projection_composition(db):
+    """π₀(π₀,₁(E)) == π₀(E)."""
+    composed = Projection([0], Projection([0, 1], SCAN)).evaluate(db)
+    direct = Projection([0], SCAN).evaluate(db)
+    assert composed == direct
+
+
+@given(binary_databases())
+@settings(max_examples=50, deadline=None)
+def test_union_laws(db):
+    scan_rows = SCAN.evaluate(db)
+    assert UnionNode(SCAN, SCAN).evaluate(db) == scan_rows  # idempotent
+    empty = Selection(Comparison(Col(0), "=", "nope"), SCAN)
+    assert UnionNode(SCAN, empty).evaluate(db) == scan_rows  # identity
+
+
+@given(binary_databases())
+@settings(max_examples=40, deadline=None)
+def test_product_cardinality(db):
+    rows = SCAN.evaluate(db)
+    product_rows = Product(SCAN, SCAN).evaluate(db)
+    assert len(product_rows) == len(rows) ** 2
+
+
+@given(binary_databases(), conditions())
+@settings(max_examples=50, deadline=None)
+def test_selection_pushes_through_union(db, condition):
+    """σ(A ∪ B) == σ(A) ∪ σ(B)."""
+    left = Selection(condition, UnionNode(SCAN, Projection([1, 0], SCAN)))
+    right = UnionNode(
+        Selection(condition, SCAN),
+        Selection(condition, Projection([1, 0], SCAN)),
+    )
+    assert left.evaluate(db) == right.evaluate(db)

@@ -1,0 +1,71 @@
+"""Property tests for the consensus machinery."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+
+from repro.consensus import (
+    blame_scores,
+    consensus_trust_scores,
+    is_consistent_subset,
+    maximal_consistent_subcollections,
+    minimal_inconsistent_subcollections,
+    repair_via_hitting_set,
+    trust_scores,
+)
+
+from tests.property.strategies import identity_collections
+
+
+@given(identity_collections(max_sources=3))
+@settings(max_examples=30, deadline=None)
+def test_mcs_antichain_and_consistency(collection):
+    maximal = maximal_consistent_subcollections(collection)
+    for names in maximal:
+        assert is_consistent_subset(collection, names)
+    for left in maximal:
+        for right in maximal:
+            if left != right:
+                assert not left <= right
+
+
+@given(identity_collections(max_sources=3))
+@settings(max_examples=30, deadline=None)
+def test_conflicts_minimal_and_inconsistent(collection):
+    conflicts = minimal_inconsistent_subcollections(collection)
+    for conflict in conflicts:
+        assert not is_consistent_subset(collection, conflict)
+        for name in conflict:
+            assert is_consistent_subset(collection, conflict - {name})
+
+
+@given(identity_collections(max_sources=3))
+@settings(max_examples=30, deadline=None)
+def test_duality_conflicts_vs_mcs(collection):
+    """A subset is consistent iff it contains no conflict."""
+    conflicts = minimal_inconsistent_subcollections(collection)
+    for names in maximal_consistent_subcollections(collection):
+        assert not any(conflict <= names for conflict in conflicts)
+
+
+@given(identity_collections(max_sources=3))
+@settings(max_examples=30, deadline=None)
+def test_repair_restores_consistency(collection):
+    repair, conflicts = repair_via_hitting_set(collection)
+    remaining = frozenset(s.name for s in collection) - repair
+    assert is_consistent_subset(collection, remaining)
+    # minimality against the conflicts: every repaired source hits one
+    for name in repair:
+        assert any(name in conflict for conflict in conflicts)
+
+
+@given(identity_collections(max_sources=3))
+@settings(max_examples=30, deadline=None)
+def test_scores_in_unit_interval(collection):
+    for scores in (
+        trust_scores(collection),
+        consensus_trust_scores(collection),
+        blame_scores(collection),
+    ):
+        for value in scores.values():
+            assert Fraction(0) <= value <= Fraction(1)

@@ -1,0 +1,60 @@
+"""Property tests for the consistency deciders."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency import check_identity, size_bound, verify_witness
+from repro.confidence import BlockCounter, IdentityInstance
+from repro.reductions import (
+    HittingSetInstance,
+    hs_to_hs_star,
+    map_solution_back,
+    solve_exact,
+    solve_hs_star_via_consistency,
+)
+
+from tests.property.strategies import VALUES, identity_collections
+
+
+@given(identity_collections())
+@settings(max_examples=60, deadline=None)
+def test_dp_agrees_with_counting(collection):
+    dp = check_identity(collection)
+    counting = BlockCounter(IdentityInstance(collection, VALUES)).is_consistent()
+    assert dp.consistent == counting
+
+
+@given(identity_collections())
+@settings(max_examples=60, deadline=None)
+def test_witness_is_valid_and_bounded(collection):
+    result = check_identity(collection)
+    if result.consistent:
+        assert collection.admits(result.witness)
+        assert len(result.witness) <= size_bound(collection) or size_bound(
+            collection
+        ) == 0
+        assert verify_witness(collection, result.witness) or len(result.witness) == 0
+
+
+hs_instances = st.builds(
+    lambda subsets, k: HittingSetInstance(subsets, k),
+    st.lists(
+        st.sets(st.integers(min_value=0, max_value=5), min_size=1, max_size=3),
+        min_size=1,
+        max_size=4,
+    ),
+    st.integers(min_value=1, max_value=5),
+)
+
+
+@given(hs_instances)
+@settings(max_examples=60, deadline=None)
+def test_reduction_chain_equisolvable(instance):
+    """HS solvable ⇔ HS* solvable ⇔ reduced CONSISTENCY consistent."""
+    direct = solve_exact(instance)
+    star, fresh_element = hs_to_hs_star(instance)
+    via_consistency = solve_hs_star_via_consistency(star)
+    assert (direct is not None) == (via_consistency is not None)
+    if via_consistency is not None:
+        mapped = map_solution_back(via_consistency, fresh_element)
+        assert instance.is_hitting_set(mapped)

@@ -1,0 +1,79 @@
+"""Property tests: BlockCounter vs brute-force Γ enumeration, and the
+structural invariants of exact confidences."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import fact
+from repro.confidence import BlockCounter, GammaSystem, IdentityInstance
+
+from tests.property.strategies import VALUES, identity_collections
+
+DOMAIN = VALUES  # 5 unary facts -> 32 candidate worlds: cheap to enumerate
+
+
+@given(identity_collections())
+@settings(max_examples=50, deadline=None)
+def test_block_counting_equals_brute_force(collection):
+    instance = IdentityInstance(collection, DOMAIN)
+    blocks = BlockCounter(instance)
+    gamma = GammaSystem(instance)
+    assert blocks.count_worlds() == gamma.count_solutions()
+
+
+@given(identity_collections())
+@settings(max_examples=40, deadline=None)
+def test_confidences_match_brute_force(collection):
+    instance = IdentityInstance(collection, DOMAIN)
+    blocks = BlockCounter(instance)
+    gamma = GammaSystem(instance)
+    if blocks.count_worlds() == 0:
+        return
+    for value in DOMAIN:
+        f = fact("R", value)
+        assert blocks.confidence(f) == gamma.confidence(f)
+
+
+@given(identity_collections())
+@settings(max_examples=50, deadline=None)
+def test_containing_excluding_partition(collection):
+    blocks = BlockCounter(IdentityInstance(collection, DOMAIN))
+    total = blocks.count_worlds()
+    for value in DOMAIN:
+        f = fact("R", value)
+        assert (
+            blocks.count_worlds_containing(f) + blocks.count_worlds_excluding(f)
+            == total
+        )
+
+
+@given(identity_collections())
+@settings(max_examples=40, deadline=None)
+def test_confidence_bounds_and_certainty(collection):
+    blocks = BlockCounter(IdentityInstance(collection, DOMAIN))
+    total = blocks.count_worlds()
+    if total == 0:
+        return
+    for value in DOMAIN:
+        f = fact("R", value)
+        confidence = blocks.confidence(f)
+        assert 0 <= confidence <= 1
+        # confidence 1 <=> fact in every enumerated world
+        gamma = GammaSystem(blocks.instance)
+        in_all = all(f in world for world in gamma.solution_databases())
+        assert (confidence == 1) == in_all
+
+
+@given(identity_collections())
+@settings(max_examples=40, deadline=None)
+def test_sound_facts_of_fully_sound_source_are_certain(collection):
+    """If some source has s = 1, its facts appear in every world."""
+    blocks = BlockCounter(IdentityInstance(collection, DOMAIN))
+    if blocks.count_worlds() == 0:
+        return
+    for i, source in enumerate(collection):
+        if source.soundness_bound == 1:
+            for local in source.extension:
+                assert blocks.confidence(fact("R", local.args[0].value)) == 1

@@ -1,0 +1,59 @@
+"""Property tests for CQ evaluation and the algebra translation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queries import evaluate, evaluate_naive, parse_rule
+from repro.algebra import cq_to_algebra, rows_to_facts
+
+from tests.property.strategies import binary_databases
+
+QUERIES = [
+    "V(x) <- E(x, y)",
+    "V(y) <- E(x, y)",
+    "V(x, y) <- E(x, y)",
+    "V(x, z) <- E(x, y), E(y, z)",
+    "V(x) <- E(x, x)",
+    "V(x) <- E(x, y), E(y, x)",
+    "V(x, y) <- E(x, y), Lt(x, y)",
+    "V(y) <- E(1, y)",
+    "V(x, w) <- E(x, y), E(y, z), E(z, w)",
+]
+
+
+@given(binary_databases(), st.sampled_from(QUERIES))
+@settings(max_examples=80, deadline=None)
+def test_backtracking_matches_naive(db, rule):
+    q = parse_rule(rule)
+    assert evaluate(q, db) == evaluate_naive(q, db)
+
+
+@given(binary_databases(), st.sampled_from(QUERIES))
+@settings(max_examples=80, deadline=None)
+def test_algebra_translation_matches_cq(db, rule):
+    q = parse_rule(rule)
+    translated = rows_to_facts(cq_to_algebra(q).evaluate(db), "V")
+    assert translated == evaluate(q, db)
+
+
+@given(binary_databases(), binary_databases(), st.sampled_from(QUERIES))
+@settings(max_examples=60, deadline=None)
+def test_monotonicity(db1, db2, rule):
+    """Conjunctive queries are monotone: D ⊆ D' ⇒ Q(D) ⊆ Q(D')."""
+    q = parse_rule(rule)
+    union = db1.union(db2)
+    assert evaluate(q, db1) <= evaluate(q, union)
+    assert evaluate(q, db2) <= evaluate(q, union)
+
+
+@given(binary_databases(), st.sampled_from(QUERIES))
+@settings(max_examples=40, deadline=None)
+def test_every_answer_has_a_witness(db, rule):
+    from repro.queries import supporting_valuation
+
+    q = parse_rule(rule)
+    for answer in evaluate(q, db):
+        witness = supporting_valuation(q, db, answer)
+        assert witness is not None
+        for body_atom in q.relational_body():
+            assert body_atom.substitute(witness) in db

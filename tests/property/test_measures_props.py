@@ -1,0 +1,67 @@
+"""Property tests for the completeness/soundness measures (Defs 2.1/2.2)."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import fact
+from repro.sources.measures import (
+    completeness_of_extension,
+    is_complete,
+    is_sound,
+    soundness_of_extension,
+)
+
+facts_sets = st.sets(
+    st.integers(min_value=0, max_value=8).map(lambda i: fact("V", i)),
+    max_size=8,
+)
+
+
+@given(facts_sets, facts_sets)
+@settings(max_examples=60, deadline=None)
+def test_measures_in_unit_interval(extension, intended):
+    c = completeness_of_extension(extension, intended)
+    s = soundness_of_extension(extension, intended)
+    assert 0 <= c <= 1 and 0 <= s <= 1
+    assert isinstance(c, Fraction) and isinstance(s, Fraction)
+
+
+@given(facts_sets, facts_sets)
+@settings(max_examples=60, deadline=None)
+def test_soundness_one_iff_subset(extension, intended):
+    s = soundness_of_extension(extension, intended)
+    assert (s == 1) == (frozenset(extension) <= frozenset(intended))
+
+
+@given(facts_sets, facts_sets)
+@settings(max_examples=60, deadline=None)
+def test_completeness_one_iff_superset(extension, intended):
+    c = completeness_of_extension(extension, intended)
+    assert (c == 1) == (frozenset(extension) >= frozenset(intended))
+
+
+@given(facts_sets, facts_sets)
+@settings(max_examples=60, deadline=None)
+def test_completeness_numerator_symmetry(extension, intended):
+    """c·|intended| == s·|extension| == |extension ∩ intended| (both nonempty)."""
+    if extension and intended:
+        c = completeness_of_extension(extension, intended)
+        s = soundness_of_extension(extension, intended)
+        overlap = len(frozenset(extension) & frozenset(intended))
+        assert c * len(frozenset(intended)) == overlap
+        assert s * len(frozenset(extension)) == overlap
+
+
+@given(facts_sets, facts_sets, facts_sets)
+@settings(max_examples=60, deadline=None)
+def test_adding_intended_facts_monotone(extension, intended, extra):
+    """Growing the extension with *intended* facts never lowers either measure."""
+    boosted = frozenset(extension) | (frozenset(extra) & frozenset(intended))
+    assert completeness_of_extension(boosted, intended) >= completeness_of_extension(
+        extension, intended
+    )
+    if frozenset(extension) <= frozenset(intended):
+        # a sound extension stays sound when adding intended facts
+        assert soundness_of_extension(boosted, intended) == 1

@@ -1,0 +1,84 @@
+"""Property tests for the rewriting pipeline.
+
+The planner is generate-and-test, so soundness holds by construction; these
+tests guard the *expansion* semantics and the end-to-end guarantee that
+plans executed over exact sources never invent answers.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import GlobalDatabase, fact
+from repro.queries import evaluate, parse_rule
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.rewriting import execute_plan, expand_plan, find_rewritings, view_map
+
+VIEW_SETS = [
+    ["VFull(x, y) <- R(x, y)"],
+    ["VFull(x, y) <- R(x, y)", "VProj(x) <- R(x, y)"],
+    ["VFull(x, y) <- R(x, y)", "VSwap(y, x) <- R(x, y)"],
+    ["VJ(x, z) <- R(x, y), R(y, z)", "VFull(x, y) <- R(x, y)"],
+]
+
+QUERIES = [
+    "ans(x, y) <- R(x, y)",
+    "ans(x) <- R(x, y)",
+    "ans(x, z) <- R(x, y), R(y, z)",
+    "ans(x) <- R(x, x)",
+]
+
+
+@st.composite
+def edge_databases(draw):
+    facts = draw(
+        st.sets(
+            st.builds(
+                lambda a, b: fact("R", a, b),
+                st.integers(min_value=1, max_value=4),
+                st.integers(min_value=1, max_value=4),
+            ),
+            max_size=8,
+        )
+    )
+    return GlobalDatabase(facts)
+
+
+@given(
+    edge_databases(),
+    st.sampled_from(QUERIES),
+    st.sampled_from(range(len(VIEW_SETS))),
+)
+@settings(max_examples=50, deadline=None)
+def test_expansions_contained_semantically(db, query_text, view_set_index):
+    """Every returned plan's expansion yields a subset of Q(D), on data."""
+    query = parse_rule(query_text)
+    views = [parse_rule(v) for v in VIEW_SETS[view_set_index]]
+    for rewriting in find_rewritings(query, views):
+        assert evaluate(rewriting.expansion, db) <= evaluate(query, db)
+        if rewriting.equivalent:
+            assert evaluate(rewriting.expansion, db) == evaluate(query, db)
+
+
+@given(
+    edge_databases(),
+    st.sampled_from(QUERIES),
+    st.sampled_from(range(len(VIEW_SETS))),
+)
+@settings(max_examples=40, deadline=None)
+def test_execution_over_exact_sources_sound(db, query_text, view_set_index):
+    """Plans executed over exact view instances return only true answers."""
+    query = parse_rule(query_text)
+    views = [parse_rule(v) for v in VIEW_SETS[view_set_index]]
+    sources = [
+        SourceDescriptor(view, view.apply(db), 1, 1, name=f"S{i}")
+        for i, view in enumerate(views)
+    ]
+    collection = SourceCollection(sources)
+    true_answer = evaluate(query, db)
+    for rewriting in find_rewritings(query, views):
+        answers = execute_plan(rewriting.plan, collection)
+        assert answers <= true_answer
+        if rewriting.equivalent:
+            assert answers == true_answer

@@ -1,0 +1,30 @@
+"""Property tests for the exact world sampler."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.confidence import BlockCounter, IdentityInstance, WorldSampler
+
+from tests.property.strategies import VALUES, identity_collections
+
+
+@given(identity_collections(), st.integers(min_value=0, max_value=2**30))
+@settings(max_examples=40, deadline=None)
+def test_sampler_count_matches_counter(collection, seed):
+    instance = IdentityInstance(collection, VALUES)
+    sampler = WorldSampler(instance, random.Random(seed))
+    assert sampler.count_worlds() == BlockCounter(instance).count_worlds()
+
+
+@given(identity_collections(), st.integers(min_value=0, max_value=2**30))
+@settings(max_examples=30, deadline=None)
+def test_samples_are_possible_worlds(collection, seed):
+    instance = IdentityInstance(collection, VALUES)
+    sampler = WorldSampler(instance, random.Random(seed))
+    if sampler.count_worlds() == 0:
+        return
+    for _ in range(5):
+        world = sampler.sample()
+        assert collection.admits(world)

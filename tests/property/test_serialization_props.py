@@ -1,0 +1,47 @@
+"""Property tests: serialization round-trips exactly."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import (
+    dumps_collection,
+    dumps_database,
+    loads_collection,
+    loads_database,
+)
+from repro.model import GlobalDatabase, fact
+
+from tests.property.strategies import identity_collections
+
+
+@given(identity_collections())
+@settings(max_examples=40, deadline=None)
+def test_collection_roundtrip(collection):
+    text = dumps_collection(collection)
+    assert loads_collection(text).sources == collection.sources
+
+
+safe_values = st.one_of(
+    st.integers(min_value=-10_000, max_value=10_000),
+    st.text(
+        alphabet=st.characters(
+            whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=0x7F
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+)
+
+
+@given(
+    st.sets(
+        st.builds(
+            lambda a, b: fact("R", a, b), safe_values, safe_values
+        ),
+        max_size=10,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_database_roundtrip(facts):
+    db = GlobalDatabase(facts)
+    assert loads_database(dumps_database(db)) == db

@@ -1,0 +1,66 @@
+"""Property tests for distributions, joint counting, and linearity."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import fact
+from repro.confidence import BlockCounter, IdentityInstance
+
+from tests.property.strategies import VALUES, identity_collections
+
+
+@given(identity_collections())
+@settings(max_examples=40, deadline=None)
+def test_size_distribution_sums_to_count(collection):
+    counter = BlockCounter(IdentityInstance(collection, VALUES))
+    distribution = counter.world_size_distribution()
+    assert sum(distribution.values()) == counter.count_worlds()
+    assert all(size >= 0 and count > 0 for size, count in distribution.items())
+
+
+@given(identity_collections())
+@settings(max_examples=30, deadline=None)
+def test_linearity_of_expectation(collection):
+    counter = BlockCounter(IdentityInstance(collection, VALUES))
+    if counter.count_worlds() == 0:
+        return
+    total_confidence = sum(
+        (counter.confidence(fact("R", v)) for v in VALUES), Fraction(0)
+    )
+    assert counter.expected_world_size() == total_confidence
+
+
+@given(identity_collections(), st.sampled_from(VALUES), st.sampled_from(VALUES))
+@settings(max_examples=40, deadline=None)
+def test_joint_bounds(collection, left_value, right_value):
+    """Fréchet bounds: max(0, P(a)+P(b)−1) ≤ P(a,b) ≤ min(P(a), P(b))."""
+    counter = BlockCounter(IdentityInstance(collection, VALUES))
+    if counter.count_worlds() == 0:
+        return
+    left, right = fact("R", left_value), fact("R", right_value)
+    p_left = counter.confidence(left)
+    p_right = counter.confidence(right)
+    joint = counter.joint_confidence([left, right])
+    assert joint <= min(p_left, p_right)
+    assert joint >= max(Fraction(0), p_left + p_right - 1)
+
+
+@given(identity_collections(), st.sampled_from(VALUES), st.sampled_from(VALUES))
+@settings(max_examples=30, deadline=None)
+def test_inclusion_exclusion_pairwise(collection, left_value, right_value):
+    """P(a ∨ b) = P(a) + P(b) − P(a, b), via world counts."""
+    counter = BlockCounter(IdentityInstance(collection, VALUES))
+    total = counter.count_worlds()
+    if total == 0 or left_value == right_value:
+        return
+    left, right = fact("R", left_value), fact("R", right_value)
+    with_left = counter.count_worlds_containing(left)
+    with_right = counter.count_worlds_containing(right)
+    with_both = counter.count_worlds_containing_all([left, right])
+    neither = counter.count_worlds_excluding(left)
+    # worlds with a or b = |a| + |b| - |ab|; complement check against total
+    with_either = with_left + with_right - with_both
+    assert 0 <= with_either <= total
+    assert with_left <= total and neither == total - with_left

@@ -1,0 +1,22 @@
+"""Property test for Theorem 4.1 over random identity collections.
+
+Random *general-view* collections blow up the enumeration quickly, so the
+property sweep uses identity collections over a small shared domain (the
+deterministic tests in tests/tableaux cover hand-picked general views).
+"""
+
+from hypothesis import given, settings
+
+from repro.tableaux import direct_possible_worlds, template_possible_worlds
+
+from tests.property.strategies import identity_collections
+
+DOMAIN = ["a", "b", "c", "d"]
+
+
+@given(identity_collections(max_sources=2, values=DOMAIN[:3]))
+@settings(max_examples=25, deadline=None)
+def test_theorem41(collection):
+    direct = direct_possible_worlds(collection, DOMAIN)
+    via_templates = template_possible_worlds(collection, DOMAIN)
+    assert direct == via_templates

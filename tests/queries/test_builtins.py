@@ -1,0 +1,73 @@
+"""Tests for the built-in predicate registry."""
+
+import pytest
+
+from repro.exceptions import BuiltinError
+from repro.model import atom, fact
+from repro.queries.builtins import (
+    Builtin,
+    BuiltinRegistry,
+    default_registry,
+)
+
+
+class TestBuiltin:
+    def test_check(self):
+        after = Builtin("After", 2, lambda x, y: x > y)
+        assert after.check((1950, 1900))
+        assert not after.check((1850, 1900))
+
+    def test_arity_mismatch(self):
+        after = Builtin("After", 2, lambda x, y: x > y)
+        with pytest.raises(BuiltinError):
+            after.check((1,))
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(BuiltinError):
+            Builtin("Bad", 0, lambda: True)
+
+    def test_type_error_is_false(self):
+        after = Builtin("After", 2, lambda x, y: x > y)
+        assert not after.check(("abc", 5))
+
+
+class TestRegistry:
+    def test_default_names(self):
+        registry = default_registry()
+        for name in ["After", "Before", "Lt", "Le", "Gt", "Ge", "Eq", "Neq"]:
+            assert registry.is_builtin(name)
+
+    def test_check_atom(self):
+        registry = default_registry()
+        assert registry.check_atom(fact("After", 1950, 1900))
+        assert not registry.check_atom(fact("Before", 1950, 1900))
+
+    def test_check_atom_requires_ground(self):
+        registry = default_registry()
+        from repro.model import Variable
+
+        with pytest.raises(BuiltinError):
+            registry.check_atom(atom("After", Variable("y"), 1900))
+
+    def test_unknown_builtin(self):
+        with pytest.raises(BuiltinError):
+            BuiltinRegistry().check_atom(fact("After", 1, 2))
+
+    def test_custom_registration(self):
+        registry = BuiltinRegistry()
+        registry.register(Builtin("Even", 1, lambda x: x % 2 == 0))
+        assert registry.check_atom(fact("Even", 4))
+        assert not registry.check_atom(fact("Even", 3))
+
+    def test_semantics_of_each_comparison(self):
+        registry = default_registry()
+        cases = {
+            ("Lt", 1, 2): True, ("Lt", 2, 2): False,
+            ("Le", 2, 2): True, ("Le", 3, 2): False,
+            ("Gt", 3, 2): True, ("Gt", 2, 2): False,
+            ("Ge", 2, 2): True, ("Ge", 1, 2): False,
+            ("Eq", 2, 2): True, ("Eq", 1, 2): False,
+            ("Neq", 1, 2): True, ("Neq", 2, 2): False,
+        }
+        for (name, a, b), expected in cases.items():
+            assert registry.check_atom(fact(name, a, b)) is expected, name

@@ -1,0 +1,131 @@
+"""Tests for repro.queries.conjunctive."""
+
+import pytest
+
+from repro.exceptions import UnsafeQueryError
+from repro.model import GlobalDatabase, Variable, atom, fact
+from repro.queries import (
+    ConjunctiveQuery,
+    answer_query,
+    default_registry,
+    identity_view,
+)
+
+x, y = Variable("x"), Variable("y")
+
+
+class TestSafety:
+    def test_safe_query_accepted(self):
+        ConjunctiveQuery(atom("V", x), [atom("R", x, y)])
+
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(UnsafeQueryError):
+            ConjunctiveQuery(atom("V", x), [atom("R", y, y)])
+
+    def test_builtin_does_not_bind(self):
+        registry = default_registry()
+        with pytest.raises(UnsafeQueryError):
+            ConjunctiveQuery(atom("V", x), [atom("After", x, 1900)], registry)
+
+    def test_builtin_over_bound_variables_ok(self):
+        registry = default_registry()
+        q = ConjunctiveQuery(
+            atom("V", x), [atom("R", x), atom("After", x, 1900)], registry
+        )
+        assert len(q.builtin_body()) == 1
+
+    def test_dangling_builtin_variable_rejected(self):
+        registry = default_registry()
+        with pytest.raises(UnsafeQueryError):
+            ConjunctiveQuery(
+                atom("V", x), [atom("R", x), atom("After", y, 1900)], registry
+            )
+
+
+class TestStructure:
+    def test_relational_vs_builtin_body(self):
+        registry = default_registry()
+        q = ConjunctiveQuery(
+            atom("V", x), [atom("R", x), atom("After", x, 0)], registry
+        )
+        assert [a.relation for a in q.relational_body()] == ["R"]
+        assert [a.relation for a in q.builtin_body()] == ["After"]
+
+    def test_variables_and_constants(self):
+        q = ConjunctiveQuery(atom("V", x), [atom("R", x, "c")])
+        assert q.variables() == {x}
+        assert {c.value for c in q.constants()} == {"c"}
+
+    def test_body_size(self):
+        q = ConjunctiveQuery(atom("V", x), [atom("R", x), atom("S", x)])
+        assert q.body_size() == 2
+
+    def test_body_schema(self):
+        q = ConjunctiveQuery(atom("V", x), [atom("R", x, y)])
+        assert q.body_schema().arity("R") == 2
+
+
+class TestIdentityDetection:
+    def test_identity_view_is_identity(self):
+        assert identity_view("V", "R", 2).is_identity()
+
+    def test_non_identity_projection(self):
+        q = ConjunctiveQuery(atom("V", x), [atom("R", x, y)])
+        assert not q.is_identity()
+
+    def test_non_identity_repeated_variable(self):
+        q = ConjunctiveQuery(atom("V", x, x), [atom("R", x, x)])
+        assert not q.is_identity()
+
+    def test_non_identity_constant(self):
+        q = ConjunctiveQuery(atom("V", "a", x), [atom("R", "a", x)])
+        assert not q.is_identity()
+
+    def test_non_identity_two_atoms(self):
+        q = ConjunctiveQuery(atom("V", x), [atom("R", x), atom("S", x)])
+        assert not q.is_identity()
+
+
+class TestApplication:
+    def test_apply_is_callable(self):
+        q = identity_view("V", "R", 1)
+        db = GlobalDatabase([fact("R", 1), fact("R", 2)])
+        assert q(db) == frozenset({fact("V", 1), fact("V", 2)})
+
+    def test_standardized_apart(self):
+        q = ConjunctiveQuery(atom("V", x), [atom("R", x, y)])
+        renamed = q.standardized_apart([x, y])
+        assert renamed.variables().isdisjoint({x, y})
+        # structure preserved
+        assert renamed.body_size() == 1 and renamed.head.relation == "V"
+
+    def test_substitute(self):
+        from repro.model.valuation import Substitution
+        from repro.model.terms import Constant
+
+        q = ConjunctiveQuery(atom("V", x), [atom("R", x, y)])
+        grounded = q.substitute(Substitution({x: Constant(1)}))
+        assert grounded.head == atom("V", 1)
+
+
+class TestAnswerQuery:
+    def test_head_relation_is_ans(self):
+        q = answer_query([atom("R", x)], [x])
+        assert q.head.relation == "ans"
+
+    def test_boolean_query(self):
+        q = answer_query([atom("R", x)])
+        db = GlobalDatabase([fact("R", 1)])
+        assert q.apply(db) == frozenset({fact("ans")})
+        assert q.apply(GlobalDatabase()) == frozenset()
+
+
+class TestEqualityAndRepr:
+    def test_equality(self):
+        q1 = ConjunctiveQuery(atom("V", x), [atom("R", x)])
+        q2 = ConjunctiveQuery(atom("V", x), [atom("R", x)])
+        assert q1 == q2 and hash(q1) == hash(q2)
+
+    def test_str(self):
+        q = ConjunctiveQuery(atom("V", x), [atom("R", x)])
+        assert str(q) == "V(x) <- R(x)"

@@ -1,0 +1,79 @@
+"""Tests for homomorphism-based containment and minimization."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.model import GlobalDatabase, fact
+from repro.queries import (
+    evaluate,
+    is_contained_in,
+    is_equivalent,
+    minimize,
+    parse_rule,
+)
+
+
+class TestContainment:
+    def test_more_joins_contained_in_fewer(self):
+        narrower = parse_rule("V(x) <- R(x,y), R(y,x)")
+        wider = parse_rule("V(x) <- R(x,y)")
+        assert is_contained_in(narrower, wider)
+        assert not is_contained_in(wider, narrower)
+
+    def test_constant_specialization(self):
+        special = parse_rule("V(x) <- R(x, 1)")
+        general = parse_rule("V(x) <- R(x, y)")
+        assert is_contained_in(special, general)
+        assert not is_contained_in(general, special)
+
+    def test_incomparable_relations(self):
+        q1 = parse_rule("V(x) <- R(x)")
+        q2 = parse_rule("V(x) <- S(x)")
+        assert not is_contained_in(q1, q2)
+        assert not is_contained_in(q2, q1)
+
+    def test_head_arity_mismatch(self):
+        q1 = parse_rule("V(x) <- R(x, y)")
+        q2 = parse_rule("V(x, y) <- R(x, y)")
+        assert not is_contained_in(q1, q2)
+
+    def test_containment_implies_result_containment(self):
+        """Semantic check: Q1 ⊆ Q2 ⇒ Q1(D) ⊆ Q2(D) on concrete data."""
+        narrower = parse_rule("V(x) <- R(x,y), R(y,x)")
+        wider = parse_rule("V(x) <- R(x,y)")
+        db = GlobalDatabase(
+            [fact("R", 1, 2), fact("R", 2, 1), fact("R", 3, 4)]
+        )
+        assert evaluate(narrower, db) <= evaluate(wider, db)
+
+    def test_builtins_rejected(self):
+        q = parse_rule("V(x) <- R(x), After(x, 0)")
+        plain = parse_rule("V(x) <- R(x)")
+        with pytest.raises(QueryError):
+            is_contained_in(q, plain)
+
+
+class TestEquivalenceAndMinimize:
+    def test_redundant_atom_removed(self):
+        redundant = parse_rule("V(x) <- R(x,y), R(x,z)")
+        minimal = minimize(redundant)
+        assert minimal.body_size() == 1
+        assert is_equivalent(minimal, redundant)
+
+    def test_core_of_non_redundant_query_unchanged(self):
+        q = parse_rule("V(x) <- R(x,y), S(y)")
+        assert minimize(q).body_size() == 2
+
+    def test_triangle_not_reducible(self):
+        q = parse_rule("V(x) <- R(x,y), R(y,z), R(z,x)")
+        assert minimize(q).body_size() == 3
+
+    def test_path_with_redundant_generalization(self):
+        # R(x,y),R(u,v) — the second atom folds onto the first
+        q = parse_rule("V(x) <- R(x,y), R(u,v)")
+        assert minimize(q).body_size() == 1
+
+    def test_equivalence_of_renamed_queries(self):
+        q1 = parse_rule("V(x) <- R(x, y)")
+        q2 = parse_rule("V(u) <- R(u, w)")
+        assert is_equivalent(q1, q2)

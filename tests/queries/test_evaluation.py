@@ -1,0 +1,129 @@
+"""Tests for repro.queries.evaluation: joins, builtins, witnesses."""
+
+import pytest
+
+from repro.model import GlobalDatabase, Variable, atom, fact
+from repro.queries import (
+    ConjunctiveQuery,
+    default_registry,
+    derives,
+    evaluate,
+    evaluate_naive,
+    parse_rule,
+    supporting_valuation,
+    valuations,
+)
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+@pytest.fixture
+def chain_db():
+    return GlobalDatabase(
+        [fact("E", 1, 2), fact("E", 2, 3), fact("E", 3, 4), fact("E", 2, 5)]
+    )
+
+
+class TestEvaluate:
+    def test_single_atom(self, chain_db):
+        q = ConjunctiveQuery(atom("V", x, y), [atom("E", x, y)])
+        assert evaluate(q, chain_db) == frozenset(
+            {fact("V", 1, 2), fact("V", 2, 3), fact("V", 3, 4), fact("V", 2, 5)}
+        )
+
+    def test_two_hop_join(self, chain_db):
+        q = ConjunctiveQuery(atom("V", x, z), [atom("E", x, y), atom("E", y, z)])
+        assert evaluate(q, chain_db) == frozenset(
+            {fact("V", 1, 3), fact("V", 1, 5), fact("V", 2, 4)}
+        )
+
+    def test_cycle_detection(self, chain_db):
+        q = ConjunctiveQuery(atom("V", x), [atom("E", x, y), atom("E", y, x)])
+        assert evaluate(q, chain_db) == frozenset()
+        with_cycle = chain_db.with_facts([fact("E", 2, 1)])
+        assert evaluate(q, with_cycle) == frozenset({fact("V", 1), fact("V", 2)})
+
+    def test_constants_in_body(self, chain_db):
+        q = ConjunctiveQuery(atom("V", y), [atom("E", 2, y)])
+        assert evaluate(q, chain_db) == frozenset({fact("V", 3), fact("V", 5)})
+
+    def test_projection_deduplicates(self, chain_db):
+        q = ConjunctiveQuery(atom("V", x), [atom("E", x, y)])
+        assert evaluate(q, chain_db) == frozenset(
+            {fact("V", 1), fact("V", 2), fact("V", 3)}
+        )
+
+    def test_empty_database(self):
+        q = ConjunctiveQuery(atom("V", x), [atom("E", x, y)])
+        assert evaluate(q, GlobalDatabase()) == frozenset()
+
+    def test_self_join_same_relation(self, chain_db):
+        q = ConjunctiveQuery(
+            atom("V", x), [atom("E", x, y), atom("E", x, z), atom("E", y, z)]
+        )
+        # only x with two outgoing edges whose targets are connected: none here
+        assert evaluate(q, chain_db) == frozenset()
+
+
+class TestBuiltins:
+    def test_after_filters(self):
+        db = GlobalDatabase([fact("T", 1, 1899), fact("T", 2, 1950)])
+        q = parse_rule("V(s) <- T(s, y), After(y, 1900)")
+        assert evaluate(q, db) == frozenset({fact("V", 2)})
+
+    def test_builtin_between_variables(self):
+        db = GlobalDatabase([fact("R", 1, 2), fact("R", 3, 2)])
+        q = parse_rule("V(x, y) <- R(x, y), Lt(x, y)")
+        assert evaluate(q, db) == frozenset({fact("V", 1, 2)})
+
+    def test_builtin_failing_everything(self):
+        db = GlobalDatabase([fact("R", 1)])
+        q = parse_rule("V(x) <- R(x), After(x, 100)")
+        assert evaluate(q, db) == frozenset()
+
+    def test_heterogeneous_comparison_fails_quietly(self):
+        db = GlobalDatabase([fact("R", "abc")])
+        q = parse_rule("V(x) <- R(x), After(x, 100)")
+        assert evaluate(q, db) == frozenset()
+
+
+class TestAgainstNaiveOracle:
+    @pytest.mark.parametrize(
+        "rule",
+        [
+            "V(x) <- E(x, y)",
+            "V(x, z) <- E(x, y), E(y, z)",
+            "V(x) <- E(x, x)",
+            "V(x, y) <- E(x, y), E(y, x)",
+            "V(y) <- E(1, y)",
+        ],
+    )
+    def test_agreement(self, rule, chain_db):
+        q = parse_rule(rule)
+        assert evaluate(q, chain_db) == evaluate_naive(q, chain_db)
+
+    def test_agreement_with_builtins(self, chain_db):
+        q = parse_rule("V(x, y) <- E(x, y), Lt(x, y)")
+        assert evaluate(q, chain_db) == evaluate_naive(q, chain_db)
+
+
+class TestValuationsAndWitnesses:
+    def test_valuations_count(self, chain_db):
+        q = ConjunctiveQuery(atom("V", x, y), [atom("E", x, y)])
+        assert len(list(valuations(q, chain_db))) == 4
+
+    def test_supporting_valuation_grounds_body(self, chain_db):
+        q = ConjunctiveQuery(atom("V", x, z), [atom("E", x, y), atom("E", y, z)])
+        witness = supporting_valuation(q, chain_db, fact("V", 1, 3))
+        assert witness is not None
+        grounded_body = [a.substitute(witness) for a in q.body]
+        assert all(g in chain_db for g in grounded_body)
+
+    def test_supporting_valuation_none_for_underivable(self, chain_db):
+        q = ConjunctiveQuery(atom("V", x, z), [atom("E", x, y), atom("E", y, z)])
+        assert supporting_valuation(q, chain_db, fact("V", 4, 1)) is None
+
+    def test_derives(self, chain_db):
+        q = ConjunctiveQuery(atom("V", x, z), [atom("E", x, y), atom("E", y, z)])
+        assert derives(q, chain_db, fact("V", 2, 4))
+        assert not derives(q, chain_db, fact("V", 4, 2))

@@ -1,0 +1,105 @@
+"""Tests for the hash-indexed evaluation engine."""
+
+import random
+
+import pytest
+
+from repro.model import Constant, GlobalDatabase, fact
+from repro.queries import (
+    DatabaseIndex,
+    evaluate,
+    evaluate_indexed,
+    parse_rule,
+)
+
+
+@pytest.fixture
+def chain_db():
+    return GlobalDatabase(
+        [fact("E", 1, 2), fact("E", 2, 3), fact("E", 3, 4), fact("E", 2, 5)]
+    )
+
+
+class TestDatabaseIndex:
+    def test_lookup_by_position(self, chain_db):
+        index = DatabaseIndex(chain_db)
+        hits = index.lookup("E", (0,), (Constant(2),))
+        assert {f.args[1].value for f in hits} == {3, 5}
+
+    def test_lookup_composite_key(self, chain_db):
+        index = DatabaseIndex(chain_db)
+        assert len(index.lookup("E", (0, 1), (Constant(1), Constant(2)))) == 1
+        assert index.lookup("E", (0, 1), (Constant(1), Constant(9))) == ()
+
+    def test_empty_positions_full_scan(self, chain_db):
+        index = DatabaseIndex(chain_db)
+        assert len(index.lookup("E", (), ())) == 4
+
+    def test_indexes_memoized(self, chain_db):
+        index = DatabaseIndex(chain_db)
+        index.lookup("E", (0,), (Constant(1),))
+        index.lookup("E", (0,), (Constant(2),))
+        assert index.index_count() == 1
+        index.lookup("E", (1,), (Constant(2),))
+        assert index.index_count() == 2
+
+    def test_missing_relation(self, chain_db):
+        index = DatabaseIndex(chain_db)
+        assert index.lookup("Nope", (0,), (Constant(1),)) == ()
+
+    def test_candidates_uses_bound_positions(self, chain_db):
+        from repro.model import Variable, atom
+        from repro.model.valuation import Substitution
+
+        index = DatabaseIndex(chain_db)
+        x, y = Variable("x"), Variable("y")
+        pattern = atom("E", x, y)
+        seeded = Substitution({x: Constant(2)})
+        candidates = index.candidates(pattern, seeded)
+        assert {f.args[1].value for f in candidates} == {3, 5}
+
+
+class TestEvaluateIndexed:
+    QUERIES = [
+        "V(x) <- E(x, y)",
+        "V(x, z) <- E(x, y), E(y, z)",
+        "V(x) <- E(x, x)",
+        "V(y) <- E(2, y)",
+        "V(x, y) <- E(x, y), Lt(x, y)",
+        "V(x, w) <- E(x, y), E(y, z), E(z, w)",
+    ]
+
+    @pytest.mark.parametrize("rule", QUERIES)
+    def test_agrees_with_plain_evaluator(self, rule, chain_db):
+        q = parse_rule(rule)
+        assert evaluate_indexed(q, chain_db) == evaluate(q, chain_db)
+
+    def test_accepts_prebuilt_index(self, chain_db):
+        index = DatabaseIndex(chain_db)
+        q1 = parse_rule("V(x) <- E(x, y)")
+        q2 = parse_rule("V(x, z) <- E(x, y), E(y, z)")
+        assert evaluate_indexed(q1, index) == evaluate(q1, chain_db)
+        assert evaluate_indexed(q2, index) == evaluate(q2, chain_db)
+        assert index.index_count() >= 1
+
+    def test_random_databases(self):
+        rng = random.Random(17)
+        for _ in range(20):
+            facts = [
+                fact("E", rng.randint(1, 5), rng.randint(1, 5))
+                for _ in range(rng.randint(0, 12))
+            ]
+            db = GlobalDatabase(facts)
+            for rule in self.QUERIES:
+                q = parse_rule(rule)
+                assert evaluate_indexed(q, db) == evaluate(q, db), (rule, db)
+
+    def test_large_join_correctness(self):
+        rng = random.Random(5)
+        facts = [
+            fact("E", rng.randint(1, 40), rng.randint(1, 40))
+            for _ in range(300)
+        ]
+        db = GlobalDatabase(facts)
+        q = parse_rule("V(x, z) <- E(x, y), E(y, z)")
+        assert evaluate_indexed(q, db) == evaluate(q, db)

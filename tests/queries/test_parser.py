@@ -1,0 +1,99 @@
+"""Tests for the Datalog-style parser."""
+
+import pytest
+
+from repro.exceptions import NotGroundError, ParseError
+from repro.model import Constant, Variable, atom
+from repro.queries import parse_atom, parse_fact, parse_program, parse_rule
+
+
+class TestParseAtom:
+    def test_lowercase_is_variable(self):
+        assert parse_atom("R(x)") == atom("R", Variable("x"))
+
+    def test_uppercase_is_constant_name(self):
+        assert parse_atom("R(Canada)") == atom("R", Constant("Canada"))
+
+    def test_underscore_prefix_is_variable(self):
+        assert parse_atom("R(_tmp)") == atom("R", Variable("_tmp"))
+
+    def test_integers_and_floats(self):
+        a = parse_atom("R(1900, -3, 2.5)")
+        assert a.args == (Constant(1900), Constant(-3), Constant(2.5))
+
+    def test_quoted_strings(self):
+        assert parse_atom('R("Canada")') == atom("R", Constant("Canada"))
+        assert parse_atom("R('US')") == atom("R", Constant("US"))
+
+    def test_empty_args(self):
+        assert parse_atom("Flag()").arity == 0
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(x) extra")
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(x; y)")
+
+    def test_missing_paren_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(x")
+
+
+class TestParseFact:
+    def test_ground_ok(self):
+        f = parse_fact("Station(438432, 'Canada')")
+        assert f.is_ground()
+
+    def test_variables_rejected(self):
+        with pytest.raises(NotGroundError):
+            parse_fact("R(x)")
+
+
+class TestParseRule:
+    def test_motivating_example_view(self):
+        q = parse_rule(
+            'V1(s,y,m,v) <- Temperature(s,y,m,v), '
+            'Station(s,lat,lon,"Canada"), After(y,1900)'
+        )
+        assert q.head.relation == "V1"
+        assert [a.relation for a in q.relational_body()] == [
+            "Temperature",
+            "Station",
+        ]
+        assert [a.relation for a in q.builtin_body()] == ["After"]
+
+    def test_alternative_arrow(self):
+        q = parse_rule("V(x) :- R(x)")
+        assert q.body_size() == 1
+
+    def test_unsafe_rejected(self):
+        from repro.exceptions import UnsafeQueryError
+
+        with pytest.raises(UnsafeQueryError):
+            parse_rule("V(x) <- R(y)")
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("V(x) R(x)")
+
+    def test_roundtrip_str(self):
+        q = parse_rule("V(x, y) <- R(x, z), S(z, y)")
+        assert parse_rule(str(q)) == q
+
+
+class TestParseProgram:
+    def test_multiple_rules_with_comments(self):
+        rules = parse_program(
+            """
+            % the station directory
+            V0(s, c) <- Station(s, c)
+            # temperatures
+            V1(s, v) <- Temperature(s, v)
+            """
+        )
+        assert [r.head.relation for r in rules] == ["V0", "V1"]
+
+    def test_empty_program(self):
+        assert parse_program("\n% nothing\n") == []

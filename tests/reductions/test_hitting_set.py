@@ -1,0 +1,126 @@
+"""Tests for HS / HS* problems and solvers."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ReductionError
+from repro.reductions import (
+    HittingSetInstance,
+    HSStarInstance,
+    minimum_hitting_set,
+    solve_exact,
+    solve_greedy,
+)
+
+
+class TestInstances:
+    def test_universe(self):
+        inst = HittingSetInstance([{1, 2}, {3}], 2)
+        assert inst.universe == {1, 2, 3}
+
+    def test_empty_subset_rejected(self):
+        with pytest.raises(ReductionError):
+            HittingSetInstance([{1}, set()], 1)
+
+    def test_no_subsets_rejected(self):
+        with pytest.raises(ReductionError):
+            HittingSetInstance([], 1)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ReductionError):
+            HittingSetInstance([{1}], -1)
+
+    def test_is_hitting_set(self):
+        inst = HittingSetInstance([{1, 2}, {2, 3}], 1)
+        assert inst.is_hitting_set({2})
+        assert not inst.is_hitting_set({1})          # misses {2,3}
+        assert not inst.is_hitting_set({1, 3})       # size > K
+
+    def test_hs_star_requires_singleton_last(self):
+        HSStarInstance([{1, 2}, {3}], 2)
+        with pytest.raises(ReductionError):
+            HSStarInstance([{3}, {1, 2}], 2)
+
+
+class TestExactSolver:
+    def test_simple_hit(self):
+        inst = HittingSetInstance([{1, 2}, {2, 3}], 1)
+        assert solve_exact(inst) == frozenset({2})
+
+    def test_infeasible_budget(self):
+        inst = HittingSetInstance([{1}, {2}, {3}], 2)
+        assert solve_exact(inst) is None
+
+    def test_disjoint_subsets_need_one_each(self):
+        inst = HittingSetInstance([{1}, {2}, {3}], 3)
+        solution = solve_exact(inst)
+        assert solution == frozenset({1, 2, 3})
+
+    def test_k_zero_with_subsets(self):
+        inst = HittingSetInstance([{1}], 0)
+        assert solve_exact(inst) is None
+
+    def test_solution_always_valid(self):
+        rng = random.Random(5)
+        for _ in range(30):
+            subsets = [
+                set(rng.sample(range(8), rng.randint(1, 4))) for _ in range(5)
+            ]
+            k = rng.randint(1, 5)
+            inst = HittingSetInstance(subsets, k)
+            solution = solve_exact(inst)
+            if solution is not None:
+                assert inst.is_hitting_set(solution)
+
+    def test_exact_is_complete_vs_brute_force(self):
+        """If brute force finds any hitting set of size <= K, so must we."""
+        from itertools import combinations
+
+        rng = random.Random(9)
+        for _ in range(25):
+            subsets = [
+                set(rng.sample(range(6), rng.randint(1, 3))) for _ in range(4)
+            ]
+            k = rng.randint(1, 4)
+            inst = HittingSetInstance(subsets, k)
+            brute = any(
+                inst.is_hitting_set(set(combo))
+                for size in range(k + 1)
+                for combo in combinations(sorted(inst.universe, key=repr), size)
+            )
+            assert (solve_exact(inst) is not None) == brute
+
+
+class TestGreedy:
+    def test_greedy_hits_everything(self):
+        rng = random.Random(2)
+        for _ in range(20):
+            subsets = [
+                set(rng.sample(range(10), rng.randint(1, 4))) for _ in range(6)
+            ]
+            inst = HittingSetInstance(subsets, 10)
+            greedy = solve_greedy(inst)
+            assert all(greedy & s for s in inst.subsets)
+
+    def test_greedy_never_smaller_than_optimum(self):
+        rng = random.Random(3)
+        for _ in range(15):
+            subsets = [
+                set(rng.sample(range(7), rng.randint(1, 3))) for _ in range(5)
+            ]
+            optimum = minimum_hitting_set(subsets)
+            greedy = solve_greedy(HittingSetInstance(subsets, len(optimum)))
+            assert len(greedy) >= len(optimum)
+
+
+class TestMinimum:
+    def test_minimum_value(self):
+        assert minimum_hitting_set([{1, 2}, {2, 3}, {3, 4}]) in (
+            frozenset({2, 3}),
+            frozenset({2, 4}),
+            frozenset({1, 3}),
+        )
+
+    def test_single_subset(self):
+        assert len(minimum_hitting_set([{5, 6}])) == 1

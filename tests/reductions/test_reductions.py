@@ -1,0 +1,142 @@
+"""Round-trip tests for Lemma 3.3 and Theorem 3.2 reductions."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import ReductionError
+from repro.model import GlobalDatabase, fact
+from repro.consistency import check_identity
+from repro.reductions import (
+    HSStarInstance,
+    HittingSetInstance,
+    database_to_hitting_set,
+    hitting_set_to_database,
+    hs_star_to_collection,
+    hs_to_hs_star,
+    map_solution_back,
+    map_solution_forward,
+    solve_exact,
+    solve_hs_star_via_consistency,
+)
+
+
+class TestLemma33:
+    """HS reduces to HS*."""
+
+    def test_transformation_shape(self):
+        inst = HittingSetInstance([{1, 2}], 1)
+        star, fresh = hs_to_hs_star(inst)
+        assert isinstance(star, HSStarInstance)
+        assert star.k == 2
+        assert star.subsets[-1] == frozenset([fresh])
+        assert fresh not in inst.universe
+
+    def test_yes_maps_to_yes(self):
+        inst = HittingSetInstance([{1, 2}, {2, 3}], 1)
+        star, fresh = hs_to_hs_star(inst)
+        hs_solution = solve_exact(inst)
+        assert hs_solution is not None
+        forward = map_solution_forward(hs_solution, fresh)
+        assert star.is_hitting_set(forward)
+
+    def test_no_maps_to_no(self):
+        inst = HittingSetInstance([{1}, {2}, {3}], 2)
+        star, _ = hs_to_hs_star(inst)
+        assert solve_exact(inst) is None
+        assert solve_exact(star) is None
+
+    def test_star_solution_maps_back(self):
+        inst = HittingSetInstance([{1, 2}, {2, 3}], 1)
+        star, fresh = hs_to_hs_star(inst)
+        star_solution = solve_exact(star)
+        back = map_solution_back(star_solution, fresh)
+        assert inst.is_hitting_set(back)
+
+    def test_map_back_requires_fresh(self):
+        with pytest.raises(ReductionError):
+            map_solution_back(frozenset({1}), "_fresh")
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_equisolvability_random(self, seed):
+        rng = random.Random(seed)
+        subsets = [
+            set(rng.sample(range(6), rng.randint(1, 3))) for _ in range(4)
+        ]
+        k = rng.randint(1, 4)
+        inst = HittingSetInstance(subsets, k)
+        star, _ = hs_to_hs_star(inst)
+        assert (solve_exact(inst) is not None) == (solve_exact(star) is not None)
+
+
+class TestTheorem32:
+    """HS* reduces to CONSISTENCY."""
+
+    def test_collection_shape(self):
+        star = HSStarInstance([{1, 2}, {3}], 2)
+        col = hs_star_to_collection(star)
+        assert len(col) == 2
+        assert col[0].completeness_bound == Fraction(1, 2)
+        assert col[0].soundness_bound == Fraction(1, 2)   # 1/|A_1|
+        assert col[1].soundness_bound == Fraction(1)       # singleton
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(ReductionError):
+            hs_star_to_collection(HSStarInstance([{1}], 0))
+
+    def test_database_solution_mappings(self):
+        db = GlobalDatabase([fact("R", 1), fact("R", 3)])
+        assert database_to_hitting_set(db) == frozenset({1, 3})
+        assert hitting_set_to_database(frozenset({1, 3})) == db
+
+    def test_yes_instance(self):
+        star = HSStarInstance([{1, 2}, {2, 3}, {4}], 2)
+        solution = solve_hs_star_via_consistency(star)
+        assert solution is not None and star.is_hitting_set(solution)
+
+    def test_no_instance(self):
+        star = HSStarInstance([{1}, {2}, {3}, {4}], 3)
+        assert solve_hs_star_via_consistency(star) is None
+
+    def test_witness_database_respects_reduction(self):
+        star = HSStarInstance([{1, 2}, {2, 3}, {4}], 2)
+        col = hs_star_to_collection(star)
+        result = check_identity(col)
+        assert result.consistent
+        assert star.is_hitting_set(database_to_hitting_set(result.witness))
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_equisolvability_random(self, seed):
+        rng = random.Random(100 + seed)
+        subsets = [
+            set(rng.sample(range(1, 7), rng.randint(1, 3))) for _ in range(3)
+        ]
+        singleton_element = rng.randint(10, 12)
+        subsets.append({singleton_element})
+        k = rng.randint(1, 5)
+        star = HSStarInstance(subsets, k)
+        direct = solve_exact(star)
+        via_consistency = solve_hs_star_via_consistency(star)
+        assert (direct is not None) == (via_consistency is not None)
+        if via_consistency is not None:
+            assert star.is_hitting_set(via_consistency)
+
+
+class TestFullChain:
+    """HS → HS* → CONSISTENCY, end to end (the Theorem 3.2 pipeline)."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_hs_solved_through_consistency(self, seed):
+        rng = random.Random(200 + seed)
+        subsets = [
+            set(rng.sample(range(5), rng.randint(1, 3))) for _ in range(4)
+        ]
+        k = rng.randint(1, 4)
+        inst = HittingSetInstance(subsets, k)
+        star, fresh = hs_to_hs_star(inst)
+        star_solution = solve_hs_star_via_consistency(star)
+        direct = solve_exact(inst)
+        assert (direct is not None) == (star_solution is not None)
+        if star_solution is not None:
+            assert inst.is_hitting_set(map_solution_back(star_solution, fresh))

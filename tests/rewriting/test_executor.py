@@ -1,0 +1,119 @@
+"""Tests for executing rewritings over source extensions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.model import GlobalDatabase, fact
+from repro.queries import evaluate, parse_rule
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.baselines import classify_answer
+from repro.rewriting import (
+    execute_all,
+    execute_annotated,
+    execute_plan,
+    find_rewritings,
+    source_database,
+)
+
+V_FULL = parse_rule("VFull(x, y) <- R(x, y)")
+V_S = parse_rule("VS(y, z) <- S(y, z)")
+
+
+def make_collection(r_facts, s_facts, r_quality=(1, 1), s_quality=(1, 1)):
+    return SourceCollection(
+        [
+            SourceDescriptor(
+                V_FULL,
+                [fact("VFull", *t) for t in r_facts],
+                *r_quality,
+                name="SR",
+            ),
+            SourceDescriptor(
+                V_S,
+                [fact("VS", *t) for t in s_facts],
+                *s_quality,
+                name="SS",
+            ),
+        ]
+    )
+
+
+REAL_WORLD = GlobalDatabase(
+    [fact("R", 1, 2), fact("R", 3, 4), fact("S", 2, "k"), fact("S", 4, "m")]
+)
+
+QUERY = parse_rule("ans(x, z) <- R(x, y), S(y, z)")
+
+
+class TestSourceDatabase:
+    def test_union_of_extensions(self):
+        collection = make_collection([(1, 2)], [(2, "k")])
+        db = source_database(collection)
+        assert fact("VFull", 1, 2) in db and fact("VS", 2, "k") in db
+
+
+class TestExactSources:
+    def test_equivalent_plan_recovers_true_answer(self):
+        collection = make_collection(
+            [(1, 2), (3, 4)], [(2, "k"), (4, "m")]
+        )
+        plan = find_rewritings(QUERY, [V_FULL, V_S])[0]
+        answers = execute_plan(plan.plan, collection)
+        true_answer = evaluate(QUERY, REAL_WORLD)
+        assert answers == true_answer
+
+    def test_motro_classification_exact(self):
+        collection = make_collection(
+            [(1, 2), (3, 4)], [(2, "k"), (4, "m")]
+        )
+        plan = find_rewritings(QUERY, [V_FULL, V_S])[0]
+        answers = execute_plan(plan.plan, collection)
+        assert classify_answer(answers, QUERY, REAL_WORLD) == (True, True)
+
+
+class TestNoisySources:
+    def test_incomplete_sources_give_sound_answers(self):
+        """Missing extension rows lose answers but never invent them
+        (sound sources, sound rewriting)."""
+        collection = make_collection(
+            [(1, 2)], [(2, "k"), (4, "m")], r_quality=("1/2", 1)
+        )
+        plan = find_rewritings(QUERY, [V_FULL, V_S])[0]
+        answers = execute_plan(plan.plan, collection)
+        sound, complete = classify_answer(answers, QUERY, REAL_WORLD)
+        assert sound and not complete
+
+    def test_support_scores(self):
+        collection = make_collection(
+            [(1, 2)], [(2, "k")],
+            r_quality=("1/2", "0.9"), s_quality=("1/2", "0.8"),
+        )
+        plan = find_rewritings(QUERY, [V_FULL, V_S])[0]
+        annotated = execute_annotated(plan.plan, collection)
+        assert len(annotated) == 1
+        answer = annotated[0]
+        assert answer.fact == fact("ans", 1, "k")
+        assert answer.sources == frozenset({"SR", "SS"})
+        assert answer.support == Fraction(9, 10) * Fraction(8, 10)
+
+    def test_support_ordering(self):
+        collection = make_collection(
+            [(1, 2), (3, 4)], [(2, "k"), (4, "m")],
+            r_quality=("1/2", "0.9"), s_quality=("1/2", "0.8"),
+        )
+        plan = find_rewritings(QUERY, [V_FULL, V_S])[0]
+        annotated = execute_annotated(plan.plan, collection)
+        supports = [a.support for a in annotated]
+        assert supports == sorted(supports, reverse=True)
+
+
+class TestExecuteAll:
+    def test_union_over_plans(self):
+        collection = make_collection(
+            [(1, 2), (3, 4)], [(2, "k"), (4, "m")]
+        )
+        plans = find_rewritings(QUERY, [V_FULL, V_S])
+        answers = execute_all(plans, collection)
+        facts = {a.fact for a in answers}
+        assert facts == {fact("ans", 1, "k"), fact("ans", 3, "m")}

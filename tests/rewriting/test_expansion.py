@@ -1,0 +1,85 @@
+"""Tests for plan expansion and rewriting verification."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.model import GlobalDatabase, fact
+from repro.queries import evaluate, parse_rule
+from repro.rewriting import (
+    expand_plan,
+    is_equivalent_rewriting,
+    is_sound_rewriting,
+    view_map,
+)
+
+V_FULL = parse_rule("VFull(x, y) <- R(x, y)")
+V_PROJ = parse_rule("VProj(x) <- R(x, y)")
+V_S = parse_rule("VS(y, z) <- S(y, z)")
+VIEWS = view_map([V_FULL, V_PROJ, V_S])
+
+
+class TestViewMap:
+    def test_index_by_head(self):
+        assert set(VIEWS) == {"VFull", "VProj", "VS"}
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(QueryError):
+            view_map([V_FULL, parse_rule("VFull(a) <- T(a)")])
+
+
+class TestExpandPlan:
+    def test_identity_like_plan(self):
+        plan = parse_rule("ans(x, y) <- VFull(x, y)")
+        expansion = expand_plan(plan, VIEWS)
+        assert [a.relation for a in expansion.body] == ["R"]
+        assert expansion.head == plan.head
+
+    def test_join_plan(self):
+        plan = parse_rule("ans(x, z) <- VFull(x, y), VS(y, z)")
+        expansion = expand_plan(plan, VIEWS)
+        assert sorted(a.relation for a in expansion.body) == ["R", "S"]
+
+    def test_existentials_standardized_apart(self):
+        """Two uses of the projection view must not share their y."""
+        plan = parse_rule("ans(x, u) <- VProj(x), VProj(u)")
+        expansion = expand_plan(plan, VIEWS)
+        atoms = list(expansion.body)
+        assert atoms[0].args[1] != atoms[1].args[1]
+
+    def test_unknown_view_rejected(self):
+        plan = parse_rule("ans(x) <- Mystery(x)")
+        with pytest.raises(QueryError):
+            expand_plan(plan, VIEWS)
+
+    def test_expansion_semantics(self):
+        """Evaluating the expansion over D equals evaluating the plan over
+        the exact view instances of D."""
+        db = GlobalDatabase(
+            [fact("R", 1, 2), fact("R", 3, 4), fact("S", 2, "k")]
+        )
+        plan = parse_rule("ans(x, z) <- VFull(x, y), VS(y, z)")
+        expansion = expand_plan(plan, VIEWS)
+        view_instance = GlobalDatabase(
+            set(V_FULL.apply(db)) | set(V_S.apply(db)) | set(V_PROJ.apply(db))
+        )
+        assert evaluate(expansion, db) == evaluate(plan, view_instance)
+
+
+class TestSoundness:
+    def test_equivalent_rewriting(self):
+        q = parse_rule("ans(x, y) <- R(x, y)")
+        plan = parse_rule("ans(x, y) <- VFull(x, y)")
+        assert is_sound_rewriting(plan, q, VIEWS)
+        assert is_equivalent_rewriting(plan, q, VIEWS)
+
+    def test_sound_but_not_equivalent(self):
+        q = parse_rule("ans(x) <- R(x, y)")
+        # joins R with itself through VFull twice: still contained in q
+        plan = parse_rule("ans(x) <- VFull(x, y), VFull(y, w)")
+        assert is_sound_rewriting(plan, q, VIEWS)
+        assert not is_equivalent_rewriting(plan, q, VIEWS)
+
+    def test_unsound_plan_rejected(self):
+        q = parse_rule("ans(x) <- R(x, x)")   # diagonal only
+        plan = parse_rule("ans(x) <- VProj(x)")  # any first column
+        assert not is_sound_rewriting(plan, q, VIEWS)

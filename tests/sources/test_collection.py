@@ -1,0 +1,120 @@
+"""Tests for SourceCollection and the poss(S) predicate."""
+
+import pytest
+
+from repro.exceptions import SourceError
+from repro.model import Constant, GlobalDatabase, fact
+from repro.queries import identity_view, parse_rule
+from repro.sources import SourceCollection, SourceDescriptor
+
+from tests.conftest import make_example51_collection
+
+
+class TestStructure:
+    def test_duplicate_names_rejected(self):
+        s = SourceDescriptor(identity_view("V", "R", 1), [], 0, 0, name="dup")
+        with pytest.raises(SourceError):
+            SourceCollection([s, s])
+
+    def test_by_name(self, example51):
+        assert example51.by_name("S1").name == "S1"
+        with pytest.raises(SourceError):
+            example51.by_name("S99")
+
+    def test_indexing_and_iteration(self, example51):
+        assert example51[0].name == "S1"
+        assert [s.name for s in example51] == ["S1", "S2"]
+
+    def test_extended(self, example51):
+        extra = SourceDescriptor(identity_view("V9", "R", 1), [], 0, 0, name="S9")
+        assert len(example51.extended(extra)) == 3
+        assert len(example51) == 2  # original untouched
+
+
+class TestSchemaAndConstants:
+    def test_schema_from_view_bodies(self):
+        col = SourceCollection(
+            [
+                SourceDescriptor(parse_rule("V(x) <- R(x, y)"), [], 0, 0, name="A"),
+                SourceDescriptor(parse_rule("W(x) <- S(x)"), [], 0, 0, name="B"),
+            ]
+        )
+        schema = col.schema()
+        assert schema.arity("R") == 2 and schema.arity("S") == 1
+
+    def test_extension_constants(self, example51):
+        values = {c.value for c in example51.extension_constants()}
+        assert values == {"a", "b", "c"}
+
+    def test_view_constants(self):
+        col = SourceCollection(
+            [SourceDescriptor(parse_rule('V(x) <- R(x, "k")'), [], 0, 0, name="A")]
+        )
+        assert Constant("k") in col.view_constants()
+
+
+class TestPaperQuantities:
+    def test_lemma31_bound(self, example51):
+        # max body size 1, total extension size 4
+        assert example51.lemma31_size_bound() == 4
+
+    def test_lemma31_bound_with_joins(self):
+        view = parse_rule("V(x) <- R(x, y), S(y)")
+        col = SourceCollection(
+            [SourceDescriptor(view, [fact("V", 1), fact("V", 2)], 0, 0, name="A")]
+        )
+        assert col.lemma31_size_bound() == 2 * 2
+
+    def test_constant_bound(self, example51):
+        assert example51.lemma31_constant_bound() == 4 * 1
+
+
+class TestPossPredicate:
+    def test_admits_example51(self, example51):
+        assert example51.admits(GlobalDatabase([fact("R", "b")]))
+        assert not example51.admits(GlobalDatabase([]))
+        # too many unsupported facts break completeness
+        assert not example51.admits(
+            GlobalDatabase([fact("R", "b"), fact("R", "x"), fact("R", "y")])
+        )
+
+    def test_violations_messages(self, example51):
+        problems = example51.violations(GlobalDatabase([]))
+        assert len(problems) == 2  # soundness of both sources
+        assert all("soundness" in p for p in problems)
+
+    def test_violations_empty_for_possible_world(self, example51):
+        assert example51.violations(GlobalDatabase([fact("R", "b")])) == []
+
+
+class TestIdentityDetection:
+    def test_identity_relation(self, example51):
+        assert example51.identity_relation() == "R"
+        assert example51.all_identity()
+
+    def test_mixed_relations_not_identity_case(self):
+        col = SourceCollection(
+            [
+                SourceDescriptor(identity_view("V1", "R", 1), [], 0, 0, name="A"),
+                SourceDescriptor(identity_view("V2", "S", 1), [], 0, 0, name="B"),
+            ]
+        )
+        assert col.identity_relation() is None
+
+    def test_mixed_arities_not_identity_case(self):
+        col = SourceCollection(
+            [
+                SourceDescriptor(identity_view("V1", "R", 1), [], 0, 0, name="A"),
+                SourceDescriptor(identity_view("V2", "R", 2), [], 0, 0, name="B"),
+            ]
+        )
+        assert col.identity_relation() is None
+
+    def test_non_identity_view(self):
+        col = SourceCollection(
+            [SourceDescriptor(parse_rule("V(x) <- R(x, y)"), [], 0, 0, name="A")]
+        )
+        assert col.identity_relation() is None
+
+    def test_empty_collection(self):
+        assert SourceCollection([]).identity_relation() is None

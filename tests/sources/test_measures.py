@@ -1,0 +1,92 @@
+"""Tests for Definitions 2.1/2.2 — completeness and soundness measures."""
+
+from fractions import Fraction
+
+from repro.model import GlobalDatabase, fact
+from repro.queries import identity_view, parse_rule
+from repro.sources.measures import (
+    completeness,
+    completeness_of_extension,
+    is_complete,
+    is_exact,
+    is_sound,
+    precision,
+    recall,
+    soundness,
+    soundness_of_extension,
+)
+
+
+class TestSetLevelMeasures:
+    def test_completeness_fraction(self):
+        intended = [fact("V", i) for i in range(4)]
+        held = [fact("V", 0), fact("V", 1), fact("V", 99)]
+        assert completeness_of_extension(held, intended) == Fraction(1, 2)
+
+    def test_soundness_fraction(self):
+        intended = [fact("V", i) for i in range(4)]
+        held = [fact("V", 0), fact("V", 1), fact("V", 99)]
+        assert soundness_of_extension(held, intended) == Fraction(2, 3)
+
+    def test_empty_intended_is_fully_complete(self):
+        assert completeness_of_extension([fact("V", 1)], []) == 1
+
+    def test_empty_extension_is_fully_sound(self):
+        assert soundness_of_extension([], [fact("V", 1)]) == 1
+
+    def test_both_empty(self):
+        assert completeness_of_extension([], []) == 1
+        assert soundness_of_extension([], []) == 1
+
+    def test_measures_are_exact_rationals(self):
+        intended = [fact("V", i) for i in range(3)]
+        held = [fact("V", 0)]
+        c = completeness_of_extension(held, intended)
+        assert isinstance(c, Fraction) and c == Fraction(1, 3)
+
+
+class TestViewLevelMeasures:
+    def test_against_database(self):
+        view = parse_rule("V(x) <- R(x, y)")
+        db = GlobalDatabase([fact("R", 1, 2), fact("R", 2, 3)])
+        held = [fact("V", 1), fact("V", 7)]
+        assert completeness(view, held, db) == Fraction(1, 2)
+        assert soundness(view, held, db) == Fraction(1, 2)
+
+    def test_qualitative_iff_quantitative(self):
+        view = identity_view("V", "R", 1)
+        db = GlobalDatabase([fact("R", 1), fact("R", 2)])
+        sound_ext = [fact("V", 1)]
+        complete_ext = [fact("V", 1), fact("V", 2), fact("V", 3)]
+        exact_ext = [fact("V", 1), fact("V", 2)]
+        assert is_sound(view, sound_ext, db) and soundness(view, sound_ext, db) == 1
+        assert is_complete(view, complete_ext, db)
+        assert completeness(view, complete_ext, db) == 1
+        assert is_exact(view, exact_ext, db)
+        assert not is_exact(view, sound_ext, db)
+
+    def test_sound_iff_s_equals_one(self):
+        view = identity_view("V", "R", 1)
+        db = GlobalDatabase([fact("R", 1)])
+        for ext in ([], [fact("V", 1)], [fact("V", 1), fact("V", 2)]):
+            assert is_sound(view, ext, db) == (soundness(view, ext, db) == 1)
+
+    def test_complete_iff_c_equals_one(self):
+        view = identity_view("V", "R", 1)
+        db = GlobalDatabase([fact("R", 1)])
+        for ext in ([], [fact("V", 1)], [fact("V", 2)]):
+            assert is_complete(view, ext, db) == (completeness(view, ext, db) == 1)
+
+
+class TestIRCorrespondence:
+    """Paper §2.2: recall ↔ completeness, precision ↔ soundness."""
+
+    def test_recall_is_completeness(self):
+        returned = ["d1", "d2"]
+        correct = ["d1", "d3", "d4"]
+        assert recall(returned, correct) == Fraction(1, 3)
+
+    def test_precision_is_soundness(self):
+        returned = ["d1", "d2"]
+        correct = ["d1", "d3", "d4"]
+        assert precision(returned, correct) == Fraction(1, 2)

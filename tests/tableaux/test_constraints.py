@@ -1,0 +1,60 @@
+"""Tests for constraints (U, Θ) and their satisfaction."""
+
+from repro.model import Constant, GlobalDatabase, Variable, atom, fact
+from repro.model.valuation import Substitution
+from repro.tableaux import Constraint, Tableau
+
+x, y = Variable("x"), Variable("y")
+
+
+class TestSatisfaction:
+    def test_example_from_paper_section4(self):
+        """Example 4.1/4.2: whenever a occurs first in R, second is b or b'."""
+        constraint = Constraint(
+            Tableau([atom("R", "a", x)]),
+            [
+                Substitution({x: Constant("b")}),
+                Substitution({x: Constant("bp")}),
+            ],
+        )
+        good = GlobalDatabase(
+            [fact("R", "a", "b"), fact("R", "a", "bp"), fact("S", "b", "c")]
+        )
+        bad = GlobalDatabase([fact("R", "a", "c")])
+        assert constraint.satisfied_by(good)
+        assert not constraint.satisfied_by(bad)
+
+    def test_vacuous_when_tableau_never_embeds(self):
+        constraint = Constraint(Tableau([atom("T", x)]), [])
+        assert constraint.satisfied_by(GlobalDatabase([fact("R", 1)]))
+
+    def test_empty_theta_forbids_embedding(self):
+        constraint = Constraint(Tableau([atom("R", x)]), [])
+        assert not constraint.satisfied_by(GlobalDatabase([fact("R", 1)]))
+        assert constraint.satisfied_by(GlobalDatabase())
+
+    def test_cardinality_style_constraint(self):
+        """Two-row tableau with a merge substitution: |R| <= 1."""
+        x1, x2 = Variable("x1"), Variable("x2")
+        constraint = Constraint(
+            Tableau([atom("R", x1), atom("R", x2)]),
+            [Substitution({x1: x2})],
+        )
+        assert constraint.satisfied_by(GlobalDatabase([fact("R", 1)]))
+        assert not constraint.satisfied_by(
+            GlobalDatabase([fact("R", 1), fact("R", 2)])
+        )
+
+    def test_violating_embeddings_reported(self):
+        constraint = Constraint(
+            Tableau([atom("R", x)]), [Substitution({x: Constant(1)})]
+        )
+        db = GlobalDatabase([fact("R", 1), fact("R", 2)])
+        violations = list(constraint.violating_embeddings(db))
+        assert len(violations) == 1
+        assert violations[0].get(x) == Constant(2)
+
+    def test_equality_and_hash(self):
+        c1 = Constraint(Tableau([atom("R", x)]), [Substitution({x: Constant(1)})])
+        c2 = Constraint(Tableau([atom("R", x)]), [Substitution({x: Constant(1)})])
+        assert c1 == c2 and hash(c1) == hash(c2)

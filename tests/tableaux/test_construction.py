@@ -1,0 +1,145 @@
+"""Tests for the T^U(S) / C^U(S) construction (Section 4)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.model import GlobalDatabase, fact
+from repro.queries import identity_view, parse_rule
+from repro.queries.builtins import default_registry
+from repro.model.terms import FreshVariableFactory
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.tableaux import (
+    allowable_combinations,
+    cardinality_constraint,
+    materialize_builtins,
+    minimal_combinations,
+    source_tableau,
+    template_for_combination,
+)
+
+from tests.conftest import make_example51_collection
+
+
+class TestAllowableCombinations:
+    def test_count_example51(self, example51):
+        """u_i ⊆ v_i with |u_i| ≥ 1 for |v_i| = 2 → 3 choices per source."""
+        combos = list(allowable_combinations(example51))
+        assert len(combos) == 9
+
+    def test_sizes_respect_soundness(self, example51):
+        for u1, u2 in allowable_combinations(example51):
+            assert len(u1) >= 1 and len(u2) >= 1
+
+    def test_minimal_combinations_subset(self, example51):
+        minimal = list(minimal_combinations(example51))
+        assert len(minimal) == 4  # 2 choices of single fact per source
+        allowable = set(map(tuple, allowable_combinations(example51)))
+        assert set(map(tuple, minimal)) <= allowable
+
+    def test_zero_soundness_includes_empty(self):
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1), [fact("V1", "a")], 0, 0, name="S1"
+                )
+            ]
+        )
+        combos = list(allowable_combinations(col))
+        assert (frozenset(),) in combos
+
+
+class TestSourceTableau:
+    def test_identity_grounding(self, example51):
+        source = example51[0]
+        fresh = FreshVariableFactory()
+        tableau = source_tableau(source, [fact("V1", "a")], fresh)
+        assert fact("R", "a") in tableau
+
+    def test_existential_variables_fresh_per_fact(self):
+        view = parse_rule("V(x) <- R(x, y)")
+        source = SourceDescriptor(
+            view, [fact("V", "a"), fact("V", "b")], 1, 1, name="S"
+        )
+        fresh = FreshVariableFactory(taken=view.variables())
+        tableau = source_tableau(source, source.extension, fresh)
+        assert len(tableau) == 2
+        # the two R atoms must not share their existential second column
+        seconds = [a.args[1] for a in tableau]
+        assert seconds[0] != seconds[1]
+
+
+class TestCardinalityConstraint:
+    def test_m_value(self):
+        view = identity_view("V", "R", 1)
+        source = SourceDescriptor(view, [], Fraction(1, 2), 0, name="S")
+        fresh = FreshVariableFactory()
+        constraint = cardinality_constraint(source, sound_count=2, fresh=fresh)
+        # m = floor(2 / 0.5) = 4 -> 5 rows, theta count 5*4
+        assert len(constraint.tableau) == 5
+        assert len(constraint.substitutions) == 20
+
+    def test_none_when_c_zero(self):
+        view = identity_view("V", "R", 1)
+        source = SourceDescriptor(view, [], 0, 0, name="S")
+        constraint = cardinality_constraint(source, 1, FreshVariableFactory())
+        assert constraint is None
+
+    def test_enforces_size_bound(self, example51):
+        source = example51[0]  # c = 1/2
+        fresh = FreshVariableFactory()
+        constraint = cardinality_constraint(source, sound_count=1, fresh=fresh)
+        # m = 2: databases with <= 2 R-facts satisfy, 3 violate
+        ok = GlobalDatabase([fact("R", "a"), fact("R", "b")])
+        too_big = GlobalDatabase([fact("R", "a"), fact("R", "b"), fact("R", "c")])
+        assert constraint.satisfied_by(ok)
+        assert not constraint.satisfied_by(too_big)
+
+    def test_m_zero_forbids_any_derivation(self):
+        view = identity_view("V", "R", 1)
+        source = SourceDescriptor(view, [], 1, 0, name="S")
+        constraint = cardinality_constraint(source, 0, FreshVariableFactory())
+        assert constraint.satisfied_by(GlobalDatabase())
+        assert not constraint.satisfied_by(GlobalDatabase([fact("R", "a")]))
+
+
+class TestTemplateForCombination:
+    def test_template_membership_matches_poss(self, example51):
+        """For U = full extensions, the frozen tableau database is possible."""
+        combination = tuple(
+            frozenset(fact("R", v) for v in values)
+            for values in (["a", "b"], ["b", "c"])
+        )
+        # rename to local names as the construction expects extension facts
+        combination = (
+            frozenset({fact("V1", "a"), fact("V1", "b")}),
+            frozenset({fact("V2", "b"), fact("V2", "c")}),
+        )
+        template = template_for_combination(example51, combination)
+        world = GlobalDatabase(
+            [fact("R", "a"), fact("R", "b"), fact("R", "c")]
+        )
+        assert template.admits(world)
+        assert example51.admits(world)
+
+    def test_constraint_count(self, example51):
+        combination = (
+            frozenset({fact("V1", "b")}),
+            frozenset({fact("V2", "b")}),
+        )
+        template = template_for_combination(example51, combination)
+        assert len(template.constraints) == 2
+
+
+class TestMaterializeBuiltins:
+    def test_after_facts(self):
+        registry = default_registry()
+        db = materialize_builtins(registry, [1899, 1900, 1950], ["After"])
+        assert fact("After", 1950, 1900) in db
+        assert fact("After", 1899, 1900) not in db
+
+    def test_unknown_builtin(self):
+        from repro.exceptions import SourceError
+
+        with pytest.raises(SourceError):
+            materialize_builtins(default_registry(), [1], ["Nope"])

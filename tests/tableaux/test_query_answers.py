@@ -1,0 +1,178 @@
+"""Tests for template-based certain answers (§6 future work)."""
+
+import pytest
+
+from repro.model import Variable, atom, fact
+from repro.queries import identity_view, parse_rule
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.tableaux import (
+    DatabaseTemplate,
+    Tableau,
+    certain_answer_from_tableau,
+    certain_answer_from_template,
+    certain_answer_from_templates,
+)
+from repro.confidence import certain_answer
+
+from tests.conftest import example51_domain, make_example51_collection
+
+x, y = Variable("x"), Variable("y")
+
+
+class TestFromTableau:
+    def test_ground_atoms_answer(self):
+        tableau = Tableau([fact("R", "a", "b")])
+        q = parse_rule("ans(u) <- R(u, v)")
+        assert certain_answer_from_tableau(q, tableau) == frozenset(
+            {fact("ans", "a")}
+        )
+
+    def test_nulls_filtered(self):
+        tableau = Tableau([atom("R", "a", x)])
+        q_full = parse_rule("ans(u, v) <- R(u, v)")
+        q_projected = parse_rule("ans(u) <- R(u, v)")
+        assert certain_answer_from_tableau(q_full, tableau) == frozenset()
+        assert certain_answer_from_tableau(q_projected, tableau) == frozenset(
+            {fact("ans", "a")}
+        )
+
+    def test_join_through_shared_variable(self):
+        tableau = Tableau([atom("R", "a", x), atom("S", x, "c")])
+        q = parse_rule("ans(u, w) <- R(u, v), S(v, w)")
+        # the join succeeds through the shared null, producing a null-free answer
+        assert certain_answer_from_tableau(q, tableau) == frozenset(
+            {fact("ans", "a", "c")}
+        )
+
+    def test_empty_tableau_no_answers(self):
+        q = parse_rule("ans(u) <- R(u)")
+        assert certain_answer_from_tableau(q, Tableau([])) == frozenset()
+
+
+class TestAnswerTableau:
+    """The symbolic (§6 'finite representation') answers."""
+
+    def test_variables_kept(self):
+        from repro.tableaux import answer_tableau
+
+        tableau = Tableau([atom("R", "a", x), atom("S", x, "c")])
+        q = parse_rule("ans(u, v) <- R(u, v)")
+        result = answer_tableau(q, tableau)
+        assert result == Tableau([atom("ans", "a", x)])
+
+    def test_join_resolves_witness(self):
+        from repro.tableaux import answer_tableau
+
+        tableau = Tableau([atom("R", "a", x), atom("S", x, "c")])
+        q = parse_rule("ans(u, w) <- R(u, v), S(v, w)")
+        assert answer_tableau(q, tableau) == Tableau([fact("ans", "a", "c")])
+
+    def test_ground_part_is_certain_answer(self):
+        from repro.tableaux import answer_tableau
+
+        tableau = Tableau([atom("R", "a", x), fact("R", "b", "k")])
+        q = parse_rule("ans(u, v) <- R(u, v)")
+        result = answer_tableau(q, tableau)
+        ground = {a for a in result if a.is_ground()}
+        assert ground == certain_answer_from_tableau(q, tableau)
+
+    def test_answer_template_per_alternative(self):
+        from repro.tableaux import answer_template
+
+        template = DatabaseTemplate(
+            [Tableau([fact("R", "a")]), Tableau([fact("R", "b")])]
+        )
+        q = parse_rule("ans(u) <- R(u)")
+        result = answer_template(q, template)
+        assert len(result.tableaux) == 2
+        assert Tableau([fact("ans", "a")]) in result.tableaux
+
+
+class TestFromTemplate:
+    def test_intersection_over_alternatives(self):
+        template = DatabaseTemplate(
+            [
+                Tableau([fact("R", "a"), fact("R", "b")]),
+                Tableau([fact("R", "a"), fact("R", "c")]),
+            ]
+        )
+        q = parse_rule("ans(u) <- R(u)")
+        assert certain_answer_from_template(q, template) == frozenset(
+            {fact("ans", "a")}
+        )
+
+    def test_no_tableaux_empty(self):
+        q = parse_rule("ans(u) <- R(u)")
+        assert certain_answer_from_template(q, DatabaseTemplate([])) == frozenset()
+
+
+class TestFromCollection:
+    def test_sound_source_facts_certain(self):
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1),
+                    [fact("V1", "a"), fact("V1", "b")],
+                    0,
+                    1,
+                    name="S1",
+                )
+            ]
+        )
+        q = parse_rule("ans(u) <- R(u)")
+        assert certain_answer_from_templates(q, col) == frozenset(
+            {fact("ans", "a"), fact("ans", "b")}
+        )
+
+    def test_partial_soundness_nothing_certain(self, example51):
+        q = parse_rule("ans(u) <- R(u)")
+        assert certain_answer_from_templates(q, example51) == frozenset()
+
+    def test_sound_under_approximation(self, example51):
+        """Template answers must always be inside the enumerated certain answer."""
+        upgraded = SourceCollection(
+            [
+                example51[0].with_bounds(soundness_bound=1),
+                example51[1],
+            ]
+        )
+        q = parse_rule("ans(u) <- R(u)")
+        via_templates = certain_answer_from_templates(q, upgraded)
+        exact = certain_answer(q, upgraded, example51_domain(1))
+        assert via_templates <= exact
+        assert fact("ans", "a") in via_templates
+
+    def test_projection_view(self):
+        view = parse_rule("V(u) <- R(u, w)")
+        col = SourceCollection(
+            [SourceDescriptor(view, [fact("V", "a")], 0, 1, name="S1")]
+        )
+        q_projected = parse_rule("ans(u) <- R(u, w)")
+        q_full = parse_rule("ans(u, w) <- R(u, w)")
+        assert certain_answer_from_templates(q_projected, col) == frozenset(
+            {fact("ans", "a")}
+        )
+        assert certain_answer_from_templates(q_full, col) == frozenset()
+
+    @pytest.mark.parametrize(
+        "soundness, expected_certain",
+        [(1, True), ("1/2", False)],
+    )
+    def test_matches_enumeration_on_identity(self, soundness, expected_certain):
+        col = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1),
+                    [fact("V1", "a"), fact("V1", "b")],
+                    0,
+                    soundness,
+                    name="S1",
+                )
+            ]
+        )
+        q = parse_rule("ans(u) <- R(u)")
+        via_templates = certain_answer_from_templates(q, col)
+        exact = certain_answer(q, col, ["a", "b", "c"])
+        assert via_templates <= exact
+        assert (fact("ans", "a") in via_templates) == expected_certain
+        assert (fact("ans", "a") in exact) == expected_certain

@@ -1,0 +1,77 @@
+"""Tests for tableaux and embedding search."""
+
+from repro.model import Constant, GlobalDatabase, Variable, atom, fact
+from repro.model.valuation import Substitution
+from repro.tableaux import Tableau
+
+x, y = Variable("x"), Variable("y")
+
+
+class TestStructure:
+    def test_set_semantics(self):
+        t = Tableau([atom("R", x), atom("R", x)])
+        assert len(t) == 1
+
+    def test_variables_and_constants(self):
+        t = Tableau([atom("R", x, "a"), atom("S", y)])
+        assert t.variables() == {x, y}
+        assert {c.value for c in t.constants()} == {"a"}
+
+    def test_union(self):
+        t = Tableau([atom("R", x)]) | Tableau([atom("S", y)])
+        assert len(t) == 2
+
+    def test_equality_hash(self):
+        assert Tableau([atom("R", x)]) == Tableau([atom("R", x)])
+        assert len({Tableau([atom("R", x)]), Tableau([atom("R", x)])}) == 1
+
+    def test_substitute(self):
+        t = Tableau([atom("R", x, y)])
+        grounded = t.substitute(Substitution({x: Constant(1), y: Constant(2)}))
+        assert grounded.is_ground()
+        assert fact("R", 1, 2) in grounded
+
+
+class TestFreeze:
+    def test_freeze_grounds_with_distinct_constants(self):
+        t = Tableau([atom("R", x, y), atom("S", y)])
+        frozen, freezing = t.freeze()
+        assert frozen.is_ground()
+        images = {freezing.get(v) for v in t.variables()}
+        assert len(images) == 2  # distinct fresh constants
+
+    def test_freeze_avoids_taken(self):
+        t = Tableau([atom("R", x)])
+        frozen, freezing = t.freeze(taken_constants=[Constant("_frz1")])
+        assert freezing.get(x) != Constant("_frz1")
+
+
+class TestEmbeddings:
+    def test_single_atom(self):
+        t = Tableau([atom("R", x, y)])
+        db = GlobalDatabase([fact("R", 1, 2), fact("R", 3, 4)])
+        assert len(list(t.embeddings(db))) == 2
+
+    def test_join_constraint(self):
+        t = Tableau([atom("R", x, y), atom("R", y, x)])
+        db = GlobalDatabase([fact("R", 1, 2), fact("R", 2, 1), fact("R", 3, 4)])
+        embeddings = list(t.embeddings(db))
+        values = {(e.get(x).value, e.get(y).value) for e in embeddings}
+        assert values == {(1, 2), (2, 1)}
+
+    def test_ground_atom_membership(self):
+        t = Tableau([fact("R", 1), atom("S", x)])
+        db_with = GlobalDatabase([fact("R", 1), fact("S", 2)])
+        db_without = GlobalDatabase([fact("S", 2)])
+        assert t.embeds_in(db_with)
+        assert not t.embeds_in(db_without)
+
+    def test_empty_tableau_embeds_everywhere(self):
+        assert Tableau([]).embeds_in(GlobalDatabase())
+
+    def test_seed_restricts(self):
+        t = Tableau([atom("R", x)])
+        db = GlobalDatabase([fact("R", 1), fact("R", 2)])
+        seeded = list(t.embeddings(db, seed=Substitution({x: Constant(1)})))
+        assert len(seeded) == 1
+        assert seeded[0].get(x) == Constant(1)

@@ -1,0 +1,95 @@
+"""Tests for database templates and rep(T) (Definition 4.1)."""
+
+import pytest
+
+from repro.exceptions import DomainTooLargeError
+from repro.model import Constant, GlobalDatabase, Variable, atom, fact
+from repro.model.valuation import Substitution
+from repro.tableaux import Constraint, DatabaseTemplate, Tableau
+
+x = Variable("x")
+
+
+@pytest.fixture
+def paper_template():
+    """Example 4.1: T1 = {R(a,x), S(b,c), S(b,c')}, T2 = {R(a',b'), S(b,c)},
+    C = {({R(a,x)}, {{x/b}, {x/b'}})}."""
+    t1 = Tableau(
+        [atom("R", "a", x), atom("S", "b", "c"), atom("S", "b", "cp")]
+    )
+    t2 = Tableau([atom("R", "ap", "bp"), atom("S", "b", "c")])
+    constraint = Constraint(
+        Tableau([atom("R", "a", x)]),
+        [Substitution({x: Constant("b")}), Substitution({x: Constant("bp")})],
+    )
+    return DatabaseTemplate([t1, t2], [constraint])
+
+
+class TestMembership:
+    def test_example42_members(self, paper_template):
+        """The three databases listed in Example 4.2 are represented."""
+        members = [
+            GlobalDatabase(
+                [fact("R", "a", "b"), fact("S", "b", "c"), fact("S", "b", "cp")]
+            ),
+            GlobalDatabase(
+                [fact("R", "a", "bp"), fact("S", "b", "c"), fact("S", "b", "cp")]
+            ),
+            GlobalDatabase([fact("R", "ap", "bp"), fact("S", "b", "c")]),
+        ]
+        for db in members:
+            assert paper_template.admits(db), db
+
+    def test_example42_superset_member(self, paper_template):
+        db = GlobalDatabase(
+            [
+                fact("R", "a", "b"),
+                fact("R", "a", "bp"),
+                fact("S", "b", "c"),
+                fact("S", "b", "cp"),
+            ]
+        )
+        assert paper_template.admits(db)
+
+    def test_example42_violating_superset(self, paper_template):
+        db = GlobalDatabase(
+            [
+                fact("R", "a", "c"),   # violates the constraint
+                fact("R", "a", "bp"),
+                fact("S", "b", "c"),
+                fact("S", "b", "cp"),
+            ]
+        )
+        assert not paper_template.admits(db)
+
+    def test_no_tableau_embeds(self, paper_template):
+        assert not paper_template.admits(GlobalDatabase([fact("S", "b", "c")]))
+
+    def test_violated_constraints_diagnostics(self, paper_template):
+        db = GlobalDatabase(
+            [fact("R", "a", "zz"), fact("R", "ap", "bp"), fact("S", "b", "c")]
+        )
+        assert len(paper_template.violated_constraints(db)) == 1
+
+
+class TestSchemaAndEnumeration:
+    def test_schema(self, paper_template):
+        schema = paper_template.schema()
+        assert schema.arity("R") == 2 and schema.arity("S") == 2
+
+    def test_enumeration_members_all_admitted(self):
+        template = DatabaseTemplate([Tableau([atom("R", x)])], [])
+        worlds = list(template.represented_databases(["a", "b"]))
+        assert worlds
+        for world in worlds:
+            assert template.admits(world)
+        # every represented world embeds R(x): must be nonempty
+        assert all(len(w) >= 1 for w in worlds)
+        assert len(worlds) == 3  # {a}, {b}, {a,b}
+
+    def test_enumeration_guard(self):
+        template = DatabaseTemplate(
+            [Tableau([atom("R", x, Variable("y"), Variable("z"))])]
+        )
+        with pytest.raises(DomainTooLargeError):
+            list(template.represented_databases(["a", "b", "c"]))

@@ -1,0 +1,43 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; breaking one silently is as bad
+as breaking the library. Each runs in-process (cheap) with a fixed argv.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLE_SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    assert len(EXAMPLE_SCRIPTS) >= 5
+    assert "quickstart.py" in EXAMPLE_SCRIPTS
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_quickstart_reports_consistency(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "consistent: True" in out
+    assert "R('b')" in out
+
+
+def test_consensus_example_finds_repair(capsys):
+    runpy.run_path(
+        str(EXAMPLES_DIR / "trust_and_consensus.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "minimum repair" in out
+    assert "rogue" in out

@@ -1,0 +1,59 @@
+"""Tests for the exception hierarchy and miscellaneous small objects."""
+
+import pytest
+
+from repro import exceptions
+from repro.consistency import ConsistencyResult
+from repro.model import GlobalDatabase, fact
+
+
+class TestHierarchy:
+    SUBCLASSES = [
+        exceptions.ModelError,
+        exceptions.ArityError,
+        exceptions.NotGroundError,
+        exceptions.QueryError,
+        exceptions.UnsafeQueryError,
+        exceptions.ParseError,
+        exceptions.BuiltinError,
+        exceptions.SourceError,
+        exceptions.BoundError,
+        exceptions.InconsistentCollectionError,
+        exceptions.DomainTooLargeError,
+        exceptions.ReductionError,
+    ]
+
+    @pytest.mark.parametrize("cls", SUBCLASSES, ids=lambda c: c.__name__)
+    def test_all_derive_from_repro_error(self, cls):
+        assert issubclass(cls, exceptions.ReproError)
+
+    def test_catching_base_catches_all(self):
+        for cls in self.SUBCLASSES:
+            with pytest.raises(exceptions.ReproError):
+                raise cls("boom")
+
+    def test_specific_relationships(self):
+        assert issubclass(exceptions.ArityError, exceptions.ModelError)
+        assert issubclass(exceptions.UnsafeQueryError, exceptions.QueryError)
+        assert issubclass(exceptions.ParseError, exceptions.QueryError)
+        assert issubclass(exceptions.BoundError, exceptions.SourceError)
+
+
+class TestConsistencyResult:
+    def test_truthiness(self):
+        assert ConsistencyResult(consistent=True)
+        assert not ConsistencyResult(consistent=False)
+
+    def test_repr_mentions_method(self):
+        result = ConsistencyResult(
+            consistent=True,
+            witness=GlobalDatabase([fact("R", 1)]),
+            method="identity-dp",
+            combinations_tried=3,
+        )
+        text = repr(result)
+        assert "identity-dp" in text and "combinations_tried=3" in text
+
+    def test_defaults(self):
+        result = ConsistencyResult(consistent=False)
+        assert result.witness is None and result.decisive

@@ -1,0 +1,128 @@
+"""Golden regression values: exact outputs pinned for medium scenarios.
+
+These lock down the *numbers* (not just shapes) of the core pipelines, so
+an accidental semantic change in counting, consistency, or the calculus
+fails loudly. Every value here was independently cross-checked against the
+brute-force oracles when first recorded.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.model import GlobalDatabase, fact
+from repro.queries import identity_view, parse_rule
+from repro.sources import SourceCollection, SourceDescriptor
+from repro.confidence import BlockCounter, IdentityInstance
+from repro.consistency import check_consistency
+
+from tests.conftest import example51_domain, make_example51_collection
+
+
+class TestExample51Golden:
+    """Exact values for Example 5.1 at several m (verified vs brute force)."""
+
+    EXPECTED = {
+        # m: (worlds, conf_a, conf_b, conf_d)
+        0: (5, Fraction(3, 5), Fraction(4, 5), None),
+        1: (7, Fraction(4, 7), Fraction(6, 7), Fraction(2, 7)),
+        2: (9, Fraction(5, 9), Fraction(8, 9), Fraction(2, 9)),
+        10: (25, Fraction(13, 25), Fraction(24, 25), Fraction(2, 25)),
+    }
+
+    @pytest.mark.parametrize("m", sorted(EXPECTED))
+    def test_values(self, m):
+        counter = BlockCounter(
+            IdentityInstance(make_example51_collection(), example51_domain(m))
+        )
+        worlds, conf_a, conf_b, conf_d = self.EXPECTED[m]
+        assert counter.count_worlds() == worlds
+        assert counter.confidence(fact("R", "a")) == conf_a
+        assert counter.confidence(fact("R", "b")) == conf_b
+        if conf_d is not None:
+            assert counter.confidence(fact("R", "d1")) == conf_d
+
+    def test_world_count_formula(self):
+        """|poss| = 2m + 5 for Example 5.1 over dom of size m + 3."""
+        for m in (0, 1, 2, 5, 20, 100):
+            counter = BlockCounter(
+                IdentityInstance(
+                    make_example51_collection(), example51_domain(m)
+                )
+            )
+            assert counter.count_worlds() == 2 * m + 5, m
+
+
+class TestThreeSourceGolden:
+    """A fixed three-source scenario with overlapping claims."""
+
+    @pytest.fixture
+    def counter(self):
+        collection = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1),
+                    [fact("V1", "a"), fact("V1", "b"), fact("V1", "c")],
+                    "1/3", "2/3", name="S1",
+                ),
+                SourceDescriptor(
+                    identity_view("V2", "R", 1),
+                    [fact("V2", "b"), fact("V2", "c"), fact("V2", "d")],
+                    "1/3", "2/3", name="S2",
+                ),
+                SourceDescriptor(
+                    identity_view("V3", "R", 1),
+                    [fact("V3", "c"), fact("V3", "e")],
+                    "1/2", "1/2", name="S3",
+                ),
+            ]
+        )
+        return BlockCounter(
+            IdentityInstance(collection, ["a", "b", "c", "d", "e", "f"])
+        )
+
+    def test_world_count(self, counter):
+        assert counter.count_worlds() == 6
+
+    def test_confidences(self, counter):
+        values = {
+            "a": Fraction(1, 3),
+            "b": Fraction(5, 6),
+            "c": Fraction(1),
+            "d": Fraction(1, 3),
+            "e": Fraction(5, 6),
+            "f": Fraction(1, 6),
+        }
+        for value, expected in values.items():
+            assert counter.confidence(fact("R", value)) == expected, value
+
+    def test_brute_force_reconfirms(self, counter):
+        """Keep the oracle wired to the golden values."""
+        from repro.confidence import GammaSystem
+
+        gamma = GammaSystem(counter.instance)
+        assert gamma.count_solutions() == 6
+        assert gamma.confidence(fact("R", "c")) == Fraction(1)
+
+    def test_expected_size(self, counter):
+        total = sum(
+            (counter.confidence(fact("R", v)) for v in "abcdef"),
+            Fraction(0),
+        )
+        assert counter.expected_world_size() == total == Fraction(7, 2)
+
+
+class TestConsistencyGolden:
+    def test_quotient_witness_shape(self):
+        """The merge-forced scenario's witness has exactly one R fact."""
+        w = parse_rule("W(x) <- R(x, y)")
+        u = parse_rule("U(y) <- R(x, y)")
+        collection = SourceCollection(
+            [
+                SourceDescriptor(w, [fact("W", "a")], 1, 1, name="S1"),
+                SourceDescriptor(u, [fact("U", "z")], 1, 1, name="S2"),
+            ]
+        )
+        result = check_consistency(collection)
+        assert result.consistent and result.method == "quotient-search"
+        assert result.witness == GlobalDatabase([fact("R", "a", "z")])

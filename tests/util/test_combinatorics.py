@@ -1,0 +1,89 @@
+"""Tests for repro.util.combinatorics and itertools2."""
+
+from math import comb
+
+from repro.util import (
+    binomial,
+    count_vectors,
+    first,
+    multinomial,
+    pairwise_distinct,
+    powerset,
+    subsets_of_size,
+    subsets_of_size_at_least,
+    unique_everseen,
+)
+
+
+class TestBinomial:
+    def test_matches_math_comb(self):
+        for n in range(8):
+            for k in range(8):
+                expected = comb(n, k) if k <= n else 0
+                assert binomial(n, k) == expected
+
+    def test_out_of_range_zero(self):
+        assert binomial(3, -1) == 0
+        assert binomial(-2, 0) == 0
+
+
+class TestMultinomial:
+    def test_known_value(self):
+        assert multinomial([2, 1, 1]) == 12
+
+    def test_single_block(self):
+        assert multinomial([5]) == 1
+
+    def test_negative_zero(self):
+        assert multinomial([2, -1]) == 0
+
+    def test_equals_factorial_formula(self):
+        import math
+
+        counts = [3, 2, 4]
+        expected = math.factorial(9) // (6 * 2 * 24)
+        assert multinomial(counts) == expected
+
+
+class TestSubsetIteration:
+    def test_powerset_size(self):
+        assert len(list(powerset(range(5)))) == 32
+
+    def test_subsets_of_size(self):
+        assert len(list(subsets_of_size(range(5), 2))) == 10
+
+    def test_subsets_of_size_at_least(self):
+        result = list(subsets_of_size_at_least([1, 2, 3], 2))
+        assert len(result) == 4  # C(3,2) + C(3,3)
+        assert all(len(s) >= 2 for s in result)
+
+    def test_at_least_zero_is_powerset(self):
+        assert len(list(subsets_of_size_at_least("ab", 0))) == 4
+
+    def test_at_least_negative_clamped(self):
+        assert len(list(subsets_of_size_at_least("ab", -3))) == 4
+
+
+class TestCountVectors:
+    def test_cardinality(self):
+        assert len(list(count_vectors([2, 3]))) == 3 * 4
+
+    def test_bounds_respected(self):
+        for vec in count_vectors([1, 2]):
+            assert 0 <= vec[0] <= 1 and 0 <= vec[1] <= 2
+
+    def test_empty_limits(self):
+        assert list(count_vectors([])) == [()]
+
+
+class TestItertools2:
+    def test_first(self):
+        assert first([3, 4]) == 3
+        assert first([], default="d") == "d"
+
+    def test_unique_everseen(self):
+        assert list(unique_everseen([1, 2, 1, 3, 2])) == [1, 2, 3]
+
+    def test_pairwise_distinct(self):
+        assert pairwise_distinct([1, 2, 3])
+        assert not pairwise_distinct([1, 2, 1])

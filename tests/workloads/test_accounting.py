@@ -1,0 +1,85 @@
+"""Tests for the accounting-audit workload."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.workloads import accounting
+
+
+@pytest.fixture
+def workload(rng):
+    return accounting.generate(
+        n_systems=2, n_transactions=120, rng=rng
+    )
+
+
+class TestLedger:
+    def test_one_entry_per_transaction(self, workload):
+        txns = {f.args[0].value for f in workload.ledger}
+        assert len(txns) == 120
+        assert len(workload.ledger) == 120
+
+    def test_schema(self, workload):
+        assert workload.ledger.schema().arity(accounting.RELATION) == 3
+
+
+class TestSystems:
+    def test_descriptor_shapes(self, workload):
+        collection = workload.collection
+        assert len(collection) == 2
+        assert collection.identity_relation() == accounting.RELATION
+
+    def test_true_quality_reflects_perturbation(self, rng):
+        noisy = accounting.generate(
+            n_systems=1,
+            n_transactions=150,
+            loss_rate=0.3,
+            error_rate=0.2,
+            rng=rng,
+        )
+        system = noisy.systems[0]
+        assert system.true_completeness < 1
+        assert system.true_soundness < 1
+
+    def test_perfect_systems(self, rng):
+        clean = accounting.generate(
+            n_systems=1, n_transactions=60, loss_rate=0, error_rate=0, rng=rng
+        )
+        system = clean.systems[0]
+        assert system.true_soundness == 1
+        assert system.true_completeness == 1
+        assert system.declared_holds()
+
+    def test_audit_sample_bounded_by_extension(self, workload):
+        for system in workload.systems:
+            assert system.sample_size <= system.descriptor.size()
+            assert 0 <= system.sample_correct <= system.sample_size
+
+
+class TestStatisticalHonesty:
+    def test_declared_bounds_mostly_hold(self):
+        """At 95% confidence, declared soundness bounds should rarely exceed
+        the truth; across 30 audited systems expect at most a few misses."""
+        holds = 0
+        total = 0
+        for seed in range(15):
+            workload = accounting.generate(
+                n_systems=2,
+                n_transactions=100,
+                loss_rate=0.15,
+                error_rate=0.1,
+                rng=random.Random(seed),
+            )
+            for system in workload.systems:
+                total += 1
+                if system.descriptor.soundness_bound <= system.true_soundness:
+                    holds += 1
+        assert total == 30
+        assert holds >= 26  # ≥ ~87% coverage at the 95% design level
+
+    def test_ground_truth_admitted_when_declared_holds(self, workload):
+        for system in workload.systems:
+            if system.declared_holds():
+                assert system.descriptor.satisfied_by(workload.ledger)

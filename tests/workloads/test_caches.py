@@ -1,0 +1,83 @@
+"""Tests for the cache/mirror workload."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.consistency import check_identity
+from repro.confidence import covered_fact_confidences
+from repro.workloads import caches
+
+
+@pytest.fixture
+def fleet(rng):
+    return caches.generate(
+        n_objects=12, n_retired=5, n_caches=3, rng=rng
+    )
+
+
+class TestGeneration:
+    def test_origin_contents(self, fleet):
+        assert fleet.live_objects() == {f"obj{i}" for i in range(12)}
+
+    def test_origin_is_possible_world(self, fleet):
+        assert fleet.collection.admits(fleet.origin)
+
+    def test_collection_is_identity_shaped(self, fleet):
+        assert fleet.collection.identity_relation() == caches.RELATION
+
+    def test_consistent(self, fleet):
+        assert check_identity(fleet.collection).consistent
+
+    def test_cache_quality_bounds(self, rng):
+        perfect = caches.generate(
+            n_objects=10, n_retired=5, n_caches=2,
+            miss_rate=0, stale_rate=0, rng=rng,
+        )
+        for source in perfect.collection:
+            assert source.completeness_bound == 1
+            assert source.soundness_bound == 1
+
+    def test_stale_objects_reduce_soundness(self):
+        rng = random.Random(123)
+        fleet = caches.generate(
+            n_objects=10, n_retired=20, n_caches=1,
+            miss_rate=0, stale_rate=0.9, rng=rng,
+        )
+        assert fleet.collection[0].soundness_bound < 1
+
+
+class TestConfidenceRanking:
+    def test_live_objects_outrank_retired(self):
+        rng = random.Random(5)
+        fleet = caches.generate(
+            n_objects=6, n_retired=4, n_caches=4,
+            miss_rate=0.15, stale_rate=0.15, rng=rng,
+        )
+        confidences = covered_fact_confidences(fleet.collection, fleet.domain)
+        live = fleet.live_objects()
+        live_scores = [
+            confidence
+            for f, confidence in confidences.items()
+            if f.args[0].value in live
+        ]
+        stale_scores = [
+            confidence
+            for f, confidence in confidences.items()
+            if f.args[0].value not in live
+        ]
+        if live_scores and stale_scores:
+            assert min(live_scores) >= max(stale_scores) or (
+                sum(live_scores) / len(live_scores)
+                > sum(stale_scores) / len(stale_scores)
+            )
+
+
+class TestRankingQuality:
+    def test_precision_at_k(self):
+        live = frozenset({"a", "b"})
+        assert caches.ranking_quality(["a", "b", "x"], live, 2) == 1
+        assert caches.ranking_quality(["x", "a"], live, 2) == Fraction(1, 2)
+        assert caches.ranking_quality([], live, 3) == 0
+        assert caches.ranking_quality(["a"], live, 0) == 1

@@ -1,0 +1,97 @@
+"""Tests for the GHCN-style climatology workload."""
+
+import random
+
+import pytest
+
+from repro.model import fact
+from repro.workloads import climatology
+
+
+@pytest.fixture
+def workload(rng):
+    return climatology.generate(rng=rng)
+
+
+class TestGroundTruth:
+    def test_schema(self, workload):
+        schema = workload.ground_truth.schema()
+        assert schema.arity("Station") == 2
+        assert schema.arity("Temperature") == 4
+
+    def test_station_count(self, workload):
+        assert workload.station_count() == 4  # 2 countries x 2 stations
+
+    def test_temperature_facts_complete(self, workload):
+        # stations x years x months
+        expected = 4 * 2 * 2
+        assert len(workload.ground_truth.extension("Temperature")) == expected
+
+
+class TestSources:
+    def test_source_names(self, workload):
+        assert [s.name for s in workload.collection] == ["S0", "S1", "S2", "S3"]
+
+    def test_station_directory_exact(self, workload):
+        s0 = workload.collection.by_name("S0")
+        assert s0.completeness_bound == 1 and s0.soundness_bound == 1
+
+    def test_ground_truth_is_possible_world(self, workload):
+        assert workload.collection.admits(workload.ground_truth)
+
+    def test_declared_bounds_are_measured_quality(self, workload):
+        for source in workload.collection:
+            assert source.completeness(workload.ground_truth) >= source.completeness_bound
+            assert source.soundness(workload.ground_truth) >= source.soundness_bound
+
+    def test_cutoff_year_excludes_old_data(self, rng):
+        w = climatology.generate(
+            years=(1899, 1950),
+            cutoff_years={"C1": 1900},
+            drop_rate=0,
+            corrupt_rate=0,
+            rng=rng,
+        )
+        s1 = w.collection.by_name("S1")
+        years_held = {f.args[1].value for f in s1.extension}
+        assert years_held == {1950}
+
+    def test_country_views_disjoint(self, rng):
+        w = climatology.generate(drop_rate=0, corrupt_rate=0, rng=rng)
+        s1_stations = {f.args[0].value for f in w.collection.by_name("S1").extension}
+        s2_stations = {f.args[0].value for f in w.collection.by_name("S2").extension}
+        assert s1_stations.isdisjoint(s2_stations)
+
+
+class TestFDCompleteness:
+    def test_fd_intended_size_matches_view(self, rng):
+        w = climatology.generate(drop_rate=0, corrupt_rate=0, rng=rng)
+        s1 = w.collection.by_name("S1")
+        intended = s1.intended_content(w.ground_truth)
+        assert len(intended) == w.fd_intended_size("C1", min(w.years) - 1)
+
+    def test_fd_size_respects_cutoff(self, rng):
+        w = climatology.generate(
+            years=(1899, 1950), cutoff_years={"C1": 1900}, rng=rng
+        )
+        assert w.fd_intended_size("C1", 1900) == 2 * 1 * 2
+
+
+class TestPerturbationLevels:
+    @pytest.mark.parametrize("drop,corrupt", [(0.0, 0.0), (0.3, 0.0), (0.0, 0.3)])
+    def test_quality_direction(self, drop, corrupt):
+        rng = random.Random(99)
+        w = climatology.generate(
+            stations_per_country=3,
+            years=(1990, 1991, 1992),
+            drop_rate=drop,
+            corrupt_rate=corrupt,
+            rng=rng,
+        )
+        s1 = w.collection.by_name("S1")
+        if drop == 0 and corrupt == 0:
+            assert s1.completeness_bound == 1 and s1.soundness_bound == 1
+        if drop > 0:
+            assert s1.completeness_bound < 1
+        if corrupt > 0:
+            assert s1.soundness_bound < 1

@@ -1,0 +1,92 @@
+"""Tests for the perturbation model."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import SourceError
+from repro.model import fact
+from repro.workloads.perturb import (
+    corrupt_fact,
+    perturb_extension,
+    slack_bound,
+)
+
+
+@pytest.fixture
+def intended():
+    return {fact("V", i, i * 10) for i in range(20)}
+
+
+class TestPerturbExtension:
+    def test_no_perturbation_is_exact(self, intended, rng):
+        result = perturb_extension(intended, 0, 0, range(100), rng)
+        assert result.extension == frozenset(intended)
+        assert result.completeness == 1 and result.soundness == 1
+
+    def test_full_drop(self, intended, rng):
+        result = perturb_extension(intended, 1, 0, range(100), rng)
+        assert result.extension == frozenset()
+        assert result.completeness == 0
+        assert result.soundness == 1  # vacuously sound
+
+    def test_drop_reduces_completeness(self, intended, rng):
+        result = perturb_extension(intended, 0.5, 0, range(100), rng)
+        assert result.completeness < 1
+        assert result.soundness == 1  # no corruption
+        assert result.dropped > 0
+
+    def test_corrupt_reduces_soundness(self, intended, rng):
+        result = perturb_extension(intended, 0, 0.5, range(1000, 1100), rng)
+        assert result.soundness < 1
+        assert result.corrupted > 0
+
+    def test_measures_consistent_with_extension(self, intended, rng):
+        result = perturb_extension(intended, 0.3, 0.2, range(100), rng)
+        correct = len(result.extension & frozenset(intended))
+        if result.extension:
+            assert result.soundness == Fraction(correct, len(result.extension))
+        assert result.completeness == Fraction(correct, len(intended))
+
+    def test_invalid_rates(self, intended, rng):
+        with pytest.raises(SourceError):
+            perturb_extension(intended, -0.1, 0, [], rng)
+        with pytest.raises(SourceError):
+            perturb_extension(intended, 0, 1.5, [], rng)
+
+    def test_deterministic_given_seed(self, intended):
+        a = perturb_extension(intended, 0.3, 0.2, range(50), random.Random(7))
+        b = perturb_extension(intended, 0.3, 0.2, range(50), random.Random(7))
+        assert a.extension == b.extension
+
+
+class TestCorruptFact:
+    def test_changes_one_position(self, rng):
+        original = fact("V", 1, 2, 3)
+        mutated = corrupt_fact(original, ["z"], rng)
+        differences = sum(
+            1 for a, b in zip(original.args, mutated.args) if a != b
+        )
+        assert differences == 1
+        assert mutated.relation == "V" and mutated.arity == 3
+
+    def test_nullary_unchanged(self, rng):
+        original = fact("Flag")
+        assert corrupt_fact(original, ["z"], rng) == original
+
+
+class TestSlackBound:
+    def test_zero_slack_is_measured(self):
+        assert slack_bound(Fraction(3, 4), 0) == Fraction(3, 4)
+
+    def test_positive_slack_under_promises(self):
+        assert slack_bound(Fraction(1, 2), 0.1) == Fraction(1, 2) * Fraction(9, 10)
+
+    def test_clamped_to_unit_interval(self):
+        assert slack_bound(Fraction(1), 0) == 1
+        assert slack_bound(Fraction(0), 0.5) == 0
+
+    def test_invalid_slack(self):
+        with pytest.raises(SourceError):
+            slack_bound(Fraction(1, 2), 2)

@@ -1,0 +1,67 @@
+"""Tests for random source-collection generators."""
+
+import random
+
+import pytest
+
+from repro.consistency import check_identity
+from repro.workloads.random_sources import (
+    consistent_identity_collection,
+    random_identity_collection,
+    universe,
+)
+
+
+class TestUniverse:
+    def test_size_and_uniqueness(self):
+        u = universe(10)
+        assert len(u) == 10 and len(set(u)) == 10
+
+
+class TestRandomCollection:
+    def test_shape(self, rng):
+        col = random_identity_collection(4, 15, rng=rng)
+        assert len(col) == 4
+        assert col.identity_relation() == "R"
+        for s in col:
+            assert 2 <= s.size() <= 6
+            assert 0 <= s.completeness_bound <= 1
+            assert 0 <= s.soundness_bound <= 1
+
+    def test_extension_within_universe(self, rng):
+        col = random_identity_collection(3, 8, rng=rng)
+        pool = set(universe(8))
+        for s in col:
+            for f in s.extension:
+                assert f.args[0].value in pool
+
+    def test_reproducible(self):
+        a = random_identity_collection(3, 10, rng=random.Random(4))
+        b = random_identity_collection(3, 10, rng=random.Random(4))
+        assert [s.extension for s in a] == [s.extension for s in b]
+
+
+class TestConsistentCollection:
+    def test_ground_truth_is_possible(self, rng):
+        col, truth, _ = consistent_identity_collection(
+            3, 15, 8, rng=rng
+        )
+        assert col.admits(truth)
+
+    def test_checker_agrees(self, rng):
+        col, _, _ = consistent_identity_collection(3, 12, 6, rng=rng)
+        assert check_identity(col).consistent
+
+    def test_slack_preserves_consistency(self, rng):
+        col, truth, _ = consistent_identity_collection(
+            3, 12, 6, slack=0.2, rng=rng
+        )
+        assert col.admits(truth)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_many_seeds(self, seed):
+        col, truth, _ = consistent_identity_collection(
+            4, 14, 7, drop_rate=0.3, corrupt_rate=0.2, rng=random.Random(seed)
+        )
+        assert col.admits(truth)
+        assert check_identity(col).consistent
