@@ -140,3 +140,120 @@ def test_e4_sampler_throughput(benchmark):
     instance = instance_of_size(16, seed=3)
     sampler = WorldSampler(instance, random.Random(11))
     benchmark(sampler.sample)
+
+
+def test_e4_parallel_speedup(benchmark, results_dir):
+    """Serial vs parallel engine on a heavy 5-source instance (E4c).
+
+    Exact confidence of every covered fact decomposes into one independent
+    counting task per signature block; the engine dispatches them to worker
+    processes. On a multi-core host the 4-worker run must beat serial wall
+    clock; on a single-CPU host the numbers are still recorded but the
+    speedup is not asserted (there is nothing to parallelize onto).
+    """
+    from repro.confidence.engine import ConfidenceEngine, available_cpus
+
+    collection, _, domain = consistent_identity_collection(
+        5, 40, 20, slack=0.25, rng=random.Random(11)
+    )
+    workers = 4
+
+    def run():
+        with ConfidenceEngine(
+            collection, domain, workers=0, cache_size=0
+        ) as serial_engine:
+            start = time.perf_counter()
+            serial_result = serial_engine.confidences()
+            serial_time = time.perf_counter() - start
+        with ConfidenceEngine(
+            collection, domain, workers=workers, mode="chunked", cache_size=0
+        ) as parallel_engine:
+            start = time.perf_counter()
+            parallel_result = parallel_engine.confidences()
+            parallel_time = time.perf_counter() - start
+            tasks = parallel_engine.stats.tasks_dispatched
+        assert parallel_result == serial_result  # identical exact Fractions
+        return serial_time, parallel_time, tasks
+
+    serial_time, parallel_time, tasks = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    speedup = serial_time / parallel_time
+    cpus = available_cpus()
+    if cpus >= 2:
+        # the acceptance bar: measurable wall-clock win at >= 4 workers
+        assert speedup > 1.05, (
+            f"parallel engine slower than serial on {cpus} CPUs: "
+            f"{serial_time:.2f}s vs {parallel_time:.2f}s"
+        )
+    write_table(
+        "e4_parallel",
+        "E4c: serial vs parallel exact counting (5 sources, |dom|=40)",
+        ["executor", "workers", "tasks", "wall time", "speedup"],
+        [
+            ["serial", 1, tasks, f"{serial_time:.2f} s", "1.00x"],
+            [
+                "chunked pool",
+                workers,
+                tasks,
+                f"{parallel_time:.2f} s",
+                f"{speedup:.2f}x",
+            ],
+        ],
+        notes=[
+            f"host CPUs available: {cpus}"
+            + (" (single CPU: speedup not asserted)" if cpus < 2 else ""),
+            "results are identical exact Fractions under both executors",
+        ],
+    )
+
+
+def test_e4_parallel_montecarlo(benchmark, results_dir):
+    """Serial vs parallel Monte-Carlo estimation, fixed seed (E4d).
+
+    The sample budget is split into fixed-size chunks with per-chunk
+    deterministic seeds, so serial and parallel runs return bit-identical
+    estimates; only the wall clock changes.
+    """
+    from repro.confidence.engine import ConfidenceEngine, available_cpus
+
+    instance = instance_of_size(12, seed=4)
+    facts = [block.facts[0] for block in instance.blocks]
+    samples = 20_000
+
+    def run():
+        with ConfidenceEngine(instance, workers=0, cache_size=0) as serial_engine:
+            start = time.perf_counter()
+            serial_est = serial_engine.estimate_confidences(facts, samples, seed=7)
+            serial_time = time.perf_counter() - start
+        with ConfidenceEngine(
+            instance, workers=4, mode="chunked", cache_size=0
+        ) as parallel_engine:
+            start = time.perf_counter()
+            parallel_est = parallel_engine.estimate_confidences(
+                facts, samples, seed=7
+            )
+            parallel_time = time.perf_counter() - start
+        assert parallel_est == serial_est  # bit-identical under a fixed seed
+        return serial_time, parallel_time
+
+    serial_time, parallel_time = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_table(
+        "e4_parallel_montecarlo",
+        f"E4d: serial vs parallel Monte Carlo ({samples} samples, seed 7)",
+        ["executor", "workers", "wall time", "samples/s"],
+        [
+            ["serial", 1, f"{serial_time:.2f} s", f"{samples / serial_time:,.0f}"],
+            [
+                "chunked pool",
+                4,
+                f"{parallel_time:.2f} s",
+                f"{samples / parallel_time:,.0f}",
+            ],
+        ],
+        notes=[
+            f"host CPUs available: {available_cpus()}",
+            "estimates are bit-identical under both executors (fixed chunking "
+            "+ per-chunk seeds)",
+        ],
+    )

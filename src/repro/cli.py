@@ -2,9 +2,11 @@
 
 Commands operate on source-collection files in the :mod:`repro.io` format:
 
-* ``check FILE`` — decide CONSISTENCY; print the verdict and a witness.
-* ``confidence FILE --domain a,b,c`` — exact base-fact confidences
-  (identity-view collections), ranked.
+* ``check FILE [--workers N]`` — decide CONSISTENCY; print the verdict and
+  a witness. ``--workers`` checks independent source groups in parallel.
+* ``confidence FILE --domain a,b,c [--workers N] [--cache N] [--stats]`` —
+  exact base-fact confidences (identity-view collections), ranked, computed
+  by the parallel memoized engine.
 * ``worlds FILE --domain a,b,c [--limit N]`` — enumerate possible worlds.
 * ``audit FILE --world WORLDFILE`` — measured vs declared quality against a
   reference database.
@@ -25,9 +27,10 @@ from repro.exceptions import ReproError
 from repro.io.serialization import load_collection, load_database
 from repro.queries.parser import parse_rule
 from repro.confidence.answers import answer_query
-from repro.confidence.base_facts import covered_fact_confidences
+from repro.confidence.engine import ConfidenceEngine
 from repro.confidence.worlds import possible_worlds
 from repro.consistency.checker import check_consistency
+from repro.consistency.parallel import check_consistency_parallel
 
 
 def _domain(value: str) -> List[str]:
@@ -35,6 +38,28 @@ def _domain(value: str) -> List[str]:
     if not items:
         raise argparse.ArgumentTypeError("domain must be a comma-separated list")
     return items
+
+
+def _add_engine_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for the confidence engine (0/1 = serial)",
+    )
+    subparser.add_argument(
+        "--cache",
+        type=int,
+        default=None,
+        metavar="SIZE",
+        help="memo capacity for block-counting results "
+        "(default: shared process-wide cache; 0 disables caching)",
+    )
+    subparser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print engine instrumentation (stage times, cache hit rates)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,12 +72,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = commands.add_parser("check", help="decide CONSISTENCY")
     check.add_argument("file", help="source-collection file")
+    check.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="check independent source groups in parallel (0/1 = serial)",
+    )
 
     confidence = commands.add_parser(
         "confidence", help="exact base-fact confidences (identity views)"
     )
     confidence.add_argument("file")
     confidence.add_argument("--domain", type=_domain, required=True)
+    _add_engine_flags(confidence)
 
     worlds = commands.add_parser("worlds", help="enumerate possible worlds")
     worlds.add_argument("file")
@@ -91,7 +123,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def cmd_check(args) -> int:
     collection = load_collection(args.file)
-    result = check_consistency(collection)
+    if args.workers and args.workers > 1:
+        result = check_consistency_parallel(collection, workers=args.workers)
+    else:
+        result = check_consistency(collection)
     status = "CONSISTENT" if result.consistent else (
         "INCONSISTENT" if result.decisive else "UNDECIDED (search truncated)"
     )
@@ -106,9 +141,20 @@ def cmd_check(args) -> int:
 
 def cmd_confidence(args) -> int:
     collection = load_collection(args.file)
-    confidences = covered_fact_confidences(collection, args.domain)
-    for f, conf in sorted(confidences.items(), key=lambda kv: (-kv[1], str(kv[0]))):
-        print(f"{float(conf):8.4f}  {conf!s:>10}  {f}")
+    with ConfidenceEngine(
+        collection,
+        args.domain,
+        workers=args.workers,
+        cache_size=args.cache,
+    ) as engine:
+        confidences = engine.confidences()
+        for f, conf in sorted(
+            confidences.items(), key=lambda kv: (-kv[1], str(kv[0]))
+        ):
+            print(f"{float(conf):8.4f}  {conf!s:>10}  {f}")
+        if args.stats:
+            print()
+            print(engine.stats.render())
     return 0
 
 

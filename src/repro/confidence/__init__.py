@@ -18,6 +18,16 @@ from repro.confidence.base_facts import (
     plausible_facts,
 )
 from repro.confidence.blocks import BlockCounter, IdentityInstance, SignatureBlock
+from repro.confidence.engine import (
+    ChunkedExecutor,
+    ConfidenceEngine,
+    EngineStats,
+    LRUMemo,
+    ProcessExecutor,
+    SerialExecutor,
+    make_executor,
+    shared_memo,
+)
 from repro.confidence.exact_calculus import ExactCalculus, event_probability
 from repro.confidence.linear_system import GammaSystem, Inequality
 from repro.confidence.montecarlo import WorldSampler, rejection_sample_worlds
@@ -45,6 +55,14 @@ __all__ = [
     "IdentityInstance",
     "SignatureBlock",
     "BlockCounter",
+    "ConfidenceEngine",
+    "EngineStats",
+    "LRUMemo",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "ChunkedExecutor",
+    "make_executor",
+    "shared_memo",
     "ExactCalculus",
     "event_probability",
     "GammaSystem",

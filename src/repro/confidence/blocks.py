@@ -27,6 +27,10 @@ from repro.exceptions import SourceError
 from repro.model.atoms import Atom
 from repro.model.terms import Constant, as_term
 from repro.sources.collection import SourceCollection
+from repro.confidence.engine import kernel
+
+#: Backwards-compatible alias (the implementation moved to the engine kernel).
+_partial_binomial_sum = kernel.partial_binomial_sum
 
 
 class SignatureBlock:
@@ -172,15 +176,6 @@ class IdentityInstance:
         return cap
 
 
-def _partial_binomial_sum(n: int, k_max: int) -> int:
-    """``Σ_{k=0..min(k_max, n)} C(n, k)``; 2^n when k_max >= n."""
-    if k_max < 0:
-        return 0
-    if k_max >= n:
-        return 1 << n
-    return sum(math.comb(n, k) for k in range(k_max + 1))
-
-
 class BlockCounter:
     """Counts possible worlds of an :class:`IdentityInstance` exactly.
 
@@ -190,10 +185,17 @@ class BlockCounter:
     outside every extension) is folded in at the end with partial binomial
     sums, so its size never enters the state space — which is what keeps
     Example 5.1 polynomial in m.
+
+    The DP itself lives in :mod:`repro.confidence.engine.kernel` (pure
+    functions over a :class:`~repro.confidence.engine.kernel.CountingSpec`);
+    this class is the fact-level serial facade. The parallel, memoized route
+    to the same numbers is
+    :class:`~repro.confidence.engine.ConfidenceEngine`.
     """
 
     def __init__(self, instance: IdentityInstance):
         self.instance = instance
+        self.spec = kernel.spec_of(instance)
         self._world_count: Optional[int] = None
 
     # -- the DP -----------------------------------------------------------------
@@ -214,35 +216,21 @@ class BlockCounter:
         initial_sound: Optional[Sequence[int]] = None,
         initial_total: int = 0,
     ) -> Dict[Tuple[Tuple[int, ...], int], int]:
-        """Run the block DP.
+        """Run the block DP (kernel delegation).
 
         *skip_counts* reduces block sizes (facts forced in or out of the
         world are no longer free choices). *initial_sound*/*initial_total*
         seed the state with the contribution of forced-in facts.
         """
-        inst = self.instance
-        n = inst.n_sources
-        start_sound = tuple(initial_sound) if initial_sound else (0,) * n
-        states: Dict[Tuple[Tuple[int, ...], int], int] = {
-            (start_sound, initial_total): 1
-        }
-        for j, block in enumerate(inst.blocks):
-            size = block.size - skip_counts.get(j, 0)
-            if size < 0:
+        spec = self.spec
+        sizes = list(spec.sizes)
+        for j, count in skip_counts.items():
+            sizes[j] -= count
+            if sizes[j] < 0:
                 return {}
-            signature = block.signature
-            next_states: Dict[Tuple[Tuple[int, ...], int], int] = {}
-            for (sound, total), weight in states.items():
-                for chosen in range(size + 1):
-                    coefficient = math.comb(size, chosen)
-                    new_sound = tuple(
-                        sound[i] + (chosen if i in signature else 0)
-                        for i in range(n)
-                    )
-                    key = (new_sound, total + chosen)
-                    next_states[key] = next_states.get(key, 0) + weight * coefficient
-            states = next_states
-        return states
+        return kernel.sweep(
+            spec.signatures, sizes, spec.n_sources, initial_sound, initial_total
+        )
 
     def _finish(
         self,
@@ -250,21 +238,10 @@ class BlockCounter:
         anonymous_size: int,
     ) -> int:
         """Fold the anonymous block into swept states and total the count."""
-        inst = self.instance
-        total_count = 0
-        for (sound, covered_total), weight in states.items():
-            if any(sound[i] < inst.min_sound[i] for i in range(inst.n_sources)):
-                continue
-            cap = inst.max_total_for(sound)
-            if cap is None:
-                anonymous_choices = 1 << anonymous_size
-            else:
-                budget = cap - covered_total
-                if budget < 0:
-                    continue
-                anonymous_choices = _partial_binomial_sum(anonymous_size, budget)
-            total_count += weight * anonymous_choices
-        return total_count
+        spec = self.spec
+        return kernel.finish(
+            states, spec.min_sound, spec.completeness, anonymous_size
+        )
 
     # -- public API ----------------------------------------------------------------
 
@@ -274,9 +251,7 @@ class BlockCounter:
         Memoized — it is the denominator of every confidence query.
         """
         if self._world_count is None:
-            self._world_count = self._finish(
-                self._sweep(), self.instance.anonymous_size
-            )
+            self._world_count = kernel.count_worlds(self.spec)
         return self._world_count
 
     # -- ranked access ------------------------------------------------------------
@@ -339,34 +314,18 @@ class BlockCounter:
             if not inst.in_fact_space(f):
                 return 0
             per_block[inst.block_of(f)] = per_block.get(inst.block_of(f), 0) + 1
-        seed_sound = [0] * inst.n_sources
-        seed_total = 0
-        skip_counts: Dict[int, int] = {}
-        anonymous_forced = 0
-        for j, count in per_block.items():
-            seed_total += count
-            if j is None:
-                anonymous_forced = count
-                continue
-            skip_counts[j] = count
-            for i in inst.blocks[j].signature:
-                seed_sound[i] += count
-        states = self._sweep_multi(
-            skip_counts, initial_sound=seed_sound, initial_total=seed_total
-        )
-        return self._finish(states, inst.anonymous_size - anonymous_forced)
+        problem = kernel.reduce_spec(self.spec, forced=per_block)
+        return kernel.solve(problem)[0]
 
     def count_worlds_excluding(self, fact: Atom) -> int:
         """Worlds that do *not* contain *fact* (``N_sol(Γ[x_fact / 0])``)."""
         inst = self.instance
         if not inst.in_fact_space(fact):
             return self.count_worlds()
-        j = inst.block_of(fact)
-        if j is None:
-            states = self._sweep()
-            return self._finish(states, inst.anonymous_size - 1)
-        states = self._sweep(skip_one_of_block=j)
-        return self._finish(states, inst.anonymous_size)
+        problem = kernel.reduce_spec(
+            self.spec, excluded={inst.block_of(fact): 1}
+        )
+        return kernel.solve(problem)[0]
 
     def confidence(self, fact: Atom) -> Fraction:
         """``confidence(t) = N_sol(Γ[x_t/1]) / N_sol(Γ)`` (Section 5.1).

@@ -1,0 +1,317 @@
+"""The confidence engine: block-parallel, memoized exact + Monte-Carlo.
+
+:class:`ConfidenceEngine` answers the same questions as
+:class:`~repro.confidence.blocks.BlockCounter` — exact confidences over an
+identity-view collection — but decomposes the work into independent counting
+tasks (one per signature block, plus one denominator), consults the memo
+first, and dispatches the remaining tasks through a pluggable executor.
+Monte-Carlo estimation splits the sample budget into fixed-size chunks with
+per-chunk deterministic seeds, so the estimate is a pure function of
+``(instance, facts, samples, seed)`` — *identical* under every executor; the
+executor only decides how many chunks run concurrently.
+
+The task list and the aggregation are fixed before dispatch, which is the
+engine's central invariant: serial and parallel execution are exactly
+equivalent, tested property-style in
+``tests/property/test_engine_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from fractions import Fraction
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import InconsistentCollectionError
+from repro.model.atoms import Atom
+from repro.confidence.engine import kernel
+from repro.confidence.engine.executors import make_executor
+from repro.confidence.engine.memo import LRUMemo, canonical_key, shared_memo
+from repro.confidence.engine.stats import EngineStats
+
+if TYPE_CHECKING:  # imported lazily at runtime (blocks.py imports the kernel)
+    from repro.confidence.blocks import IdentityInstance
+    from repro.sources.collection import SourceCollection
+
+#: Monte-Carlo samples per dispatch chunk (fixed so that the chunking — and
+#: therefore the estimate — does not depend on the executor or worker count).
+DEFAULT_SAMPLES_PER_CHUNK = 1000
+
+
+def _solve_task(problem) -> Tuple[int, int, float]:
+    """Worker body for one exact counting task (picklable, top level)."""
+    start = time.perf_counter()
+    count, dp_states = kernel.solve(problem)
+    return count, dp_states, time.perf_counter() - start
+
+
+def _mc_task(payload) -> Tuple[List[int], int]:
+    """Worker body for one Monte-Carlo chunk: per-fact hit counts."""
+    instance, facts, n_samples, seed = payload
+    from repro.confidence.montecarlo import WorldSampler
+
+    sampler = WorldSampler(instance, random.Random(seed))
+    hits = [0] * len(facts)
+    for _ in range(n_samples):
+        world = sampler.sample()
+        for index, f in enumerate(facts):
+            if f in world:
+                hits[index] += 1
+    return hits, n_samples
+
+
+def _chunk_seed(seed: int, chunk_index: int) -> int:
+    """Deterministic, well-spread per-chunk RNG seed."""
+    return (seed * 1_000_003 + chunk_index) & 0xFFFFFFFFFFFF
+
+
+class ConfidenceEngine:
+    """Parallel, memoized confidence computation for identity collections.
+
+    Parameters
+    ----------
+    collection:
+        A :class:`SourceCollection` (with *domain*) or a prebuilt
+        :class:`IdentityInstance`.
+    workers:
+        ``0``/``1`` = serial; ``>= 2`` = that many worker processes.
+    mode:
+        ``"process"`` (one task per dispatch), ``"chunked"`` (batched
+        dispatch), or ``"serial"``. Ignored when ``workers <= 1``.
+    cache_size:
+        ``None`` = share the process-wide memo; ``0`` = no memoization;
+        otherwise a private :class:`LRUMemo` of that capacity.
+    memo / executor:
+        Explicit instances override the above (e.g. to share a memo
+        between engines while keeping private executors).
+    """
+
+    def __init__(
+        self,
+        collection: Union[SourceCollection, IdentityInstance],
+        domain: Optional[Iterable] = None,
+        *,
+        workers: int = 0,
+        mode: str = "process",
+        chunk_size: Optional[int] = None,
+        cache_size: Optional[int] = None,
+        memo: Optional[LRUMemo] = None,
+        executor=None,
+    ):
+        from repro.confidence.blocks import IdentityInstance
+
+        if isinstance(collection, IdentityInstance):
+            self.instance = collection
+        else:
+            if domain is None:
+                raise ValueError(
+                    "ConfidenceEngine needs a domain alongside a collection"
+                )
+            self.instance = IdentityInstance(collection, domain)
+        self.spec = kernel.spec_of(self.instance)
+        if memo is not None:
+            self.memo: Optional[LRUMemo] = memo
+        elif cache_size is None:
+            self.memo = shared_memo()
+        elif cache_size == 0:
+            self.memo = None
+        else:
+            self.memo = LRUMemo(cache_size)
+        self.executor = executor if executor is not None else make_executor(
+            workers, mode=mode, chunk_size=chunk_size
+        )
+        self.stats = EngineStats(
+            executor=self.executor.name, workers=self.executor.workers
+        )
+
+    # -- exact counting ---------------------------------------------------------
+
+    def _count_many(
+        self, problems: Sequence[Optional[kernel.ReducedProblem]]
+    ) -> List[int]:
+        """Counts for several reduced problems: memo, dedup, then dispatch."""
+        counts: List[Optional[int]] = [None] * len(problems)
+        pending: Dict[object, List[int]] = {}
+        pending_problems: List[kernel.ReducedProblem] = []
+        pending_keys: List[object] = []
+
+        with self.stats.time("plan"):
+            for index, problem in enumerate(problems):
+                if problem is None:
+                    counts[index] = 0
+                    continue
+                self.stats.tasks_submitted += 1
+                key = canonical_key(problem) if self.memo is not None else problem
+                if self.memo is not None:
+                    hit, value = self.memo.lookup(key)
+                    if hit:
+                        self.stats.tasks_memoized += 1
+                        counts[index] = value
+                        continue
+                if key in pending:
+                    pending[key].append(index)
+                else:
+                    pending[key] = [index]
+                    pending_problems.append(problem)
+                    pending_keys.append(key)
+
+        if pending_problems:
+            self.stats.tasks_dispatched += len(pending_problems)
+            with self.stats.time("count"):
+                results = self.executor.map(_solve_task, pending_problems)
+            for key, (count, dp_states, _elapsed) in zip(pending_keys, results):
+                self.stats.dp_states += dp_states
+                if self.memo is not None:
+                    self.memo.store(key, count)
+                for index in pending[key]:
+                    counts[index] = count
+
+        if self.memo is not None:
+            self.stats.cache = self.memo.stats()
+        return counts  # type: ignore[return-value]
+
+    def count_worlds(self) -> int:
+        """``|poss(S)|`` over the finite fact space."""
+        count = self._count_many([kernel.reduce_spec(self.spec)])[0]
+        self.stats.worlds_counted = count
+        return count
+
+    def is_consistent(self) -> bool:
+        """Non-emptiness of poss(S) over the finite fact space."""
+        return self.count_worlds() > 0
+
+    def _denominator(self) -> int:
+        denominator = self.count_worlds()
+        if denominator == 0:
+            raise InconsistentCollectionError(
+                "collection admits no possible database over this domain"
+            )
+        return denominator
+
+    def confidences(self) -> Dict[Atom, Fraction]:
+        """Exact confidence of every covered fact (global form).
+
+        One counting task per signature block plus the shared denominator;
+        block-mates reuse their block's count (facts in a block are
+        interchangeable).
+        """
+        instance = self.instance
+        with self.stats.time("decompose"):
+            problems = [kernel.reduce_spec(self.spec)]
+            block_indices: List[int] = []
+            for j, block in enumerate(instance.blocks):
+                if block.facts:
+                    problems.append(kernel.reduce_spec(self.spec, forced={j: 1}))
+                    block_indices.append(j)
+        counts = self._count_many(problems)
+        denominator = counts[0]
+        self.stats.worlds_counted = denominator
+        if denominator == 0:
+            raise InconsistentCollectionError(
+                "collection admits no possible database over this domain"
+            )
+        with self.stats.time("assemble"):
+            out: Dict[Atom, Fraction] = {}
+            for j, numerator in zip(block_indices, counts[1:]):
+                confidence = Fraction(numerator, denominator)
+                for f in instance.blocks[j].facts:
+                    out[f] = confidence
+        return out
+
+    def confidence(self, fact: Atom) -> Fraction:
+        """Exact confidence of one fact (covered or anonymous)."""
+        return self.joint_confidence([fact])
+
+    def joint_confidence(self, facts: Iterable[Atom]) -> Fraction:
+        """``Pr(all facts ∈ D | D ∈ poss(S))`` — one forced-blocks task."""
+        instance = self.instance
+        with self.stats.time("decompose"):
+            forced: Dict[Optional[int], int] = {}
+            in_space = True
+            for f in {Atom(instance.relation, f.args) for f in facts}:
+                if not instance.in_fact_space(f):
+                    in_space = False
+                    break
+                j = instance.block_of(f)
+                forced[j] = forced.get(j, 0) + 1
+            problems: List[Optional[kernel.ReducedProblem]] = [
+                kernel.reduce_spec(self.spec),
+                kernel.reduce_spec(self.spec, forced=forced) if in_space else None,
+            ]
+        counts = self._count_many(problems)
+        self.stats.worlds_counted = counts[0]
+        if counts[0] == 0:
+            raise InconsistentCollectionError(
+                "collection admits no possible database over this domain"
+            )
+        return Fraction(counts[1], counts[0])
+
+    # -- Monte Carlo ------------------------------------------------------------
+
+    def estimate_confidences(
+        self,
+        facts: Iterable[Atom],
+        samples: int,
+        seed: int = 0,
+        samples_per_chunk: int = DEFAULT_SAMPLES_PER_CHUNK,
+    ) -> Dict[Atom, float]:
+        """Monte-Carlo confidence estimates from *samples* uniform worlds.
+
+        The budget is split into ``ceil(samples / samples_per_chunk)``
+        chunks, each drawn by an independent sampler seeded from
+        ``(seed, chunk index)`` — deterministic and executor-independent.
+        """
+        if samples <= 0:
+            raise ValueError("samples must be positive")
+        instance = self.instance
+        renamed = tuple(
+            dict.fromkeys(Atom(instance.relation, f.args) for f in facts)
+        )
+        with self.stats.time("decompose"):
+            chunks = []
+            remaining = samples
+            chunk_index = 0
+            while remaining > 0:
+                n = min(samples_per_chunk, remaining)
+                chunks.append(
+                    (instance, renamed, n, _chunk_seed(seed, chunk_index))
+                )
+                remaining -= n
+                chunk_index += 1
+        with self.stats.time("montecarlo"):
+            results = self.executor.map(_mc_task, chunks)
+        with self.stats.time("assemble"):
+            totals = [0] * len(renamed)
+            drawn = 0
+            for hits, n in results:
+                drawn += n
+                for index, h in enumerate(hits):
+                    totals[index] += h
+            self.stats.samples_drawn += drawn
+            return {f: totals[i] / drawn for i, f in enumerate(renamed)}
+
+    def estimate_confidence(
+        self,
+        fact: Atom,
+        samples: int,
+        seed: int = 0,
+        samples_per_chunk: int = DEFAULT_SAMPLES_PER_CHUNK,
+    ) -> float:
+        """Monte-Carlo estimate for a single fact."""
+        estimates = self.estimate_confidences(
+            [fact], samples, seed=seed, samples_per_chunk=samples_per_chunk
+        )
+        return next(iter(estimates.values()))
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release worker processes (idempotent)."""
+        self.executor.close()
+
+    def __enter__(self) -> "ConfidenceEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,231 @@
+"""The pure counting kernel: signature-block DP over plain data.
+
+The engine's unit of work. A :class:`CountingSpec` is the block decomposition
+of an :class:`~repro.confidence.blocks.IdentityInstance` stripped down to the
+numbers the dynamic program actually consumes — block sizes, membership
+signatures, per-source soundness floors and completeness bounds, and the
+anonymous-block size. No model objects (atoms, views, collections) survive
+into the spec, which buys three properties at once:
+
+* **parallelism** — specs are tiny, picklable tuples, cheap to ship to
+  worker processes;
+* **memoization** — every counting question reduces (via :func:`reduce_spec`)
+  to a canonical :class:`ReducedProblem`, the natural cache key domain;
+* **single implementation** — :class:`~repro.confidence.blocks.BlockCounter`
+  delegates here, so the serial API and the parallel engine run literally
+  the same DP.
+
+A *reduced problem* folds forced-in facts (numerator counts "worlds
+containing t": shrink t's block, seed the sound counts) and forced-out facts
+(complement counts: shrink the block, no seed) into the spec itself, so
+distinct questions that induce the same arithmetic collide in the cache.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, Mapping, NamedTuple, Optional, Sequence, Tuple
+
+State = Tuple[Tuple[int, ...], int]
+StateMap = Dict[State, int]
+
+
+class CountingSpec(NamedTuple):
+    """The block decomposition of an identity instance, as plain data."""
+
+    signatures: Tuple[Tuple[int, ...], ...]  #: per block: sorted source indices
+    sizes: Tuple[int, ...]                   #: per block: number of facts
+    min_sound: Tuple[int, ...]               #: per source: ⌈s_i·k_i⌉ floor
+    completeness: Tuple[Fraction, ...]       #: per source: bound c_i
+    anonymous_size: int                      #: facts outside every extension
+
+    @property
+    def n_sources(self) -> int:
+        return len(self.min_sound)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.sizes)
+
+
+class ReducedProblem(NamedTuple):
+    """A counting question folded into spec form (see module docstring)."""
+
+    signatures: Tuple[Tuple[int, ...], ...]
+    sizes: Tuple[int, ...]                   #: effective (shrunk) block sizes
+    min_sound: Tuple[int, ...]
+    completeness: Tuple[Fraction, ...]
+    anonymous_size: int                      #: effective anonymous size
+    seed_sound: Tuple[int, ...]              #: sound counts of forced-in facts
+    seed_total: int                          #: |forced-in facts|
+
+    @property
+    def n_sources(self) -> int:
+        return len(self.min_sound)
+
+
+def spec_of(instance) -> CountingSpec:
+    """Extract the :class:`CountingSpec` of an ``IdentityInstance``.
+
+    Duck-typed (reads ``blocks``, ``min_sound``, ``completeness_bounds``,
+    ``anonymous_size``) to keep this module free of model imports.
+    """
+    return CountingSpec(
+        signatures=tuple(
+            tuple(sorted(block.signature)) for block in instance.blocks
+        ),
+        sizes=tuple(block.size for block in instance.blocks),
+        min_sound=tuple(instance.min_sound),
+        completeness=tuple(instance.completeness_bounds),
+        anonymous_size=instance.anonymous_size,
+    )
+
+
+def reduce_spec(
+    spec: CountingSpec,
+    forced: Optional[Mapping[Optional[int], int]] = None,
+    excluded: Optional[Mapping[Optional[int], int]] = None,
+) -> Optional[ReducedProblem]:
+    """Fold forced-in / forced-out facts into the spec.
+
+    *forced* maps a block index (``None`` = anonymous block) to the number of
+    its facts that must appear in the world; *excluded* to the number that
+    must not. Returns ``None`` when the request is infeasible outright (more
+    facts forced or excluded than a block holds).
+    """
+    forced = dict(forced or {})
+    excluded = dict(excluded or {})
+    sizes = list(spec.sizes)
+    seed_sound = [0] * spec.n_sources
+    seed_total = 0
+    anonymous = spec.anonymous_size
+
+    for j, count in forced.items():
+        if count < 0:
+            return None
+        seed_total += count
+        if j is None:
+            anonymous -= count
+            continue
+        sizes[j] -= count
+        for i in spec.signatures[j]:
+            seed_sound[i] += count
+    for j, count in excluded.items():
+        if count < 0:
+            return None
+        if j is None:
+            anonymous -= count
+        else:
+            sizes[j] -= count
+    if anonymous < 0 or any(size < 0 for size in sizes):
+        return None
+    return ReducedProblem(
+        signatures=spec.signatures,
+        sizes=tuple(sizes),
+        min_sound=spec.min_sound,
+        completeness=spec.completeness,
+        anonymous_size=anonymous,
+        seed_sound=tuple(seed_sound),
+        seed_total=seed_total,
+    )
+
+
+def partial_binomial_sum(n: int, k_max: int) -> int:
+    """``Σ_{k=0..min(k_max, n)} C(n, k)``; 2^n when k_max >= n."""
+    if k_max < 0:
+        return 0
+    if k_max >= n:
+        return 1 << n
+    return sum(math.comb(n, k) for k in range(k_max + 1))
+
+
+def max_total_for(
+    completeness: Sequence[Fraction], sound_counts: Sequence[int]
+) -> Optional[int]:
+    """Largest |D| the completeness bounds allow; ``None`` = unbounded."""
+    cap: Optional[int] = None
+    for i, c in enumerate(completeness):
+        if c > 0:
+            limit = int(Fraction(sound_counts[i]) / c)
+            cap = limit if cap is None else min(cap, limit)
+    return cap
+
+
+def sweep(
+    signatures: Sequence[Tuple[int, ...]],
+    sizes: Sequence[int],
+    n_sources: int,
+    initial_sound: Optional[Sequence[int]] = None,
+    initial_total: int = 0,
+) -> StateMap:
+    """The block DP: weight of every reachable (sound counts, total) state."""
+    start_sound = tuple(initial_sound) if initial_sound else (0,) * n_sources
+    states: StateMap = {(start_sound, initial_total): 1}
+    for signature, size in zip(signatures, sizes):
+        if size < 0:
+            return {}
+        signature_set = frozenset(signature)
+        next_states: StateMap = {}
+        for (sound, total), weight in states.items():
+            for chosen in range(size + 1):
+                coefficient = math.comb(size, chosen)
+                new_sound = tuple(
+                    sound[i] + (chosen if i in signature_set else 0)
+                    for i in range(n_sources)
+                )
+                key = (new_sound, total + chosen)
+                next_states[key] = next_states.get(key, 0) + weight * coefficient
+        states = next_states
+    return states
+
+
+def finish(
+    states: StateMap,
+    min_sound: Sequence[int],
+    completeness: Sequence[Fraction],
+    anonymous_size: int,
+) -> int:
+    """Fold the anonymous block into swept states and total the count."""
+    total_count = 0
+    n = len(min_sound)
+    for (sound, covered_total), weight in states.items():
+        if any(sound[i] < min_sound[i] for i in range(n)):
+            continue
+        cap = max_total_for(completeness, sound)
+        if cap is None:
+            anonymous_choices = 1 << anonymous_size
+        else:
+            budget = cap - covered_total
+            if budget < 0:
+                continue
+            anonymous_choices = partial_binomial_sum(anonymous_size, budget)
+        total_count += weight * anonymous_choices
+    return total_count
+
+
+def solve(problem: Optional[ReducedProblem]) -> Tuple[int, int]:
+    """Count the worlds of a reduced problem.
+
+    Returns ``(count, dp_states)``; *dp_states* is the size of the final DP
+    layer, the instrumentation's measure of how hard the sweep was.
+    ``None`` problems (infeasible reductions) count zero worlds.
+    """
+    if problem is None:
+        return 0, 0
+    states = sweep(
+        problem.signatures,
+        problem.sizes,
+        problem.n_sources,
+        initial_sound=problem.seed_sound,
+        initial_total=problem.seed_total,
+    )
+    count = finish(
+        states, problem.min_sound, problem.completeness, problem.anonymous_size
+    )
+    return count, len(states)
+
+
+def count_worlds(spec: CountingSpec) -> int:
+    """``|poss(S)|`` over the finite fact space (``N_sol(Γ)``)."""
+    return solve(reduce_spec(spec))[0]

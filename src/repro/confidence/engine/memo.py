@@ -1,0 +1,189 @@
+"""LRU memoization of counting problems, keyed by canonical block signatures.
+
+Two counting questions that are *alpha-equivalent* — identical up to renaming
+facts and permuting sources — have identical world counts, so they must hit
+the same cache line. :func:`canonical_key` achieves this by canonicalizing a
+:class:`~repro.confidence.engine.kernel.ReducedProblem`:
+
+* fact names never enter the key (a reduced problem only carries block
+  *sizes*), so fact renaming is quotiented out for free;
+* source permutations are quotiented out by re-labelling sources in a
+  canonical order: sources are first sorted by an invariant *profile*
+  (soundness floor, completeness bound, seeded sound count, and the multiset
+  of shapes of the blocks they appear in); any sources left tied by the
+  profile are disambiguated by trying every permutation of the tied group
+  and keeping the lexicographically least rendering. Tied groups are almost
+  always singletons, so the exact search is cheap; a safety valve caps the
+  number of candidate orders and falls back to the (still deterministic,
+  merely less collision-happy) profile order.
+
+The cache itself is a thread-safe LRU over these keys with hit/miss/eviction
+counters, shared process-wide by default so repeated sub-blocks across
+answers, queries, and engine instances are computed once.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from itertools import islice, permutations, product
+from typing import Dict, Hashable, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.confidence.engine.kernel import ReducedProblem
+
+#: Default capacity of the shared memo.
+DEFAULT_CACHE_SIZE = 4096
+
+#: Give up on exact tie-breaking beyond this many candidate source orders.
+MAX_CANONICAL_ORDERS = 720
+
+
+class CacheStats(NamedTuple):
+    """A point-in-time snapshot of a memo's counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUMemo:
+    """A thread-safe least-recently-used cache with instrumentation."""
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE):
+        if maxsize <= 0:
+            raise ValueError("LRUMemo needs a positive maxsize")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, key: Hashable) -> Tuple[bool, Optional[object]]:
+        """``(hit, value)``; a hit refreshes the entry's recency."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return True, self._data[key]
+            self.misses += 1
+            return False, None
+
+    def store(self, key: Hashable, value: object) -> None:
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._data[key] = value
+                return
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                size=len(self._data),
+                maxsize=self.maxsize,
+            )
+
+
+_SHARED = LRUMemo()
+
+
+def shared_memo() -> LRUMemo:
+    """The process-wide default memo (shared across engine instances)."""
+    return _SHARED
+
+
+def _profiles(problem: ReducedProblem) -> List[Tuple]:
+    """A permutation-invariant profile per source (the sorting key)."""
+    block_shapes: List[List[Tuple[int, int]]] = [
+        [] for _ in range(problem.n_sources)
+    ]
+    for signature, size in zip(problem.signatures, problem.sizes):
+        shape = (size, len(signature))
+        for i in signature:
+            block_shapes[i].append(shape)
+    return [
+        (
+            problem.min_sound[i],
+            problem.completeness[i],
+            problem.seed_sound[i],
+            tuple(sorted(block_shapes[i])),
+        )
+        for i in range(problem.n_sources)
+    ]
+
+
+def _render(problem: ReducedProblem, order: Sequence[int]) -> Tuple:
+    """The key rendering under one source order (*order[new] = old*)."""
+    relabel = {old: new for new, old in enumerate(order)}
+    per_source = tuple(
+        (
+            problem.min_sound[old],
+            problem.completeness[old],
+            problem.seed_sound[old],
+        )
+        for old in order
+    )
+    blocks = tuple(
+        sorted(
+            (tuple(sorted(relabel[i] for i in signature)), size)
+            for signature, size in zip(problem.signatures, problem.sizes)
+        )
+    )
+    return (
+        per_source,
+        blocks,
+        problem.anonymous_size,
+        problem.seed_total,
+    )
+
+
+def canonical_key(problem: ReducedProblem) -> Tuple:
+    """A hashable key identical across alpha-equivalent counting problems."""
+    profiles = _profiles(problem)
+    base_order = sorted(range(problem.n_sources), key=lambda i: profiles[i])
+
+    # Group profile-tied sources; exact tie-break permutes within groups.
+    groups: List[List[int]] = []
+    for i in base_order:
+        if groups and profiles[groups[-1][0]] == profiles[i]:
+            groups[-1].append(i)
+        else:
+            groups.append([i])
+    n_orders = 1
+    for group in groups:
+        for k in range(2, len(group) + 1):
+            n_orders *= k
+    if n_orders == 1:
+        return _render(problem, base_order)
+    candidates = product(*(permutations(group) for group in groups))
+    best: Optional[Tuple] = None
+    for arrangement in islice(candidates, MAX_CANONICAL_ORDERS):
+        order = [i for group in arrangement for i in group]
+        rendering = _render(problem, order)
+        if best is None or rendering < best:
+            best = rendering
+    return best

@@ -12,12 +12,18 @@ from repro.consistency.checker import (
     quotient_valuations,
 )
 from repro.consistency.identity import check_identity
+from repro.consistency.parallel import (
+    check_consistency_parallel,
+    independent_groups,
+)
 from repro.consistency.result import ConsistencyResult
 
 __all__ = [
     "ConsistencyResult",
     "check_consistency",
+    "check_consistency_parallel",
     "check_identity",
+    "independent_groups",
     "is_consistent",
     "quotient_valuations",
     "size_bound",

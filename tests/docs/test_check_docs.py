@@ -1,0 +1,36 @@
+"""The docs link checker: clean on this repo, and actually catches rot."""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_repo_docs_have_no_dead_links(capsys):
+    assert check_docs.main(["check_docs.py", str(REPO_ROOT)]) == 0
+
+
+def test_dead_link_and_anchor_detected(tmp_path):
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "real.md").write_text("# Real heading\n")
+    (tmp_path / "README.md").write_text(
+        "[gone](docs/missing.md) "
+        "[bad anchor](docs/real.md#nope) "
+        "[fine](docs/real.md#real-heading)\n"
+    )
+    problems = check_docs.check_file(tmp_path / "README.md")
+    assert len(problems) == 2
+    assert any("missing.md" in p for p in problems)
+    assert any("#nope" in p for p in problems)
+
+
+def test_external_urls_and_code_fences_ignored(tmp_path):
+    (tmp_path / "README.md").write_text(
+        "[ext](https://example.com/x.md)\n"
+        "```\n[not a link](nowhere.md)\n```\n"
+    )
+    assert check_docs.check_file(tmp_path / "README.md") == []

@@ -1,0 +1,64 @@
+"""docs/cli.md must not drift: every documented command actually runs.
+
+Extracts the ``python -m repro ...`` lines from the fenced code blocks of
+``docs/cli.md`` and executes each one from the repository root. A command
+that exits non-zero (or a doc that stops documenting any commands) fails.
+"""
+
+import os
+import re
+import shlex
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CLI_DOC = REPO_ROOT / "docs" / "cli.md"
+
+
+def documented_commands():
+    text = CLI_DOC.read_text(encoding="utf-8")
+    blocks = re.findall(r"```\n(.*?)```", text, flags=re.DOTALL)
+    commands = []
+    for block in blocks:
+        for line in block.splitlines():
+            if line.strip().startswith("python -m repro "):
+                commands.append(line.strip())
+    return commands
+
+COMMANDS = documented_commands()
+
+
+def test_cli_doc_documents_commands():
+    assert len(COMMANDS) >= 8, COMMANDS
+    subcommands = {c.split()[3] for c in COMMANDS}
+    assert {
+        "check", "confidence", "worlds", "audit",
+        "answer", "consensus", "rewrite",
+    } <= subcommands
+
+
+@pytest.mark.parametrize("command", COMMANDS, ids=lambda c: " ".join(c.split()[3:5]))
+def test_documented_command_runs(command):
+    argv = shlex.split(command)
+    argv[0] = sys.executable  # "python" may not be on PATH
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    completed = subprocess.run(
+        argv,
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, (
+        f"documented command failed ({completed.returncode}):\n"
+        f"  {command}\n"
+        f"stdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"no output from: {command}"

@@ -1,0 +1,57 @@
+"""Property tests: the engine is executor-independent.
+
+Serial and multi-process engines must return *identical* exact fractions,
+and Monte-Carlo estimates under a fixed seed must be bit-identical floats.
+One worker pool is shared across examples (pool start-up dwarfs the tiny
+instances hypothesis draws).
+"""
+
+import atexit
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.model import fact
+from repro.confidence import ConfidenceEngine
+from repro.confidence.engine import ChunkedExecutor
+from repro.exceptions import InconsistentCollectionError
+
+from tests.property.strategies import VALUES, identity_collections
+
+DOMAIN = VALUES
+
+_POOL = ChunkedExecutor(workers=2)
+atexit.register(_POOL.close)
+
+
+def serial_engine(collection):
+    return ConfidenceEngine(collection, DOMAIN, cache_size=0)
+
+
+def parallel_engine(collection):
+    # cache_size=0 so no memo can mask a divergence between executors.
+    return ConfidenceEngine(
+        collection, DOMAIN, cache_size=0, executor=_POOL
+    )
+
+
+@given(identity_collections())
+@settings(max_examples=25, deadline=None)
+def test_parallel_exact_confidences_identical(collection):
+    try:
+        expected = serial_engine(collection).confidences()
+    except InconsistentCollectionError:
+        assume(False)
+    assert parallel_engine(collection).confidences() == expected
+
+
+@given(identity_collections(), st.integers(min_value=0, max_value=2**32))
+@settings(max_examples=15, deadline=None)
+def test_parallel_estimates_bit_identical(collection, seed):
+    engine = serial_engine(collection)
+    assume(engine.is_consistent())
+    facts = [fact("R", v) for v in DOMAIN[:3]]
+    kwargs = dict(samples=120, seed=seed, samples_per_chunk=40)
+    serial = engine.estimate_confidences(facts, **kwargs)
+    parallel = parallel_engine(collection).estimate_confidences(facts, **kwargs)
+    assert serial == parallel

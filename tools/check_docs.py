@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Fail on dead internal links in README.md and docs/*.md.
+
+Checks every relative markdown link ``[text](target)`` — external URLs and
+pure in-page anchors are skipped; anchors on relative targets are checked
+against the target file's headings. Exit 0 when clean, 1 with a report of
+every dead link otherwise.
+
+Usage: python tools/check_docs.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug of a heading."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    text = FENCE.sub("", path.read_text(encoding="utf-8"))
+    return {slugify(h) for h in HEADING.findall(text)}
+
+
+def check_file(path: Path) -> list:
+    problems = []
+    text = FENCE.sub("", path.read_text(encoding="utf-8"))
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+            continue
+        target, _, anchor = target.partition("#")
+        if not target:  # pure in-page anchor
+            if anchor and slugify(anchor) not in anchors_of(path):
+                problems.append(f"{path}: dead anchor #{anchor}")
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            problems.append(f"{path}: dead link {target}")
+        elif anchor and resolved.suffix == ".md":
+            if slugify(anchor) not in anchors_of(resolved):
+                problems.append(f"{path}: dead anchor {target}#{anchor}")
+    return problems
+
+
+def main(argv) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parents[1]
+    files = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    problems = []
+    for path in files:
+        if path.exists():
+            problems.extend(check_file(path))
+    if problems:
+        print("dead documentation links:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(f"docs ok: {len(files)} files, no dead links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
