@@ -12,6 +12,8 @@ A complete implementation of Mendelzon & Mihaila (PODS 2001):
 * :mod:`repro.confidence` — possible worlds, exact tuple confidence,
   certain/possible answers, the Definition 5.1 calculus (§5);
 * :mod:`repro.integration` — the mediator facade and source planner;
+* :mod:`repro.service` — the mediator as a long-running concurrent service
+  (versioned registry, request scheduling, fault injection, observability);
 * :mod:`repro.workloads` — synthetic climatology / cache / random sources;
 * :mod:`repro.baselines` — Grahne–Mendelzon 0/1 case, Motro checks.
 
@@ -79,6 +81,7 @@ from repro.consensus import (
     uniform_relaxation,
 )
 from repro.integration import Mediator
+from repro.service import MediatorService
 from repro.tableaux import DatabaseTemplate, Tableau, theorem41_holds
 
 __version__ = "1.0.0"
@@ -139,4 +142,5 @@ __all__ = [
     "uniform_relaxation",
     # integration
     "Mediator",
+    "MediatorService",
 ]

@@ -12,6 +12,9 @@ Commands operate on source-collection files in the :mod:`repro.io` format:
   reference database.
 * ``answer FILE --query 'ans(x) <- R(x)' --domain a,b,c`` — certain and
   possible answers with per-tuple confidence.
+* ``serve FILE --domain a,b,c [--requests N]`` — run the mediator *service*
+  (``repro.service``) against an open-loop burst of confidence requests and
+  report the observability snapshot; ``--json`` emits it machine-readable.
 
 Exit status: 0 on success (and a consistent collection for ``check``),
 1 for an inconsistent collection, 2 for usage/input errors.
@@ -20,6 +23,7 @@ Exit status: 0 on success (and a consistent collection for ``check``),
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -58,7 +62,8 @@ def _add_engine_flags(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--stats",
         action="store_true",
-        help="print engine instrumentation (stage times, cache hit rates)",
+        help="print engine instrumentation (stage times, cache hit rates), "
+        "followed by the same data as one machine-readable JSON line",
     )
 
 
@@ -118,6 +123,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--plans-only", action="store_true", help="print plans, skip execution"
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the mediator service against an open-loop request burst",
+    )
+    serve.add_argument("file", help="source-collection file (identity views)")
+    serve.add_argument("--domain", type=_domain, required=True)
+    serve.add_argument(
+        "--requests", type=int, default=100,
+        help="number of confidence requests in the burst (default 100)",
+    )
+    serve.add_argument(
+        "--batch", type=int, default=16,
+        help="micro-batch size; 1 = per-request dispatch (default 16)",
+    )
+    serve.add_argument(
+        "--queue", type=int, default=256,
+        help="admission queue bound; overflow is rejected (default 256)",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request deadline in milliseconds (default: none)",
+    )
+    serve.add_argument(
+        "--arrival-ms", type=float, default=0.0,
+        help="open-loop inter-arrival gap in milliseconds (default 0)",
+    )
+    serve.add_argument(
+        "--churn", type=int, default=0, metavar="N",
+        help="update a source every N requests (exercises versioned "
+        "snapshots and memo invalidation; default 0 = no churn)",
+    )
+    serve.add_argument(
+        "--fault-latency-ms", type=float, default=0.0,
+        help="injected source-read latency in milliseconds",
+    )
+    serve.add_argument(
+        "--fault-error-rate", type=float, default=0.0,
+        help="injected transient source-read failure probability",
+    )
+    serve.add_argument(
+        "--fault-stale-rate", type=float, default=0.0,
+        help="probability a source read serves a superseded snapshot",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="fault RNG seed")
+    serve.add_argument(
+        "--json", action="store_true",
+        help="print only the JSON observability snapshot (for scrapers/CI)",
+    )
+
     return parser
 
 
@@ -155,6 +209,7 @@ def cmd_confidence(args) -> int:
         if args.stats:
             print()
             print(engine.stats.render())
+            print(json.dumps(engine.stats.to_dict(), sort_keys=True))
     return 0
 
 
@@ -268,6 +323,97 @@ def cmd_rewrite(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.exceptions import SourceError
+    from repro.service import (
+        FaultPolicy,
+        MediatorService,
+        RequestStatus,
+        SchedulerConfig,
+    )
+
+    collection = load_collection(args.file)
+    if collection.identity_relation() is None:
+        raise SourceError(
+            "serve requires an identity-view collection over one relation "
+            "(the confidence engine's setting)"
+        )
+    if args.requests < 1:
+        raise SourceError("--requests must be >= 1")
+    policy = None
+    if (
+        args.fault_latency_ms > 0
+        or args.fault_error_rate > 0
+        or args.fault_stale_rate > 0
+    ):
+        policy = FaultPolicy(
+            latency=args.fault_latency_ms / 1000.0,
+            error_rate=args.fault_error_rate,
+            stale_rate=args.fault_stale_rate,
+            seed=args.seed,
+        )
+    config = SchedulerConfig(max_queue=args.queue, max_batch=args.batch)
+    service = MediatorService(
+        collection, args.domain, config=config, fault_policy=policy
+    )
+    timeout = None if args.deadline_ms is None else args.deadline_ms / 1000.0
+    gap = args.arrival_ms / 1000.0
+
+    async def burst():
+        facts = service.registry.snapshot().covered_facts()
+        async with service:
+            futures = []
+            for i in range(args.requests):
+                if args.churn and i and i % args.churn == 0:
+                    source = service.registry.snapshot().collection[0]
+                    service.update_source(source.with_bounds(
+                        soundness_bound=source.soundness_bound
+                    ))
+                wanted = [facts[i % len(facts)], facts[(i + 1) % len(facts)]]
+                futures.append(await service.submit(wanted, timeout=timeout))
+                if gap > 0:
+                    await asyncio.sleep(gap)
+            responses = [await f for f in futures]
+        return responses
+
+    responses = asyncio.run(burst())
+    snapshot = service.stats()
+    if args.json:
+        print(json.dumps(snapshot, sort_keys=True))
+        return 0
+    by_status = {status: 0 for status in RequestStatus}
+    for response in responses:
+        by_status[response.status] += 1
+    print(
+        f"served {len(responses)} requests against "
+        f"{len(collection)} sources (registry v"
+        f"{snapshot['registry']['version']})"
+    )
+    for status, count in by_status.items():
+        if count:
+            print(f"  {status.value:>8}: {count}")
+    histograms = snapshot["metrics"]["histograms"]
+    latency = histograms.get("latency", {})
+    if latency.get("count"):
+        print(
+            "latency ms: "
+            f"p50 {1000 * (latency['p50'] or 0):.2f}  "
+            f"p95 {1000 * (latency['p95'] or 0):.2f}  "
+            f"p99 {1000 * (latency['p99'] or 0):.2f}"
+        )
+    batch = histograms.get("batch_size", {})
+    if batch.get("count"):
+        print(
+            f"engine calls: {snapshot['metrics']['counters']['engine_calls']}"
+            f"  mean batch {batch['mean']:.2f}  max batch {batch['max']:.0f}"
+        )
+    print(f"source reads: {snapshot['gateway']['reads']}")
+    print(json.dumps(snapshot, sort_keys=True))
+    return 0
+
+
 _COMMANDS = {
     "check": cmd_check,
     "confidence": cmd_confidence,
@@ -276,6 +422,7 @@ _COMMANDS = {
     "answer": cmd_answer,
     "consensus": cmd_consensus,
     "rewrite": cmd_rewrite,
+    "serve": cmd_serve,
 }
 
 

@@ -87,6 +87,17 @@ class LRUMemo:
                 self._data.popitem(last=False)
                 self.evictions += 1
 
+    def discard(self, key: Hashable) -> bool:
+        """Drop one entry if present; ``True`` when something was removed.
+
+        Discarding is *not* an eviction (the entry is not counted in
+        ``evictions``): callers use it to retire entries they can prove
+        unreachable, e.g. the service registry invalidating the counting
+        problems of signature blocks a source update touched.
+        """
+        with self._lock:
+            return self._data.pop(key, None) is not None
+
     def clear(self) -> None:
         with self._lock:
             self._data.clear()

@@ -58,6 +58,39 @@ class EngineStats:
             entry.calls += 1
             entry.seconds += time.perf_counter() - start
 
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable snapshot (the CLI's ``--stats`` JSON line).
+
+        Every value is a plain int/float/str/dict so ``json.dumps`` works
+        directly; external monitors and E16 scrape this shape.
+        """
+        return {
+            "executor": self.executor,
+            "workers": self.workers,
+            "stages": {
+                name: {"calls": stage.calls, "seconds": stage.seconds}
+                for name, stage in sorted(self.stages.items())
+            },
+            "tasks": {
+                "submitted": self.tasks_submitted,
+                "memoized": self.tasks_memoized,
+                "dispatched": self.tasks_dispatched,
+            },
+            "worlds_counted": self.worlds_counted,
+            "dp_states": self.dp_states,
+            "samples_drawn": self.samples_drawn,
+            "cache": None
+            if self.cache is None
+            else {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "hit_rate": self.cache.hit_rate,
+                "evictions": self.cache.evictions,
+                "size": self.cache.size,
+                "maxsize": self.cache.maxsize,
+            },
+        }
+
     def render(self) -> str:
         """A human-readable multi-line report (the ``--stats`` output)."""
         lines: List[str] = [f"executor: {self.executor} (workers={self.workers})"]

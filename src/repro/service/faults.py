@@ -1,0 +1,128 @@
+"""Fault injection for source reads: latency, transient errors, staleness.
+
+The scheduler never touches a registry snapshot's extensions directly; it
+*reads* them through a :class:`SourceGateway`, the seam standing in for the
+network fetch a real mediator performs against remote sources (the paper's
+§1.1 flaky web sources, §6 caches and mirrors). :class:`FaultInjector`
+wraps a gateway with a configurable :class:`FaultPolicy`:
+
+* **latency** — every read sleeps (asyncio, so concurrent batches overlap);
+* **transient errors** — reads raise :class:`TransientSourceError` with a
+  configured probability, which the scheduler retries with exponential
+  backoff; a fault that outlives the retry budget surfaces as an explicit
+  ``ERROR`` response, never a crash;
+* **staleness** — reads occasionally return a *superseded* registry
+  snapshot (a stale mirror), visible to callers through the response's
+  ``snapshot_version``.
+
+All randomness is seeded, so every degradation scenario in the tests and in
+E16 is reproducible.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import ReproError
+from repro.service.registry import RegistrySnapshot, SourceRegistry
+
+
+class TransientSourceError(ReproError):
+    """A source read failed in a retryable way (timeouts, flaky mirrors)."""
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Knobs of the injected degradation (all off by default).
+
+    ``latency`` is seconds added to every read; ``error_rate`` and
+    ``stale_rate`` are probabilities in [0, 1]; ``error_burst`` makes only
+    the first N reads fail (``None`` = every read is a coin flip), which
+    lets tests script "fails twice, then recovers" deterministically.
+    """
+
+    latency: float = 0.0
+    error_rate: float = 0.0
+    stale_rate: float = 0.0
+    error_burst: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.latency < 0:
+            raise ValueError("latency must be >= 0")
+        for name in ("error_rate", "stale_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+class SourceGateway:
+    """The read seam: resolve the snapshot a batch will compute against.
+
+    The base gateway is the no-fault fast path — it returns the snapshot it
+    was handed. ``reads`` counts every call (the scheduler's retry loop
+    makes the count observable in metrics and tests).
+    """
+
+    def __init__(self):
+        self.reads = 0
+
+    async def read(self, snapshot: RegistrySnapshot) -> RegistrySnapshot:
+        self.reads += 1
+        return snapshot
+
+
+class FaultInjector(SourceGateway):
+    """A gateway that degrades reads according to a :class:`FaultPolicy`."""
+
+    def __init__(
+        self,
+        policy: FaultPolicy,
+        registry: Optional[SourceRegistry] = None,
+    ):
+        super().__init__()
+        self.policy = policy
+        self.registry = registry  # needed only for staleness injection
+        self.errors_injected = 0
+        self.stale_served = 0
+        self._rng = random.Random(policy.seed)
+
+    async def read(self, snapshot: RegistrySnapshot) -> RegistrySnapshot:
+        self.reads += 1
+        policy = self.policy
+        if policy.latency > 0:
+            await asyncio.sleep(policy.latency)
+        if policy.error_rate > 0:
+            bursting = (
+                policy.error_burst is None
+                or self.errors_injected < policy.error_burst
+            )
+            if bursting and self._rng.random() < policy.error_rate:
+                self.errors_injected += 1
+                raise TransientSourceError(
+                    f"injected transient failure (read #{self.reads})"
+                )
+        if (
+            policy.stale_rate > 0
+            and self.registry is not None
+            and self._rng.random() < policy.stale_rate
+        ):
+            stale = self._pick_stale(snapshot)
+            if stale is not None:
+                self.stale_served += 1
+                return stale
+        return snapshot
+
+    def _pick_stale(
+        self, snapshot: RegistrySnapshot
+    ) -> Optional[RegistrySnapshot]:
+        """The newest retained snapshot strictly older than *snapshot*."""
+        older = [
+            v for v in self.registry.history_versions() if v < snapshot.version
+        ]
+        if not older:
+            return None
+        return self.registry.past_snapshot(max(older))

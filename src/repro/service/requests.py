@@ -1,0 +1,95 @@
+"""Request/response vocabulary of the mediator service.
+
+A request names the facts whose confidences are wanted and carries an
+absolute deadline; the response always reports an explicit
+:class:`RequestStatus` — the service never answers with a silently wrong or
+partial confidence map. ``OK`` responses carry exact Fractions computed
+against one registry snapshot, identified by ``snapshot_version`` so callers
+can detect (injected or real) staleness.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Optional, Tuple
+
+from repro.model.atoms import Atom
+
+_request_ids = itertools.count(1)
+
+
+class RequestStatus(enum.Enum):
+    """Terminal status of a service request (always explicit)."""
+
+    OK = "ok"                  #: exact confidences computed before the deadline
+    TIMEOUT = "timeout"        #: deadline expired; no confidences returned
+    REJECTED = "rejected"      #: refused at admission (queue full, bad input)
+    ERROR = "error"            #: source reads or the engine failed after retries
+
+    @property
+    def is_terminal_failure(self) -> bool:
+        return self is not RequestStatus.OK
+
+
+@dataclass
+class ConfidenceRequest:
+    """One confidence question: a tuple of facts against one snapshot.
+
+    ``snapshot_version`` is pinned at admission: however long the request
+    waits in the queue, and whatever registrations land meanwhile, it is
+    answered against the registry state it was admitted under (snapshot
+    isolation — tested by registering a source mid-flight).
+    """
+
+    facts: Tuple[Atom, ...]
+    deadline: Optional[float] = None       #: absolute loop time; None = none
+    snapshot_version: int = -1
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    submitted_at: float = 0.0
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now > self.deadline
+
+
+@dataclass
+class ServiceResponse:
+    """The service's answer to one request.
+
+    ``confidences`` is populated only for ``OK``; every other status carries
+    a human-readable ``reason`` instead. ``batch_size`` records how many
+    requests shared the engine call that produced this answer (1 = dispatched
+    alone), ``attempts`` how many source-read tries the batch needed.
+    """
+
+    request_id: int
+    status: RequestStatus
+    confidences: Dict[Atom, Fraction] = field(default_factory=dict)
+    reason: str = ""
+    snapshot_version: int = -1
+    latency: float = 0.0
+    batch_size: int = 0
+    attempts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status is RequestStatus.OK
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (confidences as floats keyed by str)."""
+        return {
+            "request_id": self.request_id,
+            "status": self.status.value,
+            "confidences": {
+                str(f): float(c) for f, c in sorted(
+                    self.confidences.items(), key=lambda kv: str(kv[0])
+                )
+            },
+            "reason": self.reason,
+            "snapshot_version": self.snapshot_version,
+            "latency": self.latency,
+            "batch_size": self.batch_size,
+            "attempts": self.attempts,
+        }

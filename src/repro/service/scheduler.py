@@ -1,0 +1,394 @@
+"""Admission, batching, deadlines, retries: the service's event loop.
+
+One asyncio worker drains a bounded admission queue. The control flow per
+iteration:
+
+1. **admit** — :meth:`RequestScheduler.submit` pins the current registry
+   snapshot, stamps the deadline, and enqueues; a full queue rejects
+   *immediately* with an explicit reason (load shedding at the door beats
+   queueing work that will only time out).
+2. **batch** — the worker takes the oldest request, then lingers up to
+   ``batch_window`` collecting more requests pinned to the *same* snapshot
+   version (compatibility criterion), up to ``max_batch``. One engine call
+   serves the whole batch: the counting problems of a batch's facts share
+   the denominator sweep and the memo, so k requests cost far less than k
+   dispatches — E16 measures the margin.
+3. **expire** — requests whose deadline passed while queued are answered
+   ``TIMEOUT`` before any work is spent on them; deadlines are re-checked
+   after compute so a slow read never converts into a silently late answer.
+4. **read & retry** — the batch's snapshot is resolved through the source
+   gateway (the fault-injection seam) with exponential backoff on
+   :class:`~repro.service.faults.TransientSourceError`; a read that outlives
+   the retry budget fails the batch with explicit ``ERROR`` responses.
+5. **compute & resolve** — exact confidences from the snapshot's engine;
+   every future resolves with a :class:`ServiceResponse`, never an
+   exception.
+
+Everything observable lands in the shared :class:`MetricsRegistry` (queue
+depth, batch sizes, per-status latency histograms, retry counts) and the
+:class:`Tracer` (per-batch ``source_read`` / ``engine`` spans).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.model.atoms import Atom
+from repro.confidence.engine import ConfidenceEngine
+from repro.confidence.engine.memo import LRUMemo
+from repro.service.faults import SourceGateway, TransientSourceError
+from repro.service.metrics import MetricsRegistry
+from repro.service.registry import RegistrySnapshot, SourceRegistry
+from repro.service.requests import (
+    ConfidenceRequest,
+    RequestStatus,
+    ServiceResponse,
+)
+from repro.service.tracing import Tracer
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Tuning knobs of the request path.
+
+    ``max_batch = 1`` disables micro-batching (per-request dispatch, the
+    E16 baseline); ``batch_window`` is how long the worker lingers for
+    batch-mates once it holds a request — zero means "batch only what is
+    already queued".
+    """
+
+    max_queue: int = 256
+    max_batch: int = 16
+    batch_window: float = 0.002
+    max_attempts: int = 3
+    backoff_base: float = 0.01
+    backoff_cap: float = 0.25
+    engine_workers: int = 0
+    #: memo capacity per engine when the scheduler has no explicit memo
+    #: (None = process-wide shared memo, 0 = memoization off — E16's ablation)
+    engine_cache_size: Optional[int] = None
+
+    def __post_init__(self):
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry *attempt* (1-based): base·2^(a−1), capped."""
+        return min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+
+
+class RequestScheduler:
+    """The admission queue and its single batching worker."""
+
+    def __init__(
+        self,
+        registry: SourceRegistry,
+        gateway: Optional[SourceGateway] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        config: Optional[SchedulerConfig] = None,
+        memo: Optional[LRUMemo] = None,
+    ):
+        self.registry = registry
+        self.gateway = gateway if gateway is not None else SourceGateway()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.config = config if config is not None else SchedulerConfig()
+        self.memo = memo
+        self._queue: Optional[asyncio.Queue] = None
+        self._carry: Optional[Tuple[ConfidenceRequest, RegistrySnapshot,
+                                    "asyncio.Future"]] = None
+        self._inflight: List = []
+        self._worker: Optional[asyncio.Task] = None
+        self._engines: Dict[int, ConfidenceEngine] = {}
+        self._running = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._running:
+            return
+        self._queue = asyncio.Queue(maxsize=self.config.max_queue)
+        self._carry = None
+        self._running = True
+        self._worker = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Stop the worker; queued-but-unanswered requests are rejected."""
+        if not self._running:
+            return
+        self._running = False
+        if self._worker is not None:
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                pass
+            except Exception:  # worker bug: still reject its in-flight batch
+                pass
+            self._worker = None
+        leftovers = [
+            item for item in self._inflight if not item[2].done()
+        ]
+        self._inflight = []
+        if self._carry is not None:
+            leftovers.append(self._carry)
+            self._carry = None
+        while self._queue is not None and not self._queue.empty():
+            leftovers.append(self._queue.get_nowait())
+        for request, _snapshot, future in leftovers:
+            self._resolve(
+                request, future,
+                ServiceResponse(
+                    request.request_id, RequestStatus.REJECTED,
+                    reason="service stopped before the request was served",
+                    snapshot_version=request.snapshot_version,
+                ),
+            )
+        for engine in self._engines.values():
+            engine.close()
+        self._engines.clear()
+
+    # -- admission ---------------------------------------------------------------
+
+    async def submit(
+        self, facts, timeout: Optional[float] = None
+    ) -> "asyncio.Future[ServiceResponse]":
+        """Admit one request; returns a future resolving to its response.
+
+        The registry snapshot is pinned *here*: mutations landing after
+        admission are invisible to this request (snapshot isolation).
+        """
+        if self._queue is None:
+            raise ReproError("scheduler is not started")
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        snapshot = self.registry.snapshot()
+        request = ConfidenceRequest(
+            facts=tuple(facts),
+            deadline=None if timeout is None else now + timeout,
+            snapshot_version=snapshot.version,
+            submitted_at=now,
+        )
+        future: "asyncio.Future[ServiceResponse]" = loop.create_future()
+        self.metrics.counter("requests_submitted").inc()
+        if not request.facts:
+            self._resolve(
+                request, future,
+                ServiceResponse(
+                    request.request_id, RequestStatus.REJECTED,
+                    reason="empty fact list",
+                    snapshot_version=snapshot.version,
+                ),
+            )
+            return future
+        try:
+            self._queue.put_nowait((request, snapshot, future))
+        except asyncio.QueueFull:
+            self._resolve(
+                request, future,
+                ServiceResponse(
+                    request.request_id, RequestStatus.REJECTED,
+                    reason=(
+                        f"admission queue full "
+                        f"({self.config.max_queue} requests waiting)"
+                    ),
+                    snapshot_version=snapshot.version,
+                ),
+            )
+            return future
+        self.metrics.gauge("queue_depth").set(self._queue.qsize())
+        return future
+
+    async def request(
+        self, facts, timeout: Optional[float] = None
+    ) -> ServiceResponse:
+        """Submit and await in one call."""
+        return await (await self.submit(facts, timeout=timeout))
+
+    # -- the worker --------------------------------------------------------------
+
+    async def _run(self) -> None:
+        while True:
+            batch = await self._collect_batch()
+            if batch:
+                await self._serve_batch(batch)
+
+    async def _collect_batch(self):
+        """The oldest request plus same-version batch-mates."""
+        queue = self._queue
+        if self._carry is not None:
+            first, self._carry = self._carry, None
+        else:
+            first = await queue.get()
+        batch = [first]
+        version = first[0].snapshot_version
+        window = self.config.batch_window
+        loop = asyncio.get_running_loop()
+        linger_until = loop.time() + window
+        while len(batch) < self.config.max_batch:
+            try:
+                item = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                remaining = linger_until - loop.time()
+                if remaining <= 0 or window <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    break
+            if item[0].snapshot_version != version:
+                # Incompatible: becomes the seed of the next batch.
+                self._carry = item
+                break
+            batch.append(item)
+        self.metrics.gauge("queue_depth").set(queue.qsize())
+        return batch
+
+    async def _serve_batch(self, batch) -> None:
+        # Cleared only on normal completion: if the worker is cancelled
+        # mid-batch, stop() finds the batch here and rejects its futures.
+        self._inflight = batch
+        await self._serve_batch_inner(batch)
+        self._inflight = []
+
+    async def _serve_batch_inner(self, batch) -> None:
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        live = []
+        for request, snapshot, future in batch:
+            if request.expired(now):
+                self._resolve(
+                    request, future,
+                    ServiceResponse(
+                        request.request_id, RequestStatus.TIMEOUT,
+                        reason="deadline expired while queued",
+                        snapshot_version=request.snapshot_version,
+                        latency=now - request.submitted_at,
+                    ),
+                )
+            else:
+                live.append((request, snapshot, future))
+        if not live:
+            return
+        self.metrics.histogram("batch_size").observe(len(live))
+        snapshot = live[0][1]
+        with self.tracer.span(
+            "batch", version=snapshot.version, size=len(live)
+        ) as span:
+            try:
+                resolved, attempts = await self._read_with_retry(
+                    snapshot, span
+                )
+                confidences = self._compute(resolved, live, span)
+            except ReproError as exc:
+                now = loop.time()
+                for request, _snapshot, future in live:
+                    self._resolve(
+                        request, future,
+                        ServiceResponse(
+                            request.request_id, RequestStatus.ERROR,
+                            reason=str(exc),
+                            snapshot_version=snapshot.version,
+                            latency=now - request.submitted_at,
+                            batch_size=len(live),
+                        ),
+                    )
+                return
+            now = loop.time()
+            for request, _snapshot, future in live:
+                if request.expired(now):
+                    response = ServiceResponse(
+                        request.request_id, RequestStatus.TIMEOUT,
+                        reason="deadline expired during computation",
+                        snapshot_version=resolved.version,
+                        latency=now - request.submitted_at,
+                        batch_size=len(live),
+                        attempts=attempts,
+                    )
+                else:
+                    response = ServiceResponse(
+                        request.request_id, RequestStatus.OK,
+                        confidences={
+                            f: confidences[f] for f in request.facts
+                        },
+                        snapshot_version=resolved.version,
+                        latency=now - request.submitted_at,
+                        batch_size=len(live),
+                        attempts=attempts,
+                    )
+                self._resolve(request, future, response)
+
+    async def _read_with_retry(self, snapshot, span):
+        """Resolve the batch's snapshot through the gateway, with backoff."""
+        config = self.config
+        for attempt in range(1, config.max_attempts + 1):
+            try:
+                with span.child(
+                    "source_read", version=snapshot.version, attempt=attempt
+                ):
+                    resolved = await self.gateway.read(snapshot)
+                return resolved, attempt
+            except TransientSourceError:
+                self.metrics.counter("source_read_retries").inc()
+                if attempt == config.max_attempts:
+                    raise
+                await asyncio.sleep(config.backoff(attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _compute(
+        self, snapshot: RegistrySnapshot, live, span
+    ) -> Dict[Atom, Fraction]:
+        """Exact confidences for every fact the batch asks about."""
+        engine = self._engine_for(snapshot)
+        wanted = {f for request, _s, _f in live for f in request.facts}
+        with span.child("engine", version=snapshot.version, facts=len(wanted)):
+            self.metrics.counter("engine_calls").inc()
+            confidences = dict(engine.confidences())
+            instance = engine.instance
+            for f in wanted:
+                renamed = Atom(instance.relation, f.args)
+                if renamed in confidences:
+                    confidences.setdefault(f, confidences[renamed])
+                    continue
+                if f in confidences:
+                    continue
+                # Anonymous or out-of-space fact: one (memoized) extra task.
+                confidences[f] = engine.confidence(f)
+        return confidences
+
+    def _engine_for(self, snapshot: RegistrySnapshot) -> ConfidenceEngine:
+        engine = self._engines.get(snapshot.version)
+        if engine is None:
+            engine = ConfidenceEngine(
+                snapshot.instance(),
+                workers=self.config.engine_workers,
+                memo=self.memo,
+                cache_size=self.config.engine_cache_size,
+            )
+            self._engines[snapshot.version] = engine
+            while len(self._engines) > 8:  # superseded versions age out
+                oldest = min(self._engines)
+                if oldest == snapshot.version:
+                    break
+                self._engines.pop(oldest).close()
+        return engine
+
+    # -- resolution --------------------------------------------------------------
+
+    def _resolve(self, request, future, response: ServiceResponse) -> None:
+        self.metrics.counter(f"responses_{response.status.value}").inc()
+        self.metrics.histogram("latency").observe(response.latency)
+        self.metrics.histogram(
+            f"latency_{response.status.value}"
+        ).observe(response.latency)
+        if not future.done():
+            future.set_result(response)

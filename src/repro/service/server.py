@@ -1,0 +1,176 @@
+""":class:`MediatorService`: the long-running mediator, assembled.
+
+Where :class:`~repro.integration.mediator.Mediator` is a one-shot facade —
+build it, ask it, drop it — the service is the deployment shape the paper's
+§1.1 motivates: sources register, update, and fail *while queries are in
+flight*. It owns:
+
+* a :class:`~repro.service.registry.SourceRegistry` (versioned, COW
+  snapshots; mutations incrementally invalidate the engine memo),
+* a :class:`~repro.service.scheduler.RequestScheduler` (bounded admission,
+  deadlines, micro-batching, retry/backoff),
+* a :class:`~repro.service.faults.SourceGateway` (optionally a
+  :class:`FaultInjector`) as the source-read seam,
+* a :class:`~repro.service.metrics.MetricsRegistry` and
+  :class:`~repro.service.tracing.Tracer`, merged into one :meth:`stats`
+  snapshot (the scrape surface of ``python -m repro serve``).
+
+Use it as an async context manager::
+
+    async with MediatorService(collection, domain) as service:
+        response = await service.confidence([fact("R", "a")], timeout=0.5)
+        assert response.ok
+
+Mutations are thread-safe and may be called from outside the loop; queries
+run on the loop the service was started on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.sources.collection import SourceCollection
+from repro.sources.descriptor import SourceDescriptor
+from repro.confidence.engine.memo import LRUMemo, shared_memo
+from repro.service.faults import FaultInjector, FaultPolicy, SourceGateway
+from repro.service.metrics import MetricsRegistry
+from repro.service.registry import RegistryDiff, SourceRegistry, invalidate
+from repro.service.requests import ServiceResponse
+from repro.service.scheduler import RequestScheduler, SchedulerConfig
+from repro.service.tracing import Tracer
+
+
+class MediatorService:
+    """A concurrent, observable query-answering service over sources."""
+
+    def __init__(
+        self,
+        collection: Optional[SourceCollection] = None,
+        domain: Sequence = (),
+        *,
+        config: Optional[SchedulerConfig] = None,
+        fault_policy: Optional[FaultPolicy] = None,
+        memo: Optional[LRUMemo] = None,
+    ):
+        sources = tuple(collection) if collection is not None else ()
+        self.registry = SourceRegistry(sources, domain)
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer()
+        self.memo = memo if memo is not None else shared_memo()
+        if fault_policy is not None:
+            self.gateway: SourceGateway = FaultInjector(
+                fault_policy, registry=self.registry
+            )
+        else:
+            self.gateway = SourceGateway()
+        self.scheduler = RequestScheduler(
+            self.registry,
+            gateway=self.gateway,
+            metrics=self.metrics,
+            tracer=self.tracer,
+            config=config,
+            memo=self.memo,
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> "MediatorService":
+        await self.scheduler.start()
+        return self
+
+    async def stop(self) -> None:
+        await self.scheduler.stop()
+
+    async def __aenter__(self) -> "MediatorService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- querying ----------------------------------------------------------------
+
+    async def confidence(
+        self, facts, timeout: Optional[float] = None
+    ) -> ServiceResponse:
+        """Exact confidences of *facts*, answered against one snapshot."""
+        return await self.scheduler.request(facts, timeout=timeout)
+
+    async def submit(self, facts, timeout: Optional[float] = None):
+        """Admit without awaiting (returns the response future)."""
+        return await self.scheduler.submit(facts, timeout=timeout)
+
+    # -- registry mutations (thread-safe; invalidate the memo incrementally) -----
+
+    def register_source(self, source: SourceDescriptor) -> RegistryDiff:
+        old = self.registry.snapshot()
+        _snapshot, diff = self.registry.register(source)
+        self._after_mutation(old, diff)
+        return diff
+
+    def update_source(self, source: SourceDescriptor) -> RegistryDiff:
+        old = self.registry.snapshot()
+        _snapshot, diff = self.registry.update(source)
+        self._after_mutation(old, diff)
+        return diff
+
+    def deregister_source(self, name: str) -> RegistryDiff:
+        old = self.registry.snapshot()
+        _snapshot, diff = self.registry.deregister(name)
+        self._after_mutation(old, diff)
+        return diff
+
+    def set_domain(self, domain: Sequence) -> RegistryDiff:
+        old = self.registry.snapshot()
+        _snapshot, diff = self.registry.set_domain(domain)
+        self._after_mutation(old, diff)
+        return diff
+
+    def _after_mutation(self, old, diff: RegistryDiff) -> None:
+        removed = invalidate(self.memo, old, diff)
+        self.metrics.counter("registry_mutations").inc()
+        self.metrics.counter("memo_entries_invalidated").inc(removed)
+        self.metrics.gauge("registry_version").set(diff.new_version)
+        self.metrics.histogram("touched_blocks").observe(
+            len(diff.touched_blocks)
+        )
+
+    # -- observability -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """One JSON-serializable snapshot of everything observable.
+
+        Shape (validated by ``tools/check_service_snapshot.py``)::
+
+            {"registry": {...}, "metrics": {counters, gauges, histograms},
+             "gateway": {...}, "tracing": {...}}
+        """
+        snapshot = self.registry.snapshot()
+        gateway: Dict[str, object] = {"reads": self.gateway.reads}
+        if isinstance(self.gateway, FaultInjector):
+            gateway.update(
+                faults={
+                    "latency": self.gateway.policy.latency,
+                    "error_rate": self.gateway.policy.error_rate,
+                    "stale_rate": self.gateway.policy.stale_rate,
+                },
+                errors_injected=self.gateway.errors_injected,
+                stale_served=self.gateway.stale_served,
+            )
+        return {
+            "registry": {
+                "version": snapshot.version,
+                "sources": len(snapshot.collection),
+                "domain_size": len(snapshot.domain),
+                "retained_versions": self.registry.history_versions(),
+            },
+            "metrics": self.metrics.snapshot(),
+            "gateway": gateway,
+            "tracing": {
+                "spans_started": self.tracer.spans_started,
+                "spans_dropped": self.tracer.spans_dropped,
+                "recent_spans": len(self.tracer.export()),
+            },
+        }
+
+    def recent_spans(self) -> List[Dict[str, object]]:
+        return self.tracer.export()

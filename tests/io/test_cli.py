@@ -148,6 +148,110 @@ class TestRewrite:
         assert "no sound rewriting" in capsys.readouterr().out
 
 
+class TestErrorPaths:
+    """Input errors exit 2 via one ``error:`` line — never a traceback."""
+
+    def test_malformed_collection_file(self, tmp_path, capsys):
+        path = tmp_path / "garbage.sources"
+        path.write_text("this is { not a source collection\n")
+        assert main(["check", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_malformed_database_file(self, collection_file, tmp_path, capsys):
+        path = tmp_path / "garbage.facts"
+        path.write_text("not-a-fact(((\n")
+        assert main(["audit", collection_file, "--world", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_confidence_missing_file(self, capsys):
+        assert main(
+            ["confidence", "/nonexistent/file", "--domain", "a,b"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStatsJson:
+    def test_stats_emits_machine_readable_line(self, collection_file, capsys):
+        import json
+
+        assert main(
+            [
+                "confidence", collection_file,
+                "--domain", "a,b,c,d1", "--stats",
+            ]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        payload = json.loads(lines[-1])  # last line is the JSON snapshot
+        assert payload["tasks"]["submitted"] >= 1
+        assert payload["executor"] in ("serial", "process", "thread")
+        assert set(payload["tasks"]) == {"submitted", "memoized", "dispatched"}
+
+
+class TestServe:
+    def test_burst_prints_summary_and_snapshot(self, collection_file, capsys):
+        import json
+
+        assert main(
+            [
+                "serve", collection_file,
+                "--domain", "a,b,c,d1", "--requests", "12",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "served 12 requests" in out
+        assert "ok: 12" in out
+        snapshot = json.loads(out.strip().splitlines()[-1])
+        assert snapshot["metrics"]["counters"]["responses_ok"] == 12
+
+    def test_json_mode_prints_only_snapshot(self, collection_file, capsys):
+        import json
+
+        assert main(
+            [
+                "serve", collection_file,
+                "--domain", "a,b,c,d1", "--requests", "4", "--json",
+            ]
+        ) == 0
+        out = capsys.readouterr().out.strip()
+        snapshot = json.loads(out)  # the whole stdout is one JSON document
+        assert set(snapshot) == {"gateway", "metrics", "registry", "tracing"}
+
+    def test_non_identity_collection_rejected(self, tmp_path, capsys):
+        from repro.queries import identity_view
+        from repro.sources import SourceCollection, SourceDescriptor
+
+        collection = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1), [fact("V1", "a")],
+                    "1/2", "1/2", name="S1",
+                ),
+                SourceDescriptor(
+                    identity_view("V2", "T", 1), [fact("V2", "b")],
+                    "1/2", "1/2", name="S2",
+                ),
+            ]
+        )
+        path = str(tmp_path / "mixed.sources")
+        save_collection(collection, path)
+        assert main(["serve", path, "--domain", "a,b"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "identity-view" in err
+
+    def test_bad_request_count_rejected(self, collection_file, capsys):
+        assert main(
+            [
+                "serve", collection_file,
+                "--domain", "a,b", "--requests", "0",
+            ]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestAnswer:
     def test_answer_output(self, collection_file, capsys):
         assert main(

@@ -1,0 +1,115 @@
+"""Subprocess smoke: the CI service step, run as a test.
+
+Starts ``python -m repro serve`` the way CI does, pipes its ``--json``
+snapshot through ``tools/check_service_snapshot.py``, and asserts both
+halves of the contract: the service exits cleanly under a load burst and
+the emitted snapshot satisfies the scrape schema.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.io import save_collection
+
+from tests.conftest import make_example51_collection
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CHECKER = REPO_ROOT / "tools" / "check_service_snapshot.py"
+
+
+def run_cli(args, timeout=120):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+
+
+@pytest.fixture
+def collection_file(tmp_path):
+    path = str(tmp_path / "example51.sources")
+    save_collection(make_example51_collection(), path)
+    return path
+
+
+def test_serve_snapshot_passes_checker(collection_file):
+    serve = run_cli(
+        [
+            "serve", collection_file, "--domain", "a,b,c,d1",
+            "--requests", "30", "--batch", "8", "--churn", "10",
+            "--fault-latency-ms", "1", "--json",
+        ]
+    )
+    assert serve.returncode == 0, serve.stderr
+    snapshot = json.loads(serve.stdout)
+    assert snapshot["metrics"]["counters"]["requests_submitted"] == 30
+
+    check = subprocess.run(
+        [sys.executable, str(CHECKER)],
+        input=serve.stdout,
+        capture_output=True,
+        text=True,
+        timeout=60,
+        cwd=REPO_ROOT,
+    )
+    assert check.returncode == 0, check.stderr
+    assert "snapshot well-formed" in check.stdout
+
+
+def test_checker_rejects_malformed_snapshot():
+    broken = json.dumps({"registry": {}, "metrics": {}})
+    check = subprocess.run(
+        [sys.executable, str(CHECKER)],
+        input=broken,
+        capture_output=True,
+        text=True,
+        timeout=60,
+        cwd=REPO_ROOT,
+    )
+    assert check.returncode == 1
+    assert "malformed snapshot" in check.stderr
+
+
+def test_checker_catches_vanished_requests(tmp_path):
+    serve = run_cli(
+        ["serve", str(tmp_path / "nope.sources"), "--domain", "a", "--json"]
+    )
+    assert serve.returncode == 2  # clean CLI error, no traceback
+    assert "Traceback" not in serve.stderr
+
+    # A snapshot whose counters don't balance must fail the checker.
+    unbalanced = {
+        "registry": {
+            "version": 0, "sources": 1, "domain_size": 1,
+            "retained_versions": [],
+        },
+        "metrics": {
+            "counters": {"requests_submitted": 5, "responses_ok": 3},
+            "gauges": {},
+            "histograms": {},
+        },
+        "gateway": {"reads": 1},
+        "tracing": {
+            "spans_started": 0, "spans_dropped": 0, "recent_spans": 0,
+        },
+    }
+    check = subprocess.run(
+        [sys.executable, str(CHECKER)],
+        input=json.dumps(unbalanced),
+        capture_output=True,
+        text=True,
+        timeout=60,
+        cwd=REPO_ROOT,
+    )
+    assert check.returncode == 1
+    assert "vanished" in check.stderr

@@ -1,0 +1,61 @@
+"""Trace spans: timing, parentage, the bounded ring, error tagging."""
+
+import pytest
+
+from repro.service.tracing import Tracer
+
+
+def test_span_records_duration_and_attributes():
+    tracer = Tracer()
+    with tracer.span("work", request_id=9) as span:
+        span.attributes["extra"] = True
+    exported = tracer.export()
+    assert len(exported) == 1
+    record = exported[0]
+    assert record["name"] == "work"
+    assert record["duration"] >= 0
+    assert record["attributes"] == {"request_id": 9, "extra": True}
+    assert record["parent_id"] is None
+
+
+def test_child_spans_carry_parent_id():
+    tracer = Tracer()
+    with tracer.span("batch") as parent:
+        with parent.child("engine") as child:
+            pass
+    by_name = {s["name"]: s for s in tracer.export()}
+    assert by_name["engine"]["parent_id"] == parent.span_id
+    assert by_name["batch"]["span_id"] == parent.span_id
+    # Children finish before parents, so the ring holds engine first.
+    assert [s["name"] for s in tracer.export()] == ["engine", "batch"]
+    assert child.duration <= parent.duration
+
+
+def test_ring_drops_oldest():
+    tracer = Tracer(limit=3)
+    for index in range(5):
+        with tracer.span(f"s{index}"):
+            pass
+    names = [s["name"] for s in tracer.export()]
+    assert names == ["s2", "s3", "s4"]
+    assert tracer.spans_started == 5
+    assert tracer.spans_dropped == 2
+
+
+def test_exception_tags_span_and_propagates():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("boom"):
+            raise RuntimeError("x")
+    record = tracer.export()[0]
+    assert record["attributes"]["error"] == "RuntimeError"
+
+
+def test_durations_helper():
+    tracer = Tracer()
+    for _ in range(3):
+        with tracer.span("engine"):
+            pass
+    with tracer.span("other"):
+        pass
+    assert len(tracer.durations("engine")) == 3
