@@ -1,0 +1,349 @@
+#!/usr/bin/env python3
+"""E17 — the interned core vs the boxed representation (the repro.core refactor).
+
+Measures the multi-layer interning refactor on the two workloads the paper's
+algorithms spend their time in:
+
+* **E1c block counting** — one full confidence pass over Example 5.1 at
+  growing domain size m: signature-block decomposition, one memo key and one
+  kernel solve per block, plus the denominator. Interned arm:
+  :class:`repro.confidence.blocks.IdentityInstance` + :func:`canonical_key`.
+  Boxed arm: :func:`repro.core.baseline.boxed_signature_decomposition` +
+  :func:`canonical_key_boxed`. Both arms run the *same* kernel DP, so the
+  delta is purely the representation layer.
+* **E4c consistency** — the generic freeze-then-quotient CONSISTENCY search
+  on join-view collections (:func:`check_consistency` vs the preserved
+  :func:`check_consistency_boxed`). Identity collections short-circuit into
+  the §5.1 ``check_identity`` fast path on both arms, so — adapting the E4
+  generator — this bench uses general (non-identity) collections, which are
+  the inputs that actually reach the search being measured.
+* **wire shipping** — pickle roundtrip of a counting problem in
+  ``to_wire`` flat-int form vs the structured ``ReducedProblem``, the shape
+  the parallel engine ships to worker processes.
+
+Both arms are asserted to produce identical answers (confidences, verdicts,
+methods, counters, witnesses) before anything is timed — the refactor's
+fidelity contract, enforced again here on the benchmark workloads.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_e17_core.py            # full
+    PYTHONPATH=src python benchmarks/bench_e17_core.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_e17_core.py --json out.json
+
+Writes ``benchmarks/results/e17_core.txt`` and a JSON trajectory entry
+(default ``BENCH_core.json`` at the repo root). Exits non-zero when the
+headline speedups fall below the acceptance floor (2.0x full, 1.5x quick —
+the quick floor is looser because CI machines are noisy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pickle
+import sys
+import time
+from fractions import Fraction
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+for _p in (REPO_ROOT, REPO_ROOT / "src"):
+    if str(_p) not in sys.path:
+        sys.path.insert(0, str(_p))
+
+from repro.confidence.blocks import IdentityInstance
+from repro.confidence.engine import kernel
+from repro.confidence.engine.memo import canonical_key, canonical_key_boxed
+from repro.consistency.checker import check_consistency, check_consistency_boxed
+from repro.core.baseline import boxed_signature_decomposition
+from repro.model import Atom, Variable, fact
+from repro.queries import identity_view
+from repro.queries.conjunctive import ConjunctiveQuery
+from repro.sources import SourceCollection, SourceDescriptor
+
+from benchmarks.conftest import write_table
+
+SPEEDUP_FLOOR_FULL = 2.0
+SPEEDUP_FLOOR_QUICK = 1.5
+
+
+def best_of(fn, reps: int) -> float:
+    """Fastest of *reps* timed calls, in seconds (standard microbench floor)."""
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# -- E1c: block counting -------------------------------------------------------
+
+def example51_collection() -> SourceCollection:
+    return SourceCollection(
+        [
+            SourceDescriptor(
+                identity_view("V1", "R", 1),
+                [fact("V1", "a"), fact("V1", "b")],
+                "1/2", "1/2", name="S1",
+            ),
+            SourceDescriptor(
+                identity_view("V2", "R", 1),
+                [fact("V2", "b"), fact("V2", "c")],
+                "1/2", "1/2", name="S2",
+            ),
+        ]
+    )
+
+
+def domain(m: int):
+    return ["a", "b", "c"] + [f"d{i}" for i in range(1, m + 1)]
+
+
+def _solve_blocks(spec, key_fn):
+    """One confidence pass over a spec: key + solve per block + denominator."""
+    denominator_problem = kernel.reduce_spec(spec)
+    key_fn(denominator_problem)
+    denominator = kernel.solve(denominator_problem)[0]
+    confidences = []
+    for j in range(spec.n_blocks):
+        problem = kernel.reduce_spec(spec, forced={j: 1})
+        key_fn(problem)
+        confidences.append(Fraction(kernel.solve(problem)[0], denominator))
+    return confidences
+
+
+def e1c_interned_pass(collection, dom):
+    instance = IdentityInstance(collection, dom)
+    return _solve_blocks(kernel.spec_of(instance), canonical_key)
+
+
+def e1c_boxed_pass(collection, dom):
+    decomposition = boxed_signature_decomposition(collection, dom)
+    spec = kernel.CountingSpec(
+        signatures=tuple(sig for sig, _ in decomposition.blocks),
+        sizes=tuple(len(facts) for _, facts in decomposition.blocks),
+        min_sound=tuple(s.min_sound_count() for s in collection),
+        completeness=tuple(s.completeness_bound for s in collection),
+        anonymous_size=decomposition.anonymous_size,
+    )
+    return _solve_blocks(spec, canonical_key_boxed)
+
+
+def run_e1c(quick: bool):
+    collection = example51_collection()
+    rows, records = [], []
+    reps_by_m = {200: (10, 30), 2000: (5, 20), 20000: (3, 8)}
+    for m, (quick_reps, full_reps) in reps_by_m.items():
+        dom = domain(m)
+        interned = e1c_interned_pass(collection, dom)
+        boxed = e1c_boxed_pass(collection, dom)
+        if interned != boxed:
+            raise AssertionError(f"E1c m={m}: arms disagree on confidences")
+        reps = quick_reps if quick else full_reps
+        t_interned = best_of(lambda: e1c_interned_pass(collection, dom), reps)
+        t_boxed = best_of(lambda: e1c_boxed_pass(collection, dom), reps)
+        speedup = t_boxed / t_interned
+        rows.append(
+            ["E1c block counting", f"m={m}",
+             f"{t_interned * 1000:.3f} ms", f"{t_boxed * 1000:.3f} ms",
+             f"{speedup:.2f}x"]
+        )
+        records.append(
+            {"m": m, "interned_ms": round(t_interned * 1000, 3),
+             "boxed_ms": round(t_boxed * 1000, 3),
+             "speedup": round(speedup, 2)}
+        )
+    return rows, records
+
+
+# -- E4c: consistency ----------------------------------------------------------
+
+def general_collection(n_ext: int, sat: bool) -> SourceCollection:
+    """Join-view collections sized by extension count; unsat via exact bounds.
+
+    The satisfiable family is decided by the canonical freeze; the
+    unsatisfiable family (completeness = soundness = 1 plus an empty source
+    demanding P = ∅) forces the search to exhaust every combination and
+    quotient, the worst case the interned representation targets.
+    """
+    x, y = Variable("x"), Variable("y")
+    v1 = ConjunctiveQuery(Atom("V1", (x,)), [Atom("R", (x, y))])
+    v2 = ConjunctiveQuery(Atom("V2", (x, y)), [Atom("R", (x, y)), Atom("P", (y,))])
+    bounds = ("1/2", "1/2") if sat else (Fraction(1), Fraction(1))
+    sources = [
+        SourceDescriptor(
+            v1, [fact("V1", f"a{i}") for i in range(n_ext)],
+            *bounds, name="S1",
+        ),
+        SourceDescriptor(
+            v2, [fact("V2", f"a{i}", f"b{i}") for i in range(n_ext)],
+            *bounds, name="S2",
+        ),
+    ]
+    if not sat:
+        sources.append(
+            SourceDescriptor(
+                ConjunctiveQuery(Atom("V3", (x,)), [Atom("P", (x,))]),
+                [], Fraction(1), Fraction(1), name="S3",
+            )
+        )
+    return SourceCollection(sources)
+
+
+def run_e4c(quick: bool):
+    cases = [
+        ("sat n=3", general_collection(3, sat=True), {}, 20 if quick else 50),
+        ("unsat n=2", general_collection(2, sat=False),
+         {"max_quotients": 20000}, 5 if quick else 10),
+    ]
+    if not quick:
+        cases.append(
+            ("unsat n=3", general_collection(3, sat=False),
+             {"max_quotients": 20000}, 3)
+        )
+    rows, records = [], []
+    for label, collection, caps, reps in cases:
+        interned = check_consistency(collection, **caps)
+        boxed = check_consistency_boxed(collection, **caps)
+        agree = (
+            interned.consistent == boxed.consistent
+            and interned.method == boxed.method
+            and interned.combinations_tried == boxed.combinations_tried
+            and (not interned.consistent or interned.witness == boxed.witness)
+        )
+        if not agree:
+            raise AssertionError(f"E4c {label}: arms disagree on the verdict")
+        t_interned = best_of(lambda: check_consistency(collection, **caps), reps)
+        t_boxed = best_of(
+            lambda: check_consistency_boxed(collection, **caps), reps
+        )
+        speedup = t_boxed / t_interned
+        rows.append(
+            [f"E4c consistency", f"{label} ({interned.method})",
+             f"{t_interned * 1000:.3f} ms", f"{t_boxed * 1000:.3f} ms",
+             f"{speedup:.2f}x"]
+        )
+        records.append(
+            {"case": label, "method": interned.method,
+             "interned_ms": round(t_interned * 1000, 3),
+             "boxed_ms": round(t_boxed * 1000, 3),
+             "speedup": round(speedup, 2)}
+        )
+    return rows, records
+
+
+# -- wire shipping -------------------------------------------------------------
+
+def run_wire(quick: bool):
+    instance = IdentityInstance(example51_collection(), domain(200))
+    problem = kernel.reduce_spec(kernel.spec_of(instance))
+    wire = kernel.to_wire(problem)
+    if kernel.from_wire(wire) != problem:
+        raise AssertionError("wire roundtrip is not the identity")
+    reps = 2000 if quick else 10000
+
+    def roundtrip_wire():
+        pickle.loads(pickle.dumps(kernel.to_wire(problem)))
+
+    def roundtrip_boxed():
+        pickle.loads(pickle.dumps(problem))
+
+    t_wire = best_of(lambda: [roundtrip_wire() for _ in range(50)], reps // 50)
+    t_boxed = best_of(lambda: [roundtrip_boxed() for _ in range(50)], reps // 50)
+    speedup = t_boxed / t_wire
+    wire_bytes = len(pickle.dumps(wire))
+    boxed_bytes = len(pickle.dumps(problem))
+    row = [
+        "wire shipping",
+        f"50 pickle roundtrips ({wire_bytes} vs {boxed_bytes} bytes)",
+        f"{t_wire * 1000:.3f} ms", f"{t_boxed * 1000:.3f} ms",
+        f"{speedup:.2f}x",
+    ]
+    record = {
+        "wire_bytes": wire_bytes, "boxed_bytes": boxed_bytes,
+        "interned_ms": round(t_wire * 1000, 3),
+        "boxed_ms": round(t_boxed * 1000, 3),
+        "speedup": round(speedup, 2),
+    }
+    return [row], record
+
+
+# -- driver --------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer reps and the small unsat case only (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=REPO_ROOT / "BENCH_core.json",
+        help="where to write the JSON trajectory entry",
+    )
+    args = parser.parse_args(argv)
+    floor = SPEEDUP_FLOOR_QUICK if args.quick else SPEEDUP_FLOOR_FULL
+    mode = "quick" if args.quick else "full"
+
+    e1c_rows, e1c_records = run_e1c(args.quick)
+    e4c_rows, e4c_records = run_e4c(args.quick)
+    wire_rows, wire_record = run_wire(args.quick)
+
+    # Headlines: the largest E1c domain and the hardest unsat search run.
+    e1c_headline = e1c_records[-1]["speedup"]
+    e4c_headline = max(
+        r["speedup"] for r in e4c_records if r["case"].startswith("unsat")
+    )
+    passed = e1c_headline >= floor and e4c_headline >= floor
+
+    notes = [
+        f"mode={mode}; acceptance floor {floor:.1f}x on the largest E1c row "
+        f"and the largest unsat E4c row",
+        f"headlines: E1c {e1c_headline:.2f}x, E4c {e4c_headline:.2f}x -> "
+        f"{'PASS' if passed else 'FAIL'}",
+        "E4c sat rows are freeze-decided (few candidates) and expected near "
+        "parity; the search-bound unsat rows carry the acceptance check",
+        "both arms share the kernel DP; deltas are the representation layer",
+    ]
+    table = write_table(
+        "e17_core",
+        "E17: interned core vs boxed representation",
+        ["workload", "case", "interned", "boxed", "speedup"],
+        e1c_rows + e4c_rows + wire_rows,
+        notes=notes,
+    )
+    print(table)
+
+    payload = {
+        "bench": "e17_core",
+        "date": datetime.date.today().isoformat(),
+        "mode": mode,
+        "workloads": {
+            "e1c_block_counting": e1c_records,
+            "e4c_consistency": e4c_records,
+            "wire_shipping": wire_record,
+        },
+        "acceptance": {
+            "floor": floor,
+            "e1c_headline_speedup": e1c_headline,
+            "e4c_headline_speedup": e4c_headline,
+            "passed": passed,
+        },
+    }
+    args.json.parent.mkdir(parents=True, exist_ok=True)
+    args.json.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.json}")
+
+    if not passed:
+        print(
+            f"FAIL: headline speedups below the {floor:.1f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,7 +25,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import SourceError
 from repro.model.atoms import Atom
-from repro.model.terms import Constant, as_term
+from repro.model.terms import Constant, Variable, as_term
 from repro.sources.collection import SourceCollection
 from repro.confidence.engine import kernel
 
@@ -81,75 +81,188 @@ class IdentityInstance:
         self.collection = collection
         self.relation = relation
         self.arity = collection.sources[0].view.head.arity
-        self.domain: Tuple[Constant, ...] = tuple(
-            as_term(c) for c in dict.fromkeys(domain)
+        # The domain is kept as raw values; the boxed Constant tuple is a
+        # lazy property. Only *extension* constants are ever interned — the
+        # anonymous fact space exists purely as the arithmetic
+        # ``|dom|^arity − covered`` below, which is what keeps decomposition
+        # cost proportional to the extensions, not the domain.
+        self._raw_domain: Tuple = tuple(
+            c.value if isinstance(c, (Constant, Variable)) else c
+            for c in dict.fromkeys(domain)
         )
-        domain_set = set(self.domain)
-        self.fact_space_size = len(self.domain) ** self.arity
+        self._domain_boxed: Optional[Tuple[Constant, ...]] = None
+        self.fact_space_size = len(self._raw_domain) ** self.arity
+
+        # Interned decomposition: rename each extension fact to the global
+        # relation and intern it to a fact ID, accumulating its membership
+        # signature as a bitmask (bit i set ⇔ fact ∈ v_i). One dict pass
+        # replaces the per-source frozenset membership probes of the boxed
+        # algorithm (kept in repro.core.baseline for benchmarks/tests).
+        from repro.core.symbols import global_table
+
+        table = global_table()
+        rid = table.relation(relation)
+        intern_constant = table.constant
+        raw_domain_set = frozenset(self._raw_domain)
 
         # Per-source data, in collection order.
         self.names: List[str] = []
-        self.extensions: List[FrozenSet[Atom]] = []
+        self.extension_sizes: List[int] = []
         self.completeness_bounds: List[Fraction] = []
         self.soundness_bounds: List[Fraction] = []
         self.min_sound: List[int] = []
-        for source in collection:
-            global_ext = frozenset(
-                Atom(relation, f.args) for f in source.extension
-            )
-            for f in global_ext:
-                missing = [a for a in f.args if a not in domain_set]
-                if missing:
+        signature_of: Dict[int, int] = {}
+        for i, source in enumerate(collection):
+            bit = 1 << i
+            fids: set = set()
+            for f in source.extension:
+                values = [a.value for a in f.args]
+                if not raw_domain_set.issuperset(values):
+                    renamed = Atom(relation, f.args)
+                    missing = [
+                        a
+                        for a in renamed.args
+                        if a.value not in raw_domain_set
+                    ]
                     raise SourceError(
-                        f"extension fact {f} uses constants outside the domain: "
-                        f"{missing}"
+                        f"extension fact {renamed} uses constants outside the "
+                        f"domain: {missing}"
                     )
+                fids.add(
+                    table.fact(rid, tuple(intern_constant(v) for v in values))
+                )
+            for fid in fids:
+                signature_of[fid] = signature_of.get(fid, 0) | bit
             self.names.append(source.name)
-            self.extensions.append(global_ext)
+            self.extension_sizes.append(len(fids))
             self.completeness_bounds.append(source.completeness_bound)
             self.soundness_bounds.append(source.soundness_bound)
             self.min_sound.append(source.min_sound_count())
 
-        # Block decomposition of the covered fact space.
-        by_signature: Dict[FrozenSet[int], List[Atom]] = {}
-        for f in frozenset().union(*self.extensions) if self.extensions else frozenset():
-            signature = frozenset(
-                i for i, ext in enumerate(self.extensions) if f in ext
-            )
-            by_signature.setdefault(signature, []).append(f)
+        # Block decomposition of the covered fact space, grouped by bitmask.
+        by_mask: Dict[int, List[int]] = {}
+        for fid, mask in signature_of.items():
+            by_mask.setdefault(mask, []).append(fid)
+
+        from repro.core.adapters import atom_of_fact
+
+        def indices(mask: int) -> Tuple[int, ...]:
+            return tuple(i for i in range(len(self.names)) if mask & (1 << i))
+
         self.blocks: Tuple[SignatureBlock, ...] = tuple(
-            SignatureBlock(sig, facts)
-            for sig, facts in sorted(
-                by_signature.items(), key=lambda kv: (sorted(kv[0]), len(kv[1]))
+            SignatureBlock(
+                frozenset(indices(mask)),
+                [atom_of_fact(table, fid) for fid in fids],
+            )
+            for mask, fids in sorted(
+                by_mask.items(), key=lambda kv: (indices(kv[0]), len(kv[1]))
             )
         )
         self.covered_size = sum(b.size for b in self.blocks)
         self.anonymous_size = self.fact_space_size - self.covered_size
-        self._fact_block: Dict[Atom, int] = {
-            f: j for j, block in enumerate(self.blocks) for f in block.facts
-        }
+
+        # Process-local caches (term IDs never cross process boundaries, so
+        # none of these survive pickling — see __getstate__).
+        self._extensions: Optional[Tuple[FrozenSet[Atom], ...]] = None
+        self._fact_block_ids: Optional[Dict[int, int]] = None
+        self._domain_set: Optional[FrozenSet] = None
 
     # -- structure -------------------------------------------------------------
+
+    @property
+    def domain(self) -> Tuple[Constant, ...]:
+        """The deduplicated domain as boxed constants (boxed lazily).
+
+        Decomposition and counting never need this tuple; it exists for the
+        enumeration-style consumers (samplers, the linear-system baseline,
+        exact calculus) that iterate the fact space as boxed atoms.
+        """
+        if self._domain_boxed is None:
+            self._domain_boxed = tuple(as_term(v) for v in self._raw_domain)
+        return self._domain_boxed
 
     @property
     def n_sources(self) -> int:
         return len(self.names)
 
+    @property
+    def extensions(self) -> Tuple[FrozenSet[Atom], ...]:
+        """Per-source global-renamed extensions, as boxed frozensets.
+
+        Rebuilt lazily from the block decomposition (every extension fact is
+        covered by construction); the hot paths never touch this.
+        """
+        if self._extensions is None:
+            per_source: List[set] = [set() for _ in self.names]
+            for block in self.blocks:
+                for i in block.signature:
+                    per_source[i].update(block.facts)
+            self._extensions = tuple(frozenset(e) for e in per_source)
+        return self._extensions
+
+    def _fact_ids(self) -> Dict[int, int]:
+        """Lazy fact-ID → block-index map against the process-wide table."""
+        if self._fact_block_ids is None:
+            from repro.core.adapters import fact_of_atom
+            from repro.core.symbols import global_table
+
+            table = global_table()
+            self._fact_block_ids = {
+                fact_of_atom(table, f): j
+                for j, block in enumerate(self.blocks)
+                for f in block.facts
+            }
+        return self._fact_block_ids
+
     def block_of(self, fact: Atom) -> Optional[int]:
         """Index of the block containing *fact*; ``None`` for anonymous facts.
 
         Accepts both global facts over the instance relation and local facts
-        (same argument tuple, any local name).
+        (same argument tuple, any local name). The probe interns the fact and
+        hits the ID index — no boxed atom is rebuilt.
         """
-        return self._fact_block.get(Atom(self.relation, fact.args))
+        from repro.core.symbols import global_table
+
+        index = self._fact_ids()
+        table = global_table()
+        rid = table.find_relation(self.relation)
+        if rid is None:
+            return None
+        args = []
+        for a in fact.args:
+            cid = table.find_constant(a.value)
+            if cid is None:
+                return None
+            args.append(cid)
+        fid = table.find_fact(rid, tuple(args))
+        if fid is None:
+            return None
+        return index.get(fid)
 
     def in_fact_space(self, fact: Atom) -> bool:
         """Is *fact* (as a global fact) part of the finite fact space?"""
-        renamed = Atom(self.relation, fact.args)
-        if renamed.relation != self.relation or renamed.arity != self.arity:
+        if len(fact.args) != self.arity:
             return False
-        domain_set = set(self.domain)
-        return all(a in domain_set for a in renamed.args)
+        if self._domain_set is None:
+            self._domain_set = frozenset(self._raw_domain)
+        domain_set = self._domain_set
+        for a in fact.args:
+            if not isinstance(a, Constant) or a.value not in domain_set:
+                return False
+        return True
+
+    # -- pickling (IDs are process-local; ship only boxed state) ---------------
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_extensions"] = None
+        state["_fact_block_ids"] = None
+        state["_domain_set"] = None
+        state["_domain_boxed"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
 
     # -- constraint predicates ----------------------------------------------------
 

@@ -39,10 +39,15 @@ if TYPE_CHECKING:  # imported lazily at runtime (blocks.py imports the kernel)
 DEFAULT_SAMPLES_PER_CHUNK = 1000
 
 
-def _solve_task(problem) -> Tuple[int, int, float]:
-    """Worker body for one exact counting task (picklable, top level)."""
+def _solve_task(wire) -> Tuple[int, int, float]:
+    """Worker body for one exact counting task (picklable, top level).
+
+    Receives the :func:`~repro.confidence.engine.kernel.to_wire` encoding —
+    one flat int tuple — so cross-process chunk shipping serializes plain
+    integers instead of structured Fractions.
+    """
     start = time.perf_counter()
-    count, dp_states = kernel.solve(problem)
+    count, dp_states = kernel.solve_wire(wire)
     return count, dp_states, time.perf_counter() - start
 
 
@@ -133,7 +138,7 @@ class ConfidenceEngine:
         """Counts for several reduced problems: memo, dedup, then dispatch."""
         counts: List[Optional[int]] = [None] * len(problems)
         pending: Dict[object, List[int]] = {}
-        pending_problems: List[kernel.ReducedProblem] = []
+        pending_problems: List[Tuple[int, ...]] = []
         pending_keys: List[object] = []
 
         with self.stats.time("plan"):
@@ -153,7 +158,7 @@ class ConfidenceEngine:
                     pending[key].append(index)
                 else:
                     pending[key] = [index]
-                    pending_problems.append(problem)
+                    pending_problems.append(kernel.to_wire(problem))
                     pending_keys.append(key)
 
         if pending_problems:

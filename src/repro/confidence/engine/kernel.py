@@ -131,6 +131,73 @@ def reduce_spec(
     )
 
 
+def to_wire(problem: Optional[ReducedProblem]) -> Optional[Tuple[int, ...]]:
+    """Encode a reduced problem as one flat tuple of ints.
+
+    The engine ships problems to worker processes; a flat int tuple pickles
+    to a fraction of the bytes of the structured ``NamedTuple`` (no per-field
+    framing, no :class:`~fractions.Fraction` objects — bounds travel as
+    numerator/denominator pairs). The encoding is injective, so wire tuples
+    are also usable as exact dedup keys. ``None`` (infeasible) passes through.
+    """
+    if problem is None:
+        return None
+    out = [
+        problem.n_sources,
+        len(problem.sizes),
+        problem.anonymous_size,
+        problem.seed_total,
+    ]
+    out.extend(problem.sizes)
+    out.extend(problem.min_sound)
+    out.extend(problem.seed_sound)
+    for c in problem.completeness:
+        out.append(c.numerator)
+        out.append(c.denominator)
+    for signature in problem.signatures:
+        out.append(len(signature))
+        out.extend(signature)
+    return tuple(out)
+
+
+def from_wire(wire: Optional[Tuple[int, ...]]) -> Optional[ReducedProblem]:
+    """Decode :func:`to_wire`; exact inverse."""
+    if wire is None:
+        return None
+    n_sources, n_blocks, anonymous_size, seed_total = wire[:4]
+    at = 4
+    sizes = wire[at:at + n_blocks]
+    at += n_blocks
+    min_sound = wire[at:at + n_sources]
+    at += n_sources
+    seed_sound = wire[at:at + n_sources]
+    at += n_sources
+    completeness = []
+    for _ in range(n_sources):
+        completeness.append(Fraction(wire[at], wire[at + 1]))
+        at += 2
+    signatures = []
+    for _ in range(n_blocks):
+        width = wire[at]
+        at += 1
+        signatures.append(wire[at:at + width])
+        at += width
+    return ReducedProblem(
+        signatures=tuple(signatures),
+        sizes=sizes,
+        min_sound=min_sound,
+        completeness=tuple(completeness),
+        anonymous_size=anonymous_size,
+        seed_sound=seed_sound,
+        seed_total=seed_total,
+    )
+
+
+def solve_wire(wire: Optional[Tuple[int, ...]]) -> Tuple[int, int]:
+    """Decode-and-solve; the body workers run in other processes."""
+    return solve(from_wire(wire))
+
+
 def partial_binomial_sum(n: int, k_max: int) -> int:
     """``Σ_{k=0..min(k_max, n)} C(n, k)``; 2^n when k_max >= n."""
     if k_max < 0:
@@ -165,7 +232,7 @@ def sweep(
     for signature, size in zip(signatures, sizes):
         if size < 0:
             return {}
-        signature_set = frozenset(signature)
+        signature_set = set(signature)
         next_states: StateMap = {}
         for (sound, total), weight in states.items():
             for chosen in range(size + 1):

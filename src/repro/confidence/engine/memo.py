@@ -127,8 +127,14 @@ def shared_memo() -> LRUMemo:
     return _SHARED
 
 
-def _profiles(problem: ReducedProblem) -> List[Tuple]:
-    """A permutation-invariant profile per source (the sorting key)."""
+def _profiles(problem: ReducedProblem, completeness: Sequence) -> List[Tuple]:
+    """A permutation-invariant profile per source (the sorting key).
+
+    *completeness* supplies one sortable token per source — interned int IDs
+    on the fast path, raw Fractions on the boxed baseline. Any fixed total
+    order over the tokens yields a correct canonicalization; only equality
+    of tokens (which both encodings preserve) affects which keys collide.
+    """
     block_shapes: List[List[Tuple[int, int]]] = [
         [] for _ in range(problem.n_sources)
     ]
@@ -139,7 +145,7 @@ def _profiles(problem: ReducedProblem) -> List[Tuple]:
     return [
         (
             problem.min_sound[i],
-            problem.completeness[i],
+            completeness[i],
             problem.seed_sound[i],
             tuple(sorted(block_shapes[i])),
         )
@@ -147,13 +153,15 @@ def _profiles(problem: ReducedProblem) -> List[Tuple]:
     ]
 
 
-def _render(problem: ReducedProblem, order: Sequence[int]) -> Tuple:
+def _render(
+    problem: ReducedProblem, completeness: Sequence, order: Sequence[int]
+) -> Tuple:
     """The key rendering under one source order (*order[new] = old*)."""
     relabel = {old: new for new, old in enumerate(order)}
     per_source = tuple(
         (
             problem.min_sound[old],
-            problem.completeness[old],
+            completeness[old],
             problem.seed_sound[old],
         )
         for old in order
@@ -172,9 +180,8 @@ def _render(problem: ReducedProblem, order: Sequence[int]) -> Tuple:
     )
 
 
-def canonical_key(problem: ReducedProblem) -> Tuple:
-    """A hashable key identical across alpha-equivalent counting problems."""
-    profiles = _profiles(problem)
+def _canonicalize(problem: ReducedProblem, completeness: Sequence) -> Tuple:
+    profiles = _profiles(problem, completeness)
     base_order = sorted(range(problem.n_sources), key=lambda i: profiles[i])
 
     # Group profile-tied sources; exact tie-break permutes within groups.
@@ -189,12 +196,37 @@ def canonical_key(problem: ReducedProblem) -> Tuple:
         for k in range(2, len(group) + 1):
             n_orders *= k
     if n_orders == 1:
-        return _render(problem, base_order)
+        return _render(problem, completeness, base_order)
     candidates = product(*(permutations(group) for group in groups))
     best: Optional[Tuple] = None
     for arrangement in islice(candidates, MAX_CANONICAL_ORDERS):
         order = [i for group in arrangement for i in group]
-        rendering = _render(problem, order)
+        rendering = _render(problem, completeness, order)
         if best is None or rendering < best:
             best = rendering
     return best
+
+
+def canonical_key(problem: ReducedProblem) -> Tuple:
+    """A hashable key identical across alpha-equivalent counting problems.
+
+    Every entry of the key is a plain int: completeness bounds are interned
+    as constants in the process-wide symbol table (equal Fractions share an
+    ID), so key comparison and hashing never touch Fraction arithmetic. The
+    encoding is injective relative to :func:`canonical_key_boxed` — two
+    problems get equal int keys iff they get equal boxed keys (asserted
+    property-based in ``tests/property/test_core_roundtrip.py``), so hit/miss
+    behavior is identical.
+    """
+    from repro.core.symbols import global_table
+
+    intern_constant = global_table().constant
+    completeness = tuple(intern_constant(c) for c in problem.completeness)
+    return _canonicalize(problem, completeness)
+
+
+def canonical_key_boxed(problem: ReducedProblem) -> Tuple:
+    """The pre-interning key (Fractions compared by value), kept as the
+    reference for the key-agreement property tests and the E17 benchmark.
+    """
+    return _canonicalize(problem, problem.completeness)

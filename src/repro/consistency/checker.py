@@ -90,6 +90,37 @@ def check_consistency(
 
     A negative result with ``decisive=False`` means a resource cap was hit
     before the search space was exhausted; raise the caps to settle it.
+
+    The generic search runs over the interned representation
+    (:mod:`repro.consistency.coresearch`); it visits combinations and
+    quotient valuations in the same order as the preserved boxed baseline
+    :func:`check_consistency_boxed`, so verdicts, witnesses, counters and
+    truncation points are identical.
+    """
+    if not collection.sources:
+        return ConsistencyResult(
+            consistent=True, witness=GlobalDatabase(), method="empty-collection"
+        )
+    if collection.identity_relation() is not None:
+        return check_identity(collection)
+    _reject_builtins(collection)
+
+    from repro.consistency.coresearch import core_check_consistency
+
+    return core_check_consistency(collection, max_quotients, max_combinations)
+
+
+def check_consistency_boxed(
+    collection: SourceCollection,
+    max_quotients: int = DEFAULT_MAX_QUOTIENTS,
+    max_combinations: int = DEFAULT_MAX_COMBINATIONS,
+) -> ConsistencyResult:
+    """The pre-interning object-level search, kept for benchmarks and
+    differential tests (``tests/core/``, ``benchmarks/bench_e17_core.py``).
+
+    Semantically identical to :func:`check_consistency`; every candidate
+    database here is a frozenset of boxed atoms and every ``poss(S)`` test
+    evaluates views over :class:`~repro.model.atoms.Atom` objects.
     """
     if not collection.sources:
         return ConsistencyResult(

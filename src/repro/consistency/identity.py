@@ -60,7 +60,7 @@ def check_identity(
     for i in range(n):
         c = instance.completeness_bounds[i]
         if c > 0:
-            k_i = len(instance.extensions[i])
+            k_i = instance.extension_sizes[i]
             total_max = min(total_max, floor(Fraction(k_i) / c))
     if clamp:
         saturation = tuple(
@@ -73,7 +73,7 @@ def check_identity(
     else:
         total_max = covered
         saturation = tuple(
-            len(instance.extensions[i]) for i in range(n)
+            instance.extension_sizes[i] for i in range(n)
         )
 
     start: State = ((0,) * n, 0)

@@ -44,13 +44,20 @@ def independent_groups(collection: SourceCollection) -> List[SourceCollection]:
     def union(i: int, j: int) -> None:
         parent[find(i)] = find(j)
 
-    by_relation: Dict[str, int] = {}
+    # Union-find keyed by interned relation IDs: one dict probe per body
+    # atom on ints instead of strings (relation names intern once, up
+    # front, in the process-wide symbol table).
+    from repro.core.symbols import global_table
+
+    intern_relation = global_table().relation
+    by_relation: Dict[int, int] = {}
     for index, source in enumerate(sources):
         for atom in source.view.relational_body():
-            if atom.relation in by_relation:
-                union(index, by_relation[atom.relation])
+            rid = intern_relation(atom.relation)
+            if rid in by_relation:
+                union(index, by_relation[rid])
             else:
-                by_relation[atom.relation] = index
+                by_relation[rid] = index
 
     components: Dict[int, List[int]] = {}
     for index in range(len(sources)):

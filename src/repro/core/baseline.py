@@ -1,0 +1,87 @@
+"""Boxed reference implementations kept for benchmarks and differential tests.
+
+The interned fast paths replaced these object-level algorithms inside
+:class:`~repro.confidence.blocks.IdentityInstance` and the consistency
+search. The originals are preserved here verbatim-in-spirit so that
+
+* the E17 benchmark (``benchmarks/bench_e17_core.py``) can measure the
+  boxed representation against the interned one on identical workloads, and
+* the test suite can assert, differentially, that the interned paths
+  compute exactly the same decompositions and verdicts.
+
+Nothing in the library proper calls this module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, NamedTuple, Tuple
+
+from repro.exceptions import SourceError
+from repro.model.atoms import Atom
+from repro.model.terms import as_term
+
+
+class BoxedDecomposition(NamedTuple):
+    """The signature-block decomposition, in boxed (object) form."""
+
+    relation: str
+    blocks: Tuple[Tuple[Tuple[int, ...], Tuple[Atom, ...]], ...]
+    anonymous_size: int
+    extensions: Tuple[FrozenSet[Atom], ...]
+
+
+def boxed_signature_decomposition(collection, domain) -> BoxedDecomposition:
+    """The pre-interning block decomposition of an identity collection.
+
+    This is the original object-level algorithm: extensions are frozensets
+    of renamed :class:`Atom` objects and membership signatures are computed
+    by hashing each covered fact against each extension frozenset. The
+    interned :class:`~repro.confidence.blocks.IdentityInstance` produces an
+    identical decomposition (same block signatures, sizes and facts) via
+    integer fact IDs and bitmask accumulation.
+    """
+    relation = collection.identity_relation()
+    if relation is None:
+        raise SourceError(
+            "boxed_signature_decomposition requires identity views over one "
+            "global relation"
+        )
+    arity = collection.sources[0].view.head.arity
+    domain_terms = tuple(as_term(c) for c in dict.fromkeys(domain))
+    domain_set = set(domain_terms)
+    fact_space_size = len(domain_terms) ** arity
+
+    extensions: List[FrozenSet[Atom]] = []
+    for source in collection:
+        global_ext = frozenset(
+            Atom(relation, f.args) for f in source.extension
+        )
+        for f in global_ext:
+            missing = [a for a in f.args if a not in domain_set]
+            if missing:
+                raise SourceError(
+                    f"extension fact {f} uses constants outside the domain: "
+                    f"{missing}"
+                )
+        extensions.append(global_ext)
+
+    by_signature: Dict[FrozenSet[int], List[Atom]] = {}
+    covered = frozenset().union(*extensions) if extensions else frozenset()
+    for f in covered:
+        signature = frozenset(
+            i for i, ext in enumerate(extensions) if f in ext
+        )
+        by_signature.setdefault(signature, []).append(f)
+    blocks = tuple(
+        (tuple(sorted(sig)), tuple(sorted(facts)))
+        for sig, facts in sorted(
+            by_signature.items(), key=lambda kv: (sorted(kv[0]), len(kv[1]))
+        )
+    )
+    covered_size = sum(len(facts) for _, facts in blocks)
+    return BoxedDecomposition(
+        relation=relation,
+        blocks=blocks,
+        anonymous_size=fact_space_size - covered_size,
+        extensions=tuple(extensions),
+    )

@@ -1,0 +1,125 @@
+"""Immutable fact-ID sets: sorted integer backbone + hash index.
+
+An :class:`IFactSet` is the ID-space mirror of
+:class:`repro.model.database.GlobalDatabase`: a finite set of interned fact
+IDs. Internally it keeps the IDs twice — a sorted integer array (compact,
+deterministic iteration, cheap pickling of the *values* not the objects) and
+a frozenset (O(1) membership, C-speed union/intersection/difference). The
+per-relation index is built lazily from the owning
+:class:`~repro.core.symbols.SymbolTable` on first relational access.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
+
+from repro.core.symbols import SymbolTable
+
+
+class IFactSet:
+    """An immutable set of fact IDs over one symbol table."""
+
+    __slots__ = ("table", "_ids", "_sorted", "_by_relation", "_grouped", "_hash")
+
+    def __init__(self, table: SymbolTable, ids: Iterable[int] = ()):
+        self.table = table
+        self._ids: FrozenSet[int] = (
+            ids if isinstance(ids, frozenset) else frozenset(ids)  # boxed-ok: ints
+        )
+        self._sorted: Optional[array] = None
+        self._by_relation: Optional[Dict[int, FrozenSet[int]]] = None
+        self._grouped: Optional[Dict[int, Tuple[Tuple[int, ...], ...]]] = None
+        self._hash = hash(self._ids)
+
+    # -- set interface ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, fid: int) -> bool:
+        return fid in self._ids
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.sorted_ids())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IFactSet) and self._ids == other._ids
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __le__(self, other: "IFactSet") -> bool:
+        return self._ids <= other._ids
+
+    def __lt__(self, other: "IFactSet") -> bool:
+        return self._ids < other._ids
+
+    def ids(self) -> FrozenSet[int]:
+        """The underlying frozenset of fact IDs."""
+        return self._ids
+
+    def sorted_ids(self) -> array:
+        """The IDs as a sorted integer array (built once, then cached)."""
+        if self._sorted is None:
+            self._sorted = array("q", sorted(self._ids))
+        return self._sorted
+
+    # -- algebra ---------------------------------------------------------------
+
+    def union(self, other: "IFactSet") -> "IFactSet":
+        return IFactSet(self.table, self._ids | other._ids)
+
+    def intersection(self, other: "IFactSet") -> "IFactSet":
+        return IFactSet(self.table, self._ids & other._ids)
+
+    def difference(self, other: "IFactSet") -> "IFactSet":
+        return IFactSet(self.table, self._ids - other._ids)
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+
+    def with_ids(self, extra: Iterable[int]) -> "IFactSet":
+        return IFactSet(self.table, self._ids | set(extra))
+
+    def without_ids(self, removed: Iterable[int]) -> "IFactSet":
+        return IFactSet(self.table, self._ids - set(removed))
+
+    # -- relational access -----------------------------------------------------
+
+    def by_relation(self, rid: int) -> FrozenSet[int]:
+        """Fact IDs over relation *rid* (lazy per-relation index)."""
+        if self._by_relation is None:
+            index: Dict[int, set] = {}
+            fact_relation = self.table.fact_relation
+            for fid in self._ids:
+                index.setdefault(fact_relation(fid), set()).add(fid)
+            self._by_relation = {
+                r: frozenset(fids) for r, fids in index.items()  # boxed-ok: ints
+            }
+        return self._by_relation.get(rid, frozenset())  # boxed-ok: ints
+
+    def grouped(self) -> Dict[int, Tuple[Tuple[int, ...], ...]]:
+        """Relation ID → tuple of argument-ID tuples (lazy, cached).
+
+        The shape :meth:`repro.core.views.CoreView.apply_grouped` consumes;
+        converting once per fact set lets every source's ``satisfied_by``
+        share the same decoded view of the candidate.
+        """
+        if self._grouped is None:
+            index: Dict[int, list] = {}
+            fact_tuple = self.table.fact_tuple
+            for fid in self._ids:
+                t = fact_tuple(fid)
+                index.setdefault(t[0], []).append(t[1:])
+            self._grouped = {r: tuple(args) for r, args in index.items()}
+        return self._grouped
+
+    def relations(self) -> Tuple[int, ...]:
+        """Relation IDs with a non-empty extension, sorted."""
+        self.by_relation(-1)  # force the index
+        return tuple(sorted(self._by_relation))
+
+    def __repr__(self) -> str:
+        return f"IFactSet({len(self._ids)} facts)"

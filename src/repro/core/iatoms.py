@@ -1,0 +1,61 @@
+"""Interned atoms: ``(relation id, term ids...)`` with a cached hash.
+
+An :class:`IAtom` is the ID-space mirror of :class:`repro.model.atoms.Atom`:
+the relation is a relation ID and each argument is a term ID — negative for
+variables, non-negative for constants (the sign convention of
+:mod:`repro.core.symbols`). Instances are normally obtained hash-consed from
+:meth:`~repro.core.symbols.SymbolTable.iatom`, so equal patterns are the
+*same* object and equality short-circuits on identity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+
+class IAtom:
+    """An immutable ID-space atom with precomputed hash and ground flag."""
+
+    __slots__ = ("relation", "args", "ground", "_hash")
+
+    def __init__(self, relation: int, args: Tuple[int, ...]):
+        self.relation = relation
+        self.args = args
+        ground = True
+        for tid in args:
+            if tid < 0:
+                ground = False
+                break
+        self.ground = ground
+        self._hash = hash((relation, args))
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def variable_ids(self) -> Tuple[int, ...]:
+        """The (negative) variable IDs occurring in the atom, in order."""
+        return tuple(tid for tid in self.args if tid < 0)
+
+    def constant_ids(self) -> Tuple[int, ...]:
+        """The constant IDs occurring in the atom, in order."""
+        return tuple(tid for tid in self.args if tid >= 0)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (
+            isinstance(other, IAtom)
+            and self.relation == other.relation
+            and self.args == other.args
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.args)
+
+    def __repr__(self) -> str:
+        inner = ",".join(str(t) for t in self.args)
+        return f"IAtom(r{self.relation}; {inner})"

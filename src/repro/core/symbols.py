@@ -1,0 +1,283 @@
+"""The symbol table: dense integer IDs for every symbol the hot paths touch.
+
+Interning invariants (documented in ``docs/core.md`` and relied on by the
+adapters and the fast paths):
+
+* **Determinism within a process** — the ID of a symbol is fixed the moment
+  it is first interned and never changes; re-interning returns the same ID.
+* **Namespaces** — constants, relations, facts and atoms each get their own
+  dense ``0, 1, 2, ...`` sequence. Variables share the *term* ID space with
+  constants via the sign: variable IDs are negative (``-1, -2, ...``),
+  constant IDs non-negative, so ``tid < 0`` discriminates in one comparison.
+* **Equality mirrors the boxed model** — two constants intern to the same ID
+  exactly when the boxed :class:`~repro.model.terms.Constant` objects are
+  equal (Python ``==`` on the wrapped values), and likewise for variables
+  (by name), relations (by name), and facts (by relation + argument IDs).
+* **IDs are process-local** — they are *not* stable across processes. Data
+  shipped to worker processes goes through value-level encodings (the
+  kernel's wire format) or boxed objects, never raw IDs.
+* **Rollback needs exclusivity** — :meth:`SymbolTable.rollback` truncates
+  every namespace back to a :meth:`SymbolTable.snapshot`. That is only sound
+  when no other thread interned in between, so transactional writers (the
+  service registry) hold :meth:`SymbolTable.exclusive` around the whole
+  mutate-or-rollback window; the interning lock is reentrant, so the
+  writer's own interning proceeds normally.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Tuple
+
+from repro.exceptions import ModelError
+from repro.core.iatoms import IAtom
+
+
+class SymbolSnapshot(NamedTuple):
+    """A point-in-time size vector of a table's namespaces."""
+
+    constants: int
+    variables: int
+    relations: int
+    facts: int
+    atoms: int
+
+
+class SymbolTable:
+    """Thread-safe interning of constants, variables, relations and facts.
+
+    >>> table = SymbolTable()
+    >>> table.constant("a") == table.constant("a")
+    True
+    >>> table.variable("x") < 0  # variables are negative term IDs
+    True
+    >>> rid = table.relation("R")
+    >>> fid = table.fact(rid, (table.constant("a"),))
+    >>> table.fact_args(fid) == (table.constant("a"),)
+    True
+    """
+
+    __slots__ = (
+        "_lock",
+        "_constants",
+        "_constant_values",
+        "_variables",
+        "_variable_names",
+        "_relations",
+        "_relation_names",
+        "_facts",
+        "_fact_tuples",
+        "_atoms",
+        "_atom_keys",
+    )
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._constants: Dict[Any, int] = {}
+        self._constant_values: List[Any] = []
+        self._variables: Dict[str, int] = {}
+        self._variable_names: List[str] = []
+        self._relations: Dict[str, int] = {}
+        self._relation_names: List[str] = []
+        self._facts: Dict[Tuple[int, ...], int] = {}
+        self._fact_tuples: List[Tuple[int, ...]] = []
+        self._atoms: Dict[Tuple, IAtom] = {}
+        self._atom_keys: List[Tuple] = []
+
+    # -- interning -------------------------------------------------------------
+
+    def constant(self, value: Any) -> int:
+        """Intern a constant value; returns its non-negative term ID."""
+        try:
+            cid = self._constants.get(value)
+        except TypeError as exc:
+            raise ModelError(
+                f"constant value must be hashable: {value!r}"
+            ) from exc
+        if cid is not None:
+            return cid
+        with self._lock:
+            cid = self._constants.get(value)
+            if cid is None:
+                cid = len(self._constant_values)
+                self._constants[value] = cid
+                self._constant_values.append(value)
+            return cid
+
+    def variable(self, name: str) -> int:
+        """Intern a variable name; returns its negative term ID."""
+        vid = self._variables.get(name)
+        if vid is not None:
+            return vid
+        if not isinstance(name, str) or not name:
+            raise ModelError(
+                f"variable name must be a non-empty string: {name!r}"
+            )
+        with self._lock:
+            vid = self._variables.get(name)
+            if vid is None:
+                vid = -(len(self._variable_names) + 1)
+                self._variables[name] = vid
+                self._variable_names.append(name)
+            return vid
+
+    def relation(self, name: str) -> int:
+        """Intern a relation name; returns its relation ID."""
+        rid = self._relations.get(name)
+        if rid is not None:
+            return rid
+        if not isinstance(name, str) or not name:
+            raise ModelError(
+                f"relation name must be a non-empty string: {name!r}"
+            )
+        with self._lock:
+            rid = self._relations.get(name)
+            if rid is None:
+                rid = len(self._relation_names)
+                self._relations[name] = rid
+                self._relation_names.append(name)
+            return rid
+
+    def fact(self, rid: int, arg_ids: Iterable[int]) -> int:
+        """Intern a ground fact ``(rid, cid...)``; returns its fact ID."""
+        key = (rid, *arg_ids)
+        fid = self._facts.get(key)
+        if fid is not None:
+            return fid
+        for tid in key[1:]:
+            if tid < 0:
+                raise ModelError(
+                    "facts may only contain constant IDs (got a variable)"
+                )
+        with self._lock:
+            fid = self._facts.get(key)
+            if fid is None:
+                fid = len(self._fact_tuples)
+                self._facts[key] = fid
+                self._fact_tuples.append(key)
+            return fid
+
+    def iatom(self, rid: int, arg_ids: Iterable[int]) -> IAtom:
+        """Hash-cons an atom pattern; equal patterns share one object."""
+        args = tuple(arg_ids)
+        key = (rid, args)
+        atom = self._atoms.get(key)
+        if atom is not None:
+            return atom
+        with self._lock:
+            atom = self._atoms.get(key)
+            if atom is None:
+                atom = IAtom(rid, args)
+                self._atoms[key] = atom
+                self._atom_keys.append(key)
+            return atom
+
+    # -- non-growing lookups ---------------------------------------------------
+
+    def find_constant(self, value: Any) -> Optional[int]:
+        """The ID of *value* if already interned; ``None`` otherwise."""
+        try:
+            return self._constants.get(value)
+        except TypeError:
+            return None
+
+    def find_relation(self, name: str) -> Optional[int]:
+        return self._relations.get(name)
+
+    def find_fact(self, rid: int, arg_ids: Iterable[int]) -> Optional[int]:
+        return self._facts.get((rid, *arg_ids))
+
+    # -- reverse lookups -------------------------------------------------------
+
+    def constant_value(self, cid: int) -> Any:
+        """The boxed value behind a constant ID."""
+        return self._constant_values[cid]
+
+    def variable_name(self, vid: int) -> str:
+        """The name behind a (negative) variable ID."""
+        return self._variable_names[-vid - 1]
+
+    def relation_name(self, rid: int) -> str:
+        return self._relation_names[rid]
+
+    def fact_tuple(self, fid: int) -> Tuple[int, ...]:
+        """``(rid, cid...)`` behind a fact ID."""
+        return self._fact_tuples[fid]
+
+    def fact_relation(self, fid: int) -> int:
+        return self._fact_tuples[fid][0]
+
+    def fact_args(self, fid: int) -> Tuple[int, ...]:
+        return self._fact_tuples[fid][1:]
+
+    # -- transactions ----------------------------------------------------------
+
+    def exclusive(self):
+        """The interning lock, as a context manager.
+
+        Hold it around a mutate-or-rollback window: no other thread can
+        intern while it is held, which is exactly the condition under which
+        :meth:`rollback` is sound. Reentrant, so the holder's own interning
+        works as usual.
+        """
+        return self._lock
+
+    def snapshot(self) -> SymbolSnapshot:
+        """The current size of every namespace (for :meth:`rollback`)."""
+        with self._lock:
+            return SymbolSnapshot(
+                constants=len(self._constant_values),
+                variables=len(self._variable_names),
+                relations=len(self._relation_names),
+                facts=len(self._fact_tuples),
+                atoms=len(self._atom_keys),
+            )
+
+    def rollback(self, snap: SymbolSnapshot) -> int:
+        """Forget every symbol interned after *snap*; returns how many.
+
+        Only sound while :meth:`exclusive` has been held since the snapshot
+        was taken (otherwise another thread's IDs would be destroyed). IDs
+        handed out after the snapshot become invalid; the caller must drop
+        every structure that captured them (the registry clears the caches
+        of the snapshots involved in an aborted mutation).
+        """
+        with self._lock:
+            removed = 0
+            while len(self._constant_values) > snap.constants:
+                del self._constants[self._constant_values.pop()]
+                removed += 1
+            while len(self._variable_names) > snap.variables:
+                del self._variables[self._variable_names.pop()]
+                removed += 1
+            while len(self._relation_names) > snap.relations:
+                del self._relations[self._relation_names.pop()]
+                removed += 1
+            while len(self._fact_tuples) > snap.facts:
+                del self._facts[self._fact_tuples.pop()]
+                removed += 1
+            while len(self._atom_keys) > snap.atoms:
+                del self._atoms[self._atom_keys.pop()]
+                removed += 1
+            return removed
+
+    # -- introspection ---------------------------------------------------------
+
+    def counts(self) -> SymbolSnapshot:
+        """Alias of :meth:`snapshot` under an introspection-flavoured name."""
+        return self.snapshot()
+
+    def __repr__(self) -> str:
+        c = self.counts()
+        return (
+            f"SymbolTable(constants={c.constants}, variables={c.variables}, "
+            f"relations={c.relations}, facts={c.facts}, atoms={c.atoms})"
+        )
+
+
+_GLOBAL = SymbolTable()
+
+
+def global_table() -> SymbolTable:
+    """The process-wide symbol table shared by every fast path."""
+    return _GLOBAL

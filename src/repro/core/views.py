@@ -1,0 +1,230 @@
+"""ID-level conjunctive views and the poss(S) predicate over IFactSets.
+
+The CONSISTENCY search tests thousands of candidate databases against every
+source's declared bounds. In the boxed model each test evaluates the view
+(:meth:`repro.queries.conjunctive.ConjunctiveQuery.apply`) and intersects
+frozensets of :class:`~repro.model.atoms.Atom`; here the same semantics run
+over integers: bodies are :class:`~repro.core.iatoms.IAtom` patterns,
+candidate databases are :class:`~repro.core.factset.IFactSet`, and the
+intended content φ(D) is a set of head-argument ID tuples.
+
+Built-in predicates are *not* supported at this level — the boundary
+(:func:`repro.core.adapters.to_core_view`) refuses views with builtin body
+atoms, and callers fall back to the boxed path (the consistency checker
+already rejects builtins before reaching the core search).
+
+The soundness/completeness arithmetic mirrors
+:mod:`repro.sources.measures` exactly, including the edge conventions
+(``φ(D) = ∅`` ⇒ completeness 1; ``v = ∅`` ⇒ soundness 1), so
+``CoreCollection.admits`` agrees with the boxed
+:meth:`repro.sources.collection.SourceCollection.admits` on every builtin-free
+collection — asserted differentially in ``tests/core/``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.iatoms import IAtom
+from repro.core.factset import IFactSet
+from repro.core.symbols import SymbolTable
+
+#: A candidate database in grouped form: relation ID → argument-ID tuples.
+#: The quotient search grounds straight into this shape, so a candidate
+#: never touches the symbol table at all (no per-candidate interning).
+GroupedFacts = Mapping[int, "Sequence[Tuple[int, ...]]"]
+
+_EMPTY: Tuple[Tuple[int, ...], ...] = ()
+
+
+def _order_body(body: Sequence[IAtom]) -> Tuple[IAtom, ...]:
+    """Greedy join order: fewest unbound variables first, then smaller arity."""
+    remaining = list(body)
+    bound: Set[int] = set()
+    ordered: List[IAtom] = []
+    while remaining:
+        best = min(
+            remaining,
+            key=lambda a: (
+                sum(1 for t in a.args if t < 0 and t not in bound),
+                a.arity,
+            ),
+        )
+        remaining.remove(best)
+        ordered.append(best)
+        bound.update(t for t in best.args if t < 0)
+    return tuple(ordered)
+
+
+class CoreView:
+    """A builtin-free conjunctive view in ID space: ``head ← body``."""
+
+    __slots__ = ("head", "body", "_ordered")
+
+    def __init__(self, head: IAtom, body: Sequence[IAtom]):
+        self.head = head
+        self.body: Tuple[IAtom, ...] = tuple(body)
+        self._ordered = _order_body(self.body)
+
+    def apply(self, facts: IFactSet) -> Set[Tuple[int, ...]]:
+        """``φ(D)`` as a set of head-argument constant-ID tuples."""
+        return self.apply_grouped(facts.grouped())
+
+    def apply_grouped(self, grouped: GroupedFacts) -> Set[Tuple[int, ...]]:
+        """``φ(D)`` over a grouped candidate (relation ID → arg tuples)."""
+        out: Set[Tuple[int, ...]] = set()
+        ordered = self._ordered
+        head_args = self.head.args
+        n = len(ordered)
+
+        def extend(index: int, binding: Dict[int, int]) -> None:
+            if index == n:
+                out.add(
+                    tuple(
+                        binding[t] if t < 0 else t for t in head_args
+                    )
+                )
+                return
+            pattern = ordered[index].args
+            for args in grouped.get(ordered[index].relation, _EMPTY):
+                local: Optional[Dict[int, int]] = binding
+                added: List[int] = []
+                for p, c in zip(pattern, args):
+                    if p >= 0:
+                        if p != c:
+                            local = None
+                            break
+                    else:
+                        seen = local.get(p)
+                        if seen is None:
+                            local[p] = c
+                            added.append(p)
+                        elif seen != c:
+                            local = None
+                            break
+                if local is not None:
+                    extend(index + 1, local)
+                for p in added:
+                    del binding[p]
+
+        extend(0, {})
+        return out
+
+    def __repr__(self) -> str:
+        return f"CoreView({self.head!r} <- {list(self.body)!r})"
+
+
+class CoreSource:
+    """⟨φ, v, c, s⟩ in ID space; the extension is a set of head ID tuples."""
+
+    __slots__ = (
+        "name",
+        "view",
+        "extension",
+        "completeness_bound",
+        "soundness_bound",
+        "_c_num",
+        "_c_den",
+        "_s_num",
+        "_s_den",
+        "_ext_len",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        view: CoreView,
+        extension: FrozenSet[Tuple[int, ...]],
+        completeness_bound: Fraction,
+        soundness_bound: Fraction,
+    ):
+        self.name = name
+        self.view = view
+        self.extension = extension
+        self.completeness_bound = completeness_bound
+        self.soundness_bound = soundness_bound
+        # Bounds as integer pairs: the satisfied_by hot loop compares by
+        # cross-multiplication, never constructing a Fraction per candidate.
+        self._c_num = completeness_bound.numerator
+        self._c_den = completeness_bound.denominator
+        self._s_num = soundness_bound.numerator
+        self._s_den = soundness_bound.denominator
+        self._ext_len = len(extension)
+
+    def completeness(self, facts: IFactSet) -> Fraction:
+        """``c_D(S) = |v ∩ φ(D)| / |φ(D)|`` (Definition 2.1 conventions)."""
+        intended = self.view.apply(facts)
+        if not intended:
+            return Fraction(1)
+        return Fraction(len(self.extension & intended), len(intended))
+
+    def soundness(self, facts: IFactSet) -> Fraction:
+        """``s_D(S) = |v ∩ φ(D)| / |v|`` (Definition 2.2 conventions)."""
+        if not self.extension:
+            return Fraction(1)
+        intended = self.view.apply(facts)
+        return Fraction(len(self.extension & intended), len(self.extension))
+
+    def satisfied_by(self, facts: IFactSet) -> bool:
+        """Both declared bounds hold against *facts* (one φ(D) evaluation)."""
+        return self.satisfied_by_grouped(facts.grouped())
+
+    def satisfied_by_grouped(self, grouped: GroupedFacts) -> bool:
+        """The same predicate over a grouped candidate, Fraction-free:
+        ``overlap/|φ(D)| >= num/den`` is tested as
+        ``overlap * den >= num * |φ(D)|``.
+        """
+        intended = self.view.apply_grouped(grouped)
+        overlap = len(self.extension & intended)
+        if intended and overlap * self._c_den < self._c_num * len(intended):
+            return False
+        if self._ext_len and overlap * self._s_den < self._s_num * self._ext_len:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"CoreSource({self.name!r}, |v|={len(self.extension)}, "
+            f"c>={self.completeness_bound}, s>={self.soundness_bound})"
+        )
+
+
+class CoreCollection:
+    """An ordered tuple of core sources with the poss(S) predicate."""
+
+    __slots__ = ("table", "sources", "_eval_order")
+
+    def __init__(self, table: SymbolTable, sources: Sequence[CoreSource]):
+        self.table = table
+        self.sources: Tuple[CoreSource, ...] = tuple(sources)
+        # admits() is a conjunction, so evaluation order is free: test the
+        # cheapest views (fewest body atoms) first to fail fast.
+        self._eval_order: Tuple[CoreSource, ...] = tuple(
+            source
+            for _, source in sorted(
+                enumerate(self.sources),
+                key=lambda pair: (len(pair[1].view.body), pair[0]),
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.sources)
+
+    def __iter__(self):
+        return iter(self.sources)
+
+    def admits(self, facts: IFactSet) -> bool:
+        """``D ∈ poss(S)`` over the interned representation."""
+        return self.admits_grouped(facts.grouped())
+
+    def admits_grouped(self, grouped: GroupedFacts) -> bool:
+        """``D ∈ poss(S)`` over a grouped candidate (the search hot path)."""
+        for source in self._eval_order:
+            if not source.satisfied_by_grouped(grouped):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        inner = ", ".join(s.name for s in self.sources)
+        return f"CoreCollection([{inner}])"

@@ -31,7 +31,7 @@ class Atom:
     Atom('Temperature', (Constant(438432), Constant(1990), Constant(7), Variable('v')))
     """
 
-    __slots__ = ("relation", "args", "_hash")
+    __slots__ = ("relation", "args", "_hash", "_ground", "_vars", "_consts")
 
     def __init__(self, relation: str, args: Iterable[Any] = ()):
         if not isinstance(relation, str) or not relation:
@@ -39,6 +39,9 @@ class Atom:
         self.relation = relation
         self.args: Tuple[Term, ...] = tuple(as_term(a) for a in args)
         self._hash = hash((relation, self.args))
+        self._ground = all(isinstance(a, Constant) for a in self.args)
+        self._vars: "frozenset | None" = None
+        self._consts: "frozenset | None" = None
 
     @property
     def arity(self) -> int:
@@ -46,23 +49,37 @@ class Atom:
         return len(self.args)
 
     def is_ground(self) -> bool:
-        """True when the atom contains no variables (i.e. it is a fact)."""
-        return all(isinstance(a, Constant) for a in self.args)
+        """True when the atom contains no variables (i.e. it is a fact).
 
-    def variables(self) -> set:
-        """The set of variables occurring in the atom."""
-        return {a for a in self.args if isinstance(a, Variable)}
+        Precomputed at construction; no per-call argument scan.
+        """
+        return self._ground
 
-    def constants(self) -> set:
-        """The set of constants occurring in the atom."""
-        return {a for a in self.args if isinstance(a, Constant)}
+    def variables(self) -> frozenset:
+        """The set of variables occurring in the atom (computed once)."""
+        if self._vars is None:
+            self._vars = frozenset(
+                a for a in self.args if isinstance(a, Variable)
+            )
+        return self._vars
+
+    def constants(self) -> frozenset:
+        """The set of constants occurring in the atom (computed once)."""
+        if self._consts is None:
+            self._consts = frozenset(
+                a for a in self.args if isinstance(a, Constant)
+            )
+        return self._consts
 
     def substitute(self, mapping) -> "Atom":
         """Apply a term mapping (dict or Substitution/Valuation) to the atom.
 
         Terms without an image are left unchanged, matching the paper's
         convention that valuations are partial maps extended with identity.
+        Ground atoms are fixed points, so they return themselves unchanged.
         """
+        if self._ground:
+            return self
         getter = mapping.get if hasattr(mapping, "get") else mapping.__getitem__
         return Atom(self.relation, tuple(getter(a, a) for a in self.args))
 

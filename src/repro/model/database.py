@@ -26,7 +26,7 @@ class GlobalDatabase:
     ['R(1)', 'R(2)']
     """
 
-    __slots__ = ("_facts", "_by_relation", "_hash")
+    __slots__ = ("_facts", "_by_relation", "_hash", "_core")
 
     def __init__(self, facts: Iterable[Atom] = ()):
         collected = frozenset(facts)
@@ -41,6 +41,7 @@ class GlobalDatabase:
             name: frozenset(facts_) for name, facts_ in by_relation.items()
         }
         self._hash = hash(self._facts)
+        self._core = None
 
     # -- set interface -----------------------------------------------------
 
@@ -68,6 +69,39 @@ class GlobalDatabase:
     def facts(self) -> FrozenSet[Atom]:
         """The underlying frozen set of facts."""
         return self._facts
+
+    # -- interned core -------------------------------------------------------
+
+    def core(self):
+        """The interned :class:`~repro.core.factset.IFactSet` for this database.
+
+        Computed once against the process-wide symbol table and cached. The
+        cache never crosses process boundaries (term IDs are process-local),
+        so it is dropped on pickling.
+        """
+        if self._core is None:
+            from repro.core.adapters import to_core_database
+            from repro.core.symbols import global_table
+
+            self._core = to_core_database(global_table(), self)
+        return self._core
+
+    @classmethod
+    def from_core(cls, facts) -> "GlobalDatabase":
+        """Rebuild a boxed database from an :class:`IFactSet`, keeping the
+        interned form as the pre-populated :meth:`core` cache.
+        """
+        from repro.core.adapters import from_core_database
+
+        db = from_core_database(facts.table, facts)
+        db._core = facts
+        return db
+
+    def __getstate__(self):
+        return (self._facts,)
+
+    def __setstate__(self, state):
+        self.__init__(state[0])
 
     # -- relational access ---------------------------------------------------
 

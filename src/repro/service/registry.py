@@ -242,7 +242,30 @@ class SourceRegistry:
     ) -> Tuple[RegistrySnapshot, RegistryDiff]:
         old = self._head
         new = RegistrySnapshot(old.version + 1, collection, domain)
-        diff = diff_snapshots(old, new, changed)
+
+        # Diffing decomposes both snapshots, interning the new collection's
+        # constants and facts into the process-wide symbol table. If the
+        # mutation aborts (e.g. an extension fact outside the domain), those
+        # IDs would leak — interned by a version that never became head. The
+        # exclusive interning lock blocks other threads' interning across the
+        # mutate-or-rollback window, making snapshot truncation sound.
+        from repro.core.symbols import global_table
+
+        table = global_table()
+        with table.exclusive():
+            symbols = table.snapshot()
+            had_old_instance = old._instance is not None
+            try:
+                diff = diff_snapshots(old, new, changed)
+            except BaseException:
+                if not had_old_instance:
+                    # The old decomposition was first built during the failed
+                    # diff; drop it so nothing retains rolled-back interning.
+                    with old._lock:
+                        old._instance = None
+                        old._spec = None
+                table.rollback(symbols)
+                raise
         self._head = new
         self._history[new.version] = new
         while len(self._history) > self._history_limit:

@@ -30,10 +30,11 @@ class SourceCollection:
     1
     """
 
-    __slots__ = ("sources",)
+    __slots__ = ("sources", "_core")
 
     def __init__(self, sources: Iterable[SourceDescriptor]):
         self.sources: Tuple[SourceDescriptor, ...] = tuple(sources)
+        self._core = None
         names = [s.name for s in self.sources]
         if len(set(names)) != len(names):
             duplicated = sorted({n for n in names if names.count(n) > 1})
@@ -54,6 +55,33 @@ class SourceCollection:
             if s.name == name:
                 return s
         raise SourceError(f"no source named {name!r}")
+
+    # -- interned core ----------------------------------------------------------
+
+    def core(self):
+        """The interned :class:`~repro.core.views.CoreCollection` for this
+        collection (builtin-free views only).
+
+        Computed once against the process-wide symbol table and cached —
+        the collection is immutable, so repeated consistency checks share
+        one interning pass. Raises
+        :class:`~repro.exceptions.SourceError` when a view mentions
+        built-ins. The cache never crosses process boundaries (term IDs
+        are process-local), so it is dropped on pickling.
+        """
+        if self._core is None:
+            from repro.core.adapters import to_core_collection
+            from repro.core.symbols import global_table
+
+            self._core = to_core_collection(global_table(), self)
+        return self._core
+
+    def __getstate__(self):
+        return (self.sources,)
+
+    def __setstate__(self, state):
+        self.sources = state[0]
+        self._core = None
 
     # -- schema & domain --------------------------------------------------------
 

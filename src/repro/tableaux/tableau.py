@@ -24,11 +24,12 @@ class Tableau:
     1
     """
 
-    __slots__ = ("atoms", "_hash")
+    __slots__ = ("atoms", "_hash", "_core")
 
     def __init__(self, atoms: Iterable[Atom] = ()):
         self.atoms: FrozenSet[Atom] = frozenset(atoms)
         self._hash = hash(self.atoms)
+        self._core = None
 
     def __len__(self) -> int:
         return len(self.atoms)
@@ -95,10 +96,40 @@ class Tableau:
         yield from _embed(atoms, 0, database, seed if seed is not None else Substitution())
 
     def embeds_in(self, database: GlobalDatabase) -> bool:
-        """Is there at least one embedding into *database*?"""
-        for _ in self.embeddings(database):
-            return True
-        return False
+        """Is there at least one embedding into *database*?
+
+        Runs over the interned representation (:meth:`core` against
+        ``database.core()``) — existence of an embedding is representation
+        independent, and the integer search avoids building any intermediate
+        atoms.
+        """
+        from repro.tableaux.core import core_embeds
+
+        return core_embeds(self.core(), database.core())
+
+    def core(self):
+        """The interned form: a tuple of :class:`~repro.core.iatoms.IAtom`
+        in most-constrained-first embedding order, cached per tableau.
+
+        Interned against the process-wide symbol table; dropped on pickling
+        since term IDs do not survive process boundaries.
+        """
+        if self._core is None:
+            from repro.core.adapters import to_core_atom
+            from repro.core.symbols import global_table
+
+            table = global_table()
+            ordered = sorted(
+                self.atoms, key=lambda a: (-len(a.constants()), str(a))
+            )
+            self._core = tuple(to_core_atom(table, a) for a in ordered)
+        return self._core
+
+    def __getstate__(self):
+        return (self.atoms,)
+
+    def __setstate__(self, state):
+        self.__init__(state[0])
 
     def __repr__(self) -> str:
         inner = ", ".join(str(a) for a in sorted(self.atoms))

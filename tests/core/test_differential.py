@@ -1,0 +1,196 @@
+"""Differential tests: interned fast paths vs preserved boxed baselines.
+
+Each test runs the same workload through the interned implementation and
+through the boxed reference (``repro.core.baseline``,
+``check_consistency_boxed``) and asserts exact agreement — verdicts,
+witnesses, decompositions, and admits decisions.
+"""
+
+from __future__ import annotations
+
+import pickle
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import global_table, to_core_collection, to_core_database
+from repro.core.baseline import boxed_signature_decomposition
+from repro.confidence.blocks import IdentityInstance
+from repro.consistency.checker import (
+    check_consistency,
+    check_consistency_boxed,
+)
+from repro.model import Atom, GlobalDatabase, Variable, fact
+from repro.queries import identity_view
+from repro.queries.conjunctive import ConjunctiveQuery
+from repro.sources import SourceCollection, SourceDescriptor
+
+from tests.property.strategies import identity_collections, unary_databases
+
+DOMAIN = ["a", "b", "c", "d", "e"]
+
+
+def general_collection(bounds=("1/2", "1/2")):
+    """A small non-identity collection (joins force the generic search)."""
+    x, y = Variable("x"), Variable("y")
+    v1 = ConjunctiveQuery(Atom("V1", (x,)), [Atom("R", (x, y))])
+    v2 = ConjunctiveQuery(Atom("V2", (x, y)), [Atom("R", (x, y)), Atom("P", (y,))])
+    return SourceCollection(
+        [
+            SourceDescriptor(v1, [fact("V1", "a")], *bounds, name="S1"),
+            SourceDescriptor(v2, [fact("V2", "a", "b")], *bounds, name="S2"),
+        ]
+    )
+
+
+class TestConsistencyAgreement:
+    def assert_agree(self, collection, **caps):
+        interned = check_consistency(collection, **caps)
+        boxed = check_consistency_boxed(collection, **caps)
+        assert interned.consistent == boxed.consistent
+        assert interned.decisive == boxed.decisive
+        assert interned.method == boxed.method
+        assert interned.combinations_tried == boxed.combinations_tried
+        if interned.consistent:
+            assert interned.witness == boxed.witness
+        return interned
+
+    def test_satisfiable_general_collection(self):
+        result = self.assert_agree(general_collection())
+        assert result.consistent
+
+    def test_unsatisfiable_general_collection(self):
+        collection = general_collection(bounds=(Fraction(1), Fraction(1)))
+        x = Variable("x")
+        impossible = SourceCollection(
+            list(collection)
+            + [
+                SourceDescriptor(
+                    ConjunctiveQuery(Atom("V3", (x,)), [Atom("P", (x,))]),
+                    [],
+                    Fraction(1),
+                    Fraction(1),
+                    name="S3",
+                )
+            ]
+        )
+        self.assert_agree(impossible)
+
+    def test_truncation_points_match(self):
+        # Starving the quotient cap must truncate both searches identically.
+        result = self.assert_agree(general_collection(), max_quotients=3)
+        interned = check_consistency(general_collection(), max_quotients=3)
+        assert interned.method in {"canonical-freeze", "truncated", "exhausted",
+                                   "quotient-search"}
+        assert interned.method == result.method
+
+    @settings(deadline=None, max_examples=25)
+    @given(identity_collections())
+    def test_identity_collections_agree(self, collection):
+        self.assert_agree(collection)
+
+
+class TestDecompositionAgreement:
+    @settings(deadline=None, max_examples=50)
+    @given(identity_collections())
+    def test_blocks_match_boxed_reference(self, collection):
+        interned = IdentityInstance(collection, DOMAIN)
+        boxed = boxed_signature_decomposition(collection, DOMAIN)
+        assert interned.relation == boxed.relation
+        assert interned.anonymous_size == boxed.anonymous_size
+        assert tuple(
+            (tuple(sorted(b.signature)), b.facts) for b in interned.blocks
+        ) == boxed.blocks
+        assert tuple(interned.extensions) == boxed.extensions
+
+    def test_domain_violation_message_matches_boxed(self):
+        collection = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1),
+                    [fact("V1", "zz")],
+                    "1/2",
+                    "1/2",
+                    name="S1",
+                )
+            ]
+        )
+        from repro.exceptions import SourceError
+
+        with pytest.raises(SourceError) as interned:
+            IdentityInstance(collection, ["a", "b"])
+        with pytest.raises(SourceError) as boxed:
+            boxed_signature_decomposition(collection, ["a", "b"])
+        assert str(interned.value) == str(boxed.value)
+
+
+class TestAdmitsAgreement:
+    @settings(deadline=None, max_examples=50)
+    @given(identity_collections(), unary_databases())
+    def test_core_admits_agrees_with_boxed(self, collection, database):
+        table = global_table()
+        core = to_core_collection(table, collection)
+        assert core.admits(to_core_database(table, database)) == (
+            collection.admits(database)
+        )
+
+    @settings(deadline=None, max_examples=25)
+    @given(identity_collections(), unary_databases())
+    def test_core_measures_agree(self, collection, database):
+        table = global_table()
+        core = to_core_collection(table, collection)
+        facts = to_core_database(table, database)
+        for boxed_source, core_source in zip(collection, core):
+            assert core_source.completeness(facts) == (
+                boxed_source.completeness(database)
+            )
+            assert core_source.soundness(facts) == (
+                boxed_source.soundness(database)
+            )
+
+
+class TestInstancePickling:
+    def test_instance_roundtrips_and_rebuilds_id_caches(self):
+        collection = SourceCollection(
+            [
+                SourceDescriptor(
+                    identity_view("V1", "R", 1),
+                    [fact("V1", "a"), fact("V1", "b")],
+                    "1/2",
+                    "1/2",
+                    name="S1",
+                ),
+                SourceDescriptor(
+                    identity_view("V2", "R", 1),
+                    [fact("V2", "b"), fact("V2", "c")],
+                    "1/2",
+                    "1/2",
+                    name="S2",
+                ),
+            ]
+        )
+        instance = IdentityInstance(collection, DOMAIN)
+        instance.block_of(fact("R", "a"))  # populate the ID caches
+        clone = pickle.loads(pickle.dumps(instance))
+        assert clone.extension_sizes == instance.extension_sizes
+        assert [b.facts for b in clone.blocks] == [
+            b.facts for b in instance.blocks
+        ]
+        assert clone.extensions == instance.extensions
+        for value in ("a", "b", "c", "d"):
+            probe = fact("R", value)
+            assert clone.block_of(probe) == instance.block_of(probe)
+            assert clone.in_fact_space(probe) == instance.in_fact_space(probe)
+
+    def test_tableau_and_database_pickle_without_core_caches(self):
+        from repro.tableaux.tableau import Tableau
+
+        database = GlobalDatabase([fact("R", "a"), fact("R", "b")])
+        tableau = Tableau([Atom("R", (Variable("x"),))])
+        assert tableau.embeds_in(database)  # populate both core caches
+        database_clone = pickle.loads(pickle.dumps(database))
+        tableau_clone = pickle.loads(pickle.dumps(tableau))
+        assert database_clone == database
+        assert tableau_clone == tableau
+        assert tableau_clone.embeds_in(database_clone)

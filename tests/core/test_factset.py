@@ -1,0 +1,71 @@
+"""Unit tests for IFactSet: membership, algebra, relational index."""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.core import IFactSet, SymbolTable
+
+
+def make_table():
+    table = SymbolTable()
+    r = table.relation("R")
+    s = table.relation("S")
+    fids_r = [table.fact(r, (table.constant(i),)) for i in range(5)]
+    fids_s = [table.fact(s, (table.constant(i), table.constant(i))) for i in range(3)]
+    return table, r, s, fids_r, fids_s
+
+
+def test_membership_and_len():
+    table, _, _, fids_r, fids_s = make_table()
+    facts = IFactSet(table, fids_r[:3])
+    assert len(facts) == 3
+    assert fids_r[0] in facts
+    assert fids_r[4] not in facts
+    assert fids_s[0] not in facts or fids_s[0] in fids_r[:3]
+
+
+def test_sorted_ids_is_a_sorted_int_array():
+    table, _, _, fids_r, _ = make_table()
+    facts = IFactSet(table, reversed(fids_r))
+    ids = facts.sorted_ids()
+    assert isinstance(ids, array)
+    assert list(ids) == sorted(fids_r)
+    assert list(facts) == sorted(fids_r)
+
+
+def test_set_algebra():
+    table, _, _, fids_r, _ = make_table()
+    left = IFactSet(table, fids_r[:3])
+    right = IFactSet(table, fids_r[2:])
+    assert (left | right).ids() == frozenset(fids_r)
+    assert (left & right).ids() == frozenset(fids_r[2:3])
+    assert (left - right).ids() == frozenset(fids_r[:2])
+    assert left.union(right) == left | right
+    assert left.with_ids([fids_r[4]]).ids() == frozenset(fids_r[:3] + fids_r[4:])
+    assert left.without_ids([fids_r[0]]).ids() == frozenset(fids_r[1:3])
+
+
+def test_equality_and_hash_by_content():
+    table, _, _, fids_r, _ = make_table()
+    assert IFactSet(table, fids_r) == IFactSet(table, list(reversed(fids_r)))
+    assert hash(IFactSet(table, fids_r)) == hash(IFactSet(table, fids_r))
+    assert IFactSet(table, fids_r[:1]) <= IFactSet(table, fids_r)
+    assert IFactSet(table, fids_r[:1]) < IFactSet(table, fids_r)
+
+
+def test_by_relation_index():
+    table, r, s, fids_r, fids_s = make_table()
+    facts = IFactSet(table, fids_r[:2] + fids_s)
+    assert facts.by_relation(r) == frozenset(fids_r[:2])
+    assert facts.by_relation(s) == frozenset(fids_s)
+    assert facts.by_relation(999) == frozenset()
+    assert facts.relations() == tuple(sorted((r, s)))
+
+
+def test_empty_factset():
+    table = SymbolTable()
+    empty = IFactSet(table)
+    assert len(empty) == 0
+    assert list(empty) == []
+    assert empty.relations() == ()

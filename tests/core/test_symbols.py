@@ -1,0 +1,162 @@
+"""Unit tests for the symbol table: interning, namespaces, transactions."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro.core import IAtom, IFactSet, SymbolTable, global_table
+from repro.exceptions import ModelError
+
+
+def test_constant_interning_is_idempotent():
+    table = SymbolTable()
+    assert table.constant("a") == table.constant("a")
+    assert table.constant("a") != table.constant("b")
+    assert table.constant("a") >= 0
+
+
+def test_constant_equality_mirrors_boxed_semantics():
+    # Constant(1) == Constant(True) == Constant(1.0) in the boxed model
+    # (Python value equality); interning collides identically.
+    table = SymbolTable()
+    assert table.constant(1) == table.constant(True)
+    assert table.constant(1) == table.constant(1.0)
+    assert table.constant(0) != table.constant("")
+
+
+def test_unhashable_constant_raises():
+    table = SymbolTable()
+    with pytest.raises(ModelError):
+        table.constant(["not", "hashable"])
+
+
+def test_variable_ids_are_negative_and_disjoint():
+    table = SymbolTable()
+    x = table.variable("x")
+    assert x < 0
+    assert table.variable("x") == x
+    assert table.variable("y") != x
+    # Same spelling in both namespaces never collides: sign discriminates.
+    assert table.constant("x") >= 0
+    assert table.variable_name(x) == "x"
+    with pytest.raises(ModelError):
+        table.variable("")
+
+
+def test_fact_interning_and_reverse_lookup():
+    table = SymbolTable()
+    r = table.relation("R")
+    a, b = table.constant("a"), table.constant("b")
+    fid = table.fact(r, (a, b))
+    assert table.fact(r, (a, b)) == fid
+    assert table.fact_tuple(fid) == (r, a, b)
+    assert table.fact_relation(fid) == r
+    assert table.fact_args(fid) == (a, b)
+    assert table.fact(r, (b, a)) != fid
+
+
+def test_fact_rejects_variable_ids():
+    table = SymbolTable()
+    r = table.relation("R")
+    x = table.variable("x")
+    with pytest.raises(ModelError):
+        table.fact(r, (x,))
+
+
+def test_iatoms_are_hash_consed():
+    table = SymbolTable()
+    r = table.relation("R")
+    x = table.variable("x")
+    a = table.constant("a")
+    atom = table.iatom(r, (x, a))
+    assert table.iatom(r, (x, a)) is atom
+    assert isinstance(atom, IAtom)
+    assert not atom.ground
+    assert table.iatom(r, (a, a)).ground
+    assert atom.variable_ids() == (x,)
+    assert atom.constant_ids() == (a,)
+
+
+def test_find_lookups_do_not_grow():
+    table = SymbolTable()
+    before = table.counts()
+    assert table.find_constant("nope") is None
+    assert table.find_relation("nope") is None
+    assert table.find_fact(0, (0,)) is None
+    assert table.find_constant(["unhashable"]) is None
+    assert table.counts() == before
+
+
+def test_snapshot_rollback_truncates_every_namespace():
+    table = SymbolTable()
+    r = table.relation("R")
+    a = table.constant("a")
+    table.fact(r, (a,))
+    snap = table.snapshot()
+
+    b = table.constant("b")
+    table.variable("x")
+    s = table.relation("S")
+    table.fact(r, (b,))
+    table.iatom(s, (b,))
+    removed = table.rollback(snap)
+
+    assert removed == 5
+    assert table.counts() == snap
+    assert table.find_constant("b") is None
+    assert table.find_relation("S") is None
+    # Pre-snapshot symbols survive with their IDs intact.
+    assert table.constant("a") == a
+    assert table.relation("R") == r
+    # Re-interning after rollback reuses the freed dense range.
+    assert table.constant("z") == b
+
+
+def test_rollback_under_exclusive_lock_is_thread_safe():
+    table = SymbolTable()
+    stop = threading.Event()
+    errors = []
+
+    def intern_loop():
+        i = 0
+        while not stop.is_set():
+            try:
+                cid = table.constant(f"bg{i % 50}")
+                if table.constant_value(cid) != f"bg{i % 50}":
+                    errors.append("id remapped under rollback")
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(repr(exc))
+            i += 1
+
+    thread = threading.Thread(target=intern_loop)
+    thread.start()
+    try:
+        for round_ in range(200):
+            with table.exclusive():
+                snap = table.snapshot()
+                table.constant(("txn", round_))
+                table.relation(f"Txn{round_}")
+                table.rollback(snap)
+                assert table.counts() == snap
+    finally:
+        stop.set()
+        thread.join()
+    assert errors == []
+
+
+def test_global_table_is_shared():
+    assert global_table() is global_table()
+
+
+def test_factset_pickles_by_value_not_by_table():
+    table = global_table()
+    r = table.relation("R_pickle")
+    fid = table.fact(r, (table.constant("pkl"),))
+    facts = IFactSet(table, {fid})
+    # The table holds an RLock: shipping raw IDs across processes is a bug
+    # by design, so IFactSet must refuse (or at minimum the table must).
+    with pytest.raises(Exception):
+        pickle.dumps(facts)

@@ -215,6 +215,93 @@ class TestInvalidation:
             assert engine.stats.tasks_memoized >= survivors
 
 
+class TestAbortedMutationSymbolRollback:
+    """An aborted mutation must not leak symbol-table IDs (satellite of the
+    interned-core refactor): diffing interns the new collection's constants
+    and facts, and if the mutation raises before the head swap, the registry
+    rolls the process-wide table back to its pre-mutation snapshot.
+    """
+
+    def bad_source(self) -> SourceDescriptor:
+        # Extension constants far outside the registry domain: the diff's
+        # decomposition (new.instance()) raises SourceError mid-mutation,
+        # after those constants were interned.
+        return SourceDescriptor(
+            identity_view("V2", "R", 1),
+            [fact("V2", "leaked-xyz"), fact("V2", "leaked-uvw")],
+            "1/2",
+            1,
+            name="S2",
+        )
+
+    def test_aborted_update_rolls_back_interned_ids(self):
+        from repro.core import global_table
+
+        registry = make_registry()
+        registry.snapshot().instance()  # decompose v0 up-front
+        table = global_table()
+        before = table.snapshot()
+        with pytest.raises(SourceError, match="outside the domain"):
+            registry.update(self.bad_source())
+        assert table.snapshot() == before
+        assert table.find_constant("leaked-xyz") is None
+        assert table.find_constant("leaked-uvw") is None
+        # The head never swapped and the registry still works.
+        assert registry.version() == 0
+        new, _diff = registry.register(s3())
+        assert new.version == 1
+
+    def test_aborted_update_drops_old_caches_built_mid_mutation(self):
+        from repro.core import global_table
+
+        registry = make_registry()
+        # Do NOT touch old.instance() first: the old decomposition is built
+        # (and its symbols interned) inside the failed mutation itself, so
+        # keeping it would retain rolled-back IDs.
+        old = registry.snapshot()
+        assert old._instance is None
+        before = global_table().snapshot()
+        with pytest.raises(SourceError, match="outside the domain"):
+            registry.update(self.bad_source())
+        assert old._instance is None
+        assert global_table().snapshot() == before
+        # Rebuilding on demand re-interns cleanly.
+        covered = {str(f) for f in old.covered_facts()}
+        assert covered == {"R('a')", "R('b')", "R('c')"}
+
+    def test_interning_threads_survive_concurrent_aborts(self):
+        import threading
+
+        from repro.core import global_table
+
+        registry = make_registry()
+        registry.snapshot().instance()
+        table = global_table()
+        stop = threading.Event()
+        errors = []
+
+        def intern_loop():
+            i = 0
+            while not stop.is_set():
+                value = f"concurrent-{i % 20}"
+                cid = table.constant(value)
+                if table.constant_value(cid) != value:
+                    errors.append("interned ID remapped by rollback")
+                i += 1
+
+        thread = threading.Thread(target=intern_loop)
+        thread.start()
+        try:
+            for _ in range(50):
+                with pytest.raises(SourceError):
+                    registry.update(self.bad_source())
+        finally:
+            stop.set()
+            thread.join()
+        assert errors == []
+        assert registry.version() == 0
+
+
 def test_diff_snapshots_repr_smoke():
     registry = make_registry()
     old = registry.snapshot()
