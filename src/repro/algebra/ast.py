@@ -22,11 +22,40 @@ Row = Tuple[Constant, ...]
 
 
 class AlgebraQuery:
-    """Base class for algebra nodes. Subclasses implement ``evaluate``."""
+    """Base class for algebra nodes. Subclasses implement ``evaluate_boxed``."""
 
     def evaluate(self, database: GlobalDatabase) -> FrozenSet[Row]:
-        """The set of rows the query produces over *database*."""
-        raise NotImplementedError
+        """The set of rows the query produces over *database*.
+
+        Compiles the tree through :mod:`repro.plan` (cached per canonical
+        form, executed over interned scans and hash-join indexes). Trees
+        outside the compiled vocabulary — e.g. subclasses this module does
+        not know about — raise :class:`~repro.plan.ir.PlanError` at compile
+        time and fall back to the structural interpreter, which remains the
+        differential oracle as :meth:`evaluate_boxed`.
+        """
+        from repro.plan.executor import evaluate_rows
+        from repro.plan.ir import PlanError
+
+        try:
+            return evaluate_rows(self, database)
+        except PlanError:
+            if type(self).evaluate_boxed is AlgebraQuery.evaluate_boxed:
+                raise NotImplementedError(
+                    f"{type(self).__name__} defines neither evaluate_boxed "
+                    "nor a compilable shape"
+                )
+            return self.evaluate_boxed(database)
+
+    def evaluate_boxed(self, database: GlobalDatabase) -> FrozenSet[Row]:
+        """Structural (uncompiled) evaluation over boxed rows.
+
+        Unknown subclasses that predate the plan pipeline may override
+        ``evaluate`` directly; delegate to it in that case.
+        """
+        if type(self).evaluate is AlgebraQuery.evaluate:
+            raise NotImplementedError
+        return self.evaluate(database)
 
     def width(self) -> int:
         """Number of columns the query produces (-1 when data-dependent)."""
@@ -71,7 +100,7 @@ class RelationScan(AlgebraQuery):
         self.relation = relation
         self.arity = arity
 
-    def evaluate(self, database: GlobalDatabase) -> FrozenSet[Row]:
+    def evaluate_boxed(self, database: GlobalDatabase) -> FrozenSet[Row]:
         return frozenset(
             f.args for f in database.extension(self.relation) if f.arity == self.arity
         )
@@ -95,9 +124,9 @@ class Selection(AlgebraQuery):
         self.condition = condition if condition is not None else ALWAYS
         self.child = child
 
-    def evaluate(self, database: GlobalDatabase) -> FrozenSet[Row]:
+    def evaluate_boxed(self, database: GlobalDatabase) -> FrozenSet[Row]:
         return frozenset(
-            row for row in self.child.evaluate(database) if self.condition(row)
+            row for row in self.child.evaluate_boxed(database) if self.condition(row)
         )
 
     def width(self) -> int:
@@ -136,10 +165,10 @@ class Projection(AlgebraQuery):
         self.columns = tuple(specs)
         self.child = child
 
-    def evaluate(self, database: GlobalDatabase) -> FrozenSet[Row]:
+    def evaluate_boxed(self, database: GlobalDatabase) -> FrozenSet[Row]:
         return frozenset(
             tuple(row[c] if isinstance(c, int) else c for c in self.columns)
-            for row in self.child.evaluate(database)
+            for row in self.child.evaluate_boxed(database)
         )
 
     def width(self) -> int:
@@ -161,9 +190,9 @@ class Product(AlgebraQuery):
         self.left = left
         self.right = right
 
-    def evaluate(self, database: GlobalDatabase) -> FrozenSet[Row]:
-        left_rows = self.left.evaluate(database)
-        right_rows = self.right.evaluate(database)
+    def evaluate_boxed(self, database: GlobalDatabase) -> FrozenSet[Row]:
+        left_rows = self.left.evaluate_boxed(database)
+        right_rows = self.right.evaluate_boxed(database)
         return frozenset(l + r for l in left_rows for r in right_rows)
 
     def width(self) -> int:
@@ -189,8 +218,8 @@ class UnionNode(AlgebraQuery):
         self.left = left
         self.right = right
 
-    def evaluate(self, database: GlobalDatabase) -> FrozenSet[Row]:
-        return self.left.evaluate(database) | self.right.evaluate(database)
+    def evaluate_boxed(self, database: GlobalDatabase) -> FrozenSet[Row]:
+        return self.left.evaluate_boxed(database) | self.right.evaluate_boxed(database)
 
     def width(self) -> int:
         lw = self.left.width()

@@ -10,8 +10,9 @@ Commands operate on source-collection files in the :mod:`repro.io` format:
 * ``worlds FILE --domain a,b,c [--limit N]`` — enumerate possible worlds.
 * ``audit FILE --world WORLDFILE`` — measured vs declared quality against a
   reference database.
-* ``answer FILE --query 'ans(x) <- R(x)' --domain a,b,c`` — certain and
-  possible answers with per-tuple confidence.
+* ``answer FILE --query 'ans(x) <- R(x)' --domain a,b,c [--explain]`` —
+  certain and possible answers with per-tuple confidence; ``--explain``
+  prints the compiled physical plan (``repro.plan``) first.
 * ``serve FILE --domain a,b,c [--requests N]`` — run the mediator *service*
   (``repro.service``) against an open-loop burst of confidence requests and
   report the observability snapshot; ``--json`` emits it machine-readable.
@@ -108,6 +109,10 @@ def build_parser() -> argparse.ArgumentParser:
     answer.add_argument("file")
     answer.add_argument("--query", required=True, help="e.g. 'ans(x) <- R(x)'")
     answer.add_argument("--domain", type=_domain, required=True)
+    answer.add_argument(
+        "--explain", action="store_true",
+        help="print the compiled physical plan before the answers",
+    )
 
     consensus = commands.add_parser(
         "consensus", help="conflict analysis: trust, blame, repairs, relaxation"
@@ -121,6 +126,10 @@ def build_parser() -> argparse.ArgumentParser:
     rewrite.add_argument("--query", required=True, help="e.g. 'ans(x) <- R(x, y)'")
     rewrite.add_argument(
         "--plans-only", action="store_true", help="print plans, skip execution"
+    )
+    rewrite.add_argument(
+        "--explain", action="store_true",
+        help="print each rewriting's compiled physical plan",
     )
 
     serve = commands.add_parser(
@@ -252,6 +261,11 @@ def cmd_audit(args) -> int:
 def cmd_answer(args) -> int:
     collection = load_collection(args.file)
     query = parse_rule(args.query)
+    if args.explain:
+        from repro.plan import explain
+
+        print(explain(query))
+        print()
     result = answer_query(query, collection, args.domain)
     print(f"possible worlds: {result.world_count}")
     print("certain answer:")
@@ -312,6 +326,12 @@ def cmd_rewrite(args) -> int:
     for plan in plans:
         tag = "EQUIVALENT" if plan.equivalent else "sound"
         print(f"  [{tag}] {plan.plan}")
+    if args.explain:
+        from repro.plan import explain
+
+        for plan in plans:
+            print()
+            print(explain(plan.plan))
     if args.plans_only:
         return 0
     print("\nanswers from the sources (ranked by support):")

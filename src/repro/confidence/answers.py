@@ -27,8 +27,18 @@ Answer = Union[Atom, Row]
 
 
 def _apply(query: Query, world: GlobalDatabase) -> FrozenSet[Answer]:
+    """One world's answer set, through the compiled-plan pipeline.
+
+    Per-world evaluation is the hot loop of possible-worlds semantics: the
+    same query runs over thousands of worlds, and re-enumerated worlds with
+    equal content share one cached data source (scan rows + join indexes).
+    Imported lazily — ``repro.plan`` itself depends on
+    ``repro.confidence.engine.memo`` for its plan cache.
+    """
+    from repro.plan import evaluate as plan_evaluate
+
     if isinstance(query, ConjunctiveQuery):
-        return query.apply(world)
+        return plan_evaluate(query, world)
     return query.evaluate(world)
 
 

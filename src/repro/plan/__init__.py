@@ -1,0 +1,69 @@
+"""``repro.plan``: one compiled, cached execution pipeline for every query path.
+
+PR 3 interned the consistency/confidence hot paths; this package does the
+same for *query evaluation*. Both query languages — conjunctive queries and
+the σ/π/×/∪ relational algebra — compile into one physical plan IR over the
+interned core (:mod:`repro.plan.ir`), with:
+
+* interned relation scans carrying pushed-down selections,
+* hash joins whose build-side indexes are cached per database,
+* builtin/σ filters applied at the earliest bound point,
+* a canonical-form plan cache keyed by alpha-equivalence
+  (:mod:`repro.plan.compiler` / :mod:`repro.plan.cache`), and
+* ``EXPLAIN``-able plans (``python -m repro answer ... --explain``).
+
+Every evaluator in the repo routes here: ``queries.evaluation.evaluate``,
+the algebra interpreter, the rewriting executor, tableaux query answering,
+per-world confidence evaluation, and the mediator service's query requests.
+The pre-existing backtracking and naive evaluators survive as differential
+oracles (``evaluate_backtracking`` / ``evaluate_naive``), same pattern as
+:mod:`repro.core.baseline`.
+"""
+
+from repro.plan.cache import (
+    plan_cache_stats,
+    plan_cache_stats_dict,
+    shared_plan_cache,
+)
+from repro.plan.compiler import compile_query, plan_for, plan_key
+from repro.plan.executor import (
+    MAX_DATA_SOURCES,
+    PlanDataSource,
+    clear_data_sources,
+    data_source_count,
+    data_source_for,
+    evaluate,
+    evaluate_rows,
+    execute_plan,
+    explain,
+)
+from repro.plan.ir import CompiledPlan, PlanError
+
+__all__ = [
+    "CompiledPlan",
+    "MAX_DATA_SOURCES",
+    "PlanDataSource",
+    "PlanError",
+    "clear_data_sources",
+    "compile_query",
+    "data_source_count",
+    "data_source_for",
+    "evaluate",
+    "evaluate_rows",
+    "execute_plan",
+    "explain",
+    "plan_cache_stats",
+    "plan_cache_stats_dict",
+    "plan_for",
+    "plan_key",
+    "plan_stats",
+    "shared_plan_cache",
+]
+
+
+def plan_stats() -> dict:
+    """One JSON-serializable snapshot of the plan layer's caches."""
+    return {
+        "cache": plan_cache_stats_dict(),
+        "data_sources": data_source_count(),
+    }

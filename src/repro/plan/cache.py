@@ -1,0 +1,40 @@
+"""The canonical-form plan cache.
+
+Compiled plans are pure functions of the query's *canonical form* — the
+alpha-equivalence key rendered by :mod:`repro.plan.compiler` — so one cache
+entry serves every variable-renaming of a query. The cache itself reuses the
+engine's :class:`~repro.confidence.engine.memo.LRUMemo` (thread-safe LRU
+with hit/miss/eviction counters); its stats surface in ``repro.cli --stats``
+JSON and in the mediator service's ``stats()`` snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.confidence.engine.memo import CacheStats, LRUMemo
+
+#: Default capacity of the shared plan cache. Plans are tiny (a handful of
+#: nodes), so the bound exists to cap pathological query-generation loops,
+#: not memory in normal use.
+DEFAULT_PLAN_CACHE_SIZE = 1024
+
+_SHARED_PLANS = LRUMemo(maxsize=DEFAULT_PLAN_CACHE_SIZE)
+
+
+def shared_plan_cache() -> LRUMemo:
+    """The process-wide plan cache used by every query path by default."""
+    return _SHARED_PLANS
+
+
+def plan_cache_stats() -> CacheStats:
+    """Hit/miss/eviction counters of the shared plan cache."""
+    return _SHARED_PLANS.stats()
+
+
+def plan_cache_stats_dict() -> Dict[str, object]:
+    """The same counters as a JSON-serializable dict (for ``--stats``)."""
+    stats = plan_cache_stats()
+    out: Dict[str, object] = dict(stats._asdict())
+    out["hit_rate"] = stats.hit_rate
+    return out

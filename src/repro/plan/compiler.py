@@ -1,0 +1,582 @@
+"""Logical→physical compilation and alpha-equivalence cache keys.
+
+Both query languages compile into one IR (:mod:`repro.plan.ir`):
+
+* **Conjunctive queries** — relational body atoms are ordered by the stable
+  greedy join order (:func:`repro.queries.evaluation.order_body`), the first
+  becomes a :class:`~repro.plan.ir.ScanNode` and each later one the build
+  side of a :class:`~repro.plan.ir.HashJoinNode` keyed on every variable
+  already bound; constants and repeated variables push into the scans;
+  builtin atoms become :class:`~repro.plan.ir.FilterNode` predicates at the
+  earliest point all their variables are bound (ground builtins become
+  per-execution prefilters).
+* **Algebra trees** — ``Selection*``-over-``Product*`` chains are flattened;
+  ``Col = Col`` equalities across product leaves become hash-join keys,
+  per-leaf equalities push into the scans, and every other condition becomes
+  the cheapest applicable filter. Nodes outside the known vocabulary raise
+  :class:`~repro.plan.ir.PlanError`, and the caller falls back to the boxed
+  interpreter.
+
+Cache keys quotient out variable naming: variables are numbered by first
+occurrence (head first, then body in written order), constants intern to
+symbol-table IDs. Two alpha-equivalent queries therefore render the same
+key and share one compiled plan — the cache-hit property the per-world
+evaluation loops rely on (tested in
+``tests/property/test_plan_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ModelError
+from repro.model.terms import Constant, Variable
+from repro.plan.cache import shared_plan_cache
+from repro.plan.ir import (
+    BuiltinPredicate,
+    ColEqualsCol,
+    ColEqualsConst,
+    ComparePredicate,
+    CompiledPlan,
+    ConditionPredicate,
+    FilterNode,
+    HashJoinNode,
+    Lit,
+    PlanError,
+    PlanNode,
+    Predicate,
+    ProjectNode,
+    ScanNode,
+    UnionPlanNode,
+    UnitNode,
+)
+
+
+# -- canonical keys ------------------------------------------------------------
+
+class _VarNumbering:
+    """Variables numbered −1, −2, ... by first occurrence (alpha-invariant)."""
+
+    __slots__ = ("_ids",)
+
+    def __init__(self):
+        self._ids: Dict[Variable, int] = {}
+
+    def token(self, variable: Variable) -> int:
+        tok = self._ids.get(variable)
+        if tok is None:
+            tok = -(len(self._ids) + 1)
+            self._ids[variable] = tok
+        return tok
+
+
+def _cq_key(query, table) -> Tuple:
+    numbering = _VarNumbering()
+
+    def term_token(term) -> int:
+        if isinstance(term, Constant):
+            return table.constant(term.value)
+        return numbering.token(term)
+
+    registry = query.builtins
+    head = (
+        table.relation(query.head.relation),
+        tuple(term_token(a) for a in query.head.args),
+    )
+    body = tuple(
+        (
+            1 if registry.is_builtin(atom.relation) else 0,
+            table.relation(atom.relation),
+            tuple(term_token(a) for a in atom.args),
+        )
+        for atom in query.body
+    )
+    return ("cq", head, body, _registry_token(query))
+
+
+def _registry_token(query) -> object:
+    """Cache-key component identifying the *behavior* of used builtins.
+
+    Builtin-free queries share plans across registries (token 0). For the
+    rest, a plain function with no closure, defaults, or bound self is
+    identified by its code object — every ``default_registry()`` call builds
+    fresh lambdas, but lambdas from one source expression share one code
+    object, so independently parsed queries still share plans. Anything
+    fancier (closures, partials) falls back to the registry's identity,
+    which is safe because the cached plan holds a reference to the registry
+    — its id cannot be recycled while the entry lives.
+    """
+    builtins = query.builtin_body()
+    if not builtins:
+        return 0
+    registry = query.builtins
+    parts = []
+    for name in sorted({atom.relation for atom in builtins}):
+        builtin = registry.get(name)
+        if builtin is None:
+            return ("registry", id(registry))
+        predicate = builtin.predicate
+        code = getattr(predicate, "__code__", None)
+        if (
+            code is None
+            or getattr(predicate, "__closure__", None)
+            or getattr(predicate, "__defaults__", None)
+            or getattr(predicate, "__kwdefaults__", None)
+            or getattr(predicate, "__self__", None) is not None
+        ):
+            return ("registry", id(registry))
+        parts.append((name, builtin.arity, id(code)))
+    return ("builtins", tuple(parts))
+
+
+def _condition_key(condition, table) -> Tuple:
+    from repro.algebra.conditions import (
+        And,
+        Col,
+        Comparison,
+        Not,
+        Or,
+        TrueCondition,
+    )
+
+    def operand_token(operand) -> Tuple:
+        if isinstance(operand, Col):
+            return ("col", operand.index)
+        value = operand.value if isinstance(operand, Constant) else operand
+        return ("val", table.constant(value))
+
+    if isinstance(condition, TrueCondition):
+        return ("true",)
+    if isinstance(condition, Comparison):
+        return (
+            "cmp",
+            operand_token(condition.lhs),
+            condition.op,
+            operand_token(condition.rhs),
+        )
+    if isinstance(condition, And):
+        return ("and",) + tuple(_condition_key(p, table) for p in condition.parts)
+    if isinstance(condition, Or):
+        return ("or",) + tuple(_condition_key(p, table) for p in condition.parts)
+    if isinstance(condition, Not):
+        return ("not", _condition_key(condition.part, table))
+    raise PlanError(f"no canonical key for condition {condition!r}")
+
+
+def _algebra_key(node, table) -> Tuple:
+    from repro.algebra.ast import (
+        Product,
+        Projection,
+        RelationScan,
+        Selection,
+        UnionNode,
+    )
+
+    if type(node) is RelationScan:
+        return ("scan", table.relation(node.relation), node.arity)
+    if type(node) is Selection:
+        return (
+            "sel",
+            _condition_key(node.condition, table),
+            _algebra_key(node.child, table),
+        )
+    if type(node) is Projection:
+        columns = []
+        for c in node.columns:
+            if isinstance(c, int):
+                columns.append(("col", c))
+            elif isinstance(c, Constant):
+                columns.append(("lit", table.constant(c.value)))
+            else:
+                raise PlanError(f"unsupported projection column {c!r}")
+        return ("proj", tuple(columns), _algebra_key(node.child, table))
+    if type(node) is Product:
+        return (
+            "prod",
+            _algebra_key(node.left, table),
+            _algebra_key(node.right, table),
+        )
+    if type(node) is UnionNode:
+        return (
+            "union",
+            _algebra_key(node.left, table),
+            _algebra_key(node.right, table),
+        )
+    raise PlanError(f"no plan translation for algebra node {type(node).__name__}")
+
+
+def plan_key(query, table) -> Tuple:
+    """The alpha-equivalence cache key of a query (CQ or algebra tree)."""
+    from repro.algebra.ast import AlgebraQuery
+    from repro.queries.conjunctive import ConjunctiveQuery
+
+    try:
+        if isinstance(query, ConjunctiveQuery):
+            return _cq_key(query, table)
+        if isinstance(query, AlgebraQuery):
+            return ("ra", _algebra_key(query, table))
+    except ModelError as exc:  # unhashable literal etc: let the boxed path try
+        raise PlanError(str(exc)) from exc
+    raise PlanError(f"not a plannable query: {type(query).__name__}")
+
+
+# -- conjunctive-query compilation ---------------------------------------------
+
+def _builtin_predicate(atom, registry, var_cols: Dict[Variable, int], table) -> Predicate:
+    specs = []
+    for term in atom.args:
+        if isinstance(term, Constant):
+            specs.append(("val", term.value))
+        else:
+            specs.append(("col", var_cols[term]))
+    return BuiltinPredicate(registry, atom.relation, tuple(specs))
+
+
+def _scan_for_atom(atom, table) -> Tuple[ScanNode, List[Variable]]:
+    """A pushdown scan for one body atom, plus its output variables in order."""
+    const_eq: List[Tuple[int, int]] = []
+    dup_eq: List[Tuple[int, int]] = []
+    first_pos: Dict[Variable, int] = {}
+    output: List[int] = []
+    out_vars: List[Variable] = []
+    for i, term in enumerate(atom.args):
+        if isinstance(term, Constant):
+            const_eq.append((i, table.constant(term.value)))
+        else:
+            first = first_pos.get(term)
+            if first is None:
+                first_pos[term] = i
+                output.append(i)
+                out_vars.append(term)
+            else:
+                dup_eq.append((first, i))
+    scan = ScanNode(
+        atom.relation,
+        table.relation(atom.relation),
+        atom.arity,
+        tuple(const_eq),
+        tuple(dup_eq),
+        tuple(output),
+    )
+    return scan, out_vars
+
+
+def _compile_cq(query, table, key: Tuple) -> CompiledPlan:
+    from repro.queries.evaluation import order_body
+
+    registry = query.builtins
+    relational = order_body(query.relational_body())
+    prefilters: List[Predicate] = []
+    pending = []
+    for atom in query.builtin_body():
+        if atom.is_ground():
+            prefilters.append(_builtin_predicate(atom, registry, {}, table))
+        else:
+            pending.append(atom)
+
+    root: Optional[PlanNode] = None
+    var_cols: Dict[Variable, int] = {}
+    width = 0
+    for atom in relational:
+        scan, out_vars = _scan_for_atom(atom, table)
+        if root is None:
+            root = scan
+            for j, v in enumerate(out_vars):
+                var_cols[v] = j
+            width = scan.width
+        else:
+            left_keys: List[int] = []
+            right_keys: List[int] = []
+            fresh: List[Tuple[int, Variable]] = []
+            for j, v in enumerate(out_vars):
+                bound_col = var_cols.get(v)
+                if bound_col is None:
+                    fresh.append((j, v))
+                else:
+                    left_keys.append(bound_col)
+                    right_keys.append(j)
+            root = HashJoinNode(root, scan, tuple(left_keys), tuple(right_keys))
+            for j, v in fresh:
+                var_cols[v] = width + j
+            width += scan.width
+        still = []
+        for b in pending:
+            if all(v in var_cols for v in b.variables()):
+                root = FilterNode(
+                    root, _builtin_predicate(b, registry, var_cols, table)
+                )
+            else:
+                still.append(b)
+        pending = still
+
+    if pending:
+        # Safety (checked at query construction) should make this impossible.
+        raise PlanError(f"builtin atoms with unbindable variables: {pending}")
+    if root is None:
+        root = UnitNode()
+
+    columns = []
+    for term in query.head.args:
+        if isinstance(term, Constant):
+            columns.append(Lit(table.constant(term.value)))
+        else:
+            col = var_cols.get(term)
+            if col is None:
+                raise PlanError(f"unsafe head variable {term} survived safety")
+            columns.append(col)
+    root = ProjectNode(root, tuple(columns))
+    return CompiledPlan(
+        "cq", root, tuple(prefilters), query.head.relation, table, key, str(query)
+    )
+
+
+# -- algebra compilation -------------------------------------------------------
+
+def _strip_selections(node) -> Tuple[List, object]:
+    """Peel nested selections: ``(conditions, core)`` with core not a Selection."""
+    from repro.algebra.ast import Selection
+
+    conditions: List = []
+    while type(node) is Selection:
+        conditions.append(node.condition)
+        node = node.child
+    return conditions, node
+
+
+def _product_leaves(node) -> List:
+    from repro.algebra.ast import Product
+
+    if type(node) is Product:
+        return _product_leaves(node.left) + _product_leaves(node.right)
+    return [node]
+
+
+def _flatten_and(conditions) -> List:
+    from repro.algebra.conditions import And, TrueCondition
+
+    flat: List = []
+    stack = list(conditions)
+    while stack:
+        condition = stack.pop(0)
+        if isinstance(condition, And):
+            stack = list(condition.parts) + stack
+        elif isinstance(condition, TrueCondition):
+            continue
+        else:
+            flat.append(condition)
+    return flat
+
+
+def _literal_value(operand):
+    return operand.value if isinstance(operand, Constant) else operand
+
+
+def _compile_select_product(conditions, core, table) -> PlanNode:
+    """``Selection*`` over ``Product*``: flatten, push down, hash-join."""
+    from repro.algebra.conditions import Col, Comparison
+
+    leaves = _product_leaves(core)
+    compiled = [_compile_algebra(leaf, table) for leaf in leaves]
+    widths = [n.width for n in compiled]
+    offsets: List[int] = []
+    acc = 0
+    for w in widths:
+        offsets.append(acc)
+        acc += w
+    total_width = acc
+
+    def leaf_of(col: int) -> int:
+        if not 0 <= col < total_width:
+            raise PlanError(f"σ condition references column {col} out of range")
+        for i in range(len(leaves) - 1, -1, -1):
+            if col >= offsets[i]:
+                return i
+        raise PlanError("unreachable")
+
+    # Pushdown accumulators for leaves that are plain scans.
+    extra_const: Dict[int, List[Tuple[int, int]]] = {}
+    extra_dup: Dict[int, List[Tuple[int, int]]] = {}
+    join_pairs: List[Tuple[int, int]] = []      # cross-leaf equalities (lo, hi)
+    filters: List[Tuple[int, Predicate]] = []   # (needed_width, predicate)
+
+    def pushable(i: int) -> bool:
+        return type(compiled[i]) is ScanNode
+
+    for condition in _flatten_and(conditions):
+        if isinstance(condition, Comparison):
+            lhs, rhs, op = condition.lhs, condition.rhs, condition.op
+            lhs_col = isinstance(lhs, Col)
+            rhs_col = isinstance(rhs, Col)
+            if lhs_col and rhs_col and op in ("=", "=="):
+                lo, hi = sorted((lhs.index, rhs.index))
+                li, hi_leaf = leaf_of(lo), leaf_of(hi)
+                if li == hi_leaf and pushable(li):
+                    extra_dup.setdefault(li, []).append(
+                        (lo - offsets[li], hi - offsets[li])
+                    )
+                elif li == hi_leaf:
+                    filters.append((hi + 1, ColEqualsCol(lo, hi)))
+                else:
+                    join_pairs.append((lo, hi))
+                continue
+            if lhs_col != rhs_col and op in ("=", "=="):
+                col = lhs.index if lhs_col else rhs.index
+                value = _literal_value(rhs if lhs_col else lhs)
+                try:
+                    cid = table.constant(value)
+                except ModelError as exc:
+                    raise PlanError(str(exc)) from exc
+                i = leaf_of(col)
+                if pushable(i):
+                    extra_const.setdefault(i, []).append((col - offsets[i], cid))
+                else:
+                    filters.append((col + 1, ColEqualsConst(col, cid)))
+                continue
+            # Non-equality (or literal-literal) comparison → value filter.
+            lhs_spec = ("col", lhs.index) if lhs_col else ("val", _literal_value(lhs))
+            rhs_spec = ("col", rhs.index) if rhs_col else ("val", _literal_value(rhs))
+            needed_cols = []
+            if lhs_col:
+                needed_cols.append(lhs.index)
+            if rhs_col:
+                needed_cols.append(rhs.index)
+            needed = 1 + max(needed_cols, default=-1)
+            filters.append((needed, ComparePredicate(lhs_spec, op, rhs_spec)))
+            continue
+        # Or/Not/unknown conditions run boxed over the complete row.
+        filters.append((total_width, ConditionPredicate(condition)))
+
+    for i, extras in extra_const.items():
+        scan = compiled[i]
+        compiled[i] = ScanNode(
+            scan.relation, scan.rid, scan.arity,
+            scan.const_eq + tuple(sorted(extras)),
+            scan.dup_eq, scan.output,
+        )
+    for i, extras in extra_dup.items():
+        scan = compiled[i]
+        compiled[i] = ScanNode(
+            scan.relation, scan.rid, scan.arity, scan.const_eq,
+            scan.dup_eq + tuple(sorted(extras)), scan.output,
+        )
+
+    filters.sort(key=lambda pair: pair[0])
+
+    def attach_ready(root: PlanNode, acc_width: int) -> PlanNode:
+        while filters and filters[0][0] <= acc_width:
+            root = FilterNode(root, filters.pop(0)[1])
+        return root
+
+    root = compiled[0]
+    acc_width = widths[0]
+    root = attach_ready(root, acc_width)
+    for i in range(1, len(compiled)):
+        hi_lo, hi_hi = offsets[i], offsets[i] + widths[i]
+        left_keys: List[int] = []
+        right_keys: List[int] = []
+        remaining: List[Tuple[int, int]] = []
+        for lo, hi in join_pairs:
+            if hi_lo <= hi < hi_hi and lo < hi_lo:
+                left_keys.append(lo)
+                right_keys.append(hi - hi_lo)
+            else:
+                remaining.append((lo, hi))
+        join_pairs = remaining
+        root = HashJoinNode(
+            root, compiled[i], tuple(left_keys), tuple(right_keys)
+        )
+        acc_width += widths[i]
+        root = attach_ready(root, acc_width)
+    if join_pairs or filters:
+        raise PlanError("σ conditions left unattached after join build")
+    return root
+
+
+def _compile_algebra(node, table) -> PlanNode:
+    from repro.algebra.ast import (
+        Product,
+        Projection,
+        RelationScan,
+        Selection,
+        UnionNode,
+    )
+
+    if type(node) is RelationScan:
+        return ScanNode(
+            node.relation,
+            table.relation(node.relation),
+            node.arity,
+            (),
+            (),
+            tuple(range(node.arity)),
+        )
+    if type(node) is Selection or type(node) is Product:
+        conditions, core = _strip_selections(node)
+        return _compile_select_product(conditions, core, table)
+    if type(node) is Projection:
+        child = _compile_algebra(node.child, table)
+        columns = []
+        for c in node.columns:
+            if isinstance(c, int):
+                if not 0 <= c < child.width:
+                    raise PlanError(f"projection column {c} out of range")
+                columns.append(c)
+            elif isinstance(c, Constant):
+                try:
+                    columns.append(Lit(table.constant(c.value)))
+                except ModelError as exc:
+                    raise PlanError(str(exc)) from exc
+            else:
+                raise PlanError(f"unsupported projection column {c!r}")
+        return ProjectNode(child, tuple(columns))
+    if type(node) is UnionNode:
+        children: List[PlanNode] = []
+        stack = [node]
+        while stack:
+            item = stack.pop()
+            if type(item) is UnionNode:
+                stack.append(item.right)
+                stack.append(item.left)
+            else:
+                children.append(_compile_algebra(item, table))
+        children.reverse()
+        return UnionPlanNode(children)
+    raise PlanError(f"no plan translation for algebra node {type(node).__name__}")
+
+
+# -- entry points --------------------------------------------------------------
+
+def compile_query(query, table) -> CompiledPlan:
+    """Compile one query (CQ or algebra) to a :class:`CompiledPlan`."""
+    key = plan_key(query, table)
+    return compile_with_key(query, table, key)
+
+
+def compile_with_key(query, table, key: Tuple) -> CompiledPlan:
+    from repro.queries.conjunctive import ConjunctiveQuery
+
+    if isinstance(query, ConjunctiveQuery):
+        return _compile_cq(query, table, key)
+    root = _compile_algebra(query, table)
+    return CompiledPlan("algebra", root, (), None, table, key, repr(query))
+
+
+def plan_for(query, cache=None, table=None) -> CompiledPlan:
+    """The cached plan for *query*, compiling on first sight.
+
+    Raises :class:`~repro.plan.ir.PlanError` when the query cannot be
+    planned; callers with a boxed fallback catch it.
+    """
+    from repro.core.symbols import global_table
+
+    if table is None:
+        table = global_table()
+    if cache is None:
+        cache = shared_plan_cache()
+    key = plan_key(query, table)
+    hit, plan = cache.lookup(key)
+    if hit:
+        return plan
+    plan = compile_with_key(query, table, key)
+    cache.store(key, plan)
+    return plan

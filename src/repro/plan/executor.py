@@ -1,0 +1,280 @@
+"""Plan execution over interned fact sets, with per-database operator caches.
+
+A :class:`PlanDataSource` wraps one :class:`~repro.core.factset.IFactSet`
+and memoizes the two expensive physical artifacts:
+
+* **scan row sets** — the pushdown-filtered, projected rows of each distinct
+  :class:`~repro.plan.ir.ScanNode`, keyed by the scan's shape;
+* **hash-join indexes** — the build-side hash tables, keyed by scan shape ×
+  key columns.
+
+Data sources themselves are cached process-wide keyed by the fact set's
+*value* (an ``IFactSet`` hashes by its frozenset of fact IDs), so evaluating
+many queries over one database — or re-evaluating a workload over the same
+possible worlds — reuses every index instead of rebuilding it per call.
+This is the structural win ``benchmarks/bench_e18_plan.py`` measures: the
+backtracking evaluator re-derives candidate sets per query per world, while
+the plan path amortizes them across the whole workload.
+
+The decode back to boxed answers (:class:`~repro.model.atoms.Atom` facts for
+conjunctive queries, rows of :class:`~repro.model.terms.Constant` for the
+algebra) happens once per *distinct answer*, not per derivation.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.factset import IFactSet
+from repro.plan.ir import (
+    CompiledPlan,
+    FilterNode,
+    HashJoinNode,
+    Lit,
+    PlanError,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    UnionPlanNode,
+    UnitNode,
+)
+
+Rows = Tuple[Tuple[int, ...], ...]
+
+_EMPTY_ROWS: Rows = ()
+
+
+class PlanDataSource:
+    """Cached scans and join indexes over one immutable fact set."""
+
+    __slots__ = ("facts", "table", "_scans", "_indexes")
+
+    def __init__(self, facts: IFactSet):
+        self.facts = facts
+        self.table = facts.table
+        self._scans: Dict[Tuple, Rows] = {}
+        self._indexes: Dict[Tuple, Dict[Tuple[int, ...], Rows]] = {}
+
+    def scan_rows(self, node: ScanNode) -> Rows:
+        """The scan's output rows (computed once per scan shape)."""
+        key = node.cache_key()
+        rows = self._scans.get(key)
+        if rows is None:
+            rows = self._build_scan(node)
+            self._scans[key] = rows
+        return rows
+
+    def _build_scan(self, node: ScanNode) -> Rows:
+        grouped = self.facts.grouped().get(node.rid)
+        if not grouped:
+            return _EMPTY_ROWS
+        arity = node.arity
+        const_eq = node.const_eq
+        dup_eq = node.dup_eq
+        output = node.output
+        seen: "OrderedDict[Tuple[int, ...], None]" = OrderedDict()
+        for args in grouped:
+            if len(args) != arity:
+                continue
+            ok = True
+            for pos, cid in const_eq:
+                if args[pos] != cid:
+                    ok = False
+                    break
+            if ok:
+                for first, later in dup_eq:
+                    if args[first] != args[later]:
+                        ok = False
+                        break
+            if ok:
+                seen.setdefault(tuple(args[p] for p in output))
+        return tuple(seen)
+
+    def join_index(
+        self, node: ScanNode, key_cols: Tuple[int, ...]
+    ) -> Dict[Tuple[int, ...], Rows]:
+        """Hash index of a scan's rows on *key_cols* (cached)."""
+        cache_key = (node.cache_key(), key_cols)
+        index = self._indexes.get(cache_key)
+        if index is None:
+            index = _build_index(self.scan_rows(node), key_cols)
+            self._indexes[cache_key] = index
+        return index
+
+    def cached_artifacts(self) -> Tuple[int, int]:
+        """``(scan_count, index_count)`` currently memoized."""
+        return len(self._scans), len(self._indexes)
+
+
+def _build_index(
+    rows: Sequence[Tuple[int, ...]], key_cols: Tuple[int, ...]
+) -> Dict[Tuple[int, ...], Rows]:
+    building: Dict[Tuple[int, ...], List[Tuple[int, ...]]] = {}
+    for row in rows:
+        building.setdefault(tuple(row[c] for c in key_cols), []).append(row)
+    return {key: tuple(group) for key, group in building.items()}
+
+
+# -- the process-wide data-source cache ----------------------------------------
+
+#: Bound on retained data sources. Each holds scan rows and hash indexes for
+#: one database; per-world evaluation loops cycle through far fewer live
+#: worlds than this at a time.
+MAX_DATA_SOURCES = 128
+
+_SOURCES: "OrderedDict[IFactSet, PlanDataSource]" = OrderedDict()
+_SOURCES_LOCK = threading.Lock()
+
+
+def data_source_for(facts: IFactSet) -> PlanDataSource:
+    """The shared :class:`PlanDataSource` for a fact set (LRU, by value).
+
+    Two databases with equal content share one source — re-enumerated
+    possible worlds land on already-built indexes.
+    """
+    with _SOURCES_LOCK:
+        source = _SOURCES.get(facts)
+        if source is not None:
+            _SOURCES.move_to_end(facts)
+            return source
+        source = PlanDataSource(facts)
+        _SOURCES[facts] = source
+        while len(_SOURCES) > MAX_DATA_SOURCES:
+            _SOURCES.popitem(last=False)
+        return source
+
+
+def data_source_count() -> int:
+    """How many data sources are currently cached (for ``--stats``)."""
+    with _SOURCES_LOCK:
+        return len(_SOURCES)
+
+
+def clear_data_sources() -> None:
+    """Drop every cached data source (tests and benchmarks reset with it)."""
+    with _SOURCES_LOCK:
+        _SOURCES.clear()
+
+
+# -- the interpreter -----------------------------------------------------------
+
+def _run(node: PlanNode, source: PlanDataSource) -> Sequence[Tuple[int, ...]]:
+    node_type = type(node)
+    if node_type is ScanNode:
+        return source.scan_rows(node)
+    if node_type is HashJoinNode:
+        left_rows = _run(node.left, source)
+        if not left_rows:
+            return _EMPTY_ROWS
+        right = node.right
+        if type(right) is ScanNode:
+            index = source.join_index(right, node.right_keys)
+        else:
+            index = _build_index(_run(right, source), node.right_keys)
+        if not index:
+            return _EMPTY_ROWS
+        left_keys = node.left_keys
+        out: List[Tuple[int, ...]] = []
+        if left_keys:
+            get = index.get
+            for lrow in left_rows:
+                matches = get(tuple(lrow[c] for c in left_keys))
+                if matches:
+                    for rrow in matches:
+                        out.append(lrow + rrow)
+        else:
+            right_rows = index.get((), _EMPTY_ROWS)
+            for lrow in left_rows:
+                for rrow in right_rows:
+                    out.append(lrow + rrow)
+        return out
+    if node_type is FilterNode:
+        predicate = node.predicate
+        table = source.table
+        return [
+            row
+            for row in _run(node.child, source)
+            if predicate.evaluate(row, table)
+        ]
+    if node_type is ProjectNode:
+        columns = node.columns
+        seen: "OrderedDict[Tuple[int, ...], None]" = OrderedDict()
+        for row in _run(node.child, source):
+            seen.setdefault(
+                tuple(
+                    row[c] if isinstance(c, int) else c.cid for c in columns
+                )
+            )
+        return tuple(seen)
+    if node_type is UnitNode:
+        return ((),)
+    if node_type is UnionPlanNode:
+        seen = OrderedDict()
+        for child in node.children:
+            for row in _run(child, source):
+                seen.setdefault(row)
+        return tuple(seen)
+    raise PlanError(f"unknown plan node {node_type.__name__}")
+
+
+def execute_plan(
+    plan: CompiledPlan, source: PlanDataSource
+) -> FrozenSet[Tuple[int, ...]]:
+    """Run a compiled plan; answers are rows of constant IDs."""
+    table = source.table
+    for predicate in plan.prefilters:
+        if not predicate.evaluate((), table):
+            return frozenset()  # boxed-ok: ints
+    return frozenset(_run(plan.root, source))  # boxed-ok: ints
+
+
+# -- boxed entry points --------------------------------------------------------
+
+def evaluate(query, database) -> FrozenSet:
+    """``Q(D)`` for a conjunctive query, through the plan pipeline.
+
+    The drop-in replacement for
+    :func:`repro.queries.evaluation.evaluate_backtracking` — identical
+    answers (differentially tested), compiled once per alpha-equivalence
+    class, indexes shared per database.
+    """
+    from repro.model.atoms import Atom
+    from repro.plan.compiler import plan_for
+
+    plan = plan_for(query)
+    source = data_source_for(database.core())
+    rows = execute_plan(plan, source)
+    constant_value = plan.table.constant_value
+    head_relation = plan.head_relation
+    return frozenset(
+        Atom(head_relation, tuple(constant_value(c) for c in row))
+        for row in rows
+    )
+
+
+def evaluate_rows(algebra_query, database) -> FrozenSet[Tuple]:
+    """Algebra-tree evaluation to rows of boxed constants.
+
+    Raises :class:`~repro.plan.ir.PlanError` for trees outside the compiled
+    vocabulary; :meth:`repro.algebra.ast.AlgebraQuery.evaluate` catches it
+    and falls back to the boxed interpreter.
+    """
+    from repro.model.terms import Constant
+    from repro.plan.compiler import plan_for
+
+    plan = plan_for(algebra_query)
+    source = data_source_for(database.core())
+    rows = execute_plan(plan, source)
+    constant_value = plan.table.constant_value
+    return frozenset(
+        tuple(Constant(constant_value(c)) for c in row) for row in rows
+    )
+
+
+def explain(query, table=None) -> str:
+    """The EXPLAIN rendering of a query's (cached) physical plan."""
+    from repro.plan.compiler import plan_for
+
+    return plan_for(query, table=table).explain()

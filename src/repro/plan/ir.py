@@ -1,0 +1,414 @@
+"""The physical plan IR: interned scans, hash joins, filters, projections.
+
+Plan nodes evaluate over rows of constant IDs (tuples of non-negative ints
+from the process-wide :class:`~repro.core.symbols.SymbolTable`), never boxed
+terms — the same discipline as :mod:`repro.core.views`, but generalized from
+builtin-free view application to the full query surface (conjunctive queries
+with builtins, and the σ/π/×/∪ algebra).
+
+Operators:
+
+* :class:`ScanNode` — one relation's extension with **build-side pushdown**:
+  constant equalities and same-atom repeated-variable equalities are applied
+  while scanning, before any join sees the rows; ``output`` then projects the
+  scan down to the columns later operators need.
+* :class:`HashJoinNode` — equi-join; the right side is hash-indexed on its
+  key columns (index cached per data source when the right side is a scan).
+* :class:`FilterNode` — a residual predicate at the earliest point where all
+  the columns it mentions are bound.
+* :class:`ProjectNode` — column picks plus :class:`Lit` literal columns.
+* :class:`UnitNode` / :class:`UnionPlanNode` — the nullary row and union.
+
+Every node renders itself for ``EXPLAIN`` (``repro.cli ... --explain``); the
+rendering decodes IDs back to values through the owning symbol table, so the
+output is readable while the runtime representation stays integer-only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.exceptions import BuiltinError, ReproError
+
+
+class PlanError(ReproError):
+    """A query (or query fragment) the plan compiler cannot handle.
+
+    Raised during compilation only; callers fall back to the boxed
+    evaluators (the algebra interpreter keeps its recursive ``evaluate_boxed``
+    exactly for this), so an unsupported construct degrades to the old path
+    instead of failing.
+    """
+
+
+def _decode(table, cid: int):
+    return table.constant_value(cid)
+
+
+# -- predicates ----------------------------------------------------------------
+
+class Predicate:
+    """A row predicate; ``evaluate(row, table) -> bool``."""
+
+    __slots__ = ()
+
+    def evaluate(self, row: Tuple[int, ...], table) -> bool:
+        raise NotImplementedError
+
+    def explain(self, table) -> str:
+        raise NotImplementedError
+
+
+class ColEqualsConst(Predicate):
+    """``row[col] == cid`` — an integer compare, no decoding."""
+
+    __slots__ = ("col", "cid")
+
+    def __init__(self, col: int, cid: int):
+        self.col = col
+        self.cid = cid
+
+    def evaluate(self, row, table) -> bool:
+        return row[self.col] == self.cid
+
+    def explain(self, table) -> str:
+        return f"col{self.col} = {_decode(table, self.cid)!r}"
+
+
+class ColEqualsCol(Predicate):
+    """``row[left] == row[right]`` — an integer compare, no decoding."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: int, right: int):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row, table) -> bool:
+        return row[self.left] == row[self.right]
+
+    def explain(self, table) -> str:
+        return f"col{self.left} = col{self.right}"
+
+
+#: Argument spec of a value-level predicate: ``("col", i)`` reads (and
+#: decodes) column *i*; ``("val", v)`` is a literal Python value.
+ArgSpec = Tuple[str, Any]
+
+
+def _resolve_spec(spec: ArgSpec, row, table):
+    kind, payload = spec
+    if kind == "col":
+        return table.constant_value(row[payload])
+    return payload
+
+
+def _explain_spec(spec: ArgSpec) -> str:
+    kind, payload = spec
+    return f"col{payload}" if kind == "col" else repr(payload)
+
+
+class ComparePredicate(Predicate):
+    """A σ comparison over decoded values (non-equality, or non-scan sides).
+
+    Mirrors :class:`repro.algebra.conditions.Comparison`: heterogeneous
+    comparisons (``TypeError``) fail the predicate rather than aborting.
+    """
+
+    __slots__ = ("lhs", "op", "rhs", "_fn")
+
+    def __init__(self, lhs: ArgSpec, op: str, rhs: ArgSpec):
+        from repro.algebra.conditions import _OPS
+
+        if op not in _OPS:
+            raise PlanError(f"unknown comparison operator: {op!r}")
+        self.lhs = lhs
+        self.op = op
+        self.rhs = rhs
+        self._fn = _OPS[op]
+
+    def evaluate(self, row, table) -> bool:
+        try:
+            return bool(
+                self._fn(
+                    _resolve_spec(self.lhs, row, table),
+                    _resolve_spec(self.rhs, row, table),
+                )
+            )
+        except TypeError:
+            return False
+
+    def explain(self, table) -> str:
+        return f"{_explain_spec(self.lhs)} {self.op} {_explain_spec(self.rhs)}"
+
+
+class BuiltinPredicate(Predicate):
+    """A builtin body atom applied at the earliest point its columns bind.
+
+    The builtin is looked up in the registry *per evaluation*, not captured
+    at compile time, so re-registering a predicate under the same registry
+    takes effect without invalidating cached plans.
+    """
+
+    __slots__ = ("registry", "name", "specs")
+
+    def __init__(self, registry, name: str, specs: Tuple[ArgSpec, ...]):
+        self.registry = registry
+        self.name = name
+        self.specs = specs
+
+    def evaluate(self, row, table) -> bool:
+        builtin = self.registry.get(self.name)
+        if builtin is None:
+            raise BuiltinError(f"unknown builtin: {self.name}")
+        return builtin.check(
+            _resolve_spec(spec, row, table) for spec in self.specs
+        )
+
+    def explain(self, table) -> str:
+        inner = ", ".join(_explain_spec(s) for s in self.specs)
+        return f"{self.name}({inner})"
+
+
+class ConditionPredicate(Predicate):
+    """Fallback for σ conditions with no faster translation (``Or``/``Not``).
+
+    Decodes the whole row back to boxed constants and delegates to the
+    original :class:`~repro.algebra.conditions.Condition` — correct for any
+    condition, at boxed cost; only reached for condition shapes the compiler
+    does not special-case.
+    """
+
+    __slots__ = ("condition",)
+
+    def __init__(self, condition):
+        self.condition = condition
+
+    def evaluate(self, row, table) -> bool:
+        from repro.model.terms import Constant
+
+        boxed = tuple(Constant(table.constant_value(c)) for c in row)
+        return self.condition.evaluate(boxed)
+
+    def explain(self, table) -> str:
+        return f"condition {self.condition!r}"
+
+
+# -- plan nodes ----------------------------------------------------------------
+
+class Lit:
+    """A literal projection column: emits one interned constant."""
+
+    __slots__ = ("cid",)
+
+    def __init__(self, cid: int):
+        self.cid = cid
+
+
+class PlanNode:
+    """Base class of physical plan nodes; ``width`` is the row arity."""
+
+    __slots__ = ("width",)
+
+    def explain_into(self, table, lines: List[str], depth: int) -> None:
+        raise NotImplementedError
+
+
+class ScanNode(PlanNode):
+    """Scan one relation with pushed-down selections and column projection.
+
+    * ``const_eq`` — ``(arg_position, constant_id)`` equalities applied while
+      scanning (constants in the body atom, or σ(col = literal) pushed down);
+    * ``dup_eq`` — ``(first_position, later_position)`` equalities from
+      repeated variables within one atom (or same-scan σ(col = col));
+    * ``output`` — argument positions the scan emits, in order.
+
+    Facts whose arity differs from ``arity`` are skipped, mirroring the
+    boxed :class:`~repro.algebra.ast.RelationScan`.
+    """
+
+    __slots__ = ("relation", "rid", "arity", "const_eq", "dup_eq", "output")
+
+    def __init__(
+        self,
+        relation: str,
+        rid: int,
+        arity: int,
+        const_eq: Tuple[Tuple[int, int], ...],
+        dup_eq: Tuple[Tuple[int, int], ...],
+        output: Tuple[int, ...],
+    ):
+        self.relation = relation
+        self.rid = rid
+        self.arity = arity
+        self.const_eq = const_eq
+        self.dup_eq = dup_eq
+        self.output = output
+        self.width = len(output)
+
+    def cache_key(self) -> Tuple:
+        """Identity of this scan's row set within one data source."""
+        return (self.rid, self.arity, self.const_eq, self.dup_eq, self.output)
+
+    def explain_into(self, table, lines, depth) -> None:
+        parts = [f"scan {self.relation}/{self.arity}"]
+        for pos, cid in self.const_eq:
+            parts.append(f"[arg{pos} = {_decode(table, cid)!r}]")
+        for first, later in self.dup_eq:
+            parts.append(f"[arg{first} = arg{later}]")
+        cols = ", ".join(f"arg{p}" for p in self.output)
+        parts.append(f"-> ({cols})")
+        lines.append("  " * depth + " ".join(parts))
+
+
+class HashJoinNode(PlanNode):
+    """Hash equi-join; output rows are ``left_row + right_row``.
+
+    The right side is materialized and indexed on ``right_keys``; the left
+    side streams and probes with ``left_keys``. Empty keys degrade to a
+    cross product (the algebra's ×). When the right side is a
+    :class:`ScanNode`, the executor caches the hash index on the data
+    source, so repeated plans over one database build each index once.
+    """
+
+    __slots__ = ("left", "right", "left_keys", "right_keys")
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        left_keys: Tuple[int, ...],
+        right_keys: Tuple[int, ...],
+    ):
+        if len(left_keys) != len(right_keys):
+            raise PlanError("join key lists must have equal length")
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.width = left.width + right.width
+
+    def explain_into(self, table, lines, depth) -> None:
+        if self.left_keys:
+            keys = ", ".join(
+                f"left.col{l} = right.col{r}"
+                for l, r in zip(self.left_keys, self.right_keys)
+            )
+            lines.append("  " * depth + f"hash-join [{keys}]")
+        else:
+            lines.append("  " * depth + "cross-product")
+        self.left.explain_into(table, lines, depth + 1)
+        self.right.explain_into(table, lines, depth + 1)
+
+
+class FilterNode(PlanNode):
+    """Apply one residual predicate to the child's rows."""
+
+    __slots__ = ("child", "predicate")
+
+    def __init__(self, child: PlanNode, predicate: Predicate):
+        self.child = child
+        self.predicate = predicate
+        self.width = child.width
+
+    def explain_into(self, table, lines, depth) -> None:
+        lines.append("  " * depth + f"filter {self.predicate.explain(table)}")
+        self.child.explain_into(table, lines, depth + 1)
+
+
+class ProjectNode(PlanNode):
+    """Pick/duplicate columns and emit literal columns; dedupes its output."""
+
+    __slots__ = ("child", "columns")
+
+    def __init__(self, child: PlanNode, columns: Tuple):
+        self.child = child
+        self.columns = columns
+        self.width = len(columns)
+
+    def explain_into(self, table, lines, depth) -> None:
+        cols = ", ".join(
+            f"col{c}" if isinstance(c, int) else repr(_decode(table, c.cid))
+            for c in self.columns
+        )
+        lines.append("  " * depth + f"project ({cols})")
+        self.child.explain_into(table, lines, depth + 1)
+
+
+class UnitNode(PlanNode):
+    """One empty row — the join seed for queries with no relational body."""
+
+    __slots__ = ()
+
+    def __init__(self):
+        self.width = 0
+
+    def explain_into(self, table, lines, depth) -> None:
+        lines.append("  " * depth + "unit (one empty row)")
+
+
+class UnionPlanNode(PlanNode):
+    """Set union of same-width children (the algebra's ∪)."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Sequence[PlanNode]):
+        self.children = tuple(children)
+        if not self.children:
+            raise PlanError("union of no children")
+        self.width = self.children[0].width
+
+    def explain_into(self, table, lines, depth) -> None:
+        lines.append("  " * depth + f"union ({len(self.children)} branches)")
+        for child in self.children:
+            child.explain_into(table, lines, depth + 1)
+
+
+class CompiledPlan:
+    """A compiled physical plan plus the context needed to run and explain it.
+
+    * ``kind`` — ``"cq"`` (answers decode to head facts) or ``"algebra"``
+      (answers decode to positional rows);
+    * ``prefilters`` — ground builtin atoms, checked once per execution
+      against the empty row (kept out of compile time so a cached plan stays
+      a pure function of the query, not of any one evaluation);
+    * ``key`` — the alpha-equivalence cache key the plan was stored under.
+    """
+
+    __slots__ = (
+        "kind", "root", "prefilters", "head_relation", "table", "key",
+        "source_text",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        root: PlanNode,
+        prefilters: Tuple[Predicate, ...],
+        head_relation: Optional[str],
+        table,
+        key: Tuple,
+        source_text: str,
+    ):
+        self.kind = kind
+        self.root = root
+        self.prefilters = prefilters
+        self.head_relation = head_relation
+        self.table = table
+        self.key = key
+        self.source_text = source_text
+
+    @property
+    def width(self) -> int:
+        return self.root.width
+
+    def explain(self) -> str:
+        """A human-readable rendering of the physical plan."""
+        lines = [f"plan [{self.kind}] for: {self.source_text}"]
+        for predicate in self.prefilters:
+            lines.append(f"prefilter {predicate.explain(self.table)}")
+        self.root.explain_into(self.table, lines, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"CompiledPlan({self.kind!r}, width={self.width})"

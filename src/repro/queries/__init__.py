@@ -27,7 +27,9 @@ from repro.queries.index import (
 from repro.queries.evaluation import (
     derives,
     evaluate,
+    evaluate_backtracking,
     evaluate_naive,
+    order_body,
     supporting_valuation,
     valuations,
 )
@@ -48,8 +50,10 @@ __all__ = [
     "answer_query",
     "ANSWER_RELATION",
     "evaluate",
+    "evaluate_backtracking",
     "evaluate_naive",
     "evaluate_indexed",
+    "order_body",
     "DatabaseIndex",
     "indexed_valuations",
     "valuations",

@@ -1,9 +1,13 @@
 """Conjunctive-query evaluation over global databases.
 
-The evaluator is a backtracking join: it orders body atoms greedily (ground
-and highly-bound atoms first, builtins as soon as their variables are bound)
-and extends substitutions atom by atom. A naive cross-product evaluator is
-kept as an oracle for differential testing.
+:func:`evaluate` routes through the compiled plan pipeline
+(:mod:`repro.plan`): queries compile once per alpha-equivalence class into
+interned scans and hash joins, and per-database indexes are shared across
+calls. The original backtracking join survives unchanged as
+:func:`evaluate_backtracking` — the differential oracle (same pattern as
+``repro.core.baseline``) and still the engine behind
+:func:`supporting_valuation`, which needs witness substitutions rather than
+answer sets. A naive cross-product evaluator is kept as a second oracle.
 """
 
 from __future__ import annotations
@@ -14,7 +18,7 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tup
 from repro.exceptions import BuiltinError
 from repro.model.atoms import Atom
 from repro.model.database import GlobalDatabase
-from repro.model.terms import Constant, Variable
+from repro.model.terms import Constant, Variable, term_sort_key
 from repro.model.valuation import Substitution, match_atom
 from repro.queries.conjunctive import ConjunctiveQuery
 
@@ -25,17 +29,44 @@ def _bound_score(atom: Atom, bound: Set[Variable]) -> Tuple[int, int]:
     return (unbound, atom.arity)
 
 
-def _order_body(query: ConjunctiveQuery) -> List[Atom]:
-    """Greedy join order over relational atoms (builtins handled separately)."""
-    remaining = list(query.relational_body())
+def order_body(atoms: Sequence[Atom]) -> List[Atom]:
+    """Greedy most-bound-first join order with a *stable total* tie-break.
+
+    The greedy score (unbound variable count, then arity) routinely ties —
+    and a tie broken by set iteration order made plans, visit counters, and
+    cache contents vary across runs. Ties now fall through to the atom's
+    relation name, its argument terms (:func:`term_sort_key` gives a total
+    order over mixed constants/variables), and finally the original body
+    position, so the chosen order is a pure function of the atom multiset.
+    Shared by the backtracking evaluator, the hash-index evaluator, and the
+    plan compiler, which keeps all three executors join-order-aligned.
+    """
+    items = list(enumerate(atoms))
     bound: Set[Variable] = set()
     ordered: List[Atom] = []
-    while remaining:
-        best = min(remaining, key=lambda a: _bound_score(a, bound))
-        remaining.remove(best)
-        ordered.append(best)
-        bound |= best.variables()
+
+    def key(item: Tuple[int, Atom]):
+        index, atom = item
+        unbound, arity = _bound_score(atom, bound)
+        return (
+            unbound,
+            arity,
+            atom.relation,
+            tuple(term_sort_key(a) for a in atom.args),
+            index,
+        )
+
+    while items:
+        best = min(items, key=key)
+        items.remove(best)
+        ordered.append(best[1])
+        bound |= best[1].variables()
     return ordered
+
+
+def _order_body(query: ConjunctiveQuery) -> List[Atom]:
+    """Greedy join order over relational atoms (builtins handled separately)."""
+    return order_body(query.relational_body())
 
 
 def valuations(
@@ -90,14 +121,29 @@ def valuations(
     yield from extend(0, Substitution(), initial_pending)
 
 
-def evaluate(query: ConjunctiveQuery, database: GlobalDatabase) -> FrozenSet[Atom]:
-    """``Q(D)``: the set of ground head facts produced by the query."""
+def evaluate_backtracking(
+    query: ConjunctiveQuery, database: GlobalDatabase
+) -> FrozenSet[Atom]:
+    """``Q(D)`` by backtracking join — the differential oracle for the plans."""
     out: Set[Atom] = set()
     for subst in valuations(query, database):
         head = subst.apply(query.head)
         if head.is_ground():
             out.add(head)
     return frozenset(out)
+
+
+def evaluate(query: ConjunctiveQuery, database: GlobalDatabase) -> FrozenSet[Atom]:
+    """``Q(D)``: the set of ground head facts produced by the query.
+
+    Routes through :mod:`repro.plan` — compiled once per alpha-equivalence
+    class, executed over cached interned scans and hash-join indexes.
+    Answer-identical to :func:`evaluate_backtracking` (property-tested in
+    ``tests/property/test_plan_equivalence.py``).
+    """
+    from repro.plan import evaluate as _plan_evaluate
+
+    return _plan_evaluate(query, database)
 
 
 def evaluate_naive(query: ConjunctiveQuery, database: GlobalDatabase) -> FrozenSet[Atom]:

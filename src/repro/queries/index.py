@@ -19,9 +19,10 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tup
 from repro.exceptions import BuiltinError
 from repro.model.atoms import Atom
 from repro.model.database import GlobalDatabase
-from repro.model.terms import Constant, Term, Variable
+from repro.model.terms import Constant
 from repro.model.valuation import Substitution, match_atom
 from repro.queries.conjunctive import ConjunctiveQuery
+from repro.queries.evaluation import order_body
 
 Positions = Tuple[int, ...]
 Key = Tuple[Constant, ...]
@@ -94,22 +95,8 @@ class DatabaseIndex:
 
 
 def _order_body(query: ConjunctiveQuery) -> List[Atom]:
-    """Greedy most-bound-first join order (mirrors the plain evaluator)."""
-    remaining = list(query.relational_body())
-    bound: Set[Variable] = set()
-    ordered: List[Atom] = []
-    while remaining:
-        best = min(
-            remaining,
-            key=lambda a: (
-                sum(1 for v in a.variables() if v not in bound),
-                a.arity,
-            ),
-        )
-        remaining.remove(best)
-        ordered.append(best)
-        bound |= best.variables()
-    return ordered
+    """Greedy most-bound-first join order (shared with the plain evaluator)."""
+    return order_body(query.relational_body())
 
 
 def indexed_valuations(

@@ -25,7 +25,7 @@ from typing import Dict, FrozenSet, List, Mapping, NamedTuple, Tuple
 from repro.model.atoms import Atom
 from repro.model.database import GlobalDatabase
 from repro.queries.conjunctive import ConjunctiveQuery
-from repro.queries.evaluation import valuations
+from repro.queries.evaluation import valuations  # boxed-ok: oracle needs witnesses
 from repro.sources.collection import SourceCollection
 
 
@@ -52,13 +52,70 @@ def execute_plan(
     return plan.apply(source_database(collection))
 
 
+#: Support-score computations performed so far (regression counter: the
+#: deduped executor computes one score per plan, the per-valuation oracle
+#: one per derivation).
+_SCORE_COMPUTATIONS = 0
+
+
+def score_computations() -> int:
+    """How many times a plan's support score has been computed."""
+    return _SCORE_COMPUTATIONS
+
+
+def _plan_annotation(
+    plan: ConjunctiveQuery, by_view: Mapping[str, object]
+) -> Tuple[FrozenSet[str], Fraction]:
+    """Contributing source names and support score of *plan*.
+
+    Both depend only on the plan's body atoms — never on the valuation that
+    produced an answer — so they are computed once per plan.
+    """
+    global _SCORE_COMPUTATIONS
+    _SCORE_COMPUTATIONS += 1
+    names = frozenset(
+        by_view[a.relation].name for a in plan.body if a.relation in by_view
+    )
+    support = Fraction(1)
+    for a in plan.body:
+        source = by_view.get(a.relation)
+        if source is not None:
+            support *= source.soundness_bound
+    return names, support
+
+
 def execute_annotated(
-    plan: ConjunctiveQuery, collection: SourceCollection
+    plan: ConjunctiveQuery,
+    collection: SourceCollection,
+    database: GlobalDatabase = None,
 ) -> List[AnnotatedAnswer]:
     """Answers with contributing-source provenance and support scores.
 
-    When several derivations produce one answer, the best (highest-support)
-    derivation is kept.
+    The annotation is a function of the plan alone, so it is computed once
+    and attached to every answer — and the answers themselves come from the
+    compiled-plan evaluator rather than a per-valuation walk. Pass
+    *database* to share one source database across plans (``execute_all``
+    does). :func:`execute_annotated_by_valuation` keeps the original
+    per-derivation loop as the differential oracle.
+    """
+    by_view: Dict[str, object] = {s.view.head_relation(): s for s in collection}
+    if database is None:
+        database = source_database(collection)
+    names, support = _plan_annotation(plan, by_view)
+    return sorted(
+        (AnnotatedAnswer(fact, names, support) for fact in plan.apply(database)),
+        key=lambda a: (-a.support, str(a.fact)),
+    )
+
+
+def execute_annotated_by_valuation(
+    plan: ConjunctiveQuery, collection: SourceCollection
+) -> List[AnnotatedAnswer]:
+    """The pre-dedup annotated executor: recomputes the score per valuation.
+
+    Kept as the differential oracle for :func:`execute_annotated`; the
+    regression test asserts identical answers with strictly fewer score
+    computations on multi-derivation workloads.
     """
     by_view: Dict[str, object] = {s.view.head_relation(): s for s in collection}
     database = source_database(collection)
@@ -67,14 +124,7 @@ def execute_annotated(
         head = substitution.apply(plan.head)
         if not head.is_ground():
             continue
-        names = frozenset(
-            by_view[a.relation].name for a in plan.body if a.relation in by_view
-        )
-        support = Fraction(1)
-        for a in plan.body:
-            source = by_view.get(a.relation)
-            if source is not None:
-                support *= source.soundness_bound
+        names, support = _plan_annotation(plan, by_view)
         candidate = AnnotatedAnswer(head, names, support)
         existing = best.get(head)
         if existing is None or candidate.support > existing.support:
@@ -89,9 +139,10 @@ def execute_all(
 ) -> List[AnnotatedAnswer]:
     """Union the annotated answers of several plans (best support kept)."""
     best: Dict[Atom, AnnotatedAnswer] = {}
+    database = source_database(collection)
     for rewriting in plans:
         plan = rewriting.plan if hasattr(rewriting, "plan") else rewriting
-        for answer in execute_annotated(plan, collection):
+        for answer in execute_annotated(plan, collection, database=database):
             existing = best.get(answer.fact)
             if existing is None or answer.support > existing.support:
                 best[answer.fact] = answer

@@ -17,6 +17,7 @@ from fractions import Fraction
 from typing import Dict, Optional, Tuple
 
 from repro.model.atoms import Atom
+from repro.queries.conjunctive import ConjunctiveQuery
 
 _request_ids = itertools.count(1)
 
@@ -49,6 +50,10 @@ class ConfidenceRequest:
     snapshot_version: int = -1
     request_id: int = field(default_factory=lambda: next(_request_ids))
     submitted_at: float = 0.0
+    #: optional conjunctive query, answered with certain-answer lower-bound
+    #: semantics over the snapshot's confidence-1 facts (compiled through
+    #: ``repro.plan``); a request must carry facts, a query, or both
+    query: Optional[ConjunctiveQuery] = None
 
     def expired(self, now: float) -> bool:
         return self.deadline is not None and now > self.deadline
@@ -72,6 +77,9 @@ class ServiceResponse:
     latency: float = 0.0
     batch_size: int = 0
     attempts: int = 0
+    #: certain-answer lower bound of the request's query (empty when the
+    #: request carried no query)
+    answers: Tuple[Atom, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -92,4 +100,5 @@ class ServiceResponse:
             "latency": self.latency,
             "batch_size": self.batch_size,
             "attempts": self.attempts,
+            "answers": [str(a) for a in sorted(self.answers, key=str)],
         }

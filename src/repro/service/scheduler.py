@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import ReproError
 from repro.model.atoms import Atom
+from repro.model.database import GlobalDatabase
 from repro.confidence.engine import ConfidenceEngine
 from repro.confidence.engine.memo import LRUMemo
 from repro.service.faults import SourceGateway, TransientSourceError
@@ -109,6 +110,7 @@ class RequestScheduler:
         self._inflight: List = []
         self._worker: Optional[asyncio.Task] = None
         self._engines: Dict[int, ConfidenceEngine] = {}
+        self._certain_dbs: Dict[int, GlobalDatabase] = {}
         self._running = False
 
     # -- lifecycle ---------------------------------------------------------------
@@ -156,16 +158,19 @@ class RequestScheduler:
         for engine in self._engines.values():
             engine.close()
         self._engines.clear()
+        self._certain_dbs.clear()
 
     # -- admission ---------------------------------------------------------------
 
     async def submit(
-        self, facts, timeout: Optional[float] = None
+        self, facts, timeout: Optional[float] = None, query=None
     ) -> "asyncio.Future[ServiceResponse]":
         """Admit one request; returns a future resolving to its response.
 
         The registry snapshot is pinned *here*: mutations landing after
         admission are invisible to this request (snapshot isolation).
+        A request may ask for fact confidences, a conjunctive query's
+        certain-answer lower bound, or both — but not neither.
         """
         if self._queue is None:
             raise ReproError("scheduler is not started")
@@ -177,10 +182,11 @@ class RequestScheduler:
             deadline=None if timeout is None else now + timeout,
             snapshot_version=snapshot.version,
             submitted_at=now,
+            query=query,
         )
         future: "asyncio.Future[ServiceResponse]" = loop.create_future()
         self.metrics.counter("requests_submitted").inc()
-        if not request.facts:
+        if not request.facts and request.query is None:
             self._resolve(
                 request, future,
                 ServiceResponse(
@@ -209,10 +215,10 @@ class RequestScheduler:
         return future
 
     async def request(
-        self, facts, timeout: Optional[float] = None
+        self, facts, timeout: Optional[float] = None, query=None
     ) -> ServiceResponse:
         """Submit and await in one call."""
-        return await (await self.submit(facts, timeout=timeout))
+        return await (await self.submit(facts, timeout=timeout, query=query))
 
     # -- the worker --------------------------------------------------------------
 
@@ -289,6 +295,7 @@ class RequestScheduler:
                     snapshot, span
                 )
                 confidences = self._compute(resolved, live, span)
+                answers = self._answer_queries(resolved, live, span)
             except ReproError as exc:
                 now = loop.time()
                 for request, _snapshot, future in live:
@@ -324,6 +331,7 @@ class RequestScheduler:
                         latency=now - request.submitted_at,
                         batch_size=len(live),
                         attempts=attempts,
+                        answers=answers.get(request.request_id, ()),
                     )
                 self._resolve(request, future, response)
 
@@ -364,6 +372,55 @@ class RequestScheduler:
                 # Anonymous or out-of-space fact: one (memoized) extra task.
                 confidences[f] = engine.confidence(f)
         return confidences
+
+    def _answer_queries(
+        self, snapshot: RegistrySnapshot, live, span
+    ) -> Dict[int, Tuple[Atom, ...]]:
+        """Certain-answer lower bounds for the batch's query requests.
+
+        The snapshot's confidence-1 facts form a database contained in every
+        possible world, so by monotonicity any conjunctive answer over it is
+        certain (cf. ``repro.confidence.answers.certain_answer_lower_bound``).
+        The query runs through the compiled-plan pipeline; the certain
+        database is cached per snapshot version, so batch-mates and repeat
+        queries share its scan rows and join indexes.
+        """
+        queried = [
+            request for request, _snapshot, _future in live
+            if request.query is not None
+        ]
+        out: Dict[int, Tuple[Atom, ...]] = {}
+        if not queried:
+            return out
+        from repro.plan import evaluate as plan_evaluate
+
+        database = self._certain_database(snapshot)
+        with span.child(
+            "query_answers", version=snapshot.version, queries=len(queried)
+        ):
+            self.metrics.counter("query_requests").inc(len(queried))
+            for request in queried:
+                out[request.request_id] = tuple(
+                    sorted(plan_evaluate(request.query, database), key=str)
+                )
+        return out
+
+    def _certain_database(self, snapshot: RegistrySnapshot) -> GlobalDatabase:
+        """The snapshot's confidence-1 facts as one database (cached)."""
+        database = self._certain_dbs.get(snapshot.version)
+        if database is None:
+            engine = self._engine_for(snapshot)
+            database = GlobalDatabase(
+                f for f, confidence in engine.confidences().items()
+                if confidence == 1
+            )
+            self._certain_dbs[snapshot.version] = database
+            while len(self._certain_dbs) > 8:
+                oldest = min(self._certain_dbs)
+                if oldest == snapshot.version:
+                    break
+                self._certain_dbs.pop(oldest)
+        return database
 
     def _engine_for(self, snapshot: RegistrySnapshot) -> ConfidenceEngine:
         engine = self._engines.get(snapshot.version)

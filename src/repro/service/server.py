@@ -95,9 +95,21 @@ class MediatorService:
         """Exact confidences of *facts*, answered against one snapshot."""
         return await self.scheduler.request(facts, timeout=timeout)
 
-    async def submit(self, facts, timeout: Optional[float] = None):
+    async def answer(
+        self, query, timeout: Optional[float] = None
+    ) -> ServiceResponse:
+        """A conjunctive query's certain-answer lower bound, one snapshot.
+
+        The query is compiled through ``repro.plan`` and evaluated over the
+        snapshot's confidence-1 facts; ``response.answers`` carries the
+        (sound, under-approximate) certain answers. Queries ride the same
+        admission queue, deadlines, and batching as confidence requests.
+        """
+        return await self.scheduler.request((), timeout=timeout, query=query)
+
+    async def submit(self, facts, timeout: Optional[float] = None, query=None):
         """Admit without awaiting (returns the response future)."""
-        return await self.scheduler.submit(facts, timeout=timeout)
+        return await self.scheduler.submit(facts, timeout=timeout, query=query)
 
     # -- registry mutations (thread-safe; invalidate the memo incrementally) -----
 
@@ -142,8 +154,10 @@ class MediatorService:
         Shape (validated by ``tools/check_service_snapshot.py``)::
 
             {"registry": {...}, "metrics": {counters, gauges, histograms},
-             "gateway": {...}, "tracing": {...}}
+             "gateway": {...}, "tracing": {...}, "plan": {cache, data_sources}}
         """
+        from repro.plan import plan_stats
+
         snapshot = self.registry.snapshot()
         gateway: Dict[str, object] = {"reads": self.gateway.reads}
         if isinstance(self.gateway, FaultInjector):
@@ -170,6 +184,7 @@ class MediatorService:
                 "spans_dropped": self.tracer.spans_dropped,
                 "recent_spans": len(self.tracer.export()),
             },
+            "plan": plan_stats(),
         }
 
     def recent_spans(self) -> List[Dict[str, object]]:

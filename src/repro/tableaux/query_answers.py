@@ -28,8 +28,8 @@ from typing import FrozenSet, Optional
 from repro.model.atoms import Atom
 from repro.model.database import GlobalDatabase
 from repro.model.terms import Constant
+from repro.plan import evaluate
 from repro.queries.conjunctive import ConjunctiveQuery
-from repro.queries.evaluation import evaluate
 from repro.sources.collection import SourceCollection
 from repro.tableaux.construction import templates_for_collection
 from repro.tableaux.tableau import Tableau

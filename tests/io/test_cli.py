@@ -218,7 +218,9 @@ class TestServe:
         ) == 0
         out = capsys.readouterr().out.strip()
         snapshot = json.loads(out)  # the whole stdout is one JSON document
-        assert set(snapshot) == {"gateway", "metrics", "registry", "tracing"}
+        assert set(snapshot) == {
+            "gateway", "metrics", "plan", "registry", "tracing",
+        }
 
     def test_non_identity_collection_rejected(self, tmp_path, capsys):
         from repro.queries import identity_view

@@ -1,0 +1,119 @@
+"""Executor tests: answers, data-source sharing, caches, boundaries."""
+
+import pytest
+
+from repro.algebra.ast import Product, Projection, RelationScan, Selection
+from repro.algebra.conditions import Col, Comparison
+from repro.model import GlobalDatabase, fact
+from repro.model.terms import Constant
+from repro.plan import (
+    MAX_DATA_SOURCES,
+    clear_data_sources,
+    data_source_count,
+    data_source_for,
+    evaluate,
+    evaluate_rows,
+    explain,
+)
+from repro.queries import evaluate_backtracking, evaluate_naive, parse_rule
+
+
+@pytest.fixture
+def db():
+    return GlobalDatabase(
+        [
+            fact("E", 1, 2),
+            fact("E", 2, 3),
+            fact("E", 3, 3),
+            fact("F", 2, "x"),
+            fact("F", 3, "y"),
+        ]
+    )
+
+
+@pytest.fixture(autouse=True)
+def fresh_sources():
+    clear_data_sources()
+    yield
+    clear_data_sources()
+
+
+class TestAnswers:
+    @pytest.mark.parametrize(
+        "rule",
+        [
+            "ans(x, y) <- E(x, y)",
+            "ans(x, z) <- E(x, y), F(y, z)",
+            "ans(x) <- E(x, x)",
+            "ans(y) <- E(1, y)",
+            "ans(x, y) <- E(x, y), Lt(x, y)",
+            "ans(z) <- E(x, y), E(y, z), Lt(x, z)",
+            "ans() <- E(1, 2)",
+            "ans() <- E(9, 9)",
+        ],
+    )
+    def test_matches_both_oracles(self, db, rule):
+        q = parse_rule(rule)
+        expected = evaluate_naive(q, db)
+        assert evaluate(q, db) == expected
+        assert evaluate_backtracking(q, db) == expected
+
+    def test_algebra_rows_match_boxed_interpreter(self, db):
+        tree = Projection(
+            (0, 3),
+            Selection(
+                Comparison(Col(1), "==", Col(2)),
+                Product(RelationScan("E", 2), RelationScan("F", 2)),
+            ),
+        )
+        assert evaluate_rows(tree, db) == tree.evaluate_boxed(db)
+
+    def test_projection_constant_column(self, db):
+        tree = Projection((Constant("tag"), 0), RelationScan("F", 2))
+        rows = evaluate_rows(tree, db)
+        assert rows == tree.evaluate_boxed(db)
+        assert all(row[0] == Constant("tag") for row in rows)
+
+    def test_empty_database(self):
+        empty = GlobalDatabase([])
+        q = parse_rule("ans(x, y) <- E(x, y)")
+        assert evaluate(q, empty) == frozenset()
+
+
+class TestDataSourceSharing:
+    def test_equal_content_shares_one_source(self, db):
+        twin = GlobalDatabase(list(db.facts()))
+        source_a = data_source_for(db.core())
+        source_b = data_source_for(twin.core())
+        assert source_a is source_b
+        assert data_source_count() == 1
+
+    def test_scan_rows_cached_across_queries(self, db):
+        evaluate(parse_rule("ans(x, y) <- E(x, y)"), db)
+        source = data_source_for(db.core())
+        scans_before, _ = source.cached_artifacts()
+        evaluate(parse_rule("ans(a, b) <- E(a, b)"), db)
+        scans_after, _ = source.cached_artifacts()
+        assert scans_after == scans_before
+
+    def test_join_index_memoized(self, db):
+        q = parse_rule("ans(x, z) <- E(x, y), F(y, z)")
+        evaluate(q, db)
+        source = data_source_for(db.core())
+        _, indexes_before = source.cached_artifacts()
+        assert indexes_before >= 1
+        evaluate(q, db)
+        _, indexes_after = source.cached_artifacts()
+        assert indexes_after == indexes_before
+
+    def test_source_registry_is_bounded(self):
+        for i in range(MAX_DATA_SOURCES + 10):
+            data_source_for(GlobalDatabase([fact("R", i)]).core())
+        assert data_source_count() == MAX_DATA_SOURCES
+
+
+class TestExplain:
+    def test_explain_is_stable_text(self, db):
+        q = parse_rule("ans(x, z) <- E(x, y), F(y, z)")
+        assert explain(q) == explain(q)
+        assert "hash-join" in explain(q)

@@ -1,0 +1,53 @@
+"""Regression: the greedy join order is a pure function of the atom multiset.
+
+The greedy score (unbound variables, then arity) ties constantly — e.g. any
+two fresh binary atoms — and the old tie-break was whatever ``min`` saw
+first, which inherited set iteration order and varied across runs and
+processes. ``order_body`` now breaks ties by relation name, argument terms,
+and original position, so every permutation of a body produces one order.
+"""
+
+from itertools import permutations
+
+from repro.queries import order_body, parse_rule
+
+
+def body_of(rule):
+    return parse_rule(rule).relational_body()
+
+
+class TestStableTieBreak:
+    def test_permutations_of_tied_atoms_agree(self):
+        body = body_of("ans(x, z) <- E(x, y), F(y, z), G(z, w)")
+        orders = {
+            tuple(order_body(list(perm))) for perm in permutations(body)
+        }
+        assert len(orders) == 1
+
+    def test_tied_same_relation_atoms_fall_back_to_argument_terms(self):
+        body = body_of("ans(x, y, z) <- E(x, y), E(y, z), E(z, x)")
+        orders = {
+            tuple(order_body(list(perm))) for perm in permutations(body)
+        }
+        assert len(orders) == 1
+
+    def test_bound_count_still_dominates(self):
+        # The ground atom must come first regardless of relation names.
+        body = body_of("ans(x) <- Z(x, y), A(1, 2)")
+        ordered = order_body(body)
+        assert ordered[0].relation == "A"
+
+    def test_arity_still_dominates_relation_name(self):
+        body = body_of("ans(x) <- A(x, y, z), Z(x)")
+        ordered = order_body(body)
+        assert ordered[0].relation == "Z"
+
+    def test_order_is_deterministic_across_reparses(self):
+        rule = "ans(x, w) <- E(x, y), F(y, z), E(z, w), F(w, x)"
+        first = order_body(body_of(rule))
+        for _ in range(20):
+            assert order_body(body_of(rule)) == first
+
+    def test_duplicate_atoms_preserve_multiplicity(self):
+        body = body_of("ans(x, y) <- E(x, y), E(x, y)")
+        assert len(order_body(body)) == 2

@@ -1,0 +1,83 @@
+"""Regression: support scores are computed once per plan, not per valuation.
+
+``execute_annotated`` used to rebuild the contributing-source set and the
+``∏ soundness_bound`` product inside the valuation loop, although both
+depend only on the plan's body. On a workload where one answer has many
+derivations this recomputed identical scores hundreds of times. The deduped
+executor must return byte-identical answers with exactly one score
+computation per plan; ``execute_annotated_by_valuation`` keeps the old loop
+as the oracle.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.model import fact
+from repro.queries import parse_rule
+from repro.rewriting import executor
+from repro.rewriting.executor import (
+    execute_annotated,
+    execute_annotated_by_valuation,
+    execute_all,
+)
+from repro.sources import SourceCollection, SourceDescriptor
+
+
+@pytest.fixture
+def collection():
+    # E is a dense bipartite hop: ans(x, z) <- E(x, y), F(y, z) derives each
+    # answer through every middle vertex, so valuations >> answers.
+    middles = ["m1", "m2", "m3", "m4"]
+    e_facts = [fact("VE", s, m) for s in ("a", "b") for m in middles]
+    f_facts = [fact("VF", m, t) for m in middles for t in ("s", "t")]
+    return SourceCollection(
+        [
+            SourceDescriptor(
+                parse_rule("VE(x, y) <- E(x, y)"), e_facts,
+                0, Fraction(3, 4), name="SE",
+            ),
+            SourceDescriptor(
+                parse_rule("VF(y, z) <- F(y, z)"), f_facts,
+                0, Fraction(1, 2), name="SF",
+            ),
+        ]
+    )
+
+
+PLAN = parse_rule("ans(x, z) <- VE(x, y), VF(y, z)")
+
+
+def score_delta(fn, *args, **kwargs):
+    before = executor.score_computations()
+    result = fn(*args, **kwargs)
+    return result, executor.score_computations() - before
+
+
+class TestDedupedScores:
+    def test_answers_identical_to_per_valuation_oracle(self, collection):
+        deduped, _ = score_delta(execute_annotated, PLAN, collection)
+        oracle, _ = score_delta(
+            execute_annotated_by_valuation, PLAN, collection
+        )
+        assert deduped == oracle
+        assert deduped  # the workload actually produces answers
+        assert all(a.support == Fraction(3, 8) for a in deduped)
+        assert all(a.sources == frozenset({"SE", "SF"}) for a in deduped)
+
+    def test_one_score_computation_per_plan(self, collection):
+        _, work = score_delta(execute_annotated, PLAN, collection)
+        assert work == 1
+
+    def test_oracle_recomputes_per_valuation(self, collection):
+        # 2 starts x 4 middles x 2 targets = 16 valuations.
+        _, work = score_delta(
+            execute_annotated_by_valuation, PLAN, collection
+        )
+        assert work == 16
+
+    def test_execute_all_shares_the_source_database(self, collection):
+        plans = [PLAN, parse_rule("ans2(x, y) <- VE(x, y)")]
+        result, work = score_delta(execute_all, plans, collection)
+        assert work == len(plans)
+        assert result

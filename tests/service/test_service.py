@@ -167,7 +167,8 @@ class TestObservability:
                 return service.stats(), service.recent_spans()
 
         stats, spans = run(scenario())
-        assert set(stats) == {"registry", "metrics", "gateway", "tracing"}
+        assert set(stats) == {"registry", "metrics", "gateway", "tracing", "plan"}
+        assert set(stats["plan"]) == {"cache", "data_sources"}
         assert stats["registry"]["version"] == 0
         assert stats["registry"]["sources"] == 2
         assert stats["gateway"]["reads"] == 1

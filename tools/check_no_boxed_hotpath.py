@@ -13,6 +13,14 @@ cold boundary code living in a hot module, or for a ``frozenset`` that holds
 plain ints (the interned representation itself, e.g. the ID backbone of
 ``IFactSet``). The waiver is part of the diff and therefore reviewable.
 
+The ``repro.plan`` refactor adds a second contract: modules whose query
+evaluation was routed through the compiled-plan pipeline must not drift back
+to calling a pre-plan evaluator directly. ``ROUTED_MODULES`` are checked for
+calls to ``evaluate_backtracking`` / ``evaluate_naive`` /
+``evaluate_indexed`` and for imports from ``repro.queries.evaluation`` —
+the oracles stay available everywhere else (tests, benchmarks, the
+rewriting executor's witness path, which carries an explicit waiver).
+
 Usage: python tools/check_no_boxed_hotpath.py [repo_root]
 Exit 0 when clean, 1 with a report of every violation otherwise.
 """
@@ -40,10 +48,30 @@ HOT_MODULES = (
 #: set, or an IFactSet belongs.
 BANNED = re.compile(r"\b(Constant|frozenset)\(")
 
+#: Modules whose query answering is routed through ``repro.plan``; a direct
+#: call to a pre-plan evaluator here silently bypasses the plan cache and
+#: the shared data-source indexes.
+ROUTED_MODULES = (
+    "src/repro/confidence/answers.py",
+    "src/repro/confidence/worlds.py",
+    "src/repro/service/scheduler.py",
+    "src/repro/service/server.py",
+    "src/repro/rewriting/executor.py",
+    "src/repro/tableaux/query_answers.py",
+)
+
+#: Direct evaluator use banned in routed modules: calling an oracle
+#: evaluator, or importing from the oracle module at all.
+BANNED_ROUTED = re.compile(
+    r"\b(evaluate_backtracking|evaluate_naive|evaluate_indexed)\s*\("
+    r"|from repro\.queries\.evaluation import"
+    r"|import repro\.queries\.evaluation\b"
+)
+
 WAIVER = "# boxed-ok"
 
 
-def check_module(path: Path) -> list:
+def check_module(path: Path, banned: re.Pattern = BANNED) -> list:
     problems = []
     in_docstring = False
     delimiter = None
@@ -67,7 +95,7 @@ def check_module(path: Path) -> list:
         if in_docstring or one_line_string:
             continue
         code = line.split("#", 1)[0]
-        if BANNED.search(code) and WAIVER not in line:
+        if banned.search(code) and WAIVER not in line:
             problems.append(f"{path}:{number}: {stripped}")
     return problems
 
@@ -82,12 +110,21 @@ def main(argv) -> int:
             missing.append(f"hot module missing: {relative}")
             continue
         problems.extend(check_module(path))
+    for relative in ROUTED_MODULES:
+        path = root / relative
+        if not path.exists():
+            missing.append(f"routed module missing: {relative}")
+            continue
+        problems.extend(check_module(path, banned=BANNED_ROUTED))
     for problem in missing + problems:
         print(problem)
     if problems or missing:
         print(f"\n{len(missing + problems)} hot-path violation(s).")
         return 1
-    print(f"{len(HOT_MODULES)} hot modules clean (no boxed construction).")
+    print(
+        f"{len(HOT_MODULES)} hot modules clean (no boxed construction); "
+        f"{len(ROUTED_MODULES)} routed modules clean (no direct evaluator use)."
+    )
     return 0
 
 
