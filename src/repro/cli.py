@@ -113,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain", action="store_true",
         help="print the compiled physical plan before the answers",
     )
+    answer.add_argument(
+        "--explain-analyze", action="store_true",
+        help="run the query measured over the possible worlds and print the "
+        "annotated plan (cardinality estimates vs actuals) before the answers",
+    )
 
     consensus = commands.add_parser(
         "consensus", help="conflict analysis: trust, blame, repairs, relaxation"
@@ -130,6 +135,11 @@ def build_parser() -> argparse.ArgumentParser:
     rewrite.add_argument(
         "--explain", action="store_true",
         help="print each rewriting's compiled physical plan",
+    )
+    rewrite.add_argument(
+        "--explain-analyze", action="store_true",
+        help="execute each rewriting measured over the source extensions and "
+        "print its annotated plan (cardinality estimates vs actuals)",
     )
 
     serve = commands.add_parser(
@@ -266,6 +276,15 @@ def cmd_answer(args) -> int:
 
         print(explain(query))
         print()
+    if args.explain_analyze:
+        from repro.plan import explain_analyze_worlds
+
+        print(
+            explain_analyze_worlds(
+                query, possible_worlds(collection, args.domain)
+            )
+        )
+        print()
     result = answer_query(query, collection, args.domain)
     print(f"possible worlds: {result.world_count}")
     print("certain answer:")
@@ -332,6 +351,14 @@ def cmd_rewrite(args) -> int:
         for plan in plans:
             print()
             print(explain(plan.plan))
+    if args.explain_analyze:
+        from repro.plan import explain_analyze
+        from repro.rewriting.executor import source_database
+
+        database = source_database(collection)
+        for plan in plans:
+            print()
+            print(explain_analyze(plan.plan, database))
     if args.plans_only:
         return 0
     print("\nanswers from the sources (ranked by support):")

@@ -36,7 +36,7 @@ from repro.core.symbols import (
     global_table,
 )
 from repro.core.iatoms import IAtom
-from repro.core.factset import IFactSet
+from repro.core.factset import Derivation, IFactSet
 from repro.core.adapters import (
     atom_of_fact,
     fact_of_atom,
@@ -59,6 +59,7 @@ __all__ = [
     "SymbolSnapshot",
     "SymbolTable",
     "global_table",
+    "Derivation",
     "IAtom",
     "IFactSet",
     "atom_of_fact",

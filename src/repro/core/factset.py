@@ -11,18 +11,59 @@ per-relation index is built lazily from the owning
 
 from __future__ import annotations
 
+import weakref
 from array import array
 from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
 
 from repro.core.symbols import SymbolTable
 
 
+class Derivation:
+    """How one fact set was derived from another: ``parent ± delta``.
+
+    The statistics catalog (:mod:`repro.plan.statistics`) uses this hint to
+    maintain per-relation statistics *incrementally*: when the parent's
+    statistics are already cached and the delta is small relative to the
+    derived set, the catalog applies per-fact count updates instead of
+    rescanning the whole extension. The parent is held through a weak
+    reference so the hint never extends any fact set's lifetime.
+    """
+
+    __slots__ = ("_parent", "added", "removed")
+
+    def __init__(
+        self,
+        parent: "IFactSet",
+        added: FrozenSet[int],
+        removed: FrozenSet[int],
+    ):
+        self._parent = weakref.ref(parent)
+        self.added = added
+        self.removed = removed
+
+    def parent(self) -> Optional["IFactSet"]:
+        """The base fact set, or ``None`` once it has been collected."""
+        return self._parent()
+
+    def delta_size(self) -> int:
+        """Total number of fact IDs the derivation touched."""
+        return len(self.added) + len(self.removed)
+
+
 class IFactSet:
     """An immutable set of fact IDs over one symbol table."""
 
-    __slots__ = ("table", "_ids", "_sorted", "_by_relation", "_grouped", "_hash")
+    __slots__ = (
+        "table", "_ids", "_sorted", "_by_relation", "_grouped", "_hash",
+        "_derivation", "__weakref__",
+    )
 
-    def __init__(self, table: SymbolTable, ids: Iterable[int] = ()):
+    def __init__(
+        self,
+        table: SymbolTable,
+        ids: Iterable[int] = (),
+        derivation: Optional[Derivation] = None,
+    ):
         self.table = table
         self._ids: FrozenSet[int] = (
             ids if isinstance(ids, frozenset) else frozenset(ids)  # boxed-ok: ints
@@ -31,6 +72,7 @@ class IFactSet:
         self._by_relation: Optional[Dict[int, FrozenSet[int]]] = None
         self._grouped: Optional[Dict[int, Tuple[Tuple[int, ...], ...]]] = None
         self._hash = hash(self._ids)
+        self._derivation = derivation
 
     # -- set interface ---------------------------------------------------------
 
@@ -68,23 +110,42 @@ class IFactSet:
     # -- algebra ---------------------------------------------------------------
 
     def union(self, other: "IFactSet") -> "IFactSet":
-        return IFactSet(self.table, self._ids | other._ids)
+        """The set union, hinted as ``self + (other - self)``."""
+        merged = self._ids | other._ids
+        hint = Derivation(self, merged - self._ids, frozenset())  # boxed-ok: ints
+        return IFactSet(self.table, merged, derivation=hint)
 
     def intersection(self, other: "IFactSet") -> "IFactSet":
-        return IFactSet(self.table, self._ids & other._ids)
+        """The set intersection, hinted as ``self - (self - other)``."""
+        kept = self._ids & other._ids
+        hint = Derivation(self, frozenset(), self._ids - kept)  # boxed-ok: ints
+        return IFactSet(self.table, kept, derivation=hint)
 
     def difference(self, other: "IFactSet") -> "IFactSet":
-        return IFactSet(self.table, self._ids - other._ids)
+        """The set difference, hinted as a removal from ``self``."""
+        kept = self._ids - other._ids
+        hint = Derivation(self, frozenset(), self._ids - kept)  # boxed-ok: ints
+        return IFactSet(self.table, kept, derivation=hint)
 
     __or__ = union
     __and__ = intersection
     __sub__ = difference
 
     def with_ids(self, extra: Iterable[int]) -> "IFactSet":
-        return IFactSet(self.table, self._ids | set(extra))
+        """This set plus *extra* fact IDs (derivation-hinted)."""
+        merged = self._ids | set(extra)
+        hint = Derivation(self, merged - self._ids, frozenset())  # boxed-ok: ints
+        return IFactSet(self.table, merged, derivation=hint)
 
     def without_ids(self, removed: Iterable[int]) -> "IFactSet":
-        return IFactSet(self.table, self._ids - set(removed))
+        """This set minus *removed* fact IDs (derivation-hinted)."""
+        kept = self._ids - set(removed)
+        hint = Derivation(self, frozenset(), self._ids - kept)  # boxed-ok: ints
+        return IFactSet(self.table, kept, derivation=hint)
+
+    def derivation(self) -> Optional[Derivation]:
+        """The derivation hint this set was built with, if any."""
+        return self._derivation
 
     # -- relational access -----------------------------------------------------
 

@@ -31,6 +31,7 @@ class IAtom:
 
     @property
     def arity(self) -> int:
+        """Number of argument terms."""
         return len(self.args)
 
     def variable_ids(self) -> Tuple[int, ...]:

@@ -182,9 +182,11 @@ class SymbolTable:
             return None
 
     def find_relation(self, name: str) -> Optional[int]:
+        """The relation ID for *name*, or ``None`` if never interned."""
         return self._relations.get(name)
 
     def find_fact(self, rid: int, arg_ids: Iterable[int]) -> Optional[int]:
+        """The fact ID for ``(rid, args...)``, or ``None`` if absent."""
         return self._facts.get((rid, *arg_ids))
 
     # -- reverse lookups -------------------------------------------------------
@@ -198,6 +200,7 @@ class SymbolTable:
         return self._variable_names[-vid - 1]
 
     def relation_name(self, rid: int) -> str:
+        """The name behind a relation ID."""
         return self._relation_names[rid]
 
     def fact_tuple(self, fid: int) -> Tuple[int, ...]:
@@ -205,9 +208,11 @@ class SymbolTable:
         return self._fact_tuples[fid]
 
     def fact_relation(self, fid: int) -> int:
+        """The relation ID of a fact ID."""
         return self._fact_tuples[fid][0]
 
     def fact_args(self, fid: int) -> Tuple[int, ...]:
+        """The argument constant IDs of a fact ID."""
         return self._fact_tuples[fid][1:]
 
     # -- transactions ----------------------------------------------------------

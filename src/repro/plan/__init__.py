@@ -9,8 +9,14 @@ interned core (:mod:`repro.plan.ir`), with:
 * hash joins whose build-side indexes are cached per database,
 * builtin/σ filters applied at the earliest bound point,
 * a canonical-form plan cache keyed by alpha-equivalence
-  (:mod:`repro.plan.compiler` / :mod:`repro.plan.cache`), and
-* ``EXPLAIN``-able plans (``python -m repro answer ... --explain``).
+  (:mod:`repro.plan.compiler` / :mod:`repro.plan.cache`),
+* a cost-based adaptive optimizer (:mod:`repro.plan.optimizer`) fed by a
+  statistics catalog (:mod:`repro.plan.statistics`) that picks join orders,
+  flags tiny probe sides, and re-optimizes plans whose runtime feedback
+  shows mis-estimates, and
+* ``EXPLAIN``-able plans (``python -m repro answer ... --explain``) plus
+  measured ``EXPLAIN ANALYZE`` trees (:mod:`repro.plan.analyze`,
+  ``--explain-analyze``).
 
 Every evaluator in the repo routes here: ``queries.evaluation.evaluate``,
 the algebra interpreter, the rewriting executor, tableaux query answering,
@@ -20,6 +26,11 @@ oracles (``evaluate_backtracking`` / ``evaluate_naive``), same pattern as
 :mod:`repro.core.baseline`.
 """
 
+from repro.plan.analyze import (
+    analyze_plan,
+    explain_analyze,
+    explain_analyze_worlds,
+)
 from repro.plan.cache import (
     plan_cache_stats,
     plan_cache_stats_dict,
@@ -38,26 +49,53 @@ from repro.plan.executor import (
     explain,
 )
 from repro.plan.ir import CompiledPlan, PlanError
+from repro.plan.optimizer import (
+    PlanFeedback,
+    choose_join_order,
+    optimizer_stats,
+    reset_optimizer_stats,
+)
+from repro.plan.statistics import (
+    TableStatistics,
+    cached_statistics,
+    clear_statistics,
+    discard_statistics,
+    statistics_counters,
+    statistics_for,
+)
 
 __all__ = [
     "CompiledPlan",
     "MAX_DATA_SOURCES",
     "PlanDataSource",
     "PlanError",
+    "PlanFeedback",
+    "TableStatistics",
+    "analyze_plan",
+    "cached_statistics",
+    "choose_join_order",
     "clear_data_sources",
+    "clear_statistics",
     "compile_query",
     "data_source_count",
     "data_source_for",
+    "discard_statistics",
     "evaluate",
     "evaluate_rows",
     "execute_plan",
     "explain",
+    "explain_analyze",
+    "explain_analyze_worlds",
+    "optimizer_stats",
     "plan_cache_stats",
     "plan_cache_stats_dict",
     "plan_for",
     "plan_key",
     "plan_stats",
+    "reset_optimizer_stats",
     "shared_plan_cache",
+    "statistics_counters",
+    "statistics_for",
 ]
 
 
@@ -66,4 +104,6 @@ def plan_stats() -> dict:
     return {
         "cache": plan_cache_stats_dict(),
         "data_sources": data_source_count(),
+        "statistics": statistics_counters(),
+        "optimizer": optimizer_stats(),
     }

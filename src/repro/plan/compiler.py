@@ -2,14 +2,20 @@
 
 Both query languages compile into one IR (:mod:`repro.plan.ir`):
 
-* **Conjunctive queries** — relational body atoms are ordered by the stable
-  greedy join order (:func:`repro.queries.evaluation.order_body`), the first
-  becomes a :class:`~repro.plan.ir.ScanNode` and each later one the build
-  side of a :class:`~repro.plan.ir.HashJoinNode` keyed on every variable
-  already bound; constants and repeated variables push into the scans;
-  builtin atoms become :class:`~repro.plan.ir.FilterNode` predicates at the
-  earliest point all their variables are bound (ground builtins become
-  per-execution prefilters).
+* **Conjunctive queries** — relational body atoms are ordered either by the
+  cost-based optimizer (:func:`repro.plan.optimizer.choose_join_order`, used
+  whenever the caller supplies a fact set to profile and the body has at
+  least two relational atoms) or by the static syntactic order
+  (:func:`repro.queries.evaluation.order_body`) when no statistics are
+  available; the first atom becomes a :class:`~repro.plan.ir.ScanNode` and
+  each later one the build side of a :class:`~repro.plan.ir.HashJoinNode`
+  keyed on every variable already bound; constants and repeated variables
+  push into the scans; builtin atoms become
+  :class:`~repro.plan.ir.FilterNode` predicates at the earliest point all
+  their variables are bound (ground builtins become per-execution
+  prefilters). Optimized plans carry per-operator cardinality estimates, a
+  :class:`~repro.plan.optimizer.PlanFeedback` for the adaptive loop, and
+  ``prefer_scan_probe`` flags on joins whose probe side should stay tiny.
 * **Algebra trees** — ``Selection*``-over-``Product*`` chains are flattened;
   ``Col = Col`` equalities across product leaves become hash-join keys,
   per-leaf equalities push into the scans, and every other condition becomes
@@ -261,11 +267,36 @@ def _scan_for_atom(atom, table) -> Tuple[ScanNode, List[Variable]]:
     return scan, out_vars
 
 
-def _compile_cq(query, table, key: Tuple) -> CompiledPlan:
+def _compile_cq(
+    query,
+    table,
+    key: Tuple,
+    stats=None,
+    overrides=None,
+    feedback=None,
+) -> CompiledPlan:
+    """Compile one conjunctive query, cost-based when *stats* is given.
+
+    With statistics (and at least two relational atoms) the join order comes
+    from :func:`repro.plan.optimizer.choose_join_order`, per-operator
+    ``est_rows`` are annotated, joins with tiny probe sides get
+    ``prefer_scan_probe``, and the plan carries a
+    :class:`~repro.plan.optimizer.PlanFeedback` (*feedback*, or a fresh one)
+    for the adaptive loop; *overrides* are observed scan cardinalities from
+    a previous execution, fed back during re-optimization. Without
+    statistics the static ``order_body`` order is kept unchanged.
+    """
+    from repro.plan.optimizer import (
+        FILTER_SELECTIVITY,
+        PlanFeedback,
+        choose_join_order,
+        optimizer_counters,
+        prefer_scan_probe,
+    )
     from repro.queries.evaluation import order_body
 
     registry = query.builtins
-    relational = order_body(query.relational_body())
+    relational = query.relational_body()
     prefilters: List[Predicate] = []
     pending = []
     for atom in query.builtin_body():
@@ -274,16 +305,47 @@ def _compile_cq(query, table, key: Tuple) -> CompiledPlan:
         else:
             pending.append(atom)
 
+    counters = optimizer_counters()
+    optimized = stats is not None and len(relational) >= 2
+    optimizer_info: Optional[str] = None
+    if optimized:
+        triples = []
+        for atom in relational:
+            scan, out_vars = _scan_for_atom(atom, table)
+            triples.append((scan, out_vars, atom))
+        order = choose_join_order(triples, stats, overrides)
+        steps = [(o.scan, o.out_vars, o.scan_est, o.result_est) for o in order.ordered]
+        counters.bump("plans_optimized")
+        if feedback is None:
+            feedback = PlanFeedback()
+        optimizer_info = (
+            f"{order.method} join order over {len(steps)} atoms, "
+            f"est cost {order.total_cost:.0f}"
+        )
+        if feedback.reopt_count:
+            optimizer_info += f" (reopt #{feedback.reopt_count})"
+    else:
+        steps = []
+        for atom in order_body(relational):
+            scan, out_vars = _scan_for_atom(atom, table)
+            steps.append((scan, out_vars, None, None))
+        feedback = None
+        counters.bump("plans_static")
+
     root: Optional[PlanNode] = None
     var_cols: Dict[Variable, int] = {}
     width = 0
-    for atom in relational:
-        scan, out_vars = _scan_for_atom(atom, table)
+    scan_nodes: List[ScanNode] = []
+    prev_est: Optional[float] = None
+    for scan, out_vars, scan_est, result_est in steps:
+        scan.est_rows = scan_est
+        scan_nodes.append(scan)
         if root is None:
             root = scan
             for j, v in enumerate(out_vars):
                 var_cols[v] = j
             width = scan.width
+            prev_est = scan_est
         else:
             left_keys: List[int] = []
             right_keys: List[int] = []
@@ -295,16 +357,33 @@ def _compile_cq(query, table, key: Tuple) -> CompiledPlan:
                 else:
                     left_keys.append(bound_col)
                     right_keys.append(j)
-            root = HashJoinNode(root, scan, tuple(left_keys), tuple(right_keys))
+            probe_flag = False
+            if (
+                optimized
+                and left_keys
+                and prev_est is not None
+                and scan_est is not None
+                and prefer_scan_probe(prev_est, scan_est)
+            ):
+                probe_flag = True
+                counters.bump("scan_probe_flags")
+            root = HashJoinNode(
+                root, scan, tuple(left_keys), tuple(right_keys), probe_flag
+            )
+            root.est_rows = result_est
             for j, v in fresh:
                 var_cols[v] = width + j
             width += scan.width
+            prev_est = result_est
         still = []
         for b in pending:
             if all(v in var_cols for v in b.variables()):
                 root = FilterNode(
                     root, _builtin_predicate(b, registry, var_cols, table)
                 )
+                if prev_est is not None:
+                    prev_est = prev_est * FILTER_SELECTIVITY
+                    root.est_rows = prev_est
             else:
                 still.append(b)
         pending = still
@@ -325,8 +404,11 @@ def _compile_cq(query, table, key: Tuple) -> CompiledPlan:
                 raise PlanError(f"unsafe head variable {term} survived safety")
             columns.append(col)
     root = ProjectNode(root, tuple(columns))
+    root.est_rows = prev_est
     return CompiledPlan(
-        "cq", root, tuple(prefilters), query.head.relation, table, key, str(query)
+        "cq", root, tuple(prefilters), query.head.relation, table, key,
+        str(query), optimizer_info=optimizer_info,
+        scan_nodes=tuple(scan_nodes), feedback=feedback,
     )
 
 
@@ -546,23 +628,42 @@ def _compile_algebra(node, table) -> PlanNode:
 
 # -- entry points --------------------------------------------------------------
 
-def compile_query(query, table) -> CompiledPlan:
+def compile_query(query, table, stats=None) -> CompiledPlan:
     """Compile one query (CQ or algebra) to a :class:`CompiledPlan`."""
     key = plan_key(query, table)
-    return compile_with_key(query, table, key)
+    return compile_with_key(query, table, key, stats=stats)
 
 
-def compile_with_key(query, table, key: Tuple) -> CompiledPlan:
+def compile_with_key(
+    query, table, key: Tuple, stats=None, overrides=None, feedback=None
+) -> CompiledPlan:
+    """Compile with a precomputed cache key; see :func:`_compile_cq`.
+
+    Statistics only influence conjunctive queries — algebra trees keep their
+    structural order (their columns are positional, so reordering products
+    would change answers, not just cost).
+    """
     from repro.queries.conjunctive import ConjunctiveQuery
 
     if isinstance(query, ConjunctiveQuery):
-        return _compile_cq(query, table, key)
+        return _compile_cq(
+            query, table, key, stats=stats, overrides=overrides,
+            feedback=feedback,
+        )
     root = _compile_algebra(query, table)
     return CompiledPlan("algebra", root, (), None, table, key, repr(query))
 
 
-def plan_for(query, cache=None, table=None) -> CompiledPlan:
+def plan_for(query, cache=None, table=None, facts=None) -> CompiledPlan:
     """The cached plan for *query*, compiling on first sight.
+
+    *facts* (an :class:`~repro.core.factset.IFactSet`) turns on cost-based
+    compilation: first sight profiles the fact set through the statistics
+    catalog and optimizes against it, and a cache hit whose runtime feedback
+    marked the plan stale is **re-optimized** here — recompiled against the
+    current statistics with the observed scan cardinalities overriding the
+    estimates that proved wrong. Cache hits on healthy plans stay a pure
+    dictionary lookup.
 
     Raises :class:`~repro.plan.ir.PlanError` when the query cannot be
     planned; callers with a boxed fallback catch it.
@@ -576,7 +677,25 @@ def plan_for(query, cache=None, table=None) -> CompiledPlan:
     key = plan_key(query, table)
     hit, plan = cache.lookup(key)
     if hit:
+        feedback = plan.feedback
+        if feedback is not None and feedback.stale and facts is not None:
+            from repro.plan.optimizer import PlanFeedback, optimizer_counters
+            from repro.plan.statistics import statistics_for
+
+            plan = compile_with_key(
+                query, table, key,
+                stats=statistics_for(facts),
+                overrides=dict(feedback.observed),
+                feedback=PlanFeedback(reopt_count=feedback.reopt_count + 1),
+            )
+            optimizer_counters().bump("reoptimizations")
+            cache.store(key, plan)
         return plan
-    plan = compile_with_key(query, table, key)
+    stats = None
+    if facts is not None:
+        from repro.plan.statistics import statistics_for
+
+        stats = statistics_for(facts)
+    plan = compile_with_key(query, table, key, stats=stats)
     cache.store(key, plan)
     return plan

@@ -92,6 +92,15 @@ class PlanDataSource:
                 seen.setdefault(tuple(args[p] for p in output))
         return tuple(seen)
 
+    def peek_scan_rows(self, node: ScanNode) -> Optional[Rows]:
+        """The scan's rows if this source already built them, else ``None``.
+
+        The runtime-feedback pass reads actual scan cardinalities through
+        this so recording observations never triggers work the plan's own
+        execution did not already pay for.
+        """
+        return self._scans.get(node.cache_key())
+
     def join_index(
         self, node: ScanNode, key_cols: Tuple[int, ...]
     ) -> Dict[Tuple[int, ...], Rows]:
@@ -102,6 +111,12 @@ class PlanDataSource:
             index = _build_index(self.scan_rows(node), key_cols)
             self._indexes[cache_key] = index
         return index
+
+    def cached_index(
+        self, node: ScanNode, key_cols: Tuple[int, ...]
+    ) -> Optional[Dict[Tuple[int, ...], Rows]]:
+        """An already-built hash index, or ``None`` (never builds one)."""
+        return self._indexes.get((node.cache_key(), key_cols))
 
     def cached_artifacts(self) -> Tuple[int, int]:
         """``(scan_count, index_count)`` currently memoized."""
@@ -160,6 +175,37 @@ def clear_data_sources() -> None:
 
 # -- the interpreter -----------------------------------------------------------
 
+def _scan_probe_join(
+    node: HashJoinNode,
+    left_rows: Sequence[Tuple[int, ...]],
+    source: PlanDataSource,
+) -> Sequence[Tuple[int, ...]]:
+    """Join a tiny probe side against a scan without building its hash index.
+
+    The optimizer's ``prefer_scan_probe`` path for cold data sources: the
+    build side's rows are filtered once against the probe keys, grouping
+    only the matching rows, so a huge build relation probed by a handful of
+    rows costs one pass instead of a full (and cached) index build.
+    """
+    right_rows = source.scan_rows(node.right)
+    left_keys = node.left_keys
+    right_keys = node.right_keys
+    probe_keys = {tuple(lrow[c] for c in left_keys) for lrow in left_rows}
+    matched: Dict[Tuple[int, ...], List[Tuple[int, ...]]] = {}
+    for rrow in right_rows:
+        key = tuple(rrow[c] for c in right_keys)
+        if key in probe_keys:
+            matched.setdefault(key, []).append(rrow)
+    out: List[Tuple[int, ...]] = []
+    get = matched.get
+    for lrow in left_rows:
+        matches = get(tuple(lrow[c] for c in left_keys))
+        if matches:
+            for rrow in matches:
+                out.append(lrow + rrow)
+    return out
+
+
 def _run(node: PlanNode, source: PlanDataSource) -> Sequence[Tuple[int, ...]]:
     node_type = type(node)
     if node_type is ScanNode:
@@ -170,6 +216,11 @@ def _run(node: PlanNode, source: PlanDataSource) -> Sequence[Tuple[int, ...]]:
             return _EMPTY_ROWS
         right = node.right
         if type(right) is ScanNode:
+            if (
+                node.prefer_scan_probe
+                and source.cached_index(right, node.right_keys) is None
+            ):
+                return _scan_probe_join(node, left_rows, source)
             index = source.join_index(right, node.right_keys)
         else:
             index = _build_index(_run(right, source), node.right_keys)
@@ -219,6 +270,36 @@ def _run(node: PlanNode, source: PlanDataSource) -> Sequence[Tuple[int, ...]]:
     raise PlanError(f"unknown plan node {node_type.__name__}")
 
 
+def record_feedback(
+    plan: CompiledPlan, source: PlanDataSource, result_count: int
+) -> None:
+    """Fold one execution's observations into the plan's feedback loop.
+
+    Only free observations are taken: scan cardinalities come off the data
+    source's already-built caches (:meth:`PlanDataSource.peek_scan_rows`)
+    and the result count is the length the caller already has. A q-error
+    beyond the re-optimization threshold flips ``feedback.stale`` — the plan
+    cache re-optimizes on its next hit.
+    """
+    from repro.plan.optimizer import optimizer_counters
+
+    feedback = plan.feedback
+    if feedback is None:
+        return
+    counters = optimizer_counters()
+    for scan in plan.scan_nodes:
+        rows = source.peek_scan_rows(scan)
+        if rows is None:
+            continue
+        actual = len(rows)
+        feedback.observed[scan.cache_key()] = actual
+        counters.record_q_error(feedback.record(scan.est_rows, actual))
+    if plan.root.est_rows is not None:
+        counters.record_q_error(
+            feedback.record(plan.root.est_rows, result_count)
+        )
+
+
 def execute_plan(
     plan: CompiledPlan, source: PlanDataSource
 ) -> FrozenSet[Tuple[int, ...]]:
@@ -227,7 +308,10 @@ def execute_plan(
     for predicate in plan.prefilters:
         if not predicate.evaluate((), table):
             return frozenset()  # boxed-ok: ints
-    return frozenset(_run(plan.root, source))  # boxed-ok: ints
+    rows = frozenset(_run(plan.root, source))  # boxed-ok: ints
+    if plan.feedback is not None:
+        record_feedback(plan, source, len(rows))
+    return rows
 
 
 # -- boxed entry points --------------------------------------------------------
@@ -243,8 +327,9 @@ def evaluate(query, database) -> FrozenSet:
     from repro.model.atoms import Atom
     from repro.plan.compiler import plan_for
 
-    plan = plan_for(query)
-    source = data_source_for(database.core())
+    core = database.core()
+    plan = plan_for(query, facts=core)
+    source = data_source_for(core)
     rows = execute_plan(plan, source)
     constant_value = plan.table.constant_value
     head_relation = plan.head_relation
@@ -264,8 +349,9 @@ def evaluate_rows(algebra_query, database) -> FrozenSet[Tuple]:
     from repro.model.terms import Constant
     from repro.plan.compiler import plan_for
 
-    plan = plan_for(algebra_query)
-    source = data_source_for(database.core())
+    core = database.core()
+    plan = plan_for(algebra_query, facts=core)
+    source = data_source_for(core)
     rows = execute_plan(plan, source)
     constant_value = plan.table.constant_value
     return frozenset(
@@ -273,8 +359,31 @@ def evaluate_rows(algebra_query, database) -> FrozenSet[Tuple]:
     )
 
 
-def explain(query, table=None) -> str:
-    """The EXPLAIN rendering of a query's (cached) physical plan."""
+def format_est(value: float) -> str:
+    """Render a cardinality estimate for EXPLAIN (integers above ten)."""
+    if value >= 10 or value == int(value):
+        return f"{value:.0f}"
+    return f"{value:.2f}"
+
+
+def _estimate_suffix(node: PlanNode) -> str:
+    est = node.est_rows
+    if est is None:
+        return ""
+    return f"  (est={format_est(est)} rows)"
+
+
+def explain(query, table=None, database=None) -> str:
+    """The EXPLAIN rendering of a query's (cached) physical plan.
+
+    With a *database*, the plan is compiled cost-based against its
+    statistics and each operator line carries the optimizer's cardinality
+    estimate; without one the rendering is the static plan, unchanged.
+    """
     from repro.plan.compiler import plan_for
 
-    return plan_for(query, table=table).explain()
+    facts = database.core() if database is not None else None
+    plan = plan_for(query, table=table, facts=facts)
+    if plan.optimizer_info:
+        return plan.explain(annotate=_estimate_suffix)
+    return plan.explain()

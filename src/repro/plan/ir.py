@@ -53,9 +53,11 @@ class Predicate:
     __slots__ = ()
 
     def evaluate(self, row: Tuple[int, ...], table) -> bool:
+        """Decide this predicate on one row of constant IDs."""
         raise NotImplementedError
 
     def explain(self, table) -> str:
+        """Human-readable rendering, decoding IDs through *table*."""
         raise NotImplementedError
 
 
@@ -69,9 +71,11 @@ class ColEqualsConst(Predicate):
         self.cid = cid
 
     def evaluate(self, row, table) -> bool:
+        """Integer compare of one column against the interned constant."""
         return row[self.col] == self.cid
 
     def explain(self, table) -> str:
+        """Render as ``colN = value`` with the constant decoded."""
         return f"col{self.col} = {_decode(table, self.cid)!r}"
 
 
@@ -85,9 +89,11 @@ class ColEqualsCol(Predicate):
         self.right = right
 
     def evaluate(self, row, table) -> bool:
+        """Integer compare of two columns of the row."""
         return row[self.left] == row[self.right]
 
     def explain(self, table) -> str:
+        """Render as ``colL = colR``."""
         return f"col{self.left} = col{self.right}"
 
 
@@ -128,6 +134,7 @@ class ComparePredicate(Predicate):
         self._fn = _OPS[op]
 
     def evaluate(self, row, table) -> bool:
+        """Decoded-value comparison; incomparable types compare false."""
         try:
             return bool(
                 self._fn(
@@ -139,6 +146,7 @@ class ComparePredicate(Predicate):
             return False
 
     def explain(self, table) -> str:
+        """Render as ``lhs op rhs`` over column/literal specs."""
         return f"{_explain_spec(self.lhs)} {self.op} {_explain_spec(self.rhs)}"
 
 
@@ -158,6 +166,7 @@ class BuiltinPredicate(Predicate):
         self.specs = specs
 
     def evaluate(self, row, table) -> bool:
+        """Look the builtin up (per evaluation) and apply it to the row."""
         builtin = self.registry.get(self.name)
         if builtin is None:
             raise BuiltinError(f"unknown builtin: {self.name}")
@@ -166,6 +175,7 @@ class BuiltinPredicate(Predicate):
         )
 
     def explain(self, table) -> str:
+        """Render as ``name(args...)`` over column/literal specs."""
         inner = ", ".join(_explain_spec(s) for s in self.specs)
         return f"{self.name}({inner})"
 
@@ -185,12 +195,14 @@ class ConditionPredicate(Predicate):
         self.condition = condition
 
     def evaluate(self, row, table) -> bool:
+        """Decode the row to boxed constants and ask the condition."""
         from repro.model.terms import Constant
 
         boxed = tuple(Constant(table.constant_value(c)) for c in row)
         return self.condition.evaluate(boxed)
 
     def explain(self, table) -> str:
+        """Render the wrapped boxed condition."""
         return f"condition {self.condition!r}"
 
 
@@ -206,12 +218,39 @@ class Lit:
 
 
 class PlanNode:
-    """Base class of physical plan nodes; ``width`` is the row arity."""
+    """Base class of physical plan nodes; ``width`` is the row arity.
 
-    __slots__ = ("width",)
+    ``est_rows`` is the optimizer's cardinality estimate for this operator's
+    output (``None`` on statically compiled plans); EXPLAIN prints it and
+    EXPLAIN ANALYZE pairs it with the measured actual.
+    """
 
-    def explain_into(self, table, lines: List[str], depth: int) -> None:
+    __slots__ = ("width", "est_rows")
+
+    def children(self) -> Tuple["PlanNode", ...]:
+        """This node's child operators, in rendering order."""
+        return ()
+
+    def explain_line(self, table) -> str:
+        """One line of EXPLAIN text for this operator (no indentation)."""
         raise NotImplementedError
+
+    def explain_into(
+        self, table, lines: List[str], depth: int, annotate=None
+    ) -> None:
+        """Render this subtree into *lines*, one indented line per node.
+
+        *annotate*, when given, maps a node to a suffix string — the hook
+        EXPLAIN ANALYZE uses to append ``(est=… actual=…)`` per operator.
+        """
+        line = "  " * depth + self.explain_line(table)
+        if annotate is not None:
+            suffix = annotate(self)
+            if suffix:
+                line += suffix
+        lines.append(line)
+        for child in self.children():
+            child.explain_into(table, lines, depth + 1, annotate)
 
 
 class ScanNode(PlanNode):
@@ -245,12 +284,14 @@ class ScanNode(PlanNode):
         self.dup_eq = dup_eq
         self.output = output
         self.width = len(output)
+        self.est_rows = None
 
     def cache_key(self) -> Tuple:
         """Identity of this scan's row set within one data source."""
         return (self.rid, self.arity, self.const_eq, self.dup_eq, self.output)
 
-    def explain_into(self, table, lines, depth) -> None:
+    def explain_line(self, table) -> str:
+        """One line: relation/arity, pushdowns, and emitted columns."""
         parts = [f"scan {self.relation}/{self.arity}"]
         for pos, cid in self.const_eq:
             parts.append(f"[arg{pos} = {_decode(table, cid)!r}]")
@@ -258,7 +299,7 @@ class ScanNode(PlanNode):
             parts.append(f"[arg{first} = arg{later}]")
         cols = ", ".join(f"arg{p}" for p in self.output)
         parts.append(f"-> ({cols})")
-        lines.append("  " * depth + " ".join(parts))
+        return " ".join(parts)
 
 
 class HashJoinNode(PlanNode):
@@ -269,9 +310,14 @@ class HashJoinNode(PlanNode):
     cross product (the algebra's ×). When the right side is a
     :class:`ScanNode`, the executor caches the hash index on the data
     source, so repeated plans over one database build each index once.
+
+    ``prefer_scan_probe`` is the optimizer's build-vs-probe verdict: when
+    set (probe side estimated far smaller than the build side), a cold
+    execution filters the scan's rows per probe key instead of building
+    the full hash index; a warm source with a cached index ignores it.
     """
 
-    __slots__ = ("left", "right", "left_keys", "right_keys")
+    __slots__ = ("left", "right", "left_keys", "right_keys", "prefer_scan_probe")
 
     def __init__(
         self,
@@ -279,6 +325,7 @@ class HashJoinNode(PlanNode):
         right: PlanNode,
         left_keys: Tuple[int, ...],
         right_keys: Tuple[int, ...],
+        prefer_scan_probe: bool = False,
     ):
         if len(left_keys) != len(right_keys):
             raise PlanError("join key lists must have equal length")
@@ -286,19 +333,24 @@ class HashJoinNode(PlanNode):
         self.right = right
         self.left_keys = left_keys
         self.right_keys = right_keys
+        self.prefer_scan_probe = prefer_scan_probe
         self.width = left.width + right.width
+        self.est_rows = None
 
-    def explain_into(self, table, lines, depth) -> None:
+    def children(self) -> Tuple[PlanNode, ...]:
+        """The build (right) and probe (left) inputs."""
+        return (self.left, self.right)
+
+    def explain_line(self, table) -> str:
+        """One line: join keys (or cross-product) and probe strategy."""
         if self.left_keys:
             keys = ", ".join(
                 f"left.col{l} = right.col{r}"
                 for l, r in zip(self.left_keys, self.right_keys)
             )
-            lines.append("  " * depth + f"hash-join [{keys}]")
-        else:
-            lines.append("  " * depth + "cross-product")
-        self.left.explain_into(table, lines, depth + 1)
-        self.right.explain_into(table, lines, depth + 1)
+            strategy = " probe=scan" if self.prefer_scan_probe else ""
+            return f"hash-join [{keys}]{strategy}"
+        return "cross-product"
 
 
 class FilterNode(PlanNode):
@@ -310,10 +362,15 @@ class FilterNode(PlanNode):
         self.child = child
         self.predicate = predicate
         self.width = child.width
+        self.est_rows = None
 
-    def explain_into(self, table, lines, depth) -> None:
-        lines.append("  " * depth + f"filter {self.predicate.explain(table)}")
-        self.child.explain_into(table, lines, depth + 1)
+    def children(self) -> Tuple[PlanNode, ...]:
+        """The single filtered input."""
+        return (self.child,)
+
+    def explain_line(self, table) -> str:
+        """One line: the residual predicate, decoded."""
+        return f"filter {self.predicate.explain(table)}"
 
 
 class ProjectNode(PlanNode):
@@ -325,14 +382,19 @@ class ProjectNode(PlanNode):
         self.child = child
         self.columns = columns
         self.width = len(columns)
+        self.est_rows = None
 
-    def explain_into(self, table, lines, depth) -> None:
+    def children(self) -> Tuple[PlanNode, ...]:
+        """The single projected input."""
+        return (self.child,)
+
+    def explain_line(self, table) -> str:
+        """One line: emitted columns and literal constants."""
         cols = ", ".join(
             f"col{c}" if isinstance(c, int) else repr(_decode(table, c.cid))
             for c in self.columns
         )
-        lines.append("  " * depth + f"project ({cols})")
-        self.child.explain_into(table, lines, depth + 1)
+        return f"project ({cols})"
 
 
 class UnitNode(PlanNode):
@@ -342,13 +404,20 @@ class UnitNode(PlanNode):
 
     def __init__(self):
         self.width = 0
+        self.est_rows = None
 
-    def explain_into(self, table, lines, depth) -> None:
-        lines.append("  " * depth + "unit (one empty row)")
+    def explain_line(self, table) -> str:
+        """One line: the nullary seed row."""
+        return "unit (one empty row)"
 
 
 class UnionPlanNode(PlanNode):
-    """Set union of same-width children (the algebra's ∪)."""
+    """Set union of same-width children (the algebra's ∪).
+
+    ``children`` is a plain tuple attribute (shadowing the base method — the
+    attribute predates it and tests rely on it), so this node keeps its own
+    ``explain_into`` instead of the ``explain_line`` protocol.
+    """
 
     __slots__ = ("children",)
 
@@ -357,11 +426,18 @@ class UnionPlanNode(PlanNode):
         if not self.children:
             raise PlanError("union of no children")
         self.width = self.children[0].width
+        self.est_rows = None
 
-    def explain_into(self, table, lines, depth) -> None:
-        lines.append("  " * depth + f"union ({len(self.children)} branches)")
+    def explain_into(self, table, lines, depth, annotate=None) -> None:
+        """Render ``union`` and recurse into every branch."""
+        line = "  " * depth + f"union ({len(self.children)} branches)"
+        if annotate is not None:
+            suffix = annotate(self)
+            if suffix:
+                line += suffix
+        lines.append(line)
         for child in self.children:
-            child.explain_into(table, lines, depth + 1)
+            child.explain_into(table, lines, depth + 1, annotate)
 
 
 class CompiledPlan:
@@ -372,12 +448,19 @@ class CompiledPlan:
     * ``prefilters`` — ground builtin atoms, checked once per execution
       against the empty row (kept out of compile time so a cached plan stays
       a pure function of the query, not of any one evaluation);
-    * ``key`` — the alpha-equivalence cache key the plan was stored under.
+    * ``key`` — the alpha-equivalence cache key the plan was stored under;
+    * ``optimizer_info`` — ``None`` for statically ordered plans, else a
+      short description of how the optimizer ordered the joins (printed in
+      the EXPLAIN header);
+    * ``scan_nodes`` — every :class:`ScanNode` in the plan, in join order
+      (the runtime-feedback loop reads observed scan cardinalities off it);
+    * ``feedback`` — the :class:`repro.plan.optimizer.PlanFeedback` attached
+      by the optimizer, or ``None`` on static plans.
     """
 
     __slots__ = (
         "kind", "root", "prefilters", "head_relation", "table", "key",
-        "source_text",
+        "source_text", "optimizer_info", "scan_nodes", "feedback",
     )
 
     def __init__(
@@ -389,6 +472,9 @@ class CompiledPlan:
         table,
         key: Tuple,
         source_text: str,
+        optimizer_info: Optional[str] = None,
+        scan_nodes: Tuple[ScanNode, ...] = (),
+        feedback=None,
     ):
         self.kind = kind
         self.root = root
@@ -397,17 +483,27 @@ class CompiledPlan:
         self.table = table
         self.key = key
         self.source_text = source_text
+        self.optimizer_info = optimizer_info
+        self.scan_nodes = scan_nodes
+        self.feedback = feedback
 
     @property
     def width(self) -> int:
+        """Number of columns the plan's answers carry."""
         return self.root.width
 
-    def explain(self) -> str:
-        """A human-readable rendering of the physical plan."""
+    def explain(self, annotate=None) -> str:
+        """A human-readable rendering of the physical plan.
+
+        *annotate* maps a plan node to a per-line suffix (EXPLAIN ANALYZE
+        appends ``(est=… actual=…)`` through it); plain EXPLAIN passes none.
+        """
         lines = [f"plan [{self.kind}] for: {self.source_text}"]
+        if self.optimizer_info:
+            lines.append(f"optimizer: {self.optimizer_info}")
         for predicate in self.prefilters:
             lines.append(f"prefilter {predicate.explain(self.table)}")
-        self.root.explain_into(self.table, lines, 0)
+        self.root.explain_into(self.table, lines, 0, annotate)
         return "\n".join(lines)
 
     def __repr__(self) -> str:

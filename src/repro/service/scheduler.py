@@ -392,18 +392,41 @@ class RequestScheduler:
         out: Dict[int, Tuple[Atom, ...]] = {}
         if not queried:
             return out
-        from repro.plan import evaluate as plan_evaluate
+        from repro.plan import evaluate as plan_evaluate, optimizer_stats
 
         database = self._certain_database(snapshot)
         with span.child(
             "query_answers", version=snapshot.version, queries=len(queried)
         ):
             self.metrics.counter("query_requests").inc(len(queried))
+            before = optimizer_stats()
             for request in queried:
                 out[request.request_id] = tuple(
                     sorted(plan_evaluate(request.query, database), key=str)
                 )
+            self._record_optimizer_metrics(before, optimizer_stats())
         return out
+
+    def _record_optimizer_metrics(self, before: Dict, after: Dict) -> None:
+        """Fold this batch's optimizer activity into the metrics registry.
+
+        The optimizer's counters are process-wide; the per-batch *delta* is
+        what this service instance actually caused, so that is what lands in
+        its :class:`MetricsRegistry` (``plan_misestimates``,
+        ``plan_reoptimizations``, ...).
+        """
+        for name in (
+            "plans_optimized",
+            "feedback_checks",
+            "misestimates",
+            "reoptimizations",
+        ):
+            delta = (after.get(name) or 0) - (before.get(name) or 0)
+            if delta:
+                self.metrics.counter(f"plan_{name}").inc(delta)
+        max_q = after.get("max_q_error")
+        if max_q and max_q != before.get("max_q_error"):
+            self.metrics.histogram("plan_q_error").observe(max_q)
 
     def _certain_database(self, snapshot: RegistrySnapshot) -> GlobalDatabase:
         """The snapshot's confidence-1 facts as one database (cached)."""
@@ -421,6 +444,24 @@ class RequestScheduler:
                     break
                 self._certain_dbs.pop(oldest)
         return database
+
+    def discard_plan_statistics(self, before_version: int) -> int:
+        """Retire cached certain databases (and their statistics) pre-dating
+        *before_version*.
+
+        The statistics catalog is content-addressed, so this is hygiene:
+        superseded snapshots' certain databases will never be queried again,
+        and dropping their entries keeps the catalog from silting up under
+        registry churn. Mirrors the memo's ``RegistryDiff`` invalidation.
+        """
+        from repro.plan import discard_statistics
+
+        dropped = 0
+        for version in [v for v in self._certain_dbs if v < before_version]:
+            database = self._certain_dbs.pop(version)
+            if discard_statistics(database.core()):
+                dropped += 1
+        return dropped
 
     def _engine_for(self, snapshot: RegistrySnapshot) -> ConfidenceEngine:
         engine = self._engines.get(snapshot.version)

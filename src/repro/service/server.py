@@ -139,8 +139,10 @@ class MediatorService:
 
     def _after_mutation(self, old, diff: RegistryDiff) -> None:
         removed = invalidate(self.memo, old, diff)
+        dropped = self.scheduler.discard_plan_statistics(diff.new_version)
         self.metrics.counter("registry_mutations").inc()
         self.metrics.counter("memo_entries_invalidated").inc(removed)
+        self.metrics.counter("plan_statistics_discarded").inc(dropped)
         self.metrics.gauge("registry_version").set(diff.new_version)
         self.metrics.histogram("touched_blocks").observe(
             len(diff.touched_blocks)

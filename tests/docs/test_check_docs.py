@@ -1,4 +1,4 @@
-"""The docs link checker: clean on this repo, and actually catches rot."""
+"""The docs reference checker: clean on this repo, and actually catches rot."""
 
 import sys
 from pathlib import Path
@@ -9,7 +9,7 @@ sys.path.insert(0, str(REPO_ROOT / "tools"))
 import check_docs  # noqa: E402
 
 
-def test_repo_docs_have_no_dead_links(capsys):
+def test_repo_docs_have_no_dead_references(capsys):
     assert check_docs.main(["check_docs.py", str(REPO_ROOT)]) == 0
 
 
@@ -22,7 +22,7 @@ def test_dead_link_and_anchor_detected(tmp_path):
         "[bad anchor](docs/real.md#nope) "
         "[fine](docs/real.md#real-heading)\n"
     )
-    problems = check_docs.check_file(tmp_path / "README.md")
+    problems = check_docs.check_links(tmp_path / "README.md")
     assert len(problems) == 2
     assert any("missing.md" in p for p in problems)
     assert any("#nope" in p for p in problems)
@@ -33,4 +33,32 @@ def test_external_urls_and_code_fences_ignored(tmp_path):
         "[ext](https://example.com/x.md)\n"
         "```\n[not a link](nowhere.md)\n```\n"
     )
-    assert check_docs.check_file(tmp_path / "README.md") == []
+    assert check_docs.check_links(tmp_path / "README.md") == []
+
+
+def test_module_paths_resolve_modules_and_attributes():
+    assert check_docs.resolvable("repro.plan")
+    assert check_docs.resolvable("repro.plan.optimizer")
+    assert check_docs.resolvable("repro.plan.evaluate")  # module attribute
+    assert check_docs.resolvable("repro.queries.evaluation.evaluate_naive")
+    assert not check_docs.resolvable("repro.no_such_module")
+    assert not check_docs.resolvable("repro.plan.no_such_function")
+
+
+def test_stale_module_path_reported(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("see `repro.plan.optimizer` and `repro.gone.missing`\n")
+    problems = check_docs.check_module_paths(doc)
+    assert len(problems) == 1
+    assert "repro.gone.missing" in problems[0]
+
+
+def test_cli_flags_checked_against_real_parsers(tmp_path):
+    flags = check_docs.known_cli_flags(REPO_ROOT)
+    # Flags from the repro CLI, a benchmark script, and the allowlist.
+    assert {"--domain", "--explain-analyze", "--quick", "--benchmark-only"} <= flags
+    doc = tmp_path / "doc.md"
+    doc.write_text("use `--explain-analyze`, never `--frobnicate`\n")
+    problems = check_docs.check_cli_flags(doc, flags)
+    assert len(problems) == 1
+    assert "--frobnicate" in problems[0]

@@ -168,7 +168,9 @@ class TestObservability:
 
         stats, spans = run(scenario())
         assert set(stats) == {"registry", "metrics", "gateway", "tracing", "plan"}
-        assert set(stats["plan"]) == {"cache", "data_sources"}
+        assert set(stats["plan"]) == {
+            "cache", "data_sources", "statistics", "optimizer",
+        }
         assert stats["registry"]["version"] == 0
         assert stats["registry"]["sources"] == 2
         assert stats["gateway"]["reads"] == 1

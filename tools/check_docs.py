@@ -1,16 +1,26 @@
 #!/usr/bin/env python3
-"""Fail on dead internal links in README.md and docs/*.md.
+"""Fail on dead references in README.md and docs/*.md.
 
-Checks every relative markdown link ``[text](target)`` — external URLs and
-pure in-page anchors are skipped; anchors on relative targets are checked
-against the target file's headings. Exit 0 when clean, 1 with a report of
-every dead link otherwise.
+Three checks over every markdown file:
+
+* **links** — every relative ``[text](target)`` resolves; anchors are
+  checked against the target file's headings;
+* **module paths** — every ``repro.*`` dotted path names an importable
+  module, or a module attribute reachable from one (so renamed or deleted
+  code fails the docs that still mention it);
+* **CLI flags** — every ``--flag`` token is a real option of the
+  ``python -m repro`` parser, of a benchmark/tool script's parser, or on
+  the explicit third-party allowlist (pytest flags the docs mention).
+
+The CI docs job runs this script without ``PYTHONPATH=src``, so the
+script puts the source tree on ``sys.path`` itself before importing.
 
 Usage: python tools/check_docs.py [repo_root]
 """
 
 from __future__ import annotations
 
+import importlib
 import re
 import sys
 from pathlib import Path
@@ -18,6 +28,12 @@ from pathlib import Path
 LINK = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
 HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
 FENCE = re.compile(r"```.*?```", re.DOTALL)
+MODULE_PATH = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+CLI_FLAG = re.compile(r"(?<![\w-])--[a-z][a-z0-9]*(?:-[a-z0-9]+)*")
+ADD_ARGUMENT = re.compile(r"add_argument\(\s*[\"'](--[a-z][a-z0-9-]*)[\"']")
+
+#: Flags documented for third-party tools (pytest-benchmark), not ours.
+FLAG_ALLOWLIST = {"--benchmark-only"}
 
 
 def slugify(heading: str) -> str:
@@ -32,7 +48,7 @@ def anchors_of(path: Path) -> set:
     return {slugify(h) for h in HEADING.findall(text)}
 
 
-def check_file(path: Path) -> list:
+def check_links(path: Path) -> list:
     problems = []
     text = FENCE.sub("", path.read_text(encoding="utf-8"))
     for match in LINK.finditer(text):
@@ -53,19 +69,87 @@ def check_file(path: Path) -> list:
     return problems
 
 
+def resolvable(dotted: str) -> bool:
+    """Does *dotted* name a module, or an attribute chain on one?"""
+    parts = dotted.split(".")
+    for cut in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:cut])
+        try:
+            obj = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        try:
+            for attribute in parts[cut:]:
+                obj = getattr(obj, attribute)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+def check_module_paths(path: Path) -> list:
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for dotted in sorted(set(MODULE_PATH.findall(text))):
+        if not resolvable(dotted):
+            problems.append(f"{path}: unresolvable module path {dotted}")
+    return problems
+
+
+def known_cli_flags(root: Path) -> set:
+    """Every option string of the repro CLI plus local script parsers."""
+    from repro.cli import build_parser  # src/ is on sys.path by now
+
+    flags = set(FLAG_ALLOWLIST)
+    pending = [build_parser()]
+    while pending:
+        parser = pending.pop()
+        for action in parser._actions:
+            flags.update(
+                s for s in action.option_strings if s.startswith("--")
+            )
+            choices = getattr(action, "choices", None)
+            if choices and all(
+                hasattr(sub, "_actions") for sub in dict(choices or {}).values()
+            ):
+                pending.extend(choices.values())
+    for script_dir in ("benchmarks", "tools"):
+        for script in sorted((root / script_dir).glob("*.py")):
+            flags.update(ADD_ARGUMENT.findall(script.read_text("utf-8")))
+    return flags
+
+
+def check_cli_flags(path: Path, flags: set) -> list:
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for flag in sorted(set(CLI_FLAG.findall(text))):
+        if flag not in flags:
+            problems.append(f"{path}: unknown CLI flag {flag}")
+    return problems
+
+
 def main(argv) -> int:
     root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parents[1]
+    src = root / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
     files = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    flags = known_cli_flags(root)
     problems = []
     for path in files:
         if path.exists():
-            problems.extend(check_file(path))
+            problems.extend(check_links(path))
+            problems.extend(check_module_paths(path))
+            problems.extend(check_cli_flags(path, flags))
     if problems:
-        print("dead documentation links:", file=sys.stderr)
+        print("dead documentation references:", file=sys.stderr)
         for p in problems:
             print(f"  {p}", file=sys.stderr)
         return 1
-    print(f"docs ok: {len(files)} files, no dead links")
+    print(
+        f"docs ok: {len(files)} files — links, repro.* module paths, "
+        f"and CLI flags all resolve ({len(flags)} known flags)"
+    )
     return 0
 
 
