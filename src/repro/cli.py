@@ -12,10 +12,13 @@ Commands operate on source-collection files in the :mod:`repro.io` format:
   reference database.
 * ``answer FILE --query 'ans(x) <- R(x)' --domain a,b,c [--explain]`` —
   certain and possible answers with per-tuple confidence; ``--explain``
-  prints the compiled physical plan (``repro.plan``) first.
+  prints the compiled physical plan (``repro.plan``) first. ``--shards N``
+  routes every world through scatter-gather execution (``repro.shard``)
+  and adds the shard plan to ``--explain``.
 * ``serve FILE --domain a,b,c [--requests N]`` — run the mediator *service*
   (``repro.service``) against an open-loop burst of confidence requests and
-  report the observability snapshot; ``--json`` emits it machine-readable.
+  report the observability snapshot; ``--json`` emits it machine-readable;
+  ``--shards N`` answers query requests over a sharded certain database.
 
 Exit status: 0 on success (and a consistent collection for ``check``),
 1 for an inconsistent collection, 2 for usage/input errors.
@@ -118,6 +121,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the query measured over the possible worlds and print the "
         "annotated plan (cardinality estimates vs actuals) before the answers",
     )
+    answer.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="hash-partition each world into N shards and answer via "
+        "scatter-gather execution (repro.shard); with --explain the shard "
+        "plan (strategy, pruned-shard count) is printed too (default 1)",
+    )
+    answer.add_argument(
+        "--shard-workers", type=int, default=0,
+        help="worker processes for shard fragments (0/1 = serial)",
+    )
 
     consensus = commands.add_parser(
         "consensus", help="conflict analysis: trust, blame, repairs, relaxation"
@@ -184,6 +197,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--fault-stale-rate", type=float, default=0.0,
         help="probability a source read serves a superseded snapshot",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="answer query requests over an N-shard partition of each "
+        "snapshot's certain database (default 1 = single store)",
+    )
+    serve.add_argument(
+        "--shard-workers", type=int, default=0,
+        help="worker processes for shard fragments (0/1 = serial)",
     )
     serve.add_argument("--seed", type=int, default=0, help="fault RNG seed")
     serve.add_argument(
@@ -269,12 +291,31 @@ def cmd_audit(args) -> int:
 
 
 def cmd_answer(args) -> int:
+    from repro.exceptions import SourceError
+
     collection = load_collection(args.file)
     query = parse_rule(args.query)
+    if args.shards < 1:
+        raise SourceError("--shards must be >= 1")
+    spec = None
+    if args.shards > 1:
+        from repro.shard import PartitionSpec
+
+        spec = PartitionSpec(args.shards)
     if args.explain:
         from repro.plan import explain
 
         print(explain(query))
+        if spec is not None:
+            from repro.model.database import GlobalDatabase
+            from repro.shard import ShardedDatabase, explain_shards
+
+            sample = next(
+                iter(possible_worlds(collection, args.domain)),
+                GlobalDatabase(()),
+            )
+            print()
+            print(explain_shards(query, ShardedDatabase(sample, spec)))
         print()
     if args.explain_analyze:
         from repro.plan import explain_analyze_worlds
@@ -285,7 +326,24 @@ def cmd_answer(args) -> int:
             )
         )
         print()
-    result = answer_query(query, collection, args.domain)
+    apply = None
+    pool = None
+    if spec is not None:
+        from repro.confidence.engine.executors import make_executor
+        from repro.shard import evaluate_sharded
+
+        pool = make_executor(args.shard_workers, mode="process")
+
+        def apply(q, world, _spec=spec, _pool=pool):
+            return evaluate_sharded(
+                q, world, _spec, workers=args.shard_workers, pool=_pool
+            )
+
+    try:
+        result = answer_query(query, collection, args.domain, apply=apply)
+    finally:
+        if pool is not None:
+            pool.close()
     print(f"possible worlds: {result.world_count}")
     print("certain answer:")
     for f in sorted(result.certain):
@@ -401,12 +459,27 @@ def cmd_serve(args) -> int:
             stale_rate=args.fault_stale_rate,
             seed=args.seed,
         )
-    config = SchedulerConfig(max_queue=args.queue, max_batch=args.batch)
+    if args.shards < 1:
+        raise SourceError("--shards must be >= 1")
+    config = SchedulerConfig(
+        max_queue=args.queue,
+        max_batch=args.batch,
+        shards=args.shards,
+        shard_workers=args.shard_workers,
+    )
     service = MediatorService(
         collection, args.domain, config=config, fault_policy=policy
     )
     timeout = None if args.deadline_ms is None else args.deadline_ms / 1000.0
     gap = args.arrival_ms / 1000.0
+    # With sharding on, every fifth request also carries the identity query,
+    # so the burst exercises the scatter-gather query path end to end.
+    shard_query = None
+    if args.shards > 1:
+        relation = collection.identity_relation()
+        arity = len(next(iter(collection)).view.body[0].args)
+        variables = ", ".join(f"x{i}" for i in range(arity))
+        shard_query = parse_rule(f"ans({variables}) <- {relation}({variables})")
 
     async def burst():
         facts = service.registry.snapshot().covered_facts()
@@ -419,7 +492,10 @@ def cmd_serve(args) -> int:
                         soundness_bound=source.soundness_bound
                     ))
                 wanted = [facts[i % len(facts)], facts[(i + 1) % len(facts)]]
-                futures.append(await service.submit(wanted, timeout=timeout))
+                query = shard_query if shard_query and i % 5 == 0 else None
+                futures.append(
+                    await service.submit(wanted, timeout=timeout, query=query)
+                )
                 if gap > 0:
                     await asyncio.sleep(gap)
             responses = [await f for f in futures]

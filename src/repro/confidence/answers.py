@@ -87,19 +87,24 @@ def answer_query(
     collection: SourceCollection,
     domain: Iterable,
     worlds: Optional[Iterable[GlobalDatabase]] = None,
+    apply: Optional[Callable[[Query, GlobalDatabase], FrozenSet[Answer]]] = None,
 ) -> QueryAnswer:
     """Evaluate a query under possible-worlds semantics.
 
     *worlds* may supply a pre-enumerated (or exactly sampled) collection of
     worlds; otherwise poss(S) is enumerated over the finite fact space of
-    sch(S) × *domain*.
+    sch(S) × *domain*. *apply* overrides the per-world evaluator — the seam
+    the CLI's ``--shards`` uses to route every world through scatter-gather
+    execution (:func:`repro.shard.evaluate_sharded`); any override must be
+    answer-equivalent to the plan pipeline.
     """
+    evaluator = apply if apply is not None else _apply
     counts: Dict[Answer, int] = {}
     certain: Optional[set] = None
     total = 0
     for world in _worlds(collection, domain, worlds):
         total += 1
-        result = _apply(query, world)
+        result = evaluator(query, world)
         for answer in result:
             counts[answer] = counts.get(answer, 0) + 1
         if certain is None:

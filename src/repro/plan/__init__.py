@@ -43,6 +43,7 @@ from repro.plan.executor import (
     clear_data_sources,
     data_source_count,
     data_source_for,
+    discard_data_source,
     evaluate,
     evaluate_rows,
     execute_plan,
@@ -79,6 +80,7 @@ __all__ = [
     "compile_query",
     "data_source_count",
     "data_source_for",
+    "discard_data_source",
     "discard_statistics",
     "evaluate",
     "evaluate_rows",

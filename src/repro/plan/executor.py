@@ -173,6 +173,17 @@ def clear_data_sources() -> None:
         _SOURCES.clear()
 
 
+def discard_data_source(facts: IFactSet) -> bool:
+    """Drop one fact set's cached data source, if present.
+
+    The shard layer's invalidation hook: a retired registry snapshot's
+    fragments will never be scanned again, so their scan rows and join
+    indexes can leave the LRU early instead of aging out.
+    """
+    with _SOURCES_LOCK:
+        return _SOURCES.pop(facts, None) is not None
+
+
 # -- the interpreter -----------------------------------------------------------
 
 def _scan_probe_join(

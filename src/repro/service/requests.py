@@ -86,7 +86,15 @@ class ServiceResponse:
         return self.status is RequestStatus.OK
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-serializable form (confidences as floats keyed by str)."""
+        """JSON-serializable form (confidences as floats keyed by str).
+
+        ``answers`` render in the canonical total order
+        (:func:`repro.shard.merge.canonical_order`): equal answer sets
+        always serialize identically, whatever shard layout or set
+        iteration order produced them.
+        """
+        from repro.shard.merge import canonical_order
+
         return {
             "request_id": self.request_id,
             "status": self.status.value,
@@ -100,5 +108,5 @@ class ServiceResponse:
             "latency": self.latency,
             "batch_size": self.batch_size,
             "attempts": self.attempts,
-            "answers": [str(a) for a in sorted(self.answers, key=str)],
+            "answers": [str(a) for a in canonical_order(self.answers)],
         }

@@ -72,6 +72,10 @@ class SchedulerConfig:
     #: memo capacity per engine when the scheduler has no explicit memo
     #: (None = process-wide shared memo, 0 = memoization off — E16's ablation)
     engine_cache_size: Optional[int] = None
+    #: shards for the query path's certain database (1 = single store)
+    shards: int = 1
+    #: worker processes for scatter-gather fragments (0/1 = serial)
+    shard_workers: int = 0
 
     def __post_init__(self):
         if self.max_queue < 1:
@@ -80,6 +84,8 @@ class SchedulerConfig:
             raise ValueError("max_batch must be >= 1")
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
 
     def backoff(self, attempt: int) -> float:
         """Delay before retry *attempt* (1-based): base·2^(a−1), capped."""
@@ -111,6 +117,7 @@ class RequestScheduler:
         self._worker: Optional[asyncio.Task] = None
         self._engines: Dict[int, ConfidenceEngine] = {}
         self._certain_dbs: Dict[int, GlobalDatabase] = {}
+        self._shard_executors: Dict[int, object] = {}
         self._running = False
 
     # -- lifecycle ---------------------------------------------------------------
@@ -159,6 +166,9 @@ class RequestScheduler:
             engine.close()
         self._engines.clear()
         self._certain_dbs.clear()
+        for executor in self._shard_executors.values():
+            executor.close()
+        self._shard_executors.clear()
 
     # -- admission ---------------------------------------------------------------
 
@@ -383,7 +393,13 @@ class RequestScheduler:
         certain (cf. ``repro.confidence.answers.certain_answer_lower_bound``).
         The query runs through the compiled-plan pipeline; the certain
         database is cached per snapshot version, so batch-mates and repeat
-        queries share its scan rows and join indexes.
+        queries share its scan rows and join indexes. With ``config.shards
+        > 1`` execution scatter-gathers over the version's sharded store.
+
+        Answers are rendered in the canonical total order
+        (:func:`repro.shard.merge.canonical_order`) — ``key=str`` is not
+        total over heterogeneous constants, so equal answer sets could
+        serialize differently across runs.
         """
         queried = [
             request for request, _snapshot, _future in live
@@ -393,19 +409,42 @@ class RequestScheduler:
         if not queried:
             return out
         from repro.plan import evaluate as plan_evaluate, optimizer_stats
+        from repro.shard import canonical_order, shard_stats
 
-        database = self._certain_database(snapshot)
+        sharded = self.config.shards > 1
+        executor = self._shard_executor(snapshot) if sharded else None
+        database = None if sharded else self._certain_database(snapshot)
         with span.child(
             "query_answers", version=snapshot.version, queries=len(queried)
         ):
             self.metrics.counter("query_requests").inc(len(queried))
             before = optimizer_stats()
+            shard_before = shard_stats() if sharded else {}
             for request in queried:
-                out[request.request_id] = tuple(
-                    sorted(plan_evaluate(request.query, database), key=str)
-                )
+                if executor is not None:
+                    out[request.request_id] = executor.answer_ordered(
+                        request.query
+                    )
+                else:
+                    out[request.request_id] = canonical_order(
+                        plan_evaluate(request.query, database)
+                    )
             self._record_optimizer_metrics(before, optimizer_stats())
+            if sharded:
+                self._record_shard_metrics(shard_before, shard_stats())
         return out
+
+    def _record_shard_metrics(self, before: Dict, after: Dict) -> None:
+        """Fold this batch's shard-execution deltas into the metrics."""
+        for name in (
+            "queries",
+            "fragments_executed",
+            "shards_pruned",
+            "worker_misses",
+        ):
+            delta = (after.get(name) or 0) - (before.get(name) or 0)
+            if delta:
+                self.metrics.counter(f"shard_{name}").inc(delta)
 
     def _record_optimizer_metrics(self, before: Dict, after: Dict) -> None:
         """Fold this batch's optimizer activity into the metrics registry.
@@ -445,6 +484,33 @@ class RequestScheduler:
                 self._certain_dbs.pop(oldest)
         return database
 
+    def _shard_executor(self, snapshot: RegistrySnapshot):
+        """The snapshot's scatter-gather executor (per-version cache).
+
+        The sharded store partitions the same certain database the
+        single-store path queries, under a spec built from the config's
+        shard count; fragments and their plan-layer caches are shared by
+        every batch pinned to this version.
+        """
+        from repro.shard import PartitionSpec, ShardedDatabase, ShardExecutor
+
+        executor = self._shard_executors.get(snapshot.version)
+        if executor is None:
+            store = ShardedDatabase(
+                self._certain_database(snapshot),
+                PartitionSpec(self.config.shards),
+            )
+            executor = ShardExecutor(
+                store, workers=self.config.shard_workers
+            )
+            self._shard_executors[snapshot.version] = executor
+            while len(self._shard_executors) > 8:
+                oldest = min(self._shard_executors)
+                if oldest == snapshot.version:
+                    break
+                self._shard_executors.pop(oldest).close()
+        return executor
+
     def discard_plan_statistics(self, before_version: int) -> int:
         """Retire cached certain databases (and their statistics) pre-dating
         *before_version*.
@@ -453,14 +519,30 @@ class RequestScheduler:
         superseded snapshots' certain databases will never be queried again,
         and dropping their entries keeps the catalog from silting up under
         registry churn. Mirrors the memo's ``RegistryDiff`` invalidation.
+        Sharded stores retire with their version: every fragment the store
+        materialized leaves the data-source LRU and the statistics catalog
+        (per-shard memo invalidation), counted under
+        ``shard_stores_discarded``.
         """
-        from repro.plan import discard_statistics
+        from repro.plan import discard_data_source, discard_statistics
 
         dropped = 0
         for version in [v for v in self._certain_dbs if v < before_version]:
             database = self._certain_dbs.pop(version)
             if discard_statistics(database.core()):
                 dropped += 1
+        retired = 0
+        for version in [
+            v for v in self._shard_executors if v < before_version
+        ]:
+            executor = self._shard_executors.pop(version)
+            for fragment in executor.sharded.built_fragments():
+                discard_statistics(fragment)
+                discard_data_source(fragment)
+            executor.close()
+            retired += 1
+        if retired:
+            self.metrics.counter("shard_stores_discarded").inc(retired)
         return dropped
 
     def _engine_for(self, snapshot: RegistrySnapshot) -> ConfidenceEngine:

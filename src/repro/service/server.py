@@ -156,9 +156,11 @@ class MediatorService:
         Shape (validated by ``tools/check_service_snapshot.py``)::
 
             {"registry": {...}, "metrics": {counters, gauges, histograms},
-             "gateway": {...}, "tracing": {...}, "plan": {cache, data_sources}}
+             "gateway": {...}, "tracing": {...}, "plan": {cache, data_sources},
+             "shard": {shards, workers, counters}}
         """
         from repro.plan import plan_stats
+        from repro.shard import shard_stats
 
         snapshot = self.registry.snapshot()
         gateway: Dict[str, object] = {"reads": self.gateway.reads}
@@ -187,6 +189,11 @@ class MediatorService:
                 "recent_spans": len(self.tracer.export()),
             },
             "plan": plan_stats(),
+            "shard": {
+                "shards": self.scheduler.config.shards,
+                "workers": self.scheduler.config.shard_workers,
+                "counters": shard_stats(),
+            },
         }
 
     def recent_spans(self) -> List[Dict[str, object]]:

@@ -1,0 +1,68 @@
+"""Deterministic merging of per-shard answer sets.
+
+Scatter-gather execution produces one answer set per fragment, in whatever
+order the fragments finished; rendering them to a caller needs one
+*canonical* total order so equal answer sets always serialize identically.
+``sorted(answers, key=str)`` — the service's historical rendering — is not
+total: constants wrap arbitrary hashable values, and two unequal values of
+different types can share a ``str`` rendering (any user-defined value
+whose ``__str__`` collides with another's), leaving their relative order
+to the set's salted iteration order. :func:`canonical_answer_key` breaks
+those ties by value *type* before repr, the same discrimination
+:func:`repro.model.terms.term_sort_key` uses, so the order is reproducible
+across runs, processes, and shard layouts.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.model.atoms import Atom
+from repro.model.terms import term_sort_key
+
+
+def canonical_answer_key(atom: Atom) -> Tuple:
+    """A total sort key over answer atoms: relation, arity, then args.
+
+    Arguments order by ``term_sort_key`` — ``(type name, repr)`` for
+    constants — so values whose ``str`` renderings coincide still compare
+    deterministically. Total for every value with a faithful ``repr``
+    (everything the serialization format can carry).
+    """
+    return (
+        atom.relation,
+        len(atom.args),
+        tuple(term_sort_key(argument) for argument in atom.args),
+    )
+
+
+def canonical_order(answers: Iterable[Atom]) -> Tuple[Atom, ...]:
+    """Deduplicate and sort *answers* into the canonical total order.
+
+    >>> from repro.model import fact
+    >>> [str(a) for a in canonical_order([fact("R", 2), fact("R", 1)])]
+    ['R(1)', 'R(2)']
+    """
+    return tuple(sorted(set(answers), key=canonical_answer_key))
+
+
+def merge_answer_sets(
+    parts: Iterable[Iterable[Atom]],
+) -> FrozenSet[Atom]:
+    """The union of per-fragment answer sets (set semantics).
+
+    Fragments overlap freely — broadcast replicates small relations,
+    repartitioning may double-place self-join facts — so the merge is a
+    plain union; conjunctive queries are monotone, which is what makes every
+    fragment's answers sound (each fragment store is a subset of the full
+    store).
+    """
+    merged = set()
+    for part in parts:
+        merged.update(part)
+    return frozenset(merged)
+
+
+def merge_ordered(parts: Iterable[Iterable[Atom]]) -> Tuple[Atom, ...]:
+    """Union of per-fragment answers in the canonical total order."""
+    return canonical_order(merge_answer_sets(parts))

@@ -219,7 +219,7 @@ class TestServe:
         out = capsys.readouterr().out.strip()
         snapshot = json.loads(out)  # the whole stdout is one JSON document
         assert set(snapshot) == {
-            "gateway", "metrics", "plan", "registry", "tracing",
+            "gateway", "metrics", "plan", "registry", "shard", "tracing",
         }
 
     def test_non_identity_collection_rejected(self, tmp_path, capsys):
@@ -274,3 +274,73 @@ class TestAnswer:
         assert main(
             ["answer", collection_file, "--query", "garbage", "--domain", "a"]
         ) == 2
+
+
+class TestAnswerShards:
+    def test_sharded_answers_identical_to_single_store(
+        self, collection_file, capsys
+    ):
+        base_args = [
+            "answer", collection_file,
+            "--query", "ans(x) <- R(x)", "--domain", "a,b,c",
+        ]
+        assert main(base_args) == 0
+        single = capsys.readouterr().out
+        assert main(base_args + ["--shards", "3"]) == 0
+        sharded = capsys.readouterr().out
+        assert sharded == single
+
+    def test_explain_reports_shard_plan(self, collection_file, capsys):
+        assert main(
+            [
+                "answer", collection_file,
+                "--query", "ans(x) <- R(x)", "--domain", "a,b,c",
+                "--shards", "4", "--explain",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "shard plan: strategy=scatter" in out
+        assert "shards=4" in out
+
+    def test_explain_reports_pruned_shards(self, collection_file, capsys):
+        # constant at the partition-key position: one shard executes, the
+        # EXPLAIN surface reports the other three as pruned
+        assert main(
+            [
+                "answer", collection_file,
+                "--query", "ans() <- R('a')", "--domain", "a,b,c",
+                "--shards", "4", "--explain",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "strategy=pruned" in out
+        assert "pruned=3" in out and "executed=1" in out
+
+    def test_invalid_shard_count_exit_two(self, collection_file, capsys):
+        assert main(
+            [
+                "answer", collection_file,
+                "--query", "ans(x) <- R(x)", "--domain", "a",
+                "--shards", "0",
+            ]
+        ) == 2
+
+
+class TestServeShards:
+    def test_sharded_serve_snapshot_has_shard_section(
+        self, collection_file, capsys
+    ):
+        import json
+
+        assert main(
+            [
+                "serve", collection_file,
+                "--domain", "a,b,c,d1", "--requests", "6",
+                "--shards", "2", "--json",
+            ]
+        ) == 0
+        snapshot = json.loads(capsys.readouterr().out.strip())
+        assert snapshot["shard"]["shards"] == 2
+        counters = snapshot["metrics"]["counters"]
+        assert counters.get("query_requests", 0) >= 1
+        assert counters.get("shard_queries", 0) >= 1

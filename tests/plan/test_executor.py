@@ -111,6 +111,36 @@ class TestDataSourceSharing:
             data_source_for(GlobalDatabase([fact("R", i)]).core())
         assert data_source_count() == MAX_DATA_SOURCES
 
+    def test_eviction_exactly_at_capacity(self):
+        # Filling to exactly MAX_DATA_SOURCES evicts nothing; the
+        # (MAX+1)-th distinct source evicts exactly the least recently
+        # used one, and only it.
+        first = GlobalDatabase([fact("R", "first")])
+        source = data_source_for(first.core())
+        victim_db = GlobalDatabase([fact("R", 0)])
+        q = parse_rule("ans(x) <- R(x)")
+        answers_before = evaluate(q, victim_db)
+        victim = data_source_for(victim_db.core())
+        for i in range(1, MAX_DATA_SOURCES - 1):
+            data_source_for(GlobalDatabase([fact("R", i)]).core())
+        assert data_source_count() == MAX_DATA_SOURCES
+        assert data_source_for(first.core()) is source  # still resident
+        assert data_source_for(victim_db.core()) is victim
+        # refresh everything except `victim`, making it the LRU entry
+        data_source_for(first.core())
+        for i in range(1, MAX_DATA_SOURCES - 1):
+            data_source_for(GlobalDatabase([fact("R", i)]).core())
+        data_source_for(GlobalDatabase([fact("R", "overflow")]).core())
+        assert data_source_count() == MAX_DATA_SOURCES
+        assert data_source_for(first.core()) is source  # survivors intact
+        # the evicted entry rebuilds as a fresh object...
+        rebuilt = data_source_for(victim_db.core())
+        assert rebuilt is not victim
+        # ...and answers through the rebuilt source are identical
+        assert evaluate(q, victim_db) == answers_before == frozenset(
+            {fact("ans", 0)}
+        )
+
 
 class TestExplain:
     def test_explain_is_stable_text(self, db):

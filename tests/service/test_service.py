@@ -167,7 +167,9 @@ class TestObservability:
                 return service.stats(), service.recent_spans()
 
         stats, spans = run(scenario())
-        assert set(stats) == {"registry", "metrics", "gateway", "tracing", "plan"}
+        assert set(stats) == {
+            "registry", "metrics", "gateway", "tracing", "plan", "shard",
+        }
         assert set(stats["plan"]) == {
             "cache", "data_sources", "statistics", "optimizer",
         }

@@ -1,0 +1,153 @@
+"""Scatter-gather execution: equivalence, process path, counters."""
+
+import pytest
+
+from repro.confidence.engine.executors import make_executor
+from repro.model import GlobalDatabase, fact
+from repro.plan import evaluate as plan_evaluate
+from repro.queries import parse_rule
+from repro.shard import (
+    PartitionSpec,
+    ShardExecutor,
+    ShardedDatabase,
+    canonical_order,
+    evaluate_sharded,
+    reset_shard_stats,
+    shard_stats,
+)
+from repro.shard.executor import _portable_query, clear_worker_stores
+
+QUERIES = [
+    "V(x, y) <- E(x, y)",          # scatter
+    "V(y) <- E(1, y)",             # pruned
+    "V(x, z) <- E(x, y), E(y, z)", # repartition
+    "V(x, z) <- E(x, y), F(z, w)", # broadcast
+    "V(x) <- E(x, x)",             # scatter, self-loop filter
+    "V() <- E(1, 2)",              # pruned, boolean
+    "V(x, y) <- E(x, y), Lt(x, y)",  # builtin: serial-only path
+]
+
+
+def make_db():
+    return GlobalDatabase(
+        [fact("E", i % 5, (i * 3) % 7) for i in range(30)]
+        + [fact("F", i % 3, "t") for i in range(6)]
+    )
+
+
+def executor_for(db, n, **kw):
+    return ShardExecutor(ShardedDatabase(db, PartitionSpec(n)), **kw)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("rule", QUERIES)
+    @pytest.mark.parametrize("shards", [1, 2, 3, 4])
+    def test_matches_single_store_pipeline(self, rule, shards):
+        db = make_db()
+        query = parse_rule(rule)
+        expected = plan_evaluate(query, db)
+        assert executor_for(db, shards).answer(query) == expected
+
+    def test_answer_ordered_is_canonical(self):
+        db = make_db()
+        query = parse_rule("V(x, y) <- E(x, y)")
+        ex = executor_for(db, 3)
+        assert ex.answer_ordered(query) == canonical_order(ex.answer(query))
+
+    def test_evaluate_sharded_one_shot(self):
+        db = make_db()
+        query = parse_rule("V(y) <- E(1, y)")
+        assert evaluate_sharded(query, db, PartitionSpec(4)) == plan_evaluate(
+            query, db
+        )
+
+    def test_empty_database(self):
+        db = GlobalDatabase([])
+        query = parse_rule("V(x) <- E(x, y)")
+        assert executor_for(db, 4).answer(query) == frozenset()
+
+
+class TestCounters:
+    def test_plan_counters(self):
+        reset_shard_stats()
+        ex = executor_for(make_db(), 4)
+        ex.answer(parse_rule("V(y) <- E(1, y)"))
+        ex.answer(parse_rule("V(x, y) <- E(x, y)"))
+        assert ex.counters["queries"] == 2
+        assert ex.counters["shards_pruned"] == 3
+        assert ex.counters["fragments_executed"] == 1 + 4
+        assert ex.counters["strategy_pruned"] == 1
+        assert ex.counters["strategy_scatter"] == 1
+        # process-wide mirror sees the same deltas
+        assert shard_stats()["queries"] >= 2
+
+    def test_stats_includes_layout(self):
+        ex = executor_for(make_db(), 2)
+        ex.answer(parse_rule("V(x, y) <- E(x, y)"))
+        stats = ex.stats()
+        assert stats["layout"]["base_built"] == 2
+        assert stats["workers"] == 0
+
+
+class TestPortability:
+    def test_plain_cq_is_portable(self):
+        assert _portable_query(parse_rule("V(x, z) <- E(x, y), E(y, z)"))
+
+    def test_builtin_query_is_not(self):
+        assert not _portable_query(parse_rule("V(x) <- E(x, y), Lt(x, y)"))
+
+    def test_algebra_query_is_not(self):
+        from repro.algebra import cq_to_algebra
+
+        assert not _portable_query(
+            cq_to_algebra(parse_rule("V(x) <- E(x, y)"))
+        )
+
+
+class TestProcessPath:
+    def test_process_equivalence_and_warm_reuse(self):
+        reset_shard_stats()
+        clear_worker_stores()
+        db = make_db()
+        with executor_for(db, 4, workers=2) as ex:
+            for rule in QUERIES:
+                query = parse_rule(rule)
+                assert ex.answer(query) == plan_evaluate(query, db)
+            # warm pass: same fragments, tokens already sent
+            before = dict(ex.counters)
+            for rule in QUERIES:
+                query = parse_rule(rule)
+                assert ex.answer(query) == plan_evaluate(query, db)
+            after = ex.counters
+            # the builtin query never takes the process path
+            assert before.get("strategy_scatter", 0) >= 1
+            if not getattr(ex._pool, "degraded", False):
+                assert after["process_queries"] > 0
+
+    def test_shared_pool_outlives_executors(self):
+        db = make_db()
+        query = parse_rule("V(x, y) <- E(x, y)")
+        pool = make_executor(2, mode="process")
+        try:
+            with executor_for(db, 3, workers=2, pool=pool) as first:
+                assert first.answer(query) == plan_evaluate(query, db)
+            # closing a borrowing executor must not close the shared pool:
+            # a second executor keeps answering through it, reusing the
+            # sent-token bookkeeping that rides on the pool object. (Misses
+            # may still occur — map() is free to hand a fragment to a
+            # worker that has not cached it — and the resend path absorbs
+            # them, so only correctness is asserted here.)
+            sent = getattr(pool, "shard_sent_tokens", set())
+            with executor_for(db, 3, workers=2, pool=pool) as second:
+                assert second.answer(query) == plan_evaluate(query, db)
+                if not getattr(pool, "degraded", False):
+                    assert getattr(pool, "shard_sent_tokens") >= sent
+        finally:
+            pool.close()
+
+    def test_builtin_query_falls_back_to_serial(self):
+        db = make_db()
+        query = parse_rule("V(x, y) <- E(x, y), Lt(x, y)")
+        with executor_for(db, 4, workers=2) as ex:
+            assert ex.answer(query) == plan_evaluate(query, db)
+            assert "process_queries" not in ex.counters

@@ -1,0 +1,116 @@
+"""Partition-aware planning: strategy selection and EXPLAIN rendering."""
+
+from repro.algebra import cq_to_algebra
+from repro.model import GlobalDatabase, fact
+from repro.queries import parse_rule
+from repro.shard import (
+    PartitionSpec,
+    ShardedDatabase,
+    explain_shards,
+    plan_shards,
+    stable_bucket,
+)
+
+
+def make_store(n=4, **kw):
+    db = GlobalDatabase(
+        [fact("E", i, i % 4) for i in range(20)]
+        + [fact("F", i % 3, i % 2) for i in range(4)]
+        + [fact("Z")]
+    )
+    return ShardedDatabase(db, PartitionSpec(n, **kw))
+
+
+class TestStrategySelection:
+    def test_single_when_one_shard(self):
+        plan = plan_shards(parse_rule("V(x) <- E(x, y)"), make_store(1))
+        assert plan.strategy == "single"
+        assert plan.shards_executed == 1 and plan.shards_total == 1
+
+    def test_global_for_algebra_queries(self):
+        tree = cq_to_algebra(parse_rule("V(x) <- E(x, y)"))
+        plan = plan_shards(tree, make_store(4))
+        assert plan.strategy == "global"
+        assert plan.shards_executed == 1
+
+    def test_global_for_zero_arity_atom(self):
+        plan = plan_shards(parse_rule("V() <- Z()"), make_store(4))
+        assert plan.strategy == "global"
+
+    def test_pruned_for_constant_at_key(self):
+        store = make_store(4)  # default key position 0
+        plan = plan_shards(parse_rule("V(y) <- E(1, y)"), store)
+        assert plan.strategy == "pruned"
+        assert plan.shards_executed == 1
+        assert plan.shards_pruned == 3
+        ((index, facts),) = plan.fragments
+        assert index == stable_bucket(1, 4)
+        assert facts is store.shards()[index]
+
+    def test_constant_off_key_scatters(self):
+        plan = plan_shards(parse_rule("V(x) <- E(x, 1)"), make_store(4))
+        assert plan.strategy == "scatter"
+        assert plan.shards_executed == 4 and plan.shards_pruned == 0
+
+    def test_scatter_for_full_scan(self):
+        plan = plan_shards(parse_rule("V(x, y) <- E(x, y)"), make_store(4))
+        assert plan.strategy == "scatter"
+        assert [index for index, _facts in plan.fragments] == [0, 1, 2, 3]
+
+    def test_copartitioned_when_join_var_sits_at_every_key(self):
+        store = make_store(4, keys={"E": 0, "F": 0})
+        plan = plan_shards(parse_rule("V(x, z) <- E(x, y), F(x, z)"), store)
+        assert plan.strategy == "copartitioned"
+        assert plan.shards_executed == 4
+
+    def test_repartition_for_chain_join(self):
+        # key position 0 holds x in one atom and y in the other: the base
+        # partition is not join-complete, so facts re-bucket on y.
+        plan = plan_shards(
+            parse_rule("V(x, z) <- E(x, y), E(y, z)"), make_store(4)
+        )
+        assert plan.strategy == "repartition"
+        assert plan.shards_executed == 4
+        assert "repartition" in plan.cost_estimates
+
+    def test_broadcast_when_no_common_variable(self):
+        plan = plan_shards(
+            parse_rule("V(x, z) <- E(x, y), F(z, w)"), make_store(4)
+        )
+        assert plan.strategy == "broadcast"
+        # E is the larger once-mentioned relation: it stays shard-local.
+        assert "E stays shard-local" in plan.detail
+        assert plan.cost_estimates["broadcast"] > 0
+
+    def test_global_when_nothing_helps(self):
+        # Self-product with no common variable: E is mentioned twice (no
+        # broadcast) and no variable spans both atoms (no repartition).
+        plan = plan_shards(
+            parse_rule("V(x, z) <- E(x, y), E(z, w)"), make_store(4)
+        )
+        assert plan.strategy == "global"
+        assert plan.shards_executed == 1
+
+    def test_statistics_can_be_disabled(self):
+        plan = plan_shards(
+            parse_rule("V(x, z) <- E(x, y), E(y, z)"),
+            make_store(4),
+            use_statistics=False,
+        )
+        assert plan.strategy == "repartition"
+        assert plan.cost_estimates == {}
+
+
+class TestExplain:
+    def test_reports_pruned_count(self):
+        text = explain_shards(parse_rule("V(y) <- E(1, y)"), make_store(8))
+        assert "strategy=pruned" in text
+        assert "pruned=7" in text and "executed=1" in text
+
+    def test_reports_fragment_sizes_and_estimates(self):
+        text = explain_shards(
+            parse_rule("V(x, z) <- E(x, y), F(z, w)"), make_store(4)
+        )
+        assert "strategy=broadcast" in text
+        assert "est volume broadcast" in text
+        assert "fragment sizes:" in text

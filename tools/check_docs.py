@@ -10,7 +10,10 @@ Three checks over every markdown file:
   code fails the docs that still mention it);
 * **CLI flags** — every ``--flag`` token is a real option of the
   ``python -m repro`` parser, of a benchmark/tool script's parser, or on
-  the explicit third-party allowlist (pytest flags the docs mention).
+  the explicit third-party allowlist (pytest flags the docs mention);
+* **flag coverage** (the reverse direction) — every option of the
+  ``python -m repro`` parser is mentioned somewhere in ``docs/cli.md``, so
+  a new flag (``--shards``, say) cannot ship undocumented.
 
 The CI docs job runs this script without ``PYTHONPATH=src``, so the
 script puts the source tree on ``sys.path`` itself before importing.
@@ -128,6 +131,38 @@ def check_cli_flags(path: Path, flags: set) -> list:
     return problems
 
 
+def repro_parser_flags() -> set:
+    """Option strings of the ``python -m repro`` parser alone (no scripts)."""
+    from repro.cli import build_parser
+
+    flags = set()
+    pending = [build_parser()]
+    while pending:
+        parser = pending.pop()
+        for action in parser._actions:
+            flags.update(
+                s for s in action.option_strings if s.startswith("--")
+            )
+            choices = getattr(action, "choices", None)
+            if choices and all(
+                hasattr(sub, "_actions") for sub in dict(choices or {}).values()
+            ):
+                pending.extend(choices.values())
+    return flags
+
+
+def check_flag_coverage(root: Path) -> list:
+    """Every repro CLI flag must appear in ``docs/cli.md``."""
+    cli_doc = root / "docs" / "cli.md"
+    if not cli_doc.exists():
+        return [f"{cli_doc}: missing (CLI flag coverage cannot be checked)"]
+    documented = set(CLI_FLAG.findall(cli_doc.read_text(encoding="utf-8")))
+    return [
+        f"{cli_doc}: undocumented CLI flag {flag}"
+        for flag in sorted(repro_parser_flags() - documented - {"--help"})
+    ]
+
+
 def main(argv) -> int:
     root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parents[1]
     src = root / "src"
@@ -141,6 +176,7 @@ def main(argv) -> int:
             problems.extend(check_links(path))
             problems.extend(check_module_paths(path))
             problems.extend(check_cli_flags(path, flags))
+    problems.extend(check_flag_coverage(root))
     if problems:
         print("dead documentation references:", file=sys.stderr)
         for p in problems:

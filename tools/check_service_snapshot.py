@@ -71,6 +71,19 @@ def validate(snapshot: object) -> List[str]:
 
     if "reads" not in snapshot["gateway"]:
         problems.append("gateway lacks 'reads'")
+
+    shard = snapshot.get("shard")
+    if isinstance(shard, dict):
+        shards = shard.get("shards")
+        if not isinstance(shards, int) or shards < 1:
+            problems.append(f"shard.shards is {shards!r}, expected int >= 1")
+        for name, value in (shard.get("counters") or {}).items():
+            if not isinstance(value, int) or value < 0:
+                problems.append(
+                    f"shard counter {name!r} is {value!r}, expected int >= 0"
+                )
+    elif shard is not None:
+        problems.append(f"shard section is {type(shard).__name__}, expected object")
     return problems
 
 
