@@ -1,0 +1,273 @@
+#!/usr/bin/env python3
+"""E21 — the unified cache runtime: warm-path overhead and bounded memory.
+
+The cache refactor moved every module-global cache onto one registry with
+byte accounting, a shared budget, and tag invalidation. That machinery
+rides on the hottest paths in the repo (memo lookups, per-world scan
+caches), so this benchmark pins the two properties the refactor must not
+cost:
+
+* **warm-path overhead** — the E18 per-world workload (same join, same
+  world pool) re-run on the enrolled runtime with no budget set. The warm
+  row must keep E18's speedup floor over backtracking: the registry's
+  accounting must be invisible when it has nothing to do.
+* **world churn under budget** — a long stream of *distinct* worlds (10k
+  full, 1.5k quick) evaluated once each with a byte budget set. Every
+  store triggers accounting and, at steady state, a weighted eviction.
+  Accounted bytes must never exceed the budget at any sample point, the
+  budget must actually bite (``budget_evictions > 0``), and every answer
+  is checked against the backtracking oracle — eviction pressure must
+  never change an answer.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_e21_cache.py            # full
+    PYTHONPATH=src python benchmarks/bench_e21_cache.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_e21_cache.py --json out.json
+
+Writes ``benchmarks/results/e21_cache.txt`` and a JSON trajectory entry
+(default ``BENCH_cache.json`` at the repo root). Exits non-zero when the
+warm row falls below the floor or the budget fails to bound memory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+for _p in (REPO_ROOT, REPO_ROOT / "src"):
+    if str(_p) not in sys.path:
+        sys.path.insert(0, str(_p))
+
+from repro.cache import cache_registry, set_cache_budget_mb
+from repro.model import GlobalDatabase, fact
+from repro.plan import clear_data_sources, evaluate as plan_evaluate
+from repro.queries import evaluate_backtracking, parse_rule
+
+from benchmarks.conftest import write_table
+
+#: Same floors as E18: the runtime must not eat the plan pipeline's win.
+SPEEDUP_FLOOR_FULL = 3.0
+SPEEDUP_FLOOR_QUICK = 1.5
+
+#: Far below the layer's natural ~0.7 MiB churn footprint, so the budget
+#: actually bites: steady-state stores must evict to stay under it.
+CHURN_BUDGET_MB = 0.25
+
+JOIN_RULE = "ans(x, z) <- E(x, y), F(y, z)"
+
+
+def best_of(fn, reps: int) -> float:
+    """Fastest of *reps* timed calls, in seconds."""
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def make_world_pool(pool_size: int, seed: int = 18):
+    """The E18 world pool, bit-for-bit: perturbed ~60-fact E/F databases."""
+    rng = random.Random(seed)
+    base_e = [(f"e{i}", f"m{i % 8}") for i in range(30)]
+    base_f = [(f"m{i % 8}", f"t{i}") for i in range(30)]
+    worlds = []
+    for _ in range(pool_size):
+        e = [p for p in base_e if rng.random() > 0.08]
+        f = [p for p in base_f if rng.random() > 0.08]
+        worlds.append(
+            GlobalDatabase(
+                [fact("E", *p) for p in e] + [fact("F", *p) for p in f]
+            )
+        )
+    return worlds
+
+
+# -- warm-path overhead --------------------------------------------------------
+
+def run_warm_path(quick: bool):
+    pool_size, cycles, reps = (50, 6, 2) if quick else (100, 20, 3)
+    worlds = make_world_pool(pool_size)
+    query = parse_rule(JOIN_RULE)
+    evaluations = pool_size * cycles
+
+    clear_data_sources()
+    for world in worlds:
+        if plan_evaluate(query, world) != evaluate_backtracking(query, world):
+            raise AssertionError("E21: plan and backtracking answers differ")
+
+    def plan_pass():
+        for _ in range(cycles):
+            for world in worlds:
+                plan_evaluate(query, world)
+
+    def boxed_pass():
+        for _ in range(cycles):
+            for world in worlds:
+                evaluate_backtracking(query, world)
+
+    t_plan = best_of(plan_pass, reps)
+    t_boxed = best_of(boxed_pass, reps)
+    warm_speedup = t_boxed / t_plan
+    rows = [
+        ["warm per-world", f"{evaluations} evals, pool={pool_size}",
+         f"{t_plan * 1000:.1f} ms", f"{t_boxed * 1000:.1f} ms",
+         f"{warm_speedup:.2f}x"],
+    ]
+    record = {
+        "pool_size": pool_size,
+        "evaluations": evaluations,
+        "plan_warm_ms": round(t_plan * 1000, 3),
+        "backtracking_ms": round(t_boxed * 1000, 3),
+        "warm_speedup": round(warm_speedup, 2),
+    }
+    return rows, record
+
+
+# -- world churn under a byte budget -------------------------------------------
+
+def churn_worlds(count: int, seed: int = 21):
+    """*Distinct* small worlds — no pool cycling, every store is fresh."""
+    rng = random.Random(seed)
+    for i in range(count):
+        e = [(f"e{rng.randrange(40)}", f"m{rng.randrange(8)}")
+             for _ in range(18)]
+        f = [(f"m{rng.randrange(8)}", f"t{rng.randrange(40)}")
+             for _ in range(18)]
+        yield GlobalDatabase(
+            [fact("E", *p) for p in e] + [fact("F", *p) for p in f]
+        )
+
+
+def run_churn(quick: bool):
+    count = 1_500 if quick else 10_000
+    check_every = 1 if quick else 4  # oracle-check cadence (oracle is slow)
+    registry = cache_registry()
+    query = parse_rule(JOIN_RULE)
+    budget_bytes = int(CHURN_BUDGET_MB * 1024 * 1024)
+
+    clear_data_sources()
+    set_cache_budget_mb(CHURN_BUDGET_MB)
+    before = registry.stats()
+    max_bytes = 0
+    mismatches = 0
+    start = time.perf_counter()
+    try:
+        for i, world in enumerate(churn_worlds(count)):
+            answers = plan_evaluate(query, world)
+            if i % check_every == 0:
+                if answers != evaluate_backtracking(query, world):
+                    mismatches += 1
+            total = registry.total_bytes()
+            if total > max_bytes:
+                max_bytes = total
+    finally:
+        elapsed = time.perf_counter() - start
+        after = registry.stats()
+        set_cache_budget_mb(None)
+
+    budget_evictions = after["budget_evictions"] - before["budget_evictions"]
+    bounded = max_bytes <= budget_bytes
+    rows = [
+        ["world churn", f"{count} distinct worlds, "
+         f"budget {CHURN_BUDGET_MB:.1f} MB",
+         f"{elapsed * 1000:.0f} ms",
+         f"peak {max_bytes / 1024:.0f} KiB",
+         "bounded" if bounded else "OVER BUDGET"],
+    ]
+    record = {
+        "worlds": count,
+        "budget_bytes": budget_bytes,
+        "max_accounted_bytes": max_bytes,
+        "bounded": bounded,
+        "budget_evictions": budget_evictions,
+        "answer_mismatches": mismatches,
+        "elapsed_ms": round(elapsed * 1000, 1),
+        "per_world_us": round(elapsed / count * 1e6, 1),
+    }
+    return rows, record
+
+
+# -- driver --------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller pool, shorter churn (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=REPO_ROOT / "BENCH_cache.json",
+        help="where to write the JSON trajectory entry",
+    )
+    args = parser.parse_args(argv)
+    floor = SPEEDUP_FLOOR_QUICK if args.quick else SPEEDUP_FLOOR_FULL
+    mode = "quick" if args.quick else "full"
+
+    warm_rows, warm_record = run_warm_path(args.quick)
+    churn_rows, churn_record = run_churn(args.quick)
+    tree = cache_registry().stats()
+
+    headline = warm_record["warm_speedup"]
+    passed = (
+        headline >= floor
+        and churn_record["bounded"]
+        and churn_record["budget_evictions"] > 0
+        and churn_record["answer_mismatches"] == 0
+    )
+    notes = [
+        f"mode={mode}; acceptance: warm speedup >= {floor:.1f}x AND "
+        "churn peak <= budget AND budget_evictions > 0 AND no mismatches",
+        f"headline: warm {headline:.2f}x, churn peak "
+        f"{churn_record['max_accounted_bytes'] / 1024:.0f} KiB of "
+        f"{churn_record['budget_bytes'] / 1024:.0f} KiB budget, "
+        f"{churn_record['budget_evictions']} budget evictions -> "
+        f"{'PASS' if passed else 'FAIL'}",
+        "warm row = E18's per-world workload on the enrolled runtime, no "
+        "budget set (accounting overhead only)",
+        "churn row = distinct worlds streamed once each under a byte "
+        "budget; every sampled answer checked against backtracking",
+    ]
+    table = write_table(
+        "e21_cache",
+        "E21: unified cache runtime — warm overhead and budgeted churn",
+        ["workload", "case", "time", "memory", "verdict"],
+        warm_rows + churn_rows,
+        notes=notes,
+    )
+    print(table)
+
+    payload = {
+        "bench": "e21_cache",
+        "date": datetime.date.today().isoformat(),
+        "mode": mode,
+        "workloads": {
+            "warm_path": warm_record,
+            "churn": churn_record,
+        },
+        "cache_tree": tree,
+        "acceptance": {
+            "speedup_floor": floor,
+            "warm_speedup": headline,
+            "passed": passed,
+        },
+    }
+    args.json.parent.mkdir(parents=True, exist_ok=True)
+    args.json.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.json}")
+
+    if not passed:
+        print("FAIL: E21 acceptance criteria not met", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

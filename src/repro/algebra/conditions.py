@@ -13,7 +13,7 @@ from typing import Any, Callable, Tuple, Union
 from repro.exceptions import QueryError
 from repro.model.terms import Constant
 
-_OPS: dict = {
+_OPS: dict = {  # adhoc-cache-ok: static operator table, not a cache
     "=": operator.eq,
     "==": operator.eq,
     "!=": operator.ne,

@@ -18,7 +18,7 @@ from repro.algebra.ast import AlgebraQuery, Product, Projection, RelationScan, S
 from repro.algebra.conditions import And, Col, Comparison, Condition
 
 # Comparison built-ins translatable into σ conditions (name -> operator).
-_BUILTIN_OPS = {
+_BUILTIN_OPS = {  # adhoc-cache-ok: static operator table, not a cache
     "After": ">",
     "Before": "<",
     "Lt": "<",

@@ -1,0 +1,71 @@
+"""``repro.cache`` — the unified, memory-budgeted cache runtime.
+
+Every shared cache in the repo (engine memo, plan cache, data sources,
+statistics catalog, shard partition/fragment/portable stores) is an
+:class:`~repro.cache.runtime.LRUMemo` enrolled in the process-wide
+:class:`~repro.cache.runtime.CacheRegistry` returned by
+:func:`cache_registry`. The registry gives them three things no
+hand-rolled ``OrderedDict`` had:
+
+* a **global byte budget** (``--cache-budget-mb``) with weighted
+  least-recently-used eviction across caches,
+* a single **invalidation bus**
+  (:meth:`~repro.cache.runtime.CacheRegistry.invalidate_tags`) that a
+  registry diff drives once to retire every derived artifact of a
+  retired world, and
+* one uniform **stats tree** (``stats()["cache"]``).
+
+See ``docs/caching.md`` for the full design.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.runtime import (
+    DEFAULT_CACHE_SIZE,
+    CacheRegistry,
+    CacheStats,
+    LRUMemo,
+    default_sizeof,
+    sizeof_estimate,
+)
+from repro.core.symbols import global_table
+
+_REGISTRY = CacheRegistry()
+
+# A destructive rollback of the global symbol table invalidates interned
+# IDs that enrolled caches may have captured; flush them through the bus.
+global_table().on_rollback(_REGISTRY.on_symbol_rollback)
+
+
+def cache_registry() -> CacheRegistry:
+    """The process-wide cache registry every shared cache enrolls in."""
+    return _REGISTRY
+
+
+def set_cache_budget_mb(budget_mb: Optional[float]) -> None:
+    """Set (or clear, with ``None``) the global cache budget in MiB.
+
+    The CLI's ``--cache-budget-mb`` lands here; fractional budgets are
+    fine (``0.25`` = 256 KiB), and ``0`` means "evict everything evictable"
+    — useful in tests that pin worst-case behavior.
+    """
+    if budget_mb is None:
+        _REGISTRY.set_budget(None)
+    else:
+        if budget_mb < 0:
+            raise ValueError("--cache-budget-mb must be >= 0")
+        _REGISTRY.set_budget(int(budget_mb * 1024 * 1024))
+
+
+__all__ = [
+    "CacheRegistry",
+    "CacheStats",
+    "DEFAULT_CACHE_SIZE",
+    "LRUMemo",
+    "cache_registry",
+    "default_sizeof",
+    "set_cache_budget_mb",
+    "sizeof_estimate",
+]

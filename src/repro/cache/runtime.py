@@ -1,0 +1,570 @@
+"""The cache runtime: one memory-budgeted LRU type and its process registry.
+
+Before this module existed every derived-artifact cache in the repo — the
+engine's counting memo, the plan cache, the per-world data sources, the
+statistics catalog, the shard partition/fragment stores — was a separate
+hand-rolled ``OrderedDict`` with its own eviction constant, its own
+(sometimes absent) locking, and its own hand-wired invalidation path. This
+module replaces all of them with two pieces:
+
+* :class:`LRUMemo` — a thread-safe LRU with **per-entry cost accounting**
+  (a ``sizeof`` hook prices each entry in bytes at store time), **tags**
+  (arbitrary hashables naming what an entry derives from — typically the
+  :class:`~repro.core.factset.IFactSet` of the world it was computed over),
+  and uniform counters (``hits/misses/evictions/bytes/invalidations``).
+* :class:`CacheRegistry` — the process-wide runtime every shared cache
+  enrolls in. It owns an optional **global byte budget** shared across all
+  enrolled caches: when the accounted total exceeds the budget, the
+  registry evicts globally-least-recent entries *across* caches (weighted
+  by their byte cost) until the total fits — a cache holding cold, heavy
+  entries yields space to one serving hot, light ones, which no per-cache
+  entry bound can do. It is also the **invalidation bus**:
+  :meth:`CacheRegistry.invalidate_tags` retires, in one call, every entry
+  of every enrolled cache that derives from a retired world, snapshot, or
+  counting problem.
+
+Recency is global: every hit or store draws a tick from one process-wide
+counter, so "least recent across all caches" is well-defined without any
+cross-cache lock ordering. Lock discipline: a cache's own lock is never
+held while the registry lock is taken (stores release before rebalancing),
+and the registry takes at most one cache lock at a time — no lock-order
+cycles, property-hammered in ``tests/cache/test_runtime.py``.
+
+Invalidation matches an entry when the tag set it was stored with
+intersects the retired tags, **or when its key itself is among the tags**
+— content-addressed caches (the engine memo, whose canonical keys *are*
+the counting problems; the data-source and statistics caches, keyed by
+fact-set value) need no duplicate tag storage.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from collections import OrderedDict
+from itertools import count, islice
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Tuple,
+)
+
+#: Default capacity (entry count) of a memo, matching the engine's
+#: historical shared-memo bound.
+DEFAULT_CACHE_SIZE = 4096
+
+#: How many elements of a container :func:`sizeof_estimate` samples before
+#: extrapolating (keeps pricing O(1) in the container size).
+_SIZEOF_SAMPLE = 8
+
+#: The process-wide recency clock. ``itertools.count`` advances atomically
+#: under CPython, and ticks are only *compared* under locks, so the clock
+#: itself needs none.
+_TICK = count(1)
+
+
+def sizeof_estimate(obj: Any, depth: int = 3) -> int:
+    """A fast, deterministic byte estimate of one Python object.
+
+    ``sys.getsizeof`` plus a sampled extrapolation over container elements
+    (first ``_SIZEOF_SAMPLE`` items price the rest), recursing ``depth``
+    levels. An *estimate*: budget accounting needs consistency, not
+    ``tracemalloc`` accuracy — the same object always prices the same.
+    """
+    size = sys.getsizeof(obj)
+    if depth <= 0:
+        return size
+    if isinstance(obj, (tuple, list, set, frozenset)):
+        n = len(obj)
+        if n:
+            sample = list(islice(iter(obj), _SIZEOF_SAMPLE))
+            per = sum(sizeof_estimate(s, depth - 1) for s in sample)
+            size += (per * n) // len(sample)
+    elif isinstance(obj, dict):
+        n = len(obj)
+        if n:
+            sample = list(islice(obj.items(), _SIZEOF_SAMPLE))
+            per = sum(
+                sizeof_estimate(k, depth - 1) + sizeof_estimate(v, depth - 1)
+                for k, v in sample
+            )
+            size += (per * n) // len(sample)
+    return size
+
+
+def default_sizeof(key: Hashable, value: Any) -> int:
+    """The default per-entry cost hook: estimated bytes of key plus value."""
+    return sizeof_estimate(key) + sizeof_estimate(value)
+
+
+class CacheStats(NamedTuple):
+    """A point-in-time snapshot of a memo's counters.
+
+    The first five fields predate the cache runtime and keep their exact
+    positions — code unpacking the historical 5-tuple keeps working;
+    ``bytes`` and ``invalidations`` are runtime additions with defaults.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+    bytes: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never asked)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable rendering (the ``stats()["cache"]`` leaf)."""
+        out: Dict[str, object] = dict(self._asdict())
+        out["hit_rate"] = self.hit_rate
+        return out
+
+
+class _Entry:
+    """One cache line: the value plus its cost, tags, and recency tick."""
+
+    __slots__ = ("value", "cost", "tags", "tick")
+
+    def __init__(self, value: Any, cost: int, tags: Tuple[Hashable, ...]):
+        self.value = value
+        self.cost = cost
+        self.tags = tags
+        self.tick = next(_TICK)
+
+
+class LRUMemo:
+    """A thread-safe LRU cache with byte accounting and tag invalidation.
+
+    Parameters
+    ----------
+    maxsize:
+        Per-cache entry-count bound (the historical eviction rule; always
+        enforced). The registry's byte budget evicts *on top of* this.
+    name:
+        The cache's name in the registry's ``stats()`` tree. Anonymous
+        memos (private engine caches, test fixtures) may omit it.
+    sizeof:
+        ``(key, value) -> bytes`` cost hook, priced once at store time.
+        Defaults to :func:`default_sizeof`.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = DEFAULT_CACHE_SIZE,
+        *,
+        name: Optional[str] = None,
+        sizeof: Optional[Callable[[Hashable, Any], int]] = None,
+    ):
+        if maxsize <= 0:
+            raise ValueError("LRUMemo needs a positive maxsize")
+        self.maxsize = maxsize
+        self.name = name
+        self._sizeof = sizeof if sizeof is not None else default_sizeof
+        self._data: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._tag_index: Dict[Hashable, set] = {}
+        self._lock = threading.Lock()
+        self._registry: Optional["CacheRegistry"] = None
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self._bytes = 0
+
+    # -- core operations ---------------------------------------------------------
+
+    def lookup(self, key: Hashable) -> Tuple[bool, Optional[Any]]:
+        """``(hit, value)``; a hit refreshes the entry's (global) recency."""
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is not None:
+                self._data.move_to_end(key)
+                entry.tick = next(_TICK)
+                self.hits += 1
+                return True, entry.value
+            self.misses += 1
+            return False, None
+
+    def peek(self, key: Hashable) -> Optional[Any]:
+        """The cached value without counting a hit or touching recency.
+
+        For opportunistic reads — e.g. the statistics catalog consulting a
+        parent fact set's profile for incremental maintenance — that should
+        neither skew hit rates nor keep an otherwise-cold entry alive.
+        """
+        with self._lock:
+            entry = self._data.get(key)
+            return entry.value if entry is not None else None
+
+    def store(
+        self, key: Hashable, value: Any, tags: Iterable[Hashable] = ()
+    ) -> None:
+        """Insert or refresh an entry, tagged with what it derives from."""
+        with self._lock:
+            self._store_locked(key, value, tags)
+        self._after_store()
+
+    def get_or_create(
+        self,
+        key: Hashable,
+        factory: Callable[[], Any],
+        tags: Iterable[Hashable] = (),
+    ) -> Any:
+        """The entry's value, minting it atomically on first sight.
+
+        The factory runs under the cache lock, so exactly one value is ever
+        minted per key — the get-or-assign discipline token issuance needs
+        (two tokens for one fragment would defeat the worker-side payload
+        cache). Keep factories cheap and free of cache/registry reentry.
+        """
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is not None:
+                self._data.move_to_end(key)
+                entry.tick = next(_TICK)
+                self.hits += 1
+                return entry.value
+            self.misses += 1
+            value = factory()
+            self._store_locked(key, value, tags)
+        self._after_store()
+        return value
+
+    def _store_locked(
+        self, key: Hashable, value: Any, tags: Iterable[Hashable]
+    ) -> None:
+        old = self._data.get(key)
+        if old is not None:
+            self._unindex(key, old)
+        entry = _Entry(value, max(0, int(self._sizeof(key, value))), tuple(tags))
+        self._data[key] = entry
+        self._data.move_to_end(key)
+        self._bytes += entry.cost
+        for tag in entry.tags:
+            self._tag_index.setdefault(tag, set()).add(key)
+        while len(self._data) > self.maxsize:
+            self._evict_locked()
+
+    def _after_store(self) -> None:
+        registry = self._registry
+        if registry is not None:
+            registry.balance()
+
+    def _unindex(self, key: Hashable, entry: _Entry) -> None:
+        self._bytes -= entry.cost
+        for tag in entry.tags:
+            keys = self._tag_index.get(tag)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._tag_index[tag]
+
+    def _evict_locked(self) -> None:
+        key, entry = self._data.popitem(last=False)
+        self._unindex(key, entry)
+        self.evictions += 1
+
+    def discard(self, key: Hashable) -> bool:
+        """Drop one entry if present; ``True`` when something was removed.
+
+        Discarding is *not* an eviction (not counted in ``evictions``):
+        callers use it to retire entries they can prove unreachable.
+        """
+        with self._lock:
+            entry = self._data.pop(key, None)
+            if entry is None:
+                return False
+            self._unindex(key, entry)
+            return True
+
+    def invalidate_tags(self, tags: Iterable[Hashable]) -> int:
+        """Retire every entry tagged with — or keyed by — any of *tags*.
+
+        Returns how many entries were dropped; each counts once in
+        ``invalidations``. Key matching makes content-addressed caches
+        (entries whose key *is* the derived artifact's identity)
+        invalidatable without storing duplicate tags.
+        """
+        dropped = 0
+        with self._lock:
+            doomed = set()
+            for tag in tags:
+                keys = self._tag_index.get(tag)
+                if keys is not None:
+                    doomed.update(keys)
+                try:
+                    if tag in self._data:
+                        doomed.add(tag)
+                except TypeError:  # unhashable tag can match nothing here
+                    continue
+            for key in doomed:
+                entry = self._data.pop(key, None)
+                if entry is not None:
+                    self._unindex(key, entry)
+                    dropped += 1
+            self.invalidations += dropped
+        return dropped
+
+    def clear(self) -> None:
+        """Drop every entry (counters are cumulative and survive)."""
+        with self._lock:
+            self._data.clear()
+            self._tag_index.clear()
+            self._bytes = 0
+
+    # -- registry hooks (each takes the cache lock briefly; never nested) --------
+
+    def oldest_tick(self) -> Optional[int]:
+        """The recency tick of the least-recent entry (``None`` if empty)."""
+        with self._lock:
+            if not self._data:
+                return None
+            return next(iter(self._data.values())).tick
+
+    def evict_oldest(self) -> int:
+        """Evict the least-recent entry; returns the bytes reclaimed."""
+        with self._lock:
+            if not self._data:
+                return 0
+            entry = next(iter(self._data.values()))
+            cost = entry.cost
+            self._evict_locked()
+            return cost
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def bytes(self) -> int:
+        """Accounted bytes currently held (sum of entry costs)."""
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def stats(self) -> CacheStats:
+        """A consistent point-in-time :class:`CacheStats` snapshot."""
+        with self._lock:
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                size=len(self._data),
+                maxsize=self.maxsize,
+                bytes=self._bytes,
+                invalidations=self.invalidations,
+            )
+
+    def __repr__(self) -> str:
+        name = f"{self.name!r}, " if self.name else ""
+        return (
+            f"LRUMemo({name}{len(self._data)}/{self.maxsize} entries, "
+            f"{self._bytes} bytes)"
+        )
+
+
+class CacheRegistry:
+    """The process-wide cache runtime: budget, invalidation bus, stats tree.
+
+    Enrolled caches share one optional byte budget; ``None`` (the default)
+    means per-cache ``maxsize`` bounds alone apply — exactly the historical
+    behavior, at zero added cost on the store path.
+    """
+
+    def __init__(self, budget_bytes: Optional[int] = None):
+        self._lock = threading.Lock()
+        self._caches: "OrderedDict[str, LRUMemo]" = OrderedDict()
+        self._id_sensitive: Dict[str, bool] = {}
+        self._budget = budget_bytes
+        self.budget_evictions = 0
+        self.rollback_flushes = 0
+
+    # -- enrollment --------------------------------------------------------------
+
+    def enroll(
+        self, memo: LRUMemo, *, id_sensitive: bool = True
+    ) -> LRUMemo:
+        """Put one named cache under the registry's budget and bus.
+
+        *id_sensitive* marks caches whose keys or values capture interned
+        symbol IDs (:mod:`repro.core.symbols`): a destructive symbol-table
+        rollback flushes them (IDs above the truncation point may have been
+        reused by then, which content-addressing cannot detect).
+        """
+        if not memo.name:
+            raise ValueError("an enrolled cache needs a name")
+        with self._lock:
+            existing = self._caches.get(memo.name)
+            if existing is not None and existing is not memo:
+                raise ValueError(f"cache {memo.name!r} is already enrolled")
+            self._caches[memo.name] = memo
+            self._id_sensitive[memo.name] = id_sensitive
+        memo._registry = self
+        return memo
+
+    def is_enrolled(self, memo: LRUMemo) -> bool:
+        """Whether *memo* itself (by identity) is under this registry."""
+        with self._lock:
+            return any(m is memo for m in self._caches.values())
+
+    def cache(self, name: str) -> Optional[LRUMemo]:
+        """The enrolled cache of that name, if any."""
+        with self._lock:
+            return self._caches.get(name)
+
+    def caches(self) -> List[LRUMemo]:
+        """Every enrolled cache, in enrollment order."""
+        with self._lock:
+            return list(self._caches.values())
+
+    # -- the byte budget ---------------------------------------------------------
+
+    def set_budget(self, budget_bytes: Optional[int]) -> None:
+        """Set (or clear, with ``None``) the global byte budget."""
+        if budget_bytes is not None and budget_bytes < 0:
+            raise ValueError("budget_bytes must be >= 0 or None")
+        with self._lock:
+            self._budget = budget_bytes
+        self.balance()
+
+    def budget(self) -> Optional[int]:
+        """The global byte budget, or ``None`` when unbounded."""
+        return self._budget
+
+    def total_bytes(self) -> int:
+        """Accounted bytes across every enrolled cache."""
+        return sum(memo.bytes for memo in self.caches())
+
+    def balance(self) -> int:
+        """Evict globally-least-recent entries until the budget fits.
+
+        The victim each round is the enrolled cache whose *oldest* entry has
+        the smallest global recency tick — a merge of all per-cache LRU
+        orders, weighted by byte cost (one heavy cold entry buys room for
+        many light hot ones). Returns how many entries were evicted. No-op
+        without a budget.
+        """
+        if self._budget is None:
+            return 0
+        evicted = 0
+        with self._lock:
+            budget = self._budget
+            if budget is None:
+                return 0
+            caches = list(self._caches.values())
+            while sum(memo.bytes for memo in caches) > budget:
+                victim: Optional[LRUMemo] = None
+                victim_tick: Optional[int] = None
+                for memo in caches:
+                    tick = memo.oldest_tick()
+                    if tick is not None and (
+                        victim_tick is None or tick < victim_tick
+                    ):
+                        victim, victim_tick = memo, tick
+                if victim is None:
+                    break
+                victim.evict_oldest()
+                evicted += 1
+            self.budget_evictions += evicted
+        return evicted
+
+    # -- the invalidation bus ----------------------------------------------------
+
+    def invalidate_tags(self, tags: Iterable[Hashable]) -> Dict[str, int]:
+        """Retire every enrolled entry deriving from any of *tags*.
+
+        One registry diff, one call: the returned ``{cache name: dropped}``
+        map says exactly which derived artifacts each layer gave up, and
+        feeds the service's invalidation metrics.
+        """
+        tags = tuple(tags)
+        out: Dict[str, int] = {}
+        if not tags:
+            return out
+        for memo in self.caches():
+            dropped = memo.invalidate_tags(tags)
+            if dropped:
+                out[memo.name or repr(memo)] = dropped
+        return out
+
+    def on_symbol_rollback(self, removed: int) -> None:
+        """Flush ID-sensitive caches after a destructive symbol rollback.
+
+        Wired to :meth:`repro.core.symbols.SymbolTable.on_rollback` for the
+        global table. Rollbacks only happen on aborted registry mutations
+        (rare), so a flush — sound by construction — beats tracking which
+        entries captured since-reused IDs.
+        """
+        if removed <= 0:
+            return
+        with self._lock:
+            sensitive = [
+                memo
+                for name, memo in self._caches.items()
+                if self._id_sensitive.get(name, True)
+            ]
+            self.rollback_flushes += 1
+        for memo in sensitive:
+            flushed = len(memo)
+            memo.clear()
+            if flushed:
+                with memo._lock:
+                    memo.invalidations += flushed
+
+    def clear_all(self) -> None:
+        """Drop every enrolled cache's entries (tests and benchmarks)."""
+        for memo in self.caches():
+            memo.clear()
+
+    # -- the stats tree ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """The unified ``stats()["cache"]`` tree: per-cache and global.
+
+        Shape::
+
+            {"budget_bytes": int|None, "bytes": int, "hits": int,
+             "misses": int, "evictions": int, "invalidations": int,
+             "budget_evictions": int, "rollback_flushes": int,
+             "caches": {name: {hits, misses, hit_rate, evictions,
+                               invalidations, bytes, size, maxsize}}}
+        """
+        per_cache: Dict[str, Dict[str, object]] = {}
+        totals = {"hits": 0, "misses": 0, "evictions": 0,
+                  "invalidations": 0, "bytes": 0}
+        for memo in self.caches():
+            snapshot = memo.stats()
+            per_cache[memo.name or repr(memo)] = snapshot.to_dict()
+            totals["hits"] += snapshot.hits
+            totals["misses"] += snapshot.misses
+            totals["evictions"] += snapshot.evictions
+            totals["invalidations"] += snapshot.invalidations
+            totals["bytes"] += snapshot.bytes
+        return {
+            "budget_bytes": self._budget,
+            "budget_evictions": self.budget_evictions,
+            "rollback_flushes": self.rollback_flushes,
+            "caches": per_cache,
+            **totals,
+        }
+
+    def __repr__(self) -> str:
+        budget = self._budget
+        rendered = f"{budget}B" if budget is not None else "unbounded"
+        return (
+            f"CacheRegistry({len(self.caches())} caches, "
+            f"{self.total_bytes()}B / {rendered})"
+        )

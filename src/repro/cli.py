@@ -14,7 +14,9 @@ Commands operate on source-collection files in the :mod:`repro.io` format:
   certain and possible answers with per-tuple confidence; ``--explain``
   prints the compiled physical plan (``repro.plan``) first. ``--shards N``
   routes every world through scatter-gather execution (``repro.shard``)
-  and adds the shard plan to ``--explain``.
+  and adds the shard plan to ``--explain``. ``--cache-budget-mb MB`` caps
+  the unified cache runtime's accounted bytes; ``--stats`` prints its
+  per-cache tree.
 * ``serve FILE --domain a,b,c [--requests N]`` — run the mediator *service*
   (``repro.service``) against an open-loop burst of confidence requests and
   report the observability snapshot; ``--json`` emits it machine-readable;
@@ -131,6 +133,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-workers", type=int, default=0,
         help="worker processes for shard fragments (0/1 = serial)",
     )
+    answer.add_argument(
+        "--cache-budget-mb", type=float, default=None, metavar="MB",
+        help="global byte budget shared by every cache (memo, plans, data "
+        "sources, statistics, shard stores); least-recently-used entries "
+        "across all of them are evicted past it (default: unbounded)",
+    )
+    answer.add_argument(
+        "--stats", action="store_true",
+        help="print the unified cache-runtime stats tree (per-cache and "
+        "global hits/misses/evictions/bytes) as one JSON line after the "
+        "answers",
+    )
 
     consensus = commands.add_parser(
         "consensus", help="conflict analysis: trust, blame, repairs, relaxation"
@@ -209,6 +223,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--seed", type=int, default=0, help="fault RNG seed")
     serve.add_argument(
+        "--cache-budget-mb", type=float, default=None, metavar="MB",
+        help="global byte budget shared by every cache the service uses; "
+        "the stats snapshot's cache section reports accounted bytes "
+        "against it (default: unbounded)",
+    )
+    serve.add_argument(
         "--json", action="store_true",
         help="print only the JSON observability snapshot (for scrapers/CI)",
     )
@@ -248,9 +268,13 @@ def cmd_confidence(args) -> int:
         ):
             print(f"{float(conf):8.4f}  {conf!s:>10}  {f}")
         if args.stats:
+            from repro.cache import cache_registry
+
             print()
             print(engine.stats.render())
-            print(json.dumps(engine.stats.to_dict(), sort_keys=True))
+            payload = engine.stats.to_dict()
+            payload["cache_runtime"] = cache_registry().stats()
+            print(json.dumps(payload, sort_keys=True))
     return 0
 
 
@@ -297,6 +321,12 @@ def cmd_answer(args) -> int:
     query = parse_rule(args.query)
     if args.shards < 1:
         raise SourceError("--shards must be >= 1")
+    if args.cache_budget_mb is not None:
+        from repro.cache import set_cache_budget_mb
+
+        if args.cache_budget_mb < 0:
+            raise SourceError("--cache-budget-mb must be >= 0")
+        set_cache_budget_mb(args.cache_budget_mb)
     spec = None
     if args.shards > 1:
         from repro.shard import PartitionSpec
@@ -351,6 +381,10 @@ def cmd_answer(args) -> int:
     print("possible answer (ranked by confidence):")
     for f, conf in result.ranked():
         print(f"  {float(conf):8.4f}  {f}")
+    if args.stats:
+        from repro.cache import cache_registry
+
+        print(json.dumps({"cache": cache_registry().stats()}, sort_keys=True))
     return 0
 
 
@@ -461,6 +495,12 @@ def cmd_serve(args) -> int:
         )
     if args.shards < 1:
         raise SourceError("--shards must be >= 1")
+    if args.cache_budget_mb is not None:
+        from repro.cache import set_cache_budget_mb
+
+        if args.cache_budget_mb < 0:
+            raise SourceError("--cache-budget-mb must be >= 0")
+        set_cache_budget_mb(args.cache_budget_mb)
     config = SchedulerConfig(
         max_queue=args.queue,
         max_batch=args.batch,
@@ -537,7 +577,7 @@ def cmd_serve(args) -> int:
     return 0
 
 
-_COMMANDS = {
+_COMMANDS = {  # adhoc-cache-ok: static command dispatch table, not a cache
     "check": cmd_check,
     "confidence": cmd_confidence,
     "worlds": cmd_worlds,

@@ -17,109 +17,60 @@ the same cache line. :func:`canonical_key` achieves this by canonicalizing a
   number of candidate orders and falls back to the (still deterministic,
   merely less collision-happy) profile order.
 
-The cache itself is a thread-safe LRU over these keys with hit/miss/eviction
-counters, shared process-wide by default so repeated sub-blocks across
-answers, queries, and engine instances are computed once.
+The cache itself is an :class:`~repro.cache.runtime.LRUMemo` from the
+unified cache runtime (``repro.cache``): thread-safe LRU with
+hit/miss/eviction counters, byte accounting, and tag invalidation. The
+shared instance is enrolled in the process-wide
+:class:`~repro.cache.runtime.CacheRegistry` as ``"engine.memo"``, so it
+participates in the global byte budget and the invalidation bus; since
+its canonical keys *are* the counting problems, the bus retires entries
+by key match without any duplicate tag storage. ``CacheStats``,
+``LRUMemo``, and ``DEFAULT_CACHE_SIZE`` are re-exported here for
+compatibility with pre-runtime imports.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import OrderedDict
+import sys
 from itertools import islice, permutations, product
-from typing import Dict, Hashable, List, NamedTuple, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from repro.cache import cache_registry
+from repro.cache.runtime import DEFAULT_CACHE_SIZE, CacheStats, LRUMemo
 from repro.confidence.engine.kernel import ReducedProblem
 
-#: Default capacity of the shared memo.
-DEFAULT_CACHE_SIZE = 4096
+__all__ = [
+    "CacheStats",
+    "DEFAULT_CACHE_SIZE",
+    "LRUMemo",
+    "MAX_CANONICAL_ORDERS",
+    "canonical_key",
+    "canonical_key_boxed",
+    "shared_memo",
+]
 
 #: Give up on exact tie-breaking beyond this many candidate source orders.
 MAX_CANONICAL_ORDERS = 720
 
 
-class CacheStats(NamedTuple):
-    """A point-in-time snapshot of a memo's counters."""
+def _memo_sizeof(key: object, value: object) -> int:
+    """Price one memo line: a nested int tuple key plus one big int.
 
-    hits: int
-    misses: int
-    evictions: int
-    size: int
-    maxsize: int
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-
-class LRUMemo:
-    """A thread-safe least-recently-used cache with instrumentation."""
-
-    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE):
-        if maxsize <= 0:
-            raise ValueError("LRUMemo needs a positive maxsize")
-        self.maxsize = maxsize
-        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
-        self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-
-    def lookup(self, key: Hashable) -> Tuple[bool, Optional[object]]:
-        """``(hit, value)``; a hit refreshes the entry's recency."""
-        with self._lock:
-            if key in self._data:
-                self._data.move_to_end(key)
-                self.hits += 1
-                return True, self._data[key]
-            self.misses += 1
-            return False, None
-
-    def store(self, key: Hashable, value: object) -> None:
-        with self._lock:
-            if key in self._data:
-                self._data.move_to_end(key)
-                self._data[key] = value
-                return
-            self._data[key] = value
-            while len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
-                self.evictions += 1
-
-    def discard(self, key: Hashable) -> bool:
-        """Drop one entry if present; ``True`` when something was removed.
-
-        Discarding is *not* an eviction (the entry is not counted in
-        ``evictions``): callers use it to retire entries they can prove
-        unreachable, e.g. the service registry invalidating the counting
-        problems of signature blocks a source update touched.
-        """
-        with self._lock:
-            return self._data.pop(key, None) is not None
-
-    def clear(self) -> None:
-        with self._lock:
-            self._data.clear()
-
-    def __len__(self) -> int:
-        return len(self._data)
-
-    def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
-
-    def stats(self) -> CacheStats:
-        with self._lock:
-            return CacheStats(
-                hits=self.hits,
-                misses=self.misses,
-                evictions=self.evictions,
-                size=len(self._data),
-                maxsize=self.maxsize,
-            )
+    Canonical keys are small tuples of ints; the value is a world count
+    (possibly a very large int). A flat structural estimate beats the
+    generic sampler here because keys dominate and are uniform.
+    """
+    try:
+        per_source, blocks, _, _ = key  # type: ignore[misc]
+        width = len(per_source) * 3 + len(blocks) * 4
+    except (TypeError, ValueError):
+        width = 8
+    return 120 + 48 * width + sys.getsizeof(value)
 
 
-_SHARED = LRUMemo()
+_SHARED = cache_registry().enroll(
+    LRUMemo(name="engine.memo", sizeof=_memo_sizeof)
+)
 
 
 def shared_memo() -> LRUMemo:

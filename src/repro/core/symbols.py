@@ -69,10 +69,12 @@ class SymbolTable:
         "_fact_tuples",
         "_atoms",
         "_atom_keys",
+        "_rollback_listeners",
     )
 
     def __init__(self):
         self._lock = threading.RLock()
+        self._rollback_listeners: List[Any] = []
         self._constants: Dict[Any, int] = {}
         self._constant_values: List[Any] = []
         self._variables: Dict[str, int] = {}
@@ -264,7 +266,23 @@ class SymbolTable:
             while len(self._atom_keys) > snap.atoms:
                 del self._atoms[self._atom_keys.pop()]
                 removed += 1
-            return removed
+            listeners = tuple(self._rollback_listeners) if removed else ()
+        for listener in listeners:
+            listener(removed)
+        return removed
+
+    def on_rollback(self, listener) -> None:
+        """Register ``listener(removed)`` to run after destructive rollbacks.
+
+        Called only when a rollback actually truncated symbols (``removed``
+        is positive), outside the interning lock's critical work but still
+        inside the caller's :meth:`exclusive` window when one is held. The
+        cache runtime uses this to flush ID-sensitive caches whose entries
+        may capture since-invalidated IDs.
+        """
+        with self._lock:
+            if listener not in self._rollback_listeners:
+                self._rollback_listeners.append(listener)
 
     # -- introspection ---------------------------------------------------------
 

@@ -2,24 +2,34 @@
 
 Compiled plans are pure functions of the query's *canonical form* — the
 alpha-equivalence key rendered by :mod:`repro.plan.compiler` — so one cache
-entry serves every variable-renaming of a query. The cache itself reuses the
-engine's :class:`~repro.confidence.engine.memo.LRUMemo` (thread-safe LRU
-with hit/miss/eviction counters); its stats surface in ``repro.cli --stats``
-JSON and in the mediator service's ``stats()`` snapshot.
+entry serves every variable-renaming of a query. The cache itself is an
+:class:`~repro.cache.runtime.LRUMemo` from the unified cache runtime,
+enrolled in the process-wide registry as ``"plan.plans"`` — under the
+global byte budget and the invalidation bus like every other shared
+cache; its stats surface in ``repro.cli --stats`` JSON, the registry's
+``stats()["cache"]`` tree, and the mediator service's snapshot.
+
+Plan entries carry no tags: a compiled plan depends only on the query's
+canonical form (plus optimizer feedback, handled by recompile-on-staleness
+in the compiler), never on any particular world, so registry diffs have
+nothing to retire here.
 """
 
 from __future__ import annotations
 
 from typing import Dict
 
-from repro.confidence.engine.memo import CacheStats, LRUMemo
+from repro.cache import cache_registry
+from repro.cache.runtime import CacheStats, LRUMemo
 
 #: Default capacity of the shared plan cache. Plans are tiny (a handful of
 #: nodes), so the bound exists to cap pathological query-generation loops,
 #: not memory in normal use.
 DEFAULT_PLAN_CACHE_SIZE = 1024
 
-_SHARED_PLANS = LRUMemo(maxsize=DEFAULT_PLAN_CACHE_SIZE)
+_SHARED_PLANS = cache_registry().enroll(
+    LRUMemo(maxsize=DEFAULT_PLAN_CACHE_SIZE, name="plan.plans")
+)
 
 
 def shared_plan_cache() -> LRUMemo:

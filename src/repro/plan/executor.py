@@ -23,10 +23,11 @@ algebra) happens once per *distinct answer*, not per derivation.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro.cache import cache_registry
+from repro.cache.runtime import LRUMemo
 from repro.core.factset import IFactSet
 from repro.plan.ir import (
     CompiledPlan,
@@ -139,38 +140,44 @@ def _build_index(
 #: worlds than this at a time.
 MAX_DATA_SOURCES = 128
 
-_SOURCES: "OrderedDict[IFactSet, PlanDataSource]" = OrderedDict()
-_SOURCES_LOCK = threading.Lock()
+
+def _source_sizeof(facts: IFactSet, source: PlanDataSource) -> int:
+    """Price a data source by its world: rows and indexes scale with facts.
+
+    Scan rows and hash indexes are materialized lazily, so an exact figure
+    would drift after store time; a per-fact estimate (row tuples plus an
+    index entry's dict overhead) keeps accounting stable and monotone in
+    world size, which is what budget-driven eviction needs.
+    """
+    return 256 + 160 * len(facts)
+
+
+_SOURCES = cache_registry().enroll(
+    LRUMemo(
+        maxsize=MAX_DATA_SOURCES, name="plan.data_sources", sizeof=_source_sizeof
+    )
+)
 
 
 def data_source_for(facts: IFactSet) -> PlanDataSource:
     """The shared :class:`PlanDataSource` for a fact set (LRU, by value).
 
     Two databases with equal content share one source — re-enumerated
-    possible worlds land on already-built indexes.
+    possible worlds land on already-built indexes. Keyed by the fact set
+    itself, so the invalidation bus retires an entry by key match when its
+    world is retired.
     """
-    with _SOURCES_LOCK:
-        source = _SOURCES.get(facts)
-        if source is not None:
-            _SOURCES.move_to_end(facts)
-            return source
-        source = PlanDataSource(facts)
-        _SOURCES[facts] = source
-        while len(_SOURCES) > MAX_DATA_SOURCES:
-            _SOURCES.popitem(last=False)
-        return source
+    return _SOURCES.get_or_create(facts, lambda: PlanDataSource(facts))
 
 
 def data_source_count() -> int:
     """How many data sources are currently cached (for ``--stats``)."""
-    with _SOURCES_LOCK:
-        return len(_SOURCES)
+    return len(_SOURCES)
 
 
 def clear_data_sources() -> None:
     """Drop every cached data source (tests and benchmarks reset with it)."""
-    with _SOURCES_LOCK:
-        _SOURCES.clear()
+    _SOURCES.clear()
 
 
 def discard_data_source(facts: IFactSet) -> bool:
@@ -178,10 +185,11 @@ def discard_data_source(facts: IFactSet) -> bool:
 
     The shard layer's invalidation hook: a retired registry snapshot's
     fragments will never be scanned again, so their scan rows and join
-    indexes can leave the LRU early instead of aging out.
+    indexes can leave the LRU early instead of aging out. Kept callable
+    directly, but the invalidation bus reaches the same entries by key
+    match on the retired fact sets.
     """
-    with _SOURCES_LOCK:
-        return _SOURCES.pop(facts, None) is not None
+    return _SOURCES.discard(facts)
 
 
 # -- the interpreter -----------------------------------------------------------

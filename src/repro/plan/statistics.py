@@ -26,9 +26,11 @@ Everything here speaks interned IDs; values decode only in
 from __future__ import annotations
 
 import threading
-from collections import Counter, OrderedDict
+from collections import Counter
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.cache import cache_registry
+from repro.cache.runtime import LRUMemo
 from repro.core.factset import IFactSet
 
 #: Most-common-value sketch width: enough to capture heavy hitters in the
@@ -195,8 +197,21 @@ class TableStatistics:
 
 # -- the process-wide statistics catalog ---------------------------------------
 
-_CATALOG: "OrderedDict[IFactSet, TableStatistics]" = OrderedDict()
-_CATALOG_LOCK = threading.Lock()
+def _statistics_sizeof(facts: IFactSet, stats: TableStatistics) -> int:
+    """Price a catalog entry: count maps scale with the profiled facts."""
+    return 400 + 120 * max(stats.total_facts, 1)
+
+
+_CATALOG = cache_registry().enroll(
+    LRUMemo(
+        maxsize=MAX_STATISTICS,
+        name="plan.statistics",
+        sizeof=_statistics_sizeof,
+    )
+)
+# Profile/incremental counters sit outside the memo's uniform stats; the
+# lock only guards these two ints (the catalog itself is internally locked).
+_COUNTER_LOCK = threading.Lock()
 _PROFILE_COUNT = 0
 _INCREMENTAL_COUNT = 0
 
@@ -208,40 +223,40 @@ def statistics_for(facts: IFactSet) -> TableStatistics:
     incrementally when the delta is small (``INCREMENTAL_DELTA_FRACTION``);
     everything else is profiled from scratch. Both outcomes land in the
     catalog, so per-world loops over perturbed databases profile each world
-    at delta cost, not extension cost.
+    at delta cost, not extension cost. Keyed by the fact set itself, so the
+    invalidation bus retires entries by key match on retired worlds.
     """
     global _PROFILE_COUNT, _INCREMENTAL_COUNT
-    with _CATALOG_LOCK:
-        stats = _CATALOG.get(facts)
-        if stats is not None:
-            _CATALOG.move_to_end(facts)
-            return stats
-        base: Optional[TableStatistics] = None
-        derivation = facts.derivation()
-        if derivation is not None:
-            threshold = max(1, int(len(facts) * INCREMENTAL_DELTA_FRACTION))
-            if derivation.delta_size() <= threshold:
-                parent = derivation.parent()
-                if parent is not None:
-                    base = _CATALOG.get(parent)
-        if base is not None:
-            stats = TableStatistics.derive(
-                base, facts, derivation.added, derivation.removed
-            )
-            _INCREMENTAL_COUNT += 1
-        else:
-            stats = TableStatistics.profile(facts)
-            _PROFILE_COUNT += 1
-        _CATALOG[facts] = stats
-        while len(_CATALOG) > MAX_STATISTICS:
-            _CATALOG.popitem(last=False)
+    hit, stats = _CATALOG.lookup(facts)
+    if hit:
         return stats
+    base: Optional[TableStatistics] = None
+    derivation = facts.derivation()
+    if derivation is not None:
+        threshold = max(1, int(len(facts) * INCREMENTAL_DELTA_FRACTION))
+        if derivation.delta_size() <= threshold:
+            parent = derivation.parent()
+            if parent is not None:
+                # Opportunistic: neither counts a hit nor refreshes the
+                # parent's recency — incremental reuse is a bonus, not a use.
+                base = _CATALOG.peek(parent)
+    if base is not None:
+        stats = TableStatistics.derive(
+            base, facts, derivation.added, derivation.removed
+        )
+        with _COUNTER_LOCK:
+            _INCREMENTAL_COUNT += 1
+    else:
+        stats = TableStatistics.profile(facts)
+        with _COUNTER_LOCK:
+            _PROFILE_COUNT += 1
+    _CATALOG.store(facts, stats)
+    return stats
 
 
 def cached_statistics(facts: IFactSet) -> Optional[TableStatistics]:
     """The catalog entry for *facts* if present, without profiling."""
-    with _CATALOG_LOCK:
-        return _CATALOG.get(facts)
+    return _CATALOG.peek(facts)
 
 
 def discard_statistics(facts: IFactSet) -> bool:
@@ -249,24 +264,24 @@ def discard_statistics(facts: IFactSet) -> bool:
 
     Entries are content-addressed so this is hygiene, not correctness: the
     service calls it for retired snapshots' certain databases to keep the
-    catalog from silting up under registry churn.
+    catalog from silting up under registry churn. Kept callable directly,
+    but the invalidation bus reaches the same entries by key match.
     """
-    with _CATALOG_LOCK:
-        return _CATALOG.pop(facts, None) is not None
+    return _CATALOG.discard(facts)
 
 
 def clear_statistics() -> None:
     """Drop the whole catalog (tests and benchmarks reset with it)."""
     global _PROFILE_COUNT, _INCREMENTAL_COUNT
-    with _CATALOG_LOCK:
-        _CATALOG.clear()
+    _CATALOG.clear()
+    with _COUNTER_LOCK:
         _PROFILE_COUNT = 0
         _INCREMENTAL_COUNT = 0
 
 
 def statistics_counters() -> Dict[str, int]:
     """Catalog health counters for ``plan_stats()`` / service ``stats()``."""
-    with _CATALOG_LOCK:
+    with _COUNTER_LOCK:
         return {
             "cached": len(_CATALOG),
             "profiled": _PROFILE_COUNT,

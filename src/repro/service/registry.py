@@ -163,32 +163,48 @@ def diff_snapshots(
     )
 
 
-def invalidate(
-    memo: LRUMemo, old: RegistrySnapshot, diff: RegistryDiff
-) -> int:
-    """Discard the old snapshot's memo entries for touched blocks.
+def invalidation_tags(
+    old: RegistrySnapshot, diff: RegistryDiff
+) -> FrozenSet:
+    """The canonical memo keys one mutation retired, as bus tags.
 
     Recomputes, from the old spec, the canonical keys the engine would have
-    planned for the denominator and for each touched block's numerator, and
-    discards them from *memo*. Returns how many entries were actually
-    removed (entries never computed, or already evicted, count zero).
+    planned for the denominator and for each touched block's numerator.
+    Pushed through :meth:`repro.cache.CacheRegistry.invalidate_tags`, they
+    reach the (content-addressed) engine memo by key match — the memo needs
+    no stored tags for the bus to retire exactly these entries. An old
+    snapshot that was never identity-decomposable keyed nothing.
     """
     if not len(old.collection):
-        return 0
+        return frozenset()
     try:
         spec = old.spec()
     except SourceError:
-        return 0  # old snapshot was not identity-decomposable; nothing keyed
+        return frozenset()  # not identity-decomposable; nothing keyed
     blocks = (
         range(spec.n_blocks) if diff.full else diff.touched_blocks
     )
     problems = [kernel.reduce_spec(spec)]
     problems += [kernel.reduce_spec(spec, forced={j: 1}) for j in blocks]
+    return frozenset(
+        canonical_key(problem) for problem in problems if problem is not None
+    )
+
+
+def invalidate(
+    memo: LRUMemo, old: RegistrySnapshot, diff: RegistryDiff
+) -> int:
+    """Discard the old snapshot's memo entries for touched blocks.
+
+    The direct (single-memo) form of the invalidation bus, used for memos
+    that are not enrolled in the process registry — e.g. a private memo a
+    test or caller handed to the service. Returns how many entries were
+    actually removed (entries never computed, or already evicted, count
+    zero).
+    """
     removed = 0
-    for problem in problems:
-        if problem is None:
-            continue
-        if memo.discard(canonical_key(problem)):
+    for key in invalidation_tags(old, diff):
+        if memo.discard(key):
             removed += 1
     return removed
 

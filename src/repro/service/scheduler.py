@@ -511,39 +511,52 @@ class RequestScheduler:
                 self._shard_executors.pop(oldest).close()
         return executor
 
-    def discard_plan_statistics(self, before_version: int) -> int:
-        """Retire cached certain databases (and their statistics) pre-dating
-        *before_version*.
+    def retire_version_tags(self, before_version: int) -> set:
+        """Pop per-version stores pre-dating *before_version*; return tags.
 
-        The statistics catalog is content-addressed, so this is hygiene:
-        superseded snapshots' certain databases will never be queried again,
-        and dropping their entries keeps the catalog from silting up under
-        registry churn. Mirrors the memo's ``RegistryDiff`` invalidation.
-        Sharded stores retire with their version: every fragment the store
-        materialized leaves the data-source LRU and the statistics catalog
-        (per-shard memo invalidation), counted under
+        Certain databases and shard executors of superseded versions will
+        never serve another request, so their per-version slots are freed
+        here — but the *derived artifacts* they seeded (statistics, data
+        sources, partition layouts, fragment tokens) live in the enrolled
+        caches, keyed or tagged by fact set. The returned tag set — each
+        retired certain core plus every fragment a retired sharded store
+        materialized — is what the invalidation bus needs to clear all of
+        them in one :meth:`~repro.cache.CacheRegistry.invalidate_tags`
+        call. Retired sharded stores are counted under
         ``shard_stores_discarded``.
         """
-        from repro.plan import discard_data_source, discard_statistics
-
-        dropped = 0
+        tags: set = set()
         for version in [v for v in self._certain_dbs if v < before_version]:
             database = self._certain_dbs.pop(version)
-            if discard_statistics(database.core()):
-                dropped += 1
+            tags.add(database.core())
         retired = 0
         for version in [
             v for v in self._shard_executors if v < before_version
         ]:
             executor = self._shard_executors.pop(version)
-            for fragment in executor.sharded.built_fragments():
-                discard_statistics(fragment)
-                discard_data_source(fragment)
+            tags.update(executor.sharded.built_fragments())
             executor.close()
             retired += 1
         if retired:
             self.metrics.counter("shard_stores_discarded").inc(retired)
-        return dropped
+        return tags
+
+    def discard_plan_statistics(self, before_version: int) -> int:
+        """Retire superseded versions' derived entries through the bus.
+
+        The pre-bus entry point, kept for callers that retire versions
+        outside a registry mutation (the sharded-service tests drive it
+        directly): collects this scheduler's retirement tags and pushes
+        them through the process cache registry. Returns how many
+        statistics-catalog entries the bus dropped. Entries are
+        content-addressed, so all of this is hygiene, never correctness.
+        """
+        from repro.cache import cache_registry
+
+        per_cache = cache_registry().invalidate_tags(
+            self.retire_version_tags(before_version)
+        )
+        return per_cache.get("plan.statistics", 0)
 
     def _engine_for(self, snapshot: RegistrySnapshot) -> ConfidenceEngine:
         engine = self._engines.get(snapshot.version)

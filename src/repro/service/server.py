@@ -29,12 +29,17 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.cache import cache_registry
 from repro.sources.collection import SourceCollection
 from repro.sources.descriptor import SourceDescriptor
 from repro.confidence.engine.memo import LRUMemo, shared_memo
 from repro.service.faults import FaultInjector, FaultPolicy, SourceGateway
 from repro.service.metrics import MetricsRegistry
-from repro.service.registry import RegistryDiff, SourceRegistry, invalidate
+from repro.service.registry import (
+    RegistryDiff,
+    SourceRegistry,
+    invalidation_tags,
+)
 from repro.service.requests import ServiceResponse
 from repro.service.scheduler import RequestScheduler, SchedulerConfig
 from repro.service.tracing import Tracer
@@ -138,11 +143,32 @@ class MediatorService:
         return diff
 
     def _after_mutation(self, old, diff: RegistryDiff) -> None:
-        removed = invalidate(self.memo, old, diff)
-        dropped = self.scheduler.discard_plan_statistics(diff.new_version)
+        """Drive the whole invalidation bus from one registry diff.
+
+        One tag set — the memo keys the diff retired plus the fact sets of
+        every per-version store the scheduler gave up — pushed through one
+        ``invalidate_tags`` call retires every derived artifact of the old
+        version across every enrolled cache (memo, statistics, data
+        sources, partitions, fragment tokens). A private (un-enrolled)
+        memo handed to the service is invalidated directly with the same
+        keys, so its behavior matches the shared one.
+        """
+        registry = cache_registry()
+        memo_tags = invalidation_tags(old, diff)
+        tags = set(memo_tags)
+        tags.update(self.scheduler.retire_version_tags(diff.new_version))
+        per_cache = registry.invalidate_tags(tags)
+        if registry.is_enrolled(self.memo):
+            removed = per_cache.get("engine.memo", 0)
+        else:
+            removed = sum(1 for key in memo_tags if self.memo.discard(key))
+        dropped = per_cache.get("plan.statistics", 0)
         self.metrics.counter("registry_mutations").inc()
         self.metrics.counter("memo_entries_invalidated").inc(removed)
         self.metrics.counter("plan_statistics_discarded").inc(dropped)
+        self.metrics.counter("cache_entries_invalidated").inc(
+            sum(per_cache.values())
+        )
         self.metrics.gauge("registry_version").set(diff.new_version)
         self.metrics.histogram("touched_blocks").observe(
             len(diff.touched_blocks)
@@ -157,7 +183,9 @@ class MediatorService:
 
             {"registry": {...}, "metrics": {counters, gauges, histograms},
              "gateway": {...}, "tracing": {...}, "plan": {cache, data_sources},
-             "shard": {shards, workers, counters}}
+             "shard": {shards, workers, counters},
+             "cache": {budget_bytes, bytes, hits, misses, evictions,
+                       invalidations, caches: {name: {...}}}}
         """
         from repro.plan import plan_stats
         from repro.shard import shard_stats
@@ -194,6 +222,7 @@ class MediatorService:
                 "workers": self.scheduler.config.shard_workers,
                 "counters": shard_stats(),
             },
+            "cache": cache_registry().stats(),
         }
 
     def recent_spans(self) -> List[Dict[str, object]]:

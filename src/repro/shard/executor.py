@@ -31,9 +31,10 @@ misses) feed the service's ``stats()`` surface via :func:`shard_stats`.
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+from repro.cache import cache_registry
+from repro.cache.runtime import LRUMemo
 from repro.model.atoms import Atom
 from repro.model.terms import Constant
 from repro.queries.conjunctive import ConjunctiveQuery
@@ -51,7 +52,7 @@ EncodedAnswer = Tuple[str, Tuple[Any, ...]]
 # -- process-wide counters -----------------------------------------------------
 
 _COUNTERS_LOCK = threading.Lock()
-_COUNTERS: Dict[str, int] = {}
+_COUNTERS: Dict[str, int] = {}  # adhoc-cache-ok: monotone counters, not a cache
 
 
 def _bump(name: str, delta: int = 1) -> None:
@@ -78,23 +79,35 @@ def reset_shard_stats() -> None:
 #: for an evicted token can never be addressed again (no aliasing).
 MAX_FRAGMENT_TOKENS = 512
 
-_TOKENS_LOCK = threading.Lock()
 _TOKEN_SEQUENCE = iter(range(1, 1 << 62))
-_FRAGMENT_TOKENS: "OrderedDict" = OrderedDict()
+
+
+def _token_sizeof(facts, entry) -> int:
+    """Price a token entry by its fragment: the payload (filled lazily
+    after store) decodes one value tuple per fact."""
+    return 160 + 120 * len(facts)
+
+
+_FRAGMENT_TOKENS = cache_registry().enroll(
+    LRUMemo(
+        maxsize=MAX_FRAGMENT_TOKENS,
+        name="shard.fragment_tokens",
+        sizeof=_token_sizeof,
+    )
+)
 
 
 def _token_entry(facts) -> List:
-    """``[token, payload-or-None]`` for a fragment, LRU-cached by value."""
-    with _TOKENS_LOCK:
-        entry = _FRAGMENT_TOKENS.get(facts)
-        if entry is not None:
-            _FRAGMENT_TOKENS.move_to_end(facts)
-            return entry
-        entry = [f"fragment-{next(_TOKEN_SEQUENCE)}", None]
-        _FRAGMENT_TOKENS[facts] = entry
-        while len(_FRAGMENT_TOKENS) > MAX_FRAGMENT_TOKENS:
-            _FRAGMENT_TOKENS.popitem(last=False)
-        return entry
+    """``[token, payload-or-None]`` for a fragment, LRU-cached by value.
+
+    Minted atomically (the runtime's get-or-create runs the factory under
+    the cache lock), so one fragment never gets two tokens — the invariant
+    the worker-side payload cache depends on. Keyed by the fragment, so
+    the invalidation bus retires tokens of retired worlds by key match.
+    """
+    return _FRAGMENT_TOKENS.get_or_create(
+        facts, lambda: [f"fragment-{next(_TOKEN_SEQUENCE)}", None]
+    )
 
 
 def _encode_fragment(facts) -> FragmentPayload:
@@ -122,9 +135,20 @@ def _payload_for(facts) -> FragmentPayload:
 # -- the worker side -----------------------------------------------------------
 
 #: Per-worker fragment stores, keyed by coordinator token. Lives in the
-#: worker process; in degraded (serial-fallback) mode it lives in the
-#: coordinator, which is harmless duplication.
-_WORKER_STORES: Dict[str, object] = {}
+#: worker process (each process enrolls its own instance in its own
+#: registry); in degraded (serial-fallback) mode it lives in the
+#: coordinator, which is harmless duplication. Evicting a store is always
+#: safe: the worker answers the next use of its token with a miss and the
+#: coordinator re-sends the payload. Token keys are value-level strings,
+#: so the cache survives symbol-table rollbacks untouched.
+_WORKER_STORES = cache_registry().enroll(
+    LRUMemo(
+        maxsize=MAX_FRAGMENT_TOKENS,
+        name="shard.worker_stores",
+        sizeof=lambda token, db: 300 + 200 * len(db),
+    ),
+    id_sensitive=False,
+)
 
 
 def _worker_answer(
@@ -137,8 +161,8 @@ def _worker_answer(
     module-level and value-only: it crosses the pickle boundary.
     """
     token, payload, query_text = task
-    database = _WORKER_STORES.get(token)
-    if database is None:
+    hit, database = _WORKER_STORES.lookup(token)
+    if not hit:
         if payload is None:
             return None
         from repro.model.database import GlobalDatabase
@@ -147,7 +171,7 @@ def _worker_answer(
             Atom(relation, tuple(Constant(v) for v in values))
             for relation, values in payload
         )
-        _WORKER_STORES[token] = database
+        _WORKER_STORES.store(token, database)
     from repro.plan import evaluate as plan_evaluate
     from repro.queries.parser import parse_rule
 
@@ -191,8 +215,14 @@ def evaluate_fragment(query, facts) -> FrozenSet[Atom]:
 
 # -- query portability ---------------------------------------------------------
 
-_PORTABLE_CACHE: "OrderedDict" = OrderedDict()
-_PORTABLE_LOCK = threading.Lock()
+#: Bound on remembered portability verdicts (queries are tiny; the bound
+#: caps pathological query-generation loops).
+MAX_PORTABLE_VERDICTS = 256
+
+_PORTABLE_CACHE = cache_registry().enroll(
+    LRUMemo(maxsize=MAX_PORTABLE_VERDICTS, name="shard.portable"),
+    id_sensitive=False,
+)
 
 
 def _portable_query(query) -> bool:
@@ -202,15 +232,15 @@ def _portable_query(query) -> bool:
     parsed default registry would not be *this* registry), so only
     builtin-free queries whose text parses back to an identical head and
     body qualify. Everything else runs on the serial path — same answers,
-    no pool.
+    no pool. Verdicts are world-independent (boxed query keys, boolean
+    values), so entries carry no tags and survive registry churn and
+    symbol rollbacks alike.
     """
     if not isinstance(query, ConjunctiveQuery) or query.builtin_body():
         return False
-    with _PORTABLE_LOCK:
-        cached = _PORTABLE_CACHE.get(query)
-        if cached is not None:
-            _PORTABLE_CACHE.move_to_end(query)
-            return cached
+    hit, cached = _PORTABLE_CACHE.lookup(query)
+    if hit:
+        return cached
     from repro.queries.parser import parse_rule
 
     try:
@@ -220,10 +250,7 @@ def _portable_query(query) -> bool:
         )
     except Exception:
         portable = False
-    with _PORTABLE_LOCK:
-        _PORTABLE_CACHE[query] = portable
-        while len(_PORTABLE_CACHE) > 256:
-            _PORTABLE_CACHE.popitem(last=False)
+    _PORTABLE_CACHE.store(query, portable)
     return portable
 
 

@@ -18,10 +18,10 @@ for the same reason — they are process-local
 from __future__ import annotations
 
 import hashlib
-import threading
-from collections import OrderedDict
-from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
+from repro.cache import cache_registry
+from repro.cache.runtime import LRUMemo
 from repro.core.factset import IFactSet
 from repro.exceptions import ModelError
 
@@ -134,8 +134,19 @@ class PartitionSpec:
 #: live worlds than this (mirrors the plan layer's data-source LRU).
 MAX_PARTITIONS = 64
 
-_PARTITIONS: "OrderedDict" = OrderedDict()
-_PARTITIONS_LOCK = threading.Lock()
+
+def _partition_sizeof(key: Tuple, shards: Tuple[IFactSet, ...]) -> int:
+    """Price a layout: one frozenset of fact IDs per shard."""
+    return 200 + 64 * len(shards) + 96 * sum(len(s) for s in shards)
+
+
+_PARTITIONS = cache_registry().enroll(
+    LRUMemo(
+        maxsize=MAX_PARTITIONS,
+        name="shard.partitions",
+        sizeof=_partition_sizeof,
+    )
+)
 
 
 def partition_facts(
@@ -151,15 +162,15 @@ def partition_facts(
 
     Results are LRU-cached by ``(facts, spec)`` *value*: re-enumerated
     equal worlds reuse their shard layout the way they reuse scan rows.
+    Entries are tagged with the partitioned fact set, so the invalidation
+    bus retires every spec's layout of a retired world in one call.
     """
     if spec.num_shards == 1:
         return (facts,)
     cache_key = (facts, spec)
-    with _PARTITIONS_LOCK:
-        cached = _PARTITIONS.get(cache_key)
-        if cached is not None:
-            _PARTITIONS.move_to_end(cache_key)
-            return cached
+    hit, cached = _PARTITIONS.lookup(cache_key)
+    if hit:
+        return cached
     table = facts.table
     fact_tuple = table.fact_tuple
     constant_value = table.constant_value
@@ -182,17 +193,13 @@ def partition_facts(
     shards = tuple(
         IFactSet(table, frozenset(bucket)) for bucket in buckets  # boxed-ok: ints
     )
-    with _PARTITIONS_LOCK:
-        _PARTITIONS[cache_key] = shards
-        while len(_PARTITIONS) > MAX_PARTITIONS:
-            _PARTITIONS.popitem(last=False)
+    _PARTITIONS.store(cache_key, shards, tags=(facts,))
     return shards
 
 
 def clear_partitions() -> None:
     """Drop the partition cache (tests and benchmarks reset with it)."""
-    with _PARTITIONS_LOCK:
-        _PARTITIONS.clear()
+    _PARTITIONS.clear()
 
 
 def bucket_of_fact(facts: IFactSet, spec: PartitionSpec, fid: int) -> int:

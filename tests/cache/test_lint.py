@@ -1,0 +1,70 @@
+"""The ad-hoc-cache lint must pass on the checked-in tree (tier-1 guard)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+LINT = REPO_ROOT / "tools" / "check_no_adhoc_caches.py"
+
+
+def run_lint(root=None):
+    argv = [sys.executable, str(LINT)]
+    if root is not None:
+        argv.append(str(root))
+    return subprocess.run(argv, capture_output=True, text=True)
+
+
+def test_tree_is_free_of_adhoc_module_caches():
+    result = subprocess.run(
+        [sys.executable, str(LINT)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_lint_catches_violations_and_honours_waivers(tmp_path):
+    root = tmp_path / "src" / "repro"
+    (root / "cache").mkdir(parents=True)
+    (root / "plan").mkdir(parents=True)
+    # Inside repro/cache: dict stores are the runtime's own business.
+    (root / "cache" / "runtime.py").write_text("_DATA = {}\n")
+    (root / "plan" / "bad.py").write_text(
+        "from collections import OrderedDict\n"
+        "_CACHE = OrderedDict()\n"
+    )
+    (root / "plan" / "waived.py").write_text(
+        "_OPS = {  # adhoc-cache-ok: static operator table\n"
+        "    'a': 1,\n"
+        "}\n"
+    )
+    (root / "plan" / "bare_waiver.py").write_text(
+        "_X = {}  # adhoc-cache-ok:\n"
+    )
+    (root / "plan" / "local_ok.py").write_text(
+        "def f():\n    cache = {}\n    return cache\n"
+    )
+    (root / "plan" / "annotated.py").write_text(
+        "_D: dict = dict()\n"
+    )
+    result = run_lint(root)
+    assert result.returncode == 1
+    assert "bad.py" in result.stdout  # OrderedDict() store flagged
+    assert "annotated.py" in result.stdout  # dict() constructor flagged
+    assert "bare_waiver.py" in result.stdout  # waiver without a reason
+    assert "waived.py" not in result.stdout  # reasoned waiver honoured
+    assert "local_ok.py" not in result.stdout  # function-local dict ignored
+    assert "runtime.py" not in result.stdout  # repro/cache exempt
+
+
+def test_lint_passes_on_clean_tree(tmp_path):
+    root = tmp_path / "src" / "repro"
+    root.mkdir(parents=True)
+    (root / "clean.py").write_text("from repro.cache import LRUMemo\n")
+    result = run_lint(root)
+    assert result.returncode == 0
+    assert "no ad-hoc" in result.stdout

@@ -219,8 +219,10 @@ class TestServe:
         out = capsys.readouterr().out.strip()
         snapshot = json.loads(out)  # the whole stdout is one JSON document
         assert set(snapshot) == {
-            "gateway", "metrics", "plan", "registry", "shard", "tracing",
+            "cache", "gateway", "metrics", "plan", "registry", "shard",
+            "tracing",
         }
+        assert "caches" in snapshot["cache"]
 
     def test_non_identity_collection_rejected(self, tmp_path, capsys):
         from repro.queries import identity_view

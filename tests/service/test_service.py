@@ -169,7 +169,13 @@ class TestObservability:
         stats, spans = run(scenario())
         assert set(stats) == {
             "registry", "metrics", "gateway", "tracing", "plan", "shard",
+            "cache",
         }
+        assert "engine.memo" in stats["cache"]["caches"]
+        assert {"hits", "misses", "evictions", "bytes", "invalidations"} <= set(
+            stats["cache"]["caches"]["engine.memo"]
+        )
+        assert stats["cache"]["bytes"] >= 0
         assert set(stats["plan"]) == {
             "cache", "data_sources", "statistics", "optimizer",
         }

@@ -1,0 +1,133 @@
+"""Concurrent access to the shard layer's enrolled caches (regression).
+
+Before the cache runtime, ``_FRAGMENT_TOKENS`` entries were minted under a
+module lock but ``_PORTABLE_CACHE`` reads/writes raced its parse step, and
+``_WORKER_STORES`` was a bare dict with no discipline at all. All three are
+now enrolled :class:`~repro.cache.runtime.LRUMemo` instances; these tests
+hammer them from many threads and assert the invariants the protocols
+rely on: one token per fragment (ever), one portability verdict per query,
+and no lost updates or exceptions under interleaving — including with a
+byte budget actively evicting underneath the threads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.cache import cache_registry
+from repro.model import GlobalDatabase, fact
+from repro.queries import parse_rule
+from repro.shard.executor import (
+    _FRAGMENT_TOKENS,
+    _PORTABLE_CACHE,
+    _encode_fragment,
+    _portable_query,
+    _token_entry,
+    _worker_answer,
+    clear_worker_stores,
+    worker_store_count,
+)
+
+
+def make_fragments(n):
+    return [
+        GlobalDatabase([fact("E", i, j) for j in range(3)]).core()
+        for i in range(n)
+    ]
+
+
+def run_threads(worker, count=8):
+    errors = []
+
+    def wrapped(k):
+        try:
+            worker(k)
+        except Exception as exc:  # pragma: no cover - failure surface
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(k,)) for k in range(count)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+
+
+class TestFragmentTokens:
+    def test_one_token_per_fragment_across_threads(self):
+        _FRAGMENT_TOKENS.clear()
+        fragments = make_fragments(6)
+        results = [[] for _ in range(8)]
+
+        def worker(k):
+            for fragment in fragments:
+                results[k].append(_token_entry(fragment)[0])
+
+        run_threads(worker)
+        for fragment_tokens in zip(*results):
+            assert len(set(fragment_tokens)) == 1  # same token in every thread
+
+    def test_tokens_never_alias_after_eviction(self):
+        _FRAGMENT_TOKENS.clear()
+        fragment = make_fragments(1)[0]
+        first = _token_entry(fragment)[0]
+        _FRAGMENT_TOKENS.clear()  # worst case: forget and re-mint
+        second = _token_entry(fragment)[0]
+        assert first != second  # the sequence never reuses a name
+
+    def test_enrolled_in_the_registry(self):
+        assert cache_registry().cache("shard.fragment_tokens") is _FRAGMENT_TOKENS
+        assert cache_registry().cache("shard.portable") is _PORTABLE_CACHE
+
+
+class TestPortableCache:
+    def test_concurrent_verdicts_agree(self):
+        _PORTABLE_CACHE.clear()
+        queries = [
+            parse_rule(f"V(x) <- E(x, {i})") for i in range(5)
+        ] + [parse_rule("V(x, y) <- E(x, y), Lt(x, y)")]
+        verdicts = [[] for _ in range(8)]
+
+        def worker(k):
+            for query in queries:
+                verdicts[k].append(_portable_query(query))
+
+        run_threads(worker)
+        assert all(v == verdicts[0] for v in verdicts)
+        assert verdicts[0][:5] == [True] * 5  # plain CQs are portable
+        assert verdicts[0][5] is False  # builtin body is not
+
+
+class TestWorkerStores:
+    def test_concurrent_worker_answers_with_miss_resend(self):
+        clear_worker_stores()
+        fragments = make_fragments(4)
+        payloads = [_encode_fragment(fragment) for fragment in fragments]
+        query_text = "V(x, y) <- E(x, y)"
+
+        def worker(k):
+            for i, payload in enumerate(payloads):
+                token = f"frag-{i}"
+                result = _worker_answer((token, None, query_text))
+                if result is None:  # miss: resend with payload
+                    result = _worker_answer((token, payload, query_text))
+                assert result is not None
+                assert set(result) == {("V", values) for _r, values in payload}
+
+        run_threads(worker)
+        assert worker_store_count() <= len(payloads)
+        clear_worker_stores()
+
+    def test_eviction_under_budget_degrades_to_miss_not_error(self):
+        clear_worker_stores()
+        registry = cache_registry()
+        assert registry.cache("shard.worker_stores") is not None
+        fragment = make_fragments(1)[0]
+        payload = _encode_fragment(fragment)
+        assert _worker_answer(("tok", payload, "V(x, y) <- E(x, y)")) is not None
+        clear_worker_stores()  # simulate eviction between requests
+        assert _worker_answer(("tok", None, "V(x, y) <- E(x, y)")) is None
+        assert _worker_answer(("tok", payload, "V(x, y) <- E(x, y)")) is not None
+        clear_worker_stores()

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Ban new ad-hoc module-level cache dicts outside ``repro.cache``.
+
+Every shared cache must be an ``LRUMemo`` enrolled in the process
+``CacheRegistry`` (see ``docs/caching.md``): that is what puts it under
+the global byte budget, the invalidation bus, and the uniform stats tree.
+Before the cache runtime existed the repo accumulated seven separate
+hand-rolled ``OrderedDict`` caches, each with its own eviction constant
+and its own (sometimes absent) locking — this lint keeps that from
+happening again.
+
+Mechanics: AST-parse every ``src/repro/**/*.py`` outside ``repro/cache/``
+and flag module-level (top-level or ``if``-nested) assignments whose value
+is a ``dict``/``OrderedDict`` display or constructor call. Genuinely
+static tables (operator maps, command dispatch) are not caches; waive
+them with an explicit trailing comment on the assignment's first line::
+
+    _OPS = {  # adhoc-cache-ok: static operator table, not a cache
+
+The waiver must carry a reason after the colon. Exit 0 when clean, 1 with
+one line per violation otherwise.
+
+Usage: python tools/check_no_adhoc_caches.py [ROOT]
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+WAIVER = "adhoc-cache-ok:"
+
+#: Constructor names whose module-level result we treat as a cache store.
+BANNED_CALLS = {"dict", "OrderedDict", "defaultdict"}
+
+
+def module_level_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Top-level statements, descending into module-level ``if`` blocks
+    (e.g. ``if TYPE_CHECKING:`` or version guards) but not into functions
+    or classes — instance and local dicts are some object's business."""
+    stack: List[ast.stmt] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.If):
+            stack.extend(node.body)
+            stack.extend(node.orelse)
+        else:
+            yield node
+
+
+def is_dict_value(value: ast.expr) -> bool:
+    if isinstance(value, ast.Dict):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        return name in BANNED_CALLS
+    return False
+
+
+def check_file(path: Path) -> List[Tuple[int, str]]:
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [(exc.lineno or 0, f"unparseable: {exc.msg}")]
+    problems: List[Tuple[int, str]] = []
+    for node in module_level_statements(tree):
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        if not is_dict_value(value):
+            continue
+        first_line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+        if WAIVER in first_line:
+            reason = first_line.split(WAIVER, 1)[1].strip()
+            if reason:
+                continue
+            problems.append(
+                (node.lineno, f"'{WAIVER}' waiver needs a reason after the colon")
+            )
+            continue
+        names = ", ".join(
+            getattr(t, "id", ast.dump(t)) for t in targets
+        )
+        problems.append(
+            (
+                node.lineno,
+                f"module-level dict {names!r}: use an enrolled "
+                f"repro.cache.LRUMemo, or waive a genuinely static table "
+                f"with '# {WAIVER} <reason>'",
+            )
+        )
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path("src/repro")
+    cache_pkg = root / "cache"
+    failed = False
+    for path in sorted(root.rglob("*.py")):
+        if cache_pkg in path.parents or path.parent == cache_pkg:
+            continue  # the runtime itself is where dict stores belong
+        for lineno, message in check_file(path):
+            print(f"{path}:{lineno}: {message}")
+            failed = True
+    if failed:
+        return 1
+    print("no ad-hoc module-level caches found")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -84,6 +84,22 @@ def validate(snapshot: object) -> List[str]:
                 )
     elif shard is not None:
         problems.append(f"shard section is {type(shard).__name__}, expected object")
+
+    cache = snapshot.get("cache")
+    if isinstance(cache, dict):
+        if not isinstance(cache.get("caches"), dict):
+            problems.append("cache section lacks a 'caches' object")
+        for counter in ("hits", "misses", "evictions", "invalidations", "bytes"):
+            value = cache.get(counter)
+            if not isinstance(value, int) or value < 0:
+                problems.append(
+                    f"cache.{counter} is {value!r}, expected int >= 0"
+                )
+        for name, leaf in (cache.get("caches") or {}).items():
+            if not isinstance(leaf, dict) or "hits" not in leaf:
+                problems.append(f"cache leaf {name!r} lacks 'hits'")
+    elif cache is not None:
+        problems.append(f"cache section is {type(cache).__name__}, expected object")
     return problems
 
 
