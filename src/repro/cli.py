@@ -21,6 +21,10 @@ Commands operate on source-collection files in the :mod:`repro.io` format:
   (``repro.service``) against an open-loop burst of confidence requests and
   report the observability snapshot; ``--json`` emits it machine-readable;
   ``--shards N`` answers query requests over a sharded certain database.
+  ``--resilience`` (implied by ``--source-fault`` / ``--chaos``) enables the
+  per-source availability layer (``repro.resilience``): circuit breakers,
+  per-source timeouts, hedged probes, and semantically degraded answers;
+  ``--chaos`` scripts deterministic per-source outages over the burst.
 
 Exit status: 0 on success (and a consistent collection for ``check``),
 1 for an inconsistent collection, 2 for usage/input errors.
@@ -145,6 +149,13 @@ def build_parser() -> argparse.ArgumentParser:
         "global hits/misses/evictions/bytes) as one JSON line after the "
         "answers",
     )
+    answer.add_argument(
+        "--exclude-source", action="append", default=[], metavar="NAME",
+        help="demote NAME's annotation to <c=0, s=0> before answering (the "
+        "offline mirror of runtime degradation, repro.resilience.degrade); "
+        "repeatable; answers certain only via the excluded source are "
+        "reported as downgraded to possible",
+    )
 
     consensus = commands.add_parser(
         "consensus", help="conflict analysis: trust, blame, repairs, relaxation"
@@ -222,6 +233,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for shard fragments (0/1 = serial)",
     )
     serve.add_argument("--seed", type=int, default=0, help="fault RNG seed")
+    serve.add_argument(
+        "--resilience", action="store_true",
+        help="enable the per-source availability layer (repro.resilience): "
+        "circuit breakers, per-source timeouts, hedged probes, degraded "
+        "answers; implied by --source-fault and --chaos",
+    )
+    serve.add_argument(
+        "--source-fault", action="append", default=[], metavar="NAME:MODE",
+        help="per-source fault active from the start, e.g. S1:crash, "
+        "S2:error:0.8, S1:slow:20, S2:partition; repeatable, implies "
+        "--resilience",
+    )
+    serve.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="deterministic outage schedule over the burst, e.g. "
+        "'0:S1:crash, 400:S1:ok' (AT_MS:SOURCE:MODE[:ARG], comma-"
+        "separated); implies --resilience",
+    )
+    serve.add_argument(
+        "--source-timeout-ms", type=float, default=50.0,
+        help="per-source probe timeout in milliseconds (default 50)",
+    )
+    serve.add_argument(
+        "--hedge-ms", type=float, default=0.0,
+        help="launch a hedged duplicate probe after this many milliseconds "
+        "without an answer (0 disables hedging; default 0)",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=float, default=0.5,
+        help="EWMA error-rate at which a source's breaker opens (default 0.5)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown-ms", type=float, default=250.0,
+        help="milliseconds an open breaker waits before half-opening "
+        "(default 250)",
+    )
+    serve.add_argument(
+        "--backoff-jitter", type=float, default=0.0,
+        help="seeded jitter fraction on retry backoff delays (default 0)",
+    )
     serve.add_argument(
         "--cache-budget-mb", type=float, default=None, metavar="MB",
         help="global byte budget shared by every cache the service uses; "
@@ -321,6 +372,18 @@ def cmd_answer(args) -> int:
     query = parse_rule(args.query)
     if args.shards < 1:
         raise SourceError("--shards must be >= 1")
+    excluded = tuple(sorted(set(args.exclude_source)))
+    full_collection = collection
+    if excluded:
+        from repro.resilience import demote
+
+        names = {source.name for source in collection}
+        unknown = [name for name in excluded if name not in names]
+        if unknown:
+            raise SourceError(
+                f"--exclude-source: unknown source(s) {', '.join(unknown)}"
+            )
+        collection = demote(collection, excluded)
     if args.cache_budget_mb is not None:
         from repro.cache import set_cache_budget_mb
 
@@ -371,13 +434,25 @@ def cmd_answer(args) -> int:
 
     try:
         result = answer_query(query, collection, args.domain, apply=apply)
+        full_certain = (
+            answer_query(query, full_collection, args.domain, apply=apply).certain
+            if excluded else None
+        )
     finally:
         if pool is not None:
             pool.close()
+    if excluded:
+        print(f"excluded sources (annotations demoted): {', '.join(excluded)}")
     print(f"possible worlds: {result.world_count}")
     print("certain answer:")
     for f in sorted(result.certain):
         print(f"  {f}")
+    if full_certain is not None:
+        from repro.resilience import downgraded
+
+        print("downgraded to possible (certain only with excluded sources):")
+        for f in downgraded(full_certain, result.certain):
+            print(f"  {f}")
     print("possible answer (ranked by confidence):")
     for f, conf in result.ranked():
         print(f"  {float(conf):8.4f}  {f}")
@@ -501,14 +576,46 @@ def cmd_serve(args) -> int:
         if args.cache_budget_mb < 0:
             raise SourceError("--cache-budget-mb must be >= 0")
         set_cache_budget_mb(args.cache_budget_mb)
+    resilient = bool(args.resilience or args.source_fault or args.chaos)
+    gateway = None
+    chaos_runner = None
+    resilience_config = None
+    if resilient:
+        from repro.resilience import ChaosRunner, ChaosSchedule, ResilienceConfig
+        from repro.service import PerSourceGateway
+
+        if policy is not None:
+            raise SourceError(
+                "--fault-* flags drive the whole-read injector; with "
+                "--resilience use per-source faults (--source-fault, --chaos)"
+            )
+        gateway = PerSourceGateway(seed=args.seed)
+        # --source-fault entries are chaos events at t=0; one schedule
+        # (and one deterministic runner) drives both.
+        spec_parts = [f"0:{entry}" for entry in args.source_fault]
+        if args.chaos:
+            spec_parts.append(args.chaos)
+        schedule = ChaosSchedule.parse(",".join(spec_parts), seed=args.seed)
+        chaos_runner = ChaosRunner(gateway, schedule)
+        chaos_runner.advance(0.0)
+        resilience_config = ResilienceConfig(
+            source_timeout=args.source_timeout_ms / 1000.0,
+            hedge_delay=args.hedge_ms / 1000.0,
+            error_threshold=args.breaker_threshold,
+            cooldown=args.breaker_cooldown_ms / 1000.0,
+        )
     config = SchedulerConfig(
         max_queue=args.queue,
         max_batch=args.batch,
         shards=args.shards,
         shard_workers=args.shard_workers,
+        backoff_jitter=args.backoff_jitter,
+        backoff_seed=args.seed,
+        resilience=resilience_config,
     )
     service = MediatorService(
-        collection, args.domain, config=config, fault_policy=policy
+        collection, args.domain, config=config, fault_policy=policy,
+        gateway=gateway,
     )
     timeout = None if args.deadline_ms is None else args.deadline_ms / 1000.0
     gap = args.arrival_ms / 1000.0
@@ -523,9 +630,13 @@ def cmd_serve(args) -> int:
 
     async def burst():
         facts = service.registry.snapshot().covered_facts()
+        loop = asyncio.get_running_loop()
+        start = loop.time()
         async with service:
             futures = []
             for i in range(args.requests):
+                if chaos_runner is not None:
+                    chaos_runner.advance(loop.time() - start)
                 if args.churn and i and i % args.churn == 0:
                     source = service.registry.snapshot().collection[0]
                     service.update_source(source.with_bounds(
@@ -557,6 +668,13 @@ def cmd_serve(args) -> int:
     for status, count in by_status.items():
         if count:
             print(f"  {status.value:>8}: {count}")
+    degraded = sum(1 for response in responses if response.degraded)
+    if degraded:
+        excluded = sorted(
+            {name for r in responses for name in r.excluded_sources}
+        )
+        print(f"  degraded: {degraded} (sources excluded: "
+              f"{', '.join(excluded)})")
     histograms = snapshot["metrics"]["histograms"]
     latency = histograms.get("latency", {})
     if latency.get("count"):

@@ -74,6 +74,7 @@ class ProcessExecutor:
         self._start_method = start_method
         self._pool = None
         self.degraded = False
+        self.respawns = 0
 
     def _ensure_pool(self):
         if self._pool is None and not self.degraded:
@@ -94,6 +95,24 @@ class ProcessExecutor:
         if pool is None:
             return [fn(item) for item in items]
         return pool.map(fn, items, chunksize=1)
+
+    def respawn(self) -> None:
+        """Discard a (broken) pool; the next ``map`` builds a fresh one.
+
+        ``terminate`` rather than ``close``: a pool whose workers died
+        mid-task never drains cleanly, and ``close``/``join`` would hang
+        on it. Clears ``degraded`` too — a broken pool says nothing about
+        whether a *new* one can be spawned.
+        """
+        if self._pool is not None:
+            try:
+                self._pool.terminate()
+                self._pool.join()
+            except Exception:
+                pass  # a half-dead pool may fail its own teardown
+            self._pool = None
+        self.degraded = False
+        self.respawns += 1
 
     def close(self) -> None:
         if self._pool is not None:

@@ -1,0 +1,218 @@
+"""Per-source circuit breakers: closed / open / half-open with EWMA health.
+
+A :class:`CircuitBreaker` guards one source's read path. It watches the
+stream of probe outcomes and keeps two exponentially weighted moving
+averages — error rate and latency — plus a consecutive-failure count:
+
+* **closed** — reads flow; the breaker only records outcomes. It *opens*
+  when either ``consecutive_limit`` probes fail back to back or the EWMA
+  error rate crosses ``error_threshold`` with at least ``min_samples``
+  observations behind it (a single unlucky probe never trips a breaker).
+* **open** — reads are refused instantly (:meth:`allow` returns False and
+  counts a *short circuit*): a source known to be down must not consume
+  per-batch timeout budget. After ``cooldown`` seconds the next
+  :meth:`allow` transitions to half-open and admits one probe.
+* **half-open** — a limited number of trial probes. ``half_open_probes``
+  consecutive successes close the breaker (and reset the EWMA, so stale
+  failure history cannot immediately re-trip it); any failure re-opens it
+  and restarts the cooldown.
+
+Time is always passed in by the caller (the scheduler uses its event
+loop's clock, tests use a hand-cranked virtual clock), so every
+transition in the suite and in the E22 chaos scenarios is deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+
+class BreakerState(enum.Enum):
+    """The three states of the classic circuit-breaker state machine."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip and recovery thresholds of one breaker (shared by a fleet).
+
+    ``error_threshold`` is on the EWMA error rate in [0, 1];
+    ``ewma_alpha`` is the smoothing weight of the newest observation;
+    ``cooldown`` is seconds from opening to the first half-open probe.
+    """
+
+    error_threshold: float = 0.5
+    ewma_alpha: float = 0.4
+    min_samples: int = 2
+    consecutive_limit: int = 3
+    cooldown: float = 0.25
+    half_open_probes: int = 1
+
+    def __post_init__(self):
+        if not 0.0 < self.error_threshold <= 1.0:
+            raise ValueError("error_threshold must be in (0, 1]")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if self.consecutive_limit < 1:
+            raise ValueError("consecutive_limit must be >= 1")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        if self.half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+
+
+#: Transition listener: ``(source, old_state, new_state, now)``.
+TransitionListener = Callable[[str, BreakerState, BreakerState, float], None]
+
+
+class CircuitBreaker:
+    """One source's availability state machine (thread-safe).
+
+    All clocking is explicit: :meth:`allow`, :meth:`record_success` and
+    :meth:`record_failure` take *now* from the caller, so the machine is a
+    pure function of its input stream — the property the deterministic
+    chaos tests rely on.
+    """
+
+    __slots__ = ("name", "config", "state", "ewma_error", "ewma_latency",
+                 "samples", "consecutive_failures", "opened_at",
+                 "half_open_successes", "successes", "failures",
+                 "short_circuits", "opens", "closes", "half_opens",
+                 "last_transition_at", "_on_transition", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        config: Optional[BreakerConfig] = None,
+        on_transition: Optional[TransitionListener] = None,
+    ):
+        self.name = name
+        self.config = config if config is not None else BreakerConfig()
+        self.state = BreakerState.CLOSED
+        self.ewma_error = 0.0
+        self.ewma_latency: Optional[float] = None
+        self.samples = 0
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self.half_open_successes = 0
+        self.successes = 0
+        self.failures = 0
+        self.short_circuits = 0
+        self.opens = 0
+        self.closes = 0
+        self.half_opens = 0
+        self.last_transition_at: Optional[float] = None
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+
+    # -- the gate ----------------------------------------------------------------
+
+    def allow(self, now: float) -> bool:
+        """May a probe go out right now? (Advances open → half-open.)"""
+        with self._lock:
+            if self.state is BreakerState.CLOSED:
+                return True
+            if self.state is BreakerState.OPEN:
+                if (
+                    self.opened_at is not None
+                    and now - self.opened_at >= self.config.cooldown
+                ):
+                    self._transition(BreakerState.HALF_OPEN, now)
+                    return True
+                self.short_circuits += 1
+                return False
+            return True  # HALF_OPEN: trial probes flow
+
+    # -- outcome stream ----------------------------------------------------------
+
+    def record_success(self, latency: float, now: float) -> None:
+        with self._lock:
+            self.successes += 1
+            self.samples += 1
+            self.consecutive_failures = 0
+            self._observe(0.0, latency)
+            if self.state is BreakerState.HALF_OPEN:
+                self.half_open_successes += 1
+                if self.half_open_successes >= self.config.half_open_probes:
+                    # Recovered: forget the failure history that tripped us,
+                    # or the first post-recovery blip would re-open instantly.
+                    self.ewma_error = 0.0
+                    self._transition(BreakerState.CLOSED, now)
+
+    def record_failure(self, latency: float, now: float) -> None:
+        with self._lock:
+            self.failures += 1
+            self.samples += 1
+            self.consecutive_failures += 1
+            self._observe(1.0, latency)
+            if self.state is BreakerState.HALF_OPEN:
+                self._transition(BreakerState.OPEN, now)
+            elif self.state is BreakerState.CLOSED and self._should_open():
+                self._transition(BreakerState.OPEN, now)
+
+    def _should_open(self) -> bool:
+        config = self.config
+        if self.consecutive_failures >= config.consecutive_limit:
+            return True
+        return (
+            self.samples >= config.min_samples
+            and self.ewma_error >= config.error_threshold
+        )
+
+    def _observe(self, error: float, latency: float) -> None:
+        alpha = self.config.ewma_alpha
+        self.ewma_error = alpha * error + (1 - alpha) * self.ewma_error
+        if self.ewma_latency is None:
+            self.ewma_latency = latency
+        else:
+            self.ewma_latency = alpha * latency + (1 - alpha) * self.ewma_latency
+
+    # -- transitions -------------------------------------------------------------
+
+    def _transition(self, new: BreakerState, now: float) -> None:
+        old, self.state = self.state, new
+        self.last_transition_at = now
+        if new is BreakerState.OPEN:
+            self.opens += 1
+            self.opened_at = now
+        elif new is BreakerState.HALF_OPEN:
+            self.half_opens += 1
+            self.half_open_successes = 0
+        else:
+            self.closes += 1
+            self.opened_at = None
+        if self._on_transition is not None:
+            self._on_transition(self.name, old, new, now)
+
+    # -- observability -----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """This breaker's health as plain data (``stats()["resilience"]``)."""
+        with self._lock:
+            return {
+                "state": self.state.value,
+                "ewma_error": self.ewma_error,
+                "ewma_latency": self.ewma_latency,
+                "samples": self.samples,
+                "consecutive_failures": self.consecutive_failures,
+                "successes": self.successes,
+                "failures": self.failures,
+                "short_circuits": self.short_circuits,
+                "opens": self.opens,
+                "half_opens": self.half_opens,
+                "closes": self.closes,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.name!r}, {self.state.value}, "
+            f"ewma_error={self.ewma_error:.3f}, samples={self.samples})"
+        )

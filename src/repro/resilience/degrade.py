@@ -1,0 +1,92 @@
+"""Semantic graceful degradation: demote lost sources, grade the answers.
+
+The paper's annotations are *guarantees*: source ``S_i = ⟨φ, v, c, s⟩``
+promises at least a ``c``-fraction of its intended content is present and
+at least an ``s``-fraction of its extension is correct. A source that is
+crashed, partitioned, or flapping at query time is a source whose
+guarantee cannot be *confirmed* — the mediator still holds the cached
+extension, but the annotation backing it has evaporated.
+
+The principled response (following the completeness-weakening line of
+"Complete Approximations of Incomplete Queries" and the query-driven
+completeness-management thesis) is not to error out but to **demote** the
+annotation and answer from what the remaining annotations still entail:
+
+* :func:`demote` replaces a lost source's bounds with ``c = 0, s = 0``.
+  The extension stays in the fact space (its facts remain *candidates*),
+  but it constrains nothing: ``poss(S')`` ⊇ ``poss(S)``, every possible
+  world of the full collection is still possible, and new ones appear.
+* Because ``poss`` only grows, anything certain under the demoted
+  collection is still certain under the full one — degraded answers are
+  **sound**. The converse fails, and that is the degradation: an answer
+  certain only because of the lost source's completeness bound drops to
+  *possible*; a fact whose confidence 1 hinged on the lost source's
+  soundness bound loses that status.
+* :func:`grade_answers` makes the loss explicit: it splits the full
+  collection's certain answers into those that survive demotion
+  (guarantee ``"certain"``) and those that degrade (``"possible"``).
+
+These are pure functions of collections — the property suite checks the
+service's dynamically degraded answers against a *statically* weakened
+registry built from the same demotion, so the runtime path can never
+drift from the declarative semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+from repro.sources.collection import SourceCollection
+
+#: Guarantee levels a degraded response can attach to an answer.
+GUARANTEE_CERTAIN = "certain"
+GUARANTEE_POSSIBLE = "possible"
+
+
+def demote(
+    collection: SourceCollection, excluded: Iterable[str]
+) -> SourceCollection:
+    """The collection with every *excluded* source's annotation demoted.
+
+    Demoted descriptors keep their extension (the facts stay candidates in
+    the global fact space) but promise nothing: completeness and soundness
+    bounds both drop to 0. Unknown names are ignored — an excluded source
+    that was deregistered mid-flight simply no longer needs demoting.
+    """
+    excluded = frozenset(excluded)
+    if not excluded:
+        return collection
+    return SourceCollection(
+        source.with_bounds(0, 0) if source.name in excluded else source
+        for source in collection
+    )
+
+
+def grade_answers(
+    full_answers: FrozenSet,
+    degraded_answers: FrozenSet,
+) -> Dict[object, str]:
+    """Per-answer guarantee levels after a demotion.
+
+    *degraded_answers* (certain under the demoted collection) keep
+    ``"certain"`` — they are entailed by the sources still standing.
+    Answers in *full_answers* only (certain under the full annotation set,
+    lost under demotion) downgrade to ``"possible"``: they depended on a
+    guarantee the mediator could not confirm at read time.
+    """
+    grades: Dict[object, str] = {
+        answer: GUARANTEE_CERTAIN for answer in degraded_answers
+    }
+    for answer in full_answers:
+        grades.setdefault(answer, GUARANTEE_POSSIBLE)
+    return grades
+
+
+def downgraded(
+    full_answers: FrozenSet,
+    degraded_answers: FrozenSet,
+) -> Tuple:
+    """The answers a demotion cost: certain before, merely possible after."""
+    from repro.shard.merge import canonical_order
+
+    return canonical_order(frozenset(full_answers) - frozenset(degraded_answers))

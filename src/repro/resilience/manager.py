@@ -1,0 +1,255 @@
+"""The per-batch availability pass: breakers, timeouts, hedged probes.
+
+Before a batch computes, the :class:`ResilienceManager` resolves which of
+the snapshot's sources are *actually reachable right now*:
+
+1. every source whose breaker is open is excluded instantly (a short
+   circuit — no read, no timeout budget spent);
+2. the remaining sources are probed **concurrently** through the
+   gateway's per-source seam, each under its own ``source_timeout``;
+3. a probe that is slow past ``hedge_delay`` (or that failed with hedge
+   budget left) launches a staggered duplicate — a *hedged retry*; the
+   first success wins and the stragglers are cancelled;
+4. outcomes feed the breakers: failures open them, cooldowns half-open
+   them, trial successes close them.
+
+The result is a :class:`ProbeReport`: the excluded source names (to be
+demoted by :mod:`repro.resilience.degrade`) plus counters. The manager
+never raises — total source loss is still a report, and the scheduler
+answers from whatever remains.
+
+Everything is clocked off the running event loop and the gateway's seeded
+RNGs, so the E22 chaos scenarios replay bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.resilience.breaker import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+)
+
+#: Bound on remembered breaker transitions (the stats()/bench surface).
+MAX_TRANSITIONS = 256
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Tuning knobs of the per-source availability layer.
+
+    ``source_timeout`` caps each probe (and all its hedges together);
+    ``hedge_delay`` is how long a probe may dawdle before a duplicate is
+    launched (0 disables hedging); ``max_hedges`` bounds duplicates per
+    probe. The breaker fields mirror :class:`BreakerConfig`.
+    """
+
+    source_timeout: float = 0.05
+    hedge_delay: float = 0.0
+    max_hedges: int = 1
+    error_threshold: float = 0.5
+    ewma_alpha: float = 0.4
+    min_samples: int = 2
+    consecutive_limit: int = 3
+    cooldown: float = 0.25
+    half_open_probes: int = 1
+
+    def __post_init__(self):
+        if self.source_timeout <= 0:
+            raise ValueError("source_timeout must be > 0")
+        if self.hedge_delay < 0:
+            raise ValueError("hedge_delay must be >= 0")
+        if self.max_hedges < 0:
+            raise ValueError("max_hedges must be >= 0")
+
+    def breaker_config(self) -> BreakerConfig:
+        return BreakerConfig(
+            error_threshold=self.error_threshold,
+            ewma_alpha=self.ewma_alpha,
+            min_samples=self.min_samples,
+            consecutive_limit=self.consecutive_limit,
+            cooldown=self.cooldown,
+            half_open_probes=self.half_open_probes,
+        )
+
+
+@dataclass
+class ProbeReport:
+    """What one availability pass found out."""
+
+    excluded: Tuple[str, ...] = ()
+    probed: int = 0
+    short_circuited: int = 0
+    failures: int = 0
+    timeouts: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.excluded)
+
+
+class ResilienceManager:
+    """Per-source breakers plus the concurrent probe/hedge machinery.
+
+    *metrics* is duck-typed (anything with ``counter(name).inc()`` and
+    ``histogram(name).observe()`` — the service passes its
+    :class:`~repro.service.metrics.MetricsRegistry`); ``None`` records
+    nothing. Breaker state transitions land in ``metrics`` counters
+    (``breaker_opened`` / ``breaker_half_opened`` / ``breaker_closed``)
+    and in a bounded :attr:`transitions` log.
+    """
+
+    def __init__(self, config: Optional[ResilienceConfig] = None, metrics=None):
+        self.config = config if config is not None else ResilienceConfig()
+        self.metrics = metrics
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        self.transitions: List[Dict[str, object]] = []
+
+    # -- breakers ----------------------------------------------------------------
+
+    def breaker_for(self, name: str) -> CircuitBreaker:
+        breaker = self.breakers.get(name)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                name,
+                self.config.breaker_config(),
+                on_transition=self._record_transition,
+            )
+            self.breakers[name] = breaker
+        return breaker
+
+    def _record_transition(self, name, old, new, now) -> None:
+        self.transitions.append(
+            {"source": name, "from": old.value, "to": new.value, "at": now}
+        )
+        del self.transitions[:-MAX_TRANSITIONS]
+        if self.metrics is not None:
+            self.metrics.counter(f"breaker_{self._verb(new)}").inc()
+
+    @staticmethod
+    def _verb(state: BreakerState) -> str:
+        return {
+            BreakerState.OPEN: "opened",
+            BreakerState.HALF_OPEN: "half_opened",
+            BreakerState.CLOSED: "closed",
+        }[state]
+
+    # -- the availability pass ---------------------------------------------------
+
+    async def resolve(self, snapshot, gateway) -> ProbeReport:
+        """Probe every source of *snapshot* through *gateway*; never raises."""
+        loop = asyncio.get_running_loop()
+        report = ProbeReport()
+        excluded: List[str] = []
+        probes: List[Tuple[str, "asyncio.Task"]] = []
+        for source in snapshot.collection:
+            name = source.name
+            breaker = self.breaker_for(name)
+            if not breaker.allow(loop.time()):
+                excluded.append(name)
+                report.short_circuited += 1
+                self._count("breaker_short_circuits")
+                continue
+            probes.append(
+                (name, loop.create_task(self._probe(gateway, snapshot, name, report)))
+            )
+        for name, task in probes:
+            report.probed += 1
+            ok = await task
+            if not ok:
+                excluded.append(name)
+        report.excluded = tuple(sorted(excluded))
+        if report.excluded:
+            self._count("sources_excluded", len(report.excluded))
+        return report
+
+    async def _probe(self, gateway, snapshot, name: str, report: ProbeReport) -> bool:
+        """One source's probe, hedged and clocked; outcome fed to its breaker."""
+        loop = asyncio.get_running_loop()
+        breaker = self.breaker_for(name)
+        config = self.config
+        start = loop.time()
+        deadline = start + config.source_timeout
+        tasks = [loop.create_task(gateway.probe(snapshot, name))]
+        hedging = config.hedge_delay > 0 and config.max_hedges > 0
+        try:
+            while True:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    report.timeouts += 1
+                    self._count("source_probe_timeouts")
+                    self._failure(breaker, start, loop)
+                    return False
+                can_hedge = hedging and len(tasks) <= config.max_hedges
+                wait_for = min(remaining, config.hedge_delay) if can_hedge else remaining
+                done, _pending = await asyncio.wait(
+                    tasks, timeout=wait_for,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                winners = [t for t in done if t.exception() is None]
+                if winners:
+                    if tasks.index(winners[0]) > 0:
+                        report.hedge_wins += 1
+                        self._count("source_hedge_wins")
+                    latency = loop.time() - start
+                    breaker.record_success(latency, loop.time())
+                    self._observe("probe_latency", latency)
+                    return True
+                all_failed = len(done) == len(tasks)
+                if all_failed and not can_hedge:
+                    report.failures += 1
+                    self._count("source_probe_failures")
+                    self._failure(breaker, start, loop)
+                    return False
+                if can_hedge:
+                    # Slow (nothing finished inside hedge_delay) or every
+                    # launched attempt failed: stagger out a duplicate.
+                    tasks.append(loop.create_task(gateway.probe(snapshot, name)))
+                    report.hedges += 1
+                    self._count("source_hedges")
+        finally:
+            for task in tasks:
+                task.cancel()
+            # Reap cancellations/failures so no "exception never retrieved"
+            # warnings leak from abandoned hedges.
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    def _failure(self, breaker: CircuitBreaker, start: float, loop) -> None:
+        breaker.record_failure(loop.time() - start, loop.time())
+
+    # -- observability -----------------------------------------------------------
+
+    def _count(self, name: str, delta: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(delta)
+
+    def _observe(self, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.histogram(name).observe(value)
+
+    def states(self) -> Dict[str, str]:
+        """Source → breaker state (tests and quick health checks)."""
+        return {name: b.state.value for name, b in sorted(self.breakers.items())}
+
+    def stats(self) -> Dict[str, object]:
+        """The ``stats()["resilience"]`` payload: per-source health."""
+        return {
+            "sources": {
+                name: breaker.snapshot()
+                for name, breaker in sorted(self.breakers.items())
+            },
+            "transitions": list(self.transitions),
+            "config": {
+                "source_timeout": self.config.source_timeout,
+                "hedge_delay": self.config.hedge_delay,
+                "error_threshold": self.config.error_threshold,
+                "cooldown": self.config.cooldown,
+            },
+        }
+

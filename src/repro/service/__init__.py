@@ -7,7 +7,9 @@ See ``docs/service.md`` for the architecture. Layering, bottom up:
 * :mod:`~repro.service.registry` — versioned, copy-on-write source
   registry; block-level diffs drive incremental memo invalidation.
 * :mod:`~repro.service.faults` — the source-read seam and its fault
-  injector (latency, transient errors, staleness), all seeded.
+  injectors (latency, transient errors, staleness, crashes, partitions),
+  all seeded; :class:`PerSourceGateway` gives every source its own lane
+  and policy (the seam ``repro.resilience`` probes through).
 * :mod:`~repro.service.metrics` / :mod:`~repro.service.tracing` — the
   observability substrate (counters, gauges, percentile histograms,
   bounded trace spans).
@@ -20,7 +22,10 @@ See ``docs/service.md`` for the architecture. Layering, bottom up:
 from repro.service.faults import (
     FaultInjector,
     FaultPolicy,
+    PerSourceGateway,
+    SourceCrashedError,
     SourceGateway,
+    SourceLane,
     TransientSourceError,
 )
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -54,7 +59,10 @@ __all__ = [
     "RequestStatus",
     "FaultPolicy",
     "FaultInjector",
+    "PerSourceGateway",
+    "SourceCrashedError",
     "SourceGateway",
+    "SourceLane",
     "TransientSourceError",
     "MetricsRegistry",
     "Counter",

@@ -1,4 +1,4 @@
-"""Fault injection for source reads: latency, transient errors, staleness.
+"""Fault injection for source reads: latency, errors, staleness, outages.
 
 The scheduler never touches a registry snapshot's extensions directly; it
 *reads* them through a :class:`SourceGateway`, the seam standing in for the
@@ -13,25 +13,45 @@ wraps a gateway with a configurable :class:`FaultPolicy`:
   ``ERROR`` response, never a crash;
 * **staleness** — reads occasionally return a *superseded* registry
   snapshot (a stale mirror), visible to callers through the response's
-  ``snapshot_version``.
+  ``snapshot_version``;
+* **crash** — reads raise :class:`SourceCrashedError` (a hard failure
+  retries cannot fix: the process behind the source is gone);
+* **partition** — reads hang (the network path to the source is gone);
+  only a caller-side timeout gets control back.
+
+:class:`PerSourceGateway` splits the injector so every source (or source
+group) carries its *own* :class:`FaultPolicy` and its own seeded RNG — the
+substrate of ``repro.resilience``: circuit breakers probe sources
+individually through :meth:`SourceGateway.probe`, so one crashed or
+partitioned source degrades only itself, never the batch.
 
 All randomness is seeded, so every degradation scenario in the tests and in
-E16 is reproducible.
+E16/E22 is reproducible.
 """
 
 from __future__ import annotations
 
 import asyncio
 import random
+import zlib
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.exceptions import ReproError
 from repro.service.registry import RegistrySnapshot, SourceRegistry
+from repro.sources.descriptor import SourceDescriptor
+
+#: How long a partitioned read hangs. Effectively forever next to any
+#: per-source timeout; finite so a caller that forgot one still returns.
+PARTITION_HANG = 3600.0
 
 
 class TransientSourceError(ReproError):
     """A source read failed in a retryable way (timeouts, flaky mirrors)."""
+
+
+class SourceCrashedError(ReproError):
+    """A source read failed in a non-retryable way (the source is down)."""
 
 
 @dataclass(frozen=True)
@@ -42,6 +62,10 @@ class FaultPolicy:
     ``stale_rate`` are probabilities in [0, 1]; ``error_burst`` makes only
     the first N reads fail (``None`` = every read is a coin flip), which
     lets tests script "fails twice, then recovers" deterministically.
+    ``crash`` makes every read raise :class:`SourceCrashedError`;
+    ``partition`` makes every read hang until the caller's timeout — the
+    two hard outage modes the circuit breakers of ``repro.resilience``
+    are built to contain.
     """
 
     latency: float = 0.0
@@ -49,6 +73,8 @@ class FaultPolicy:
     stale_rate: float = 0.0
     error_burst: Optional[int] = None
     seed: int = 0
+    crash: bool = False
+    partition: bool = False
 
     def __post_init__(self):
         if self.latency < 0:
@@ -57,6 +83,17 @@ class FaultPolicy:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+    @property
+    def healthy(self) -> bool:
+        """True when this policy injects nothing at all."""
+        return (
+            self.latency == 0.0
+            and self.error_rate == 0.0
+            and self.stale_rate == 0.0
+            and not self.crash
+            and not self.partition
+        )
 
 
 class SourceGateway:
@@ -73,6 +110,19 @@ class SourceGateway:
     async def read(self, snapshot: RegistrySnapshot) -> RegistrySnapshot:
         self.reads += 1
         return snapshot
+
+    async def probe(
+        self, snapshot: RegistrySnapshot, name: str
+    ) -> SourceDescriptor:
+        """Read one source of the snapshot (the per-source seam).
+
+        The base gateway always succeeds: it returns the named descriptor.
+        :class:`PerSourceGateway` overrides this with per-source fault
+        injection; the resilience layer's breakers call it one source at a
+        time so failures isolate.
+        """
+        self.reads += 1
+        return snapshot.collection.by_name(name)
 
 
 class FaultInjector(SourceGateway):
@@ -95,6 +145,12 @@ class FaultInjector(SourceGateway):
         policy = self.policy
         if policy.latency > 0:
             await asyncio.sleep(policy.latency)
+        if policy.partition:
+            await asyncio.sleep(PARTITION_HANG)
+        if policy.crash:
+            raise SourceCrashedError(
+                f"injected source crash (read #{self.reads})"
+            )
         if policy.error_rate > 0:
             bursting = (
                 policy.error_burst is None
@@ -126,3 +182,140 @@ class FaultInjector(SourceGateway):
         if not older:
             return None
         return self.registry.past_snapshot(max(older))
+
+
+class SourceLane:
+    """One source's private fault lane inside a :class:`PerSourceGateway`.
+
+    Carries the source's current :class:`FaultPolicy`, a deterministically
+    derived RNG (stable under chaos-schedule policy swaps: the stream is
+    seeded once per lane, not per policy), and per-lane counters.
+    """
+
+    __slots__ = ("name", "policy", "reads", "errors_injected", "crashes",
+                 "partitions", "_rng")
+
+    def __init__(self, name: str, policy: FaultPolicy, seed: int):
+        self.name = name
+        self.policy = policy
+        self.reads = 0
+        self.errors_injected = 0
+        self.crashes = 0
+        self.partitions = 0
+        # blake-free stable per-lane seed: crc32 is deterministic across
+        # processes and PYTHONHASHSEED values, unlike hash(str).
+        self._rng = random.Random(seed ^ zlib.crc32(name.encode("utf-8")))
+
+    async def pass_through(self) -> None:
+        """Inject this lane's faults, or return cleanly."""
+        self.reads += 1
+        policy = self.policy
+        if policy.latency > 0:
+            await asyncio.sleep(policy.latency)
+        if policy.partition:
+            self.partitions += 1
+            await asyncio.sleep(PARTITION_HANG)
+        if policy.crash:
+            self.crashes += 1
+            raise SourceCrashedError(
+                f"source {self.name!r} crashed (read #{self.reads})"
+            )
+        if policy.error_rate > 0:
+            bursting = (
+                policy.error_burst is None
+                or self.errors_injected < policy.error_burst
+            )
+            if bursting and self._rng.random() < policy.error_rate:
+                self.errors_injected += 1
+                raise TransientSourceError(
+                    f"injected transient failure on {self.name!r} "
+                    f"(read #{self.reads})"
+                )
+
+    def counters(self) -> Dict[str, object]:
+        return {
+            "reads": self.reads,
+            "errors_injected": self.errors_injected,
+            "crashes": self.crashes,
+            "partitions": self.partitions,
+            "policy": {
+                "latency": self.policy.latency,
+                "error_rate": self.policy.error_rate,
+                "crash": self.policy.crash,
+                "partition": self.policy.partition,
+            },
+        }
+
+
+class PerSourceGateway(SourceGateway):
+    """A gateway whose fault injection is split per source.
+
+    Each source name resolves to a :class:`SourceLane` holding its own
+    policy and seeded RNG; sources without an explicit policy share
+    *default* (but still get their own lane and RNG stream, so flipping
+    one source's policy mid-run never perturbs another's randomness).
+    Policies are swappable at runtime (:meth:`set_policy` /
+    :meth:`heal`) — the mutation surface the chaos runner drives.
+    """
+
+    def __init__(
+        self,
+        default: Optional[FaultPolicy] = None,
+        policies: Optional[Dict[str, FaultPolicy]] = None,
+        registry: Optional[SourceRegistry] = None,
+        seed: int = 0,
+    ):
+        super().__init__()
+        self.default = default if default is not None else FaultPolicy()
+        self.registry = registry
+        self.seed = seed
+        self._lanes: Dict[str, SourceLane] = {}
+        for name, policy in (policies or {}).items():
+            self._lanes[name] = SourceLane(name, policy, seed)
+
+    # -- policy surface (the chaos runner's mutation seam) -----------------------
+
+    def lane(self, name: str) -> SourceLane:
+        lane = self._lanes.get(name)
+        if lane is None:
+            lane = self._lanes[name] = SourceLane(name, self.default, self.seed)
+        return lane
+
+    def policy_for(self, name: str) -> FaultPolicy:
+        lane = self._lanes.get(name)
+        return lane.policy if lane is not None else self.default
+
+    def set_policy(self, name: str, policy: FaultPolicy) -> None:
+        """Swap one source's fault policy in place (takes effect next read)."""
+        self.lane(name).policy = policy
+
+    def heal(self, name: str) -> None:
+        """Clear one source's faults (its lane keeps its counters and RNG)."""
+        self.lane(name).policy = FaultPolicy()
+
+    # -- reads -------------------------------------------------------------------
+
+    async def read(self, snapshot: RegistrySnapshot) -> RegistrySnapshot:
+        """Whole-snapshot read: every source's lane must pass.
+
+        The batch path of schedulers running *without* a resilience layer:
+        equivalent to probing each source sequentially, so a single crashed
+        source fails the whole read — exactly the coupling the per-source
+        breakers exist to remove.
+        """
+        self.reads += 1
+        for source in snapshot.collection:
+            await self.lane(source.name).pass_through()
+        return snapshot
+
+    async def probe(
+        self, snapshot: RegistrySnapshot, name: str
+    ) -> SourceDescriptor:
+        """Read one source through its own fault lane."""
+        self.reads += 1
+        await self.lane(name).pass_through()
+        return snapshot.collection.by_name(name)
+
+    def stats(self) -> Dict[str, object]:
+        """Per-lane counters (the gateway section of ``stats()``)."""
+        return {name: lane.counters() for name, lane in sorted(self._lanes.items())}

@@ -78,8 +78,21 @@ class ServiceResponse:
     batch_size: int = 0
     attempts: int = 0
     #: certain-answer lower bound of the request's query (empty when the
-    #: request carried no query)
+    #: request carried no query); under degradation these are the answers
+    #: the *remaining* sources still entail — sound either way
     answers: Tuple[Atom, ...] = ()
+    #: True when one or more sources were unavailable and the answer was
+    #: computed with their annotations demoted (see repro.resilience)
+    degraded: bool = False
+    #: names of the sources excluded (breaker open / probe failed)
+    excluded_sources: Tuple[str, ...] = ()
+    #: the answer set's guarantee level: "certain" normally, "degraded"
+    #: when excluded sources were demoted (answers remain certain w.r.t.
+    #: the sources still standing)
+    guarantee: str = "certain"
+    #: answers certain under the full annotation set that the demotion
+    #: downgraded to merely possible (empty when not degraded)
+    downgraded_answers: Tuple[Atom, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -95,7 +108,7 @@ class ServiceResponse:
         """
         from repro.shard.merge import canonical_order
 
-        return {
+        out = {
             "request_id": self.request_id,
             "status": self.status.value,
             "confidences": {
@@ -109,4 +122,19 @@ class ServiceResponse:
             "batch_size": self.batch_size,
             "attempts": self.attempts,
             "answers": [str(a) for a in canonical_order(self.answers)],
+            "degraded": self.degraded,
+            "guarantee": self.guarantee,
         }
+        if self.degraded:
+            out["excluded_sources"] = list(self.excluded_sources)
+            out["downgraded_answers"] = [
+                str(a) for a in canonical_order(self.downgraded_answers)
+            ]
+            out["answer_guarantees"] = dict(
+                [(str(a), "certain") for a in canonical_order(self.answers)]
+                + [
+                    (str(a), "possible")
+                    for a in canonical_order(self.downgraded_answers)
+                ]
+            )
+        return out

@@ -17,30 +17,42 @@ iteration:
    ``TIMEOUT`` before any work is spent on them; deadlines are re-checked
    after compute so a slow read never converts into a silently late answer.
 4. **read & retry** — the batch's snapshot is resolved through the source
-   gateway (the fault-injection seam) with exponential backoff on
-   :class:`~repro.service.faults.TransientSourceError`; a read that outlives
-   the retry budget fails the batch with explicit ``ERROR`` responses.
+   gateway (the fault-injection seam) with exponential backoff (plus
+   seeded jitter) on :class:`~repro.service.faults.TransientSourceError`;
+   the retry loop never sleeps past the batch's earliest request deadline,
+   and a read that outlives the budget fails the batch with explicit
+   ``ERROR`` responses. With a :class:`ResilienceConfig` set, the whole-
+   batch read is replaced by the per-source availability pass of
+   :class:`~repro.resilience.manager.ResilienceManager`: circuit breakers,
+   per-source timeouts, hedged probes — unavailable sources are *excluded*
+   rather than failing the batch.
 5. **compute & resolve** — exact confidences from the snapshot's engine;
-   every future resolves with a :class:`ServiceResponse`, never an
-   exception.
+   when sources were excluded, the engine runs over the snapshot with
+   those annotations demoted (``repro.resilience.degrade``) and responses
+   carry ``degraded`` / ``excluded_sources`` / per-answer guarantee
+   metadata; every future resolves with a :class:`ServiceResponse`, never
+   an exception.
 
 Everything observable lands in the shared :class:`MetricsRegistry` (queue
-depth, batch sizes, per-status latency histograms, retry counts) and the
-:class:`Tracer` (per-batch ``source_read`` / ``engine`` spans).
+depth, batch sizes, per-status latency histograms, retry counts, breaker
+transitions) and the :class:`Tracer` (per-batch ``source_read`` /
+``engine`` spans).
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.exceptions import ReproError
 from repro.model.atoms import Atom
 from repro.model.database import GlobalDatabase
 from repro.confidence.engine import ConfidenceEngine
 from repro.confidence.engine.memo import LRUMemo
+from repro.resilience.manager import ResilienceConfig, ResilienceManager
 from repro.service.faults import SourceGateway, TransientSourceError
 from repro.service.metrics import MetricsRegistry
 from repro.service.registry import RegistrySnapshot, SourceRegistry
@@ -50,6 +62,15 @@ from repro.service.requests import (
     ServiceResponse,
 )
 from repro.service.tracing import Tracer
+
+#: No sources excluded: the well-known key suffix of healthy stores.
+NO_EXCLUSIONS: FrozenSet[str] = frozenset()
+
+
+def _store_key_order(key: Tuple[int, FrozenSet[str]]):
+    """Total order for (version, excluded) store keys — frozensets are not
+    orderable, so eviction loops sort by (version, size, sorted names)."""
+    return (key[0], len(key[1]), tuple(sorted(key[1])))
 
 
 @dataclass(frozen=True)
@@ -76,6 +97,12 @@ class SchedulerConfig:
     shards: int = 1
     #: worker processes for scatter-gather fragments (0/1 = serial)
     shard_workers: int = 0
+    #: fraction of extra seeded jitter on each retry delay (0 = none);
+    #: delay_j = backoff(a) · (1 + U[0,1) · backoff_jitter)
+    backoff_jitter: float = 0.0
+    backoff_seed: int = 0
+    #: per-source availability layer; None = legacy whole-batch reads
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self):
         if self.max_queue < 1:
@@ -86,6 +113,8 @@ class SchedulerConfig:
             raise ValueError("max_attempts must be >= 1")
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
+        if self.backoff_jitter < 0:
+            raise ValueError("backoff_jitter must be >= 0")
 
     def backoff(self, attempt: int) -> float:
         """Delay before retry *attempt* (1-based): base·2^(a−1), capped."""
@@ -115,9 +144,19 @@ class RequestScheduler:
                                     "asyncio.Future"]] = None
         self._inflight: List = []
         self._worker: Optional[asyncio.Task] = None
-        self._engines: Dict[int, ConfidenceEngine] = {}
-        self._certain_dbs: Dict[int, GlobalDatabase] = {}
-        self._shard_executors: Dict[int, object] = {}
+        # Per-version stores, keyed (version, excluded-source frozenset):
+        # a degraded batch computes over the *demoted* snapshot, which is
+        # a different instance than the healthy one at the same version.
+        self._engines: Dict[Tuple[int, FrozenSet[str]], ConfidenceEngine] = {}
+        self._certain_dbs: Dict[Tuple[int, FrozenSet[str]], GlobalDatabase] = {}
+        self._shard_executors: Dict[Tuple[int, FrozenSet[str]], object] = {}
+        self._weakened: Dict[Tuple[int, FrozenSet[str]], RegistrySnapshot] = {}
+        self._backoff_rng = random.Random(self.config.backoff_seed)
+        self.resilience: Optional[ResilienceManager] = None
+        if self.config.resilience is not None:
+            self.resilience = ResilienceManager(
+                self.config.resilience, metrics=self.metrics
+            )
         self._running = False
 
     # -- lifecycle ---------------------------------------------------------------
@@ -169,6 +208,7 @@ class RequestScheduler:
         for executor in self._shard_executors.values():
             executor.close()
         self._shard_executors.clear()
+        self._weakened.clear()
 
     # -- admission ---------------------------------------------------------------
 
@@ -297,15 +337,29 @@ class RequestScheduler:
             return
         self.metrics.histogram("batch_size").observe(len(live))
         snapshot = live[0][1]
+        deadline = self._batch_deadline(live)
         with self.tracer.span(
             "batch", version=snapshot.version, size=len(live)
         ) as span:
             try:
-                resolved, attempts = await self._read_with_retry(
-                    snapshot, span
+                if self.resilience is not None:
+                    report = await self.resilience.resolve(
+                        snapshot, self.gateway
+                    )
+                    resolved, attempts = snapshot, 1
+                    excluded = frozenset(report.excluded)
+                    if excluded:
+                        self.metrics.counter("degraded_batches").inc()
+                        span.attributes["excluded_sources"] = sorted(excluded)
+                else:
+                    resolved, attempts = await self._read_with_retry(
+                        snapshot, span, deadline
+                    )
+                    excluded = NO_EXCLUSIONS
+                confidences = self._compute(resolved, live, span, excluded)
+                answers, downgraded = self._answer_queries(
+                    resolved, live, span, excluded
                 )
-                confidences = self._compute(resolved, live, span)
-                answers = self._answer_queries(resolved, live, span)
             except ReproError as exc:
                 now = loop.time()
                 for request, _snapshot, future in live:
@@ -342,12 +396,37 @@ class RequestScheduler:
                         batch_size=len(live),
                         attempts=attempts,
                         answers=answers.get(request.request_id, ()),
+                        degraded=bool(excluded),
+                        excluded_sources=tuple(sorted(excluded)),
+                        guarantee="degraded" if excluded else "certain",
+                        downgraded_answers=downgraded.get(
+                            request.request_id, ()
+                        ),
                     )
                 self._resolve(request, future, response)
 
-    async def _read_with_retry(self, snapshot, span):
-        """Resolve the batch's snapshot through the gateway, with backoff."""
+    @staticmethod
+    def _batch_deadline(live) -> Optional[float]:
+        """The batch's earliest absolute deadline (None = unbounded)."""
+        deadlines = [
+            request.deadline for request, _s, _f in live
+            if request.deadline is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    async def _read_with_retry(self, snapshot, span, deadline=None):
+        """Resolve the batch's snapshot through the gateway, with backoff.
+
+        The delay before each retry carries seeded jitter
+        (``config.backoff_jitter``) so synchronized batches do not retry
+        in lockstep, and the loop never sleeps past *deadline* (the
+        batch's earliest request deadline): a backoff that would overrun
+        it fails fast with :class:`TransientSourceError` instead — the
+        caller turns that into structured ``ERROR`` responses, never an
+        unhandled exception or a guaranteed-late answer.
+        """
         config = self.config
+        loop = asyncio.get_running_loop()
         for attempt in range(1, config.max_attempts + 1):
             try:
                 with span.child(
@@ -359,14 +438,32 @@ class RequestScheduler:
                 self.metrics.counter("source_read_retries").inc()
                 if attempt == config.max_attempts:
                     raise
-                await asyncio.sleep(config.backoff(attempt))
+                delay = config.backoff(attempt)
+                if config.backoff_jitter > 0:
+                    delay *= 1.0 + config.backoff_jitter * self._backoff_rng.random()
+                if deadline is not None and loop.time() + delay > deadline:
+                    self.metrics.counter("retry_budget_exhausted").inc()
+                    raise TransientSourceError(
+                        f"retry budget exhausted after attempt {attempt}: "
+                        f"backing off {delay:.3f}s would overrun the "
+                        "batch's earliest deadline"
+                    )
+                await asyncio.sleep(delay)
         raise AssertionError("unreachable")  # pragma: no cover
 
     def _compute(
-        self, snapshot: RegistrySnapshot, live, span
+        self, snapshot: RegistrySnapshot, live, span,
+        excluded: FrozenSet[str] = NO_EXCLUSIONS,
     ) -> Dict[Atom, Fraction]:
-        """Exact confidences for every fact the batch asks about."""
-        engine = self._engine_for(snapshot)
+        """Exact confidences for every fact the batch asks about.
+
+        With *excluded* non-empty the engine runs over the snapshot with
+        those sources' annotations demoted to ⟨c=0, s=0⟩: their extensions
+        stay in the fact space (confidences of their facts remain
+        well-defined) but their bounds no longer constrain the possible
+        worlds.
+        """
+        engine = self._engine_for(snapshot, excluded)
         wanted = {f for request, _s, _f in live for f in request.facts}
         with span.child("engine", version=snapshot.version, facts=len(wanted)):
             self.metrics.counter("engine_calls").inc()
@@ -384,8 +481,9 @@ class RequestScheduler:
         return confidences
 
     def _answer_queries(
-        self, snapshot: RegistrySnapshot, live, span
-    ) -> Dict[int, Tuple[Atom, ...]]:
+        self, snapshot: RegistrySnapshot, live, span,
+        excluded: FrozenSet[str] = NO_EXCLUSIONS,
+    ) -> Tuple[Dict[int, Tuple[Atom, ...]], Dict[int, Tuple[Atom, ...]]]:
         """Certain-answer lower bounds for the batch's query requests.
 
         The snapshot's confidence-1 facts form a database contained in every
@@ -396,24 +494,38 @@ class RequestScheduler:
         queries share its scan rows and join indexes. With ``config.shards
         > 1`` execution scatter-gathers over the version's sharded store.
 
-        Answers are rendered in the canonical total order
-        (:func:`repro.shard.merge.canonical_order`) — ``key=str`` is not
-        total over heterogeneous constants, so equal answer sets could
-        serialize differently across runs.
+        Returns ``(answers, downgraded)`` keyed by request id. With
+        *excluded* sources the answers come from the *demoted* snapshot —
+        poss(S') ⊇ poss(S), so they stay a sound (certain) subset of the
+        healthy answers — and ``downgraded`` holds the healthy-minus-
+        degraded difference: answers the lost sources' annotations were
+        needed to certify, now merely possible. Both render in the
+        canonical total order (:func:`repro.shard.merge.canonical_order`)
+        — ``key=str`` is not total over heterogeneous constants, so equal
+        answer sets could serialize differently across runs.
         """
         queried = [
             request for request, _snapshot, _future in live
             if request.query is not None
         ]
         out: Dict[int, Tuple[Atom, ...]] = {}
+        downgraded_out: Dict[int, Tuple[Atom, ...]] = {}
         if not queried:
-            return out
+            return out, downgraded_out
         from repro.plan import evaluate as plan_evaluate, optimizer_stats
+        from repro.resilience.degrade import downgraded as grade_downgraded
         from repro.shard import canonical_order, shard_stats
 
         sharded = self.config.shards > 1
-        executor = self._shard_executor(snapshot) if sharded else None
-        database = None if sharded else self._certain_database(snapshot)
+        executor = self._shard_executor(snapshot, excluded) if sharded else None
+        database = (
+            None if sharded else self._certain_database(snapshot, excluded)
+        )
+        # The healthy-baseline certain DB, to grade what the demotion cost.
+        full_database = (
+            self._certain_database(snapshot, NO_EXCLUSIONS) if excluded
+            else None
+        )
         with span.child(
             "query_answers", version=snapshot.version, queries=len(queried)
         ):
@@ -422,17 +534,21 @@ class RequestScheduler:
             shard_before = shard_stats() if sharded else {}
             for request in queried:
                 if executor is not None:
-                    out[request.request_id] = executor.answer_ordered(
-                        request.query
-                    )
+                    answers = executor.answer_ordered(request.query)
                 else:
-                    out[request.request_id] = canonical_order(
+                    answers = canonical_order(
                         plan_evaluate(request.query, database)
+                    )
+                out[request.request_id] = answers
+                if full_database is not None:
+                    full = plan_evaluate(request.query, full_database)
+                    downgraded_out[request.request_id] = grade_downgraded(
+                        full, answers
                     )
             self._record_optimizer_metrics(before, optimizer_stats())
             if sharded:
                 self._record_shard_metrics(shard_before, shard_stats())
-        return out
+        return out, downgraded_out
 
     def _record_shard_metrics(self, before: Dict, after: Dict) -> None:
         """Fold this batch's shard-execution deltas into the metrics."""
@@ -441,6 +557,8 @@ class RequestScheduler:
             "fragments_executed",
             "shards_pruned",
             "worker_misses",
+            "pool_respawns",
+            "pool_serial_fallbacks",
         ):
             delta = (after.get(name) or 0) - (before.get(name) or 0)
             if delta:
@@ -467,46 +585,84 @@ class RequestScheduler:
         if max_q and max_q != before.get("max_q_error"):
             self.metrics.histogram("plan_q_error").observe(max_q)
 
-    def _certain_database(self, snapshot: RegistrySnapshot) -> GlobalDatabase:
+    def _working_snapshot(
+        self, snapshot: RegistrySnapshot, excluded: FrozenSet[str]
+    ) -> RegistrySnapshot:
+        """*snapshot*, or its demoted twin when sources are excluded.
+
+        The twin shares the version (callers still see the snapshot they
+        pinned) but carries the collection with excluded sources' bounds
+        weakened to ⟨0, 0⟩; cached per (version, excluded) because
+        demotion re-interns the collection.
+        """
+        if not excluded:
+            return snapshot
+        key = (snapshot.version, excluded)
+        weakened = self._weakened.get(key)
+        if weakened is None:
+            from repro.resilience.degrade import demote
+
+            weakened = RegistrySnapshot(
+                version=snapshot.version,
+                collection=demote(snapshot.collection, excluded),
+                domain=snapshot.domain,
+            )
+            self._weakened[key] = weakened
+            while len(self._weakened) > 16:
+                oldest = min(self._weakened, key=_store_key_order)
+                if oldest == key:
+                    break
+                self._weakened.pop(oldest)
+        return weakened
+
+    def _certain_database(
+        self, snapshot: RegistrySnapshot,
+        excluded: FrozenSet[str] = NO_EXCLUSIONS,
+    ) -> GlobalDatabase:
         """The snapshot's confidence-1 facts as one database (cached)."""
-        database = self._certain_dbs.get(snapshot.version)
+        key = (snapshot.version, excluded)
+        database = self._certain_dbs.get(key)
         if database is None:
-            engine = self._engine_for(snapshot)
+            engine = self._engine_for(snapshot, excluded)
             database = GlobalDatabase(
                 f for f, confidence in engine.confidences().items()
                 if confidence == 1
             )
-            self._certain_dbs[snapshot.version] = database
+            self._certain_dbs[key] = database
             while len(self._certain_dbs) > 8:
-                oldest = min(self._certain_dbs)
-                if oldest == snapshot.version:
+                oldest = min(self._certain_dbs, key=_store_key_order)
+                if oldest == key:
                     break
                 self._certain_dbs.pop(oldest)
         return database
 
-    def _shard_executor(self, snapshot: RegistrySnapshot):
+    def _shard_executor(
+        self, snapshot: RegistrySnapshot,
+        excluded: FrozenSet[str] = NO_EXCLUSIONS,
+    ):
         """The snapshot's scatter-gather executor (per-version cache).
 
         The sharded store partitions the same certain database the
         single-store path queries, under a spec built from the config's
         shard count; fragments and their plan-layer caches are shared by
-        every batch pinned to this version.
+        every batch pinned to this version (and exclusion set).
         """
         from repro.shard import PartitionSpec, ShardedDatabase, ShardExecutor
 
-        executor = self._shard_executors.get(snapshot.version)
+        key = (snapshot.version, excluded)
+        executor = self._shard_executors.get(key)
         if executor is None:
             store = ShardedDatabase(
-                self._certain_database(snapshot),
+                self._certain_database(snapshot, excluded),
                 PartitionSpec(self.config.shards),
             )
             executor = ShardExecutor(
                 store, workers=self.config.shard_workers
             )
-            self._shard_executors[snapshot.version] = executor
+            self._shard_executors[key] = executor
             while len(self._shard_executors) > 8:
-                oldest = min(self._shard_executors)
-                if oldest == snapshot.version:
+                oldest = min(self._shard_executors, key=_store_key_order)
+                if oldest == key:
                     break
                 self._shard_executors.pop(oldest).close()
         return executor
@@ -526,19 +682,21 @@ class RequestScheduler:
         ``shard_stores_discarded``.
         """
         tags: set = set()
-        for version in [v for v in self._certain_dbs if v < before_version]:
-            database = self._certain_dbs.pop(version)
+        for key in [k for k in self._certain_dbs if k[0] < before_version]:
+            database = self._certain_dbs.pop(key)
             tags.add(database.core())
         retired = 0
-        for version in [
-            v for v in self._shard_executors if v < before_version
+        for key in [
+            k for k in self._shard_executors if k[0] < before_version
         ]:
-            executor = self._shard_executors.pop(version)
+            executor = self._shard_executors.pop(key)
             tags.update(executor.sharded.built_fragments())
             executor.close()
             retired += 1
         if retired:
             self.metrics.counter("shard_stores_discarded").inc(retired)
+        for key in [k for k in self._weakened if k[0] < before_version]:
+            self._weakened.pop(key)
         return tags
 
     def discard_plan_statistics(self, before_version: int) -> int:
@@ -558,19 +716,23 @@ class RequestScheduler:
         )
         return per_cache.get("plan.statistics", 0)
 
-    def _engine_for(self, snapshot: RegistrySnapshot) -> ConfidenceEngine:
-        engine = self._engines.get(snapshot.version)
+    def _engine_for(
+        self, snapshot: RegistrySnapshot,
+        excluded: FrozenSet[str] = NO_EXCLUSIONS,
+    ) -> ConfidenceEngine:
+        key = (snapshot.version, excluded)
+        engine = self._engines.get(key)
         if engine is None:
             engine = ConfidenceEngine(
-                snapshot.instance(),
+                self._working_snapshot(snapshot, excluded).instance(),
                 workers=self.config.engine_workers,
                 memo=self.memo,
                 cache_size=self.config.engine_cache_size,
             )
-            self._engines[snapshot.version] = engine
+            self._engines[key] = engine
             while len(self._engines) > 8:  # superseded versions age out
-                oldest = min(self._engines)
-                if oldest == snapshot.version:
+                oldest = min(self._engines, key=_store_key_order)
+                if oldest == key:
                     break
                 self._engines.pop(oldest).close()
         return engine
@@ -579,6 +741,8 @@ class RequestScheduler:
 
     def _resolve(self, request, future, response: ServiceResponse) -> None:
         self.metrics.counter(f"responses_{response.status.value}").inc()
+        if response.degraded:
+            self.metrics.counter("responses_degraded").inc()
         self.metrics.histogram("latency").observe(response.latency)
         self.metrics.histogram(
             f"latency_{response.status.value}"

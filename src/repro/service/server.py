@@ -33,7 +33,12 @@ from repro.cache import cache_registry
 from repro.sources.collection import SourceCollection
 from repro.sources.descriptor import SourceDescriptor
 from repro.confidence.engine.memo import LRUMemo, shared_memo
-from repro.service.faults import FaultInjector, FaultPolicy, SourceGateway
+from repro.service.faults import (
+    FaultInjector,
+    FaultPolicy,
+    PerSourceGateway,
+    SourceGateway,
+)
 from repro.service.metrics import MetricsRegistry
 from repro.service.registry import (
     RegistryDiff,
@@ -56,14 +61,19 @@ class MediatorService:
         config: Optional[SchedulerConfig] = None,
         fault_policy: Optional[FaultPolicy] = None,
         memo: Optional[LRUMemo] = None,
+        gateway: Optional[SourceGateway] = None,
     ):
         sources = tuple(collection) if collection is not None else ()
         self.registry = SourceRegistry(sources, domain)
         self.metrics = MetricsRegistry()
         self.tracer = Tracer()
         self.memo = memo if memo is not None else shared_memo()
-        if fault_policy is not None:
-            self.gateway: SourceGateway = FaultInjector(
+        if gateway is not None:
+            # An explicit gateway (e.g. PerSourceGateway under a chaos
+            # schedule) wins over the whole-read fault policy.
+            self.gateway = gateway
+        elif fault_policy is not None:
+            self.gateway = FaultInjector(
                 fault_policy, registry=self.registry
             )
         else:
@@ -185,7 +195,8 @@ class MediatorService:
              "gateway": {...}, "tracing": {...}, "plan": {cache, data_sources},
              "shard": {shards, workers, counters},
              "cache": {budget_bytes, bytes, hits, misses, evictions,
-                       invalidations, caches: {name: {...}}}}
+                       invalidations, caches: {name: {...}}},
+             "resilience": {sources, transitions, config}}   # when enabled
         """
         from repro.plan import plan_stats
         from repro.shard import shard_stats
@@ -202,7 +213,9 @@ class MediatorService:
                 errors_injected=self.gateway.errors_injected,
                 stale_served=self.gateway.stale_served,
             )
-        return {
+        elif isinstance(self.gateway, PerSourceGateway):
+            gateway.update(lanes=self.gateway.stats())
+        out = {
             "registry": {
                 "version": snapshot.version,
                 "sources": len(snapshot.collection),
@@ -224,6 +237,9 @@ class MediatorService:
             },
             "cache": cache_registry().stats(),
         }
+        if self.scheduler.resilience is not None:
+            out["resilience"] = self.scheduler.resilience.stats()
+        return out
 
     def recent_spans(self) -> List[Dict[str, object]]:
         return self.tracer.export()

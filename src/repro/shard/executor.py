@@ -31,6 +31,7 @@ misses) feed the service's ``stats()`` surface via :func:`shard_stats`.
 from __future__ import annotations
 
 import threading
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.cache import cache_registry
@@ -47,6 +48,11 @@ FragmentPayload = Tuple[Tuple[str, Tuple[Any, ...]], ...]
 
 #: One shipped answer: ``(relation name, argument values)``.
 EncodedAnswer = Tuple[str, Tuple[Any, ...]]
+
+#: What a dying worker pool surfaces as: ``BrokenProcessPool`` from
+#: ``concurrent.futures``-style pools, ``OSError``/``EOFError`` from a
+#: ``multiprocessing.Pool`` whose pipe to a killed worker collapsed.
+BROKEN_POOL_ERRORS = (BrokenProcessPool, OSError, EOFError)
 
 
 # -- process-wide counters -----------------------------------------------------
@@ -324,6 +330,33 @@ class ShardExecutor:
             evaluate_fragment(query, facts) for _index, facts in plan.fragments
         ]
 
+    def _respawn_pool(self, pool):
+        """Replace or reset a broken pool; returns the pool to use next.
+
+        A pool that can respawn itself (:class:`ProcessExecutor`) keeps
+        its identity — important for shared pools, whose other executors
+        hold the same reference. Anything else is torn down and rebuilt,
+        and this executor takes ownership of the replacement. Either way
+        the sent-token set resets: the new workers' fragment caches are
+        empty, so every payload must ship again.
+        """
+        self._count("pool_respawns")
+        respawn = getattr(pool, "respawn", None)
+        if respawn is not None:
+            respawn()
+        else:
+            try:
+                pool.close()
+            except Exception:
+                pass  # broken pools may refuse even teardown
+            from repro.confidence.engine.executors import make_executor
+
+            pool = make_executor(self.workers, mode="process")
+            self._pool = pool
+            self._owns_pool = True
+        pool.shard_sent_tokens = set()
+        return pool
+
     def _execute_process(self, query, plan: ShardPlan) -> List[Iterable[Atom]]:
         pool = self._ensure_pool()
         if getattr(pool, "degraded", False):
@@ -339,7 +372,28 @@ class ShardExecutor:
                 tasks.append((token, None, query_text))
             else:
                 tasks.append((token, _payload_for(facts), query_text))
-        results = pool.map(_worker_answer, tasks)
+        try:
+            results = pool.map(_worker_answer, tasks)
+        except BROKEN_POOL_ERRORS:
+            # Workers died mid-batch. Respawn the pool and replay the
+            # whole batch with full payloads out of the fragment-token
+            # store — the fresh workers cache nothing yet. Only if the
+            # replacement pool *also* breaks does this query fall back
+            # to serial; the pool stays eligible for the next one.
+            pool = self._respawn_pool(pool)
+            sent = pool.shard_sent_tokens
+            tasks = [
+                (task[0], _payload_for(plan.fragments[i][1]), query_text)
+                for i, task in enumerate(tasks)
+            ]
+            try:
+                results = pool.map(_worker_answer, tasks)
+            except BROKEN_POOL_ERRORS:
+                self._count("pool_serial_fallbacks")
+                return [
+                    evaluate_fragment(query, facts)
+                    for _index, facts in plan.fragments
+                ]
         missed = [i for i, result in enumerate(results) if result is None]
         if missed:
             self._count("worker_misses", len(missed))

@@ -1,0 +1,198 @@
+"""Unit tests of the circuit-breaker state machine (hand-cranked clock)."""
+
+import pytest
+
+from repro.resilience import BreakerConfig, BreakerState, CircuitBreaker
+
+CFG = BreakerConfig(
+    error_threshold=0.5,
+    ewma_alpha=0.4,
+    min_samples=2,
+    consecutive_limit=3,
+    cooldown=1.0,
+    half_open_probes=1,
+)
+
+
+def test_closed_allows_and_stays_closed_on_success():
+    breaker = CircuitBreaker("S1", CFG)
+    for t in range(5):
+        assert breaker.allow(float(t))
+        breaker.record_success(0.01, float(t))
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.successes == 5
+    assert breaker.short_circuits == 0
+
+
+#: threshold=1.0 disables the EWMA trip (the average never reaches 1 with
+#: alpha < 1), isolating the consecutive-failure path.
+CONSECUTIVE_ONLY = BreakerConfig(
+    error_threshold=1.0,
+    ewma_alpha=0.4,
+    min_samples=2,
+    consecutive_limit=3,
+    cooldown=1.0,
+)
+
+
+def test_consecutive_failures_open_the_breaker():
+    breaker = CircuitBreaker("S1", CONSECUTIVE_ONLY)
+    for t in range(CONSECUTIVE_ONLY.consecutive_limit):
+        assert breaker.allow(float(t))
+        breaker.record_failure(0.01, float(t))
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.opens == 1
+
+
+def test_single_failure_never_trips():
+    # min_samples=2: one unlucky probe must not open the breaker even
+    # though a single observation pushes the EWMA to alpha > threshold...
+    cfg = BreakerConfig(
+        error_threshold=0.4, ewma_alpha=0.9, min_samples=2,
+        consecutive_limit=3, cooldown=1.0,
+    )
+    breaker = CircuitBreaker("S1", cfg)
+    breaker.record_failure(0.01, 0.0)
+    assert breaker.state is BreakerState.CLOSED
+    # ...but a second failure satisfies min_samples and opens it.
+    breaker.record_failure(0.01, 1.0)
+    assert breaker.state is BreakerState.OPEN
+
+
+def test_ewma_error_rate_trips_without_consecutive_run():
+    breaker = CircuitBreaker("S1", CFG)
+    # A failure-heavy mix whose consecutive run never reaches 3: with
+    # alpha=0.4 the EWMA goes .4, .24, .544 — crossing threshold 0.5 on
+    # the third observation with only one consecutive failure behind it.
+    outcomes = [1, 0, 1, 1]
+    t = 0.0
+    for error in outcomes:
+        if breaker.state is not BreakerState.CLOSED:
+            break
+        if error:
+            breaker.record_failure(0.01, t)
+        else:
+            breaker.record_success(0.01, t)
+        t += 1.0
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.consecutive_failures < CFG.consecutive_limit
+
+
+def test_open_short_circuits_until_cooldown_then_half_opens():
+    breaker = CircuitBreaker("S1", CONSECUTIVE_ONLY)
+    for t in range(3):
+        breaker.record_failure(0.01, float(t))
+    opened_at = 2.0
+    assert not breaker.allow(opened_at + 0.5)
+    assert not breaker.allow(opened_at + 0.99)
+    assert breaker.short_circuits == 2
+    assert breaker.allow(opened_at + CONSECUTIVE_ONLY.cooldown)
+    assert breaker.state is BreakerState.HALF_OPEN
+    assert breaker.half_opens == 1
+
+
+def test_half_open_failure_reopens_and_restarts_cooldown():
+    breaker = CircuitBreaker("S1", CFG)
+    for t in range(3):
+        breaker.record_failure(0.01, float(t))
+    assert breaker.allow(3.0 + CFG.cooldown)  # half-open
+    breaker.record_failure(0.01, 4.0)
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.opens == 2
+    # Cooldown restarts from the re-open instant, not the first open.
+    assert not breaker.allow(4.0 + CFG.cooldown - 0.01)
+    assert breaker.allow(4.0 + CFG.cooldown)
+
+
+def test_half_open_success_closes_and_resets_error_history():
+    breaker = CircuitBreaker("S1", CFG)
+    for t in range(3):
+        breaker.record_failure(0.01, float(t))
+    assert breaker.allow(2.0 + CFG.cooldown)
+    breaker.record_success(0.01, 4.0)
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.ewma_error == 0.0  # stale failures cannot re-trip
+    # One fresh failure right after recovery stays closed.
+    breaker.record_failure(0.01, 5.0)
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_half_open_requires_configured_probe_count():
+    cfg = BreakerConfig(
+        error_threshold=0.5, consecutive_limit=2, cooldown=1.0,
+        half_open_probes=2,
+    )
+    breaker = CircuitBreaker("S1", cfg)
+    breaker.record_failure(0.01, 0.0)
+    breaker.record_failure(0.01, 1.0)
+    assert breaker.allow(2.5)
+    breaker.record_success(0.01, 2.5)
+    assert breaker.state is BreakerState.HALF_OPEN  # one is not enough
+    breaker.record_success(0.01, 3.0)
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_transition_listener_sees_every_edge():
+    log = []
+    breaker = CircuitBreaker(
+        "S1", CFG, on_transition=lambda *edge: log.append(edge)
+    )
+    for t in range(3):
+        breaker.record_failure(0.01, float(t))
+    breaker.allow(2.0 + CFG.cooldown)
+    breaker.record_success(0.01, 4.0)
+    assert [(old.value, new.value) for _n, old, new, _t in log] == [
+        ("closed", "open"),
+        ("open", "half_open"),
+        ("half_open", "closed"),
+    ]
+    assert all(name == "S1" for name, _o, _n, _t in log)
+
+
+def test_snapshot_is_plain_data():
+    breaker = CircuitBreaker("S1", CFG)
+    breaker.record_failure(0.02, 0.0)
+    breaker.record_success(0.01, 1.0)
+    snap = breaker.snapshot()
+    assert snap["state"] == "closed"
+    assert snap["samples"] == 2
+    assert snap["failures"] == 1
+    assert snap["successes"] == 1
+    assert 0.0 < snap["ewma_error"] < 1.0
+    import json
+
+    json.dumps(snap)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BreakerConfig(error_threshold=0.0)
+    with pytest.raises(ValueError):
+        BreakerConfig(ewma_alpha=1.5)
+    with pytest.raises(ValueError):
+        BreakerConfig(min_samples=0)
+    with pytest.raises(ValueError):
+        BreakerConfig(consecutive_limit=0)
+    with pytest.raises(ValueError):
+        BreakerConfig(cooldown=-1.0)
+    with pytest.raises(ValueError):
+        BreakerConfig(half_open_probes=0)
+
+
+def test_deterministic_replay():
+    """Same outcome stream, same clock -> identical machine trajectories."""
+    def drive(breaker):
+        trace = []
+        t = 0.0
+        for step in range(20):
+            allowed = breaker.allow(t)
+            if allowed:
+                if step % 3 == 0:
+                    breaker.record_success(0.01, t)
+                else:
+                    breaker.record_failure(0.01, t)
+            trace.append((allowed, breaker.state.value))
+            t += 0.4
+        return trace
+
+    assert drive(CircuitBreaker("S", CFG)) == drive(CircuitBreaker("S", CFG))

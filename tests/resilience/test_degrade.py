@@ -1,0 +1,153 @@
+"""Degradation semantics: demotion widens poss(S); answers stay sound.
+
+The property suite pins the runtime path to the paper's declarative
+semantics: demoting a source to ⟨c=0, s=0⟩ can only *add* possible worlds,
+so everything certain under the demoted collection is certain under the
+full one — degraded answers are sound, and the difference is exactly the
+set of answers the lost annotations were needed to certify.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.confidence.answers import answer_query
+from repro.confidence.worlds import possible_worlds
+from repro.model import fact
+from repro.queries import identity_view, parse_rule
+from repro.resilience import (
+    GUARANTEE_CERTAIN,
+    GUARANTEE_POSSIBLE,
+    demote,
+    downgraded,
+    grade_answers,
+)
+from repro.sources import SourceCollection, SourceDescriptor
+
+from tests.property.strategies import VALUES, identity_collections
+
+DOMAIN = VALUES
+QUERY = parse_rule("ans(x) <- R(x)")
+
+
+def worlds_of(collection):
+    return frozenset(
+        frozenset(w) for w in possible_worlds(collection, DOMAIN)
+    )
+
+
+def source_names(collection):
+    return sorted(source.name for source in collection)
+
+
+@st.composite
+def collections_with_exclusions(draw):
+    collection = draw(identity_collections())
+    names = source_names(collection)
+    excluded = draw(
+        st.sets(st.sampled_from(names), min_size=1, max_size=len(names))
+    )
+    return collection, frozenset(excluded)
+
+
+@given(collections_with_exclusions())
+@settings(max_examples=40, deadline=None)
+def test_demotion_only_widens_the_possible_worlds(pair):
+    collection, excluded = pair
+    full = worlds_of(collection)
+    assume(full)  # inconsistent draws admit no worlds; nothing to weaken
+    weakened = worlds_of(demote(collection, excluded))
+    assert full <= weakened
+
+
+@given(collections_with_exclusions())
+@settings(max_examples=25, deadline=None)
+def test_degraded_certain_answers_are_sound(pair):
+    collection, excluded = pair
+    assume(worlds_of(collection))
+    full = answer_query(QUERY, collection, DOMAIN)
+    degraded = answer_query(QUERY, demote(collection, excluded), DOMAIN)
+    # Certain under the demoted collection -> certain under the full one.
+    assert degraded.certain <= full.certain
+    # Confidences can only move toward uncertainty in one direction for
+    # formerly-certain answers: nothing below 1 becomes 1.
+    for answer in degraded.certain:
+        assert full.confidences[answer] == 1
+
+
+@given(collections_with_exclusions())
+@settings(max_examples=25, deadline=None)
+def test_downgraded_is_exactly_the_difference(pair):
+    collection, excluded = pair
+    assume(worlds_of(collection))
+    full = answer_query(QUERY, collection, DOMAIN).certain
+    degraded = answer_query(
+        QUERY, demote(collection, excluded), DOMAIN
+    ).certain
+    lost = downgraded(full, degraded)
+    assert frozenset(lost) == frozenset(full) - frozenset(degraded)
+    grades = grade_answers(full, degraded)
+    assert {a for a, g in grades.items() if g == GUARANTEE_CERTAIN} == set(
+        degraded
+    )
+    assert {a for a, g in grades.items() if g == GUARANTEE_POSSIBLE} == set(
+        full
+    ) - set(degraded)
+
+
+@given(identity_collections())
+@settings(max_examples=25, deadline=None)
+def test_demoting_nothing_is_identity(collection):
+    assert demote(collection, frozenset()) is collection
+    # Unknown names are ignored, not errors.
+    same = demote(collection, frozenset({"NO-SUCH-SOURCE"}))
+    assert [s.name for s in same] == [s.name for s in collection]
+    assert all(
+        s.completeness_bound == t.completeness_bound
+        and s.soundness_bound == t.soundness_bound
+        for s, t in zip(same, collection)
+    )
+
+
+def test_demote_zeroes_bounds_and_keeps_extension():
+    collection = SourceCollection(
+        [
+            SourceDescriptor(
+                identity_view("V1", "R", 1),
+                [fact("V1", "a")], 1, 1, name="S1",
+            ),
+            SourceDescriptor(
+                identity_view("V2", "R", 1),
+                [fact("V2", "c")], "1/2", "1/2", name="S2",
+            ),
+        ]
+    )
+    weakened = demote(collection, {"S2"})
+    s1, s2 = list(weakened)
+    assert s1.completeness_bound == 1 and s1.soundness_bound == 1
+    assert s2.completeness_bound == 0 and s2.soundness_bound == 0
+    assert set(s2.extension) == {fact("V2", "c")}  # facts stay candidates
+
+
+def test_worked_example_downgrade():
+    """Two sound sources; losing one downgrades its certified answer."""
+    collection = SourceCollection(
+        [
+            SourceDescriptor(
+                identity_view("V1", "R", 1),
+                [fact("V1", "a")], 0, 1, name="S1",
+            ),
+            SourceDescriptor(
+                identity_view("V2", "R", 1),
+                [fact("V2", "c")], 0, 1, name="S2",
+            ),
+        ]
+    )
+    domain = ["a", "b", "c"]
+    full = answer_query(QUERY, collection, domain)
+    degraded = answer_query(QUERY, demote(collection, {"S2"}), domain)
+    assert fact("ans", "a") in degraded.certain
+    assert fact("ans", "c") in full.certain
+    assert fact("ans", "c") not in degraded.certain
+    assert downgraded(full.certain, degraded.certain) == (fact("ans", "c"),)
+    # The downgraded answer is still possible, just no longer guaranteed.
+    assert fact("ans", "c") in degraded.possible

@@ -1,0 +1,133 @@
+"""Per-source gateway and hard fault modes (crash, partition)."""
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    FaultInjector,
+    FaultPolicy,
+    PerSourceGateway,
+    SourceCrashedError,
+    SourceRegistry,
+    TransientSourceError,
+)
+
+from tests.conftest import example51_domain, make_example51_collection
+
+
+def snapshot():
+    registry = SourceRegistry(
+        tuple(make_example51_collection()), example51_domain(1)
+    )
+    return registry.snapshot()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_crash_policy_raises_source_crashed():
+    injector = FaultInjector(FaultPolicy(crash=True))
+    with pytest.raises(SourceCrashedError):
+        run(injector.read(snapshot()))
+
+
+def test_partition_policy_hangs_past_any_reasonable_timeout():
+    injector = FaultInjector(FaultPolicy(partition=True))
+
+    async def attempt():
+        with pytest.raises(asyncio.TimeoutError):
+            await asyncio.wait_for(injector.read(snapshot()), timeout=0.05)
+
+    run(attempt())
+
+
+def test_base_gateway_probe_returns_descriptor():
+    from repro.service import SourceGateway
+
+    gateway = SourceGateway()
+    snap = snapshot()
+    descriptor = run(gateway.probe(snap, "S1"))
+    assert descriptor.name == "S1"
+    assert gateway.reads == 1
+
+
+def test_per_source_gateway_isolates_fault_to_one_lane():
+    gateway = PerSourceGateway()
+    gateway.set_policy("S2", FaultPolicy(crash=True))
+    snap = snapshot()
+    # S1's probe is untouched...
+    assert run(gateway.probe(snap, "S1")).name == "S1"
+    # ...while S2's raises.
+    with pytest.raises(SourceCrashedError):
+        run(gateway.probe(snap, "S2"))
+    counters = gateway.stats()
+    assert counters["S1"]["crashes"] == 0
+    assert counters["S2"]["crashes"] == 1
+
+
+def test_whole_read_fails_when_any_lane_is_down():
+    # The coupling the resilience layer removes: without it, one crashed
+    # source fails the entire batch read.
+    gateway = PerSourceGateway()
+    gateway.set_policy("S2", FaultPolicy(crash=True))
+    with pytest.raises(SourceCrashedError):
+        run(gateway.read(snapshot()))
+
+
+def test_heal_clears_the_policy_but_keeps_the_lane():
+    gateway = PerSourceGateway()
+    gateway.set_policy("S1", FaultPolicy(crash=True))
+    with pytest.raises(SourceCrashedError):
+        run(gateway.probe(snapshot(), "S1"))
+    gateway.heal("S1")
+    assert run(gateway.probe(snapshot(), "S1")).name == "S1"
+    assert gateway.stats()["S1"]["reads"] == 2  # counters survive healing
+    assert gateway.policy_for("S1").healthy
+
+
+def test_lane_rngs_are_independent_and_seed_stable():
+    """Flipping one lane's policy never perturbs another lane's stream."""
+    def error_trace(gateway, name, reads):
+        outcomes = []
+        for _ in range(reads):
+            try:
+                run(gateway.probe(snapshot(), name))
+                outcomes.append(True)
+            except TransientSourceError:
+                outcomes.append(False)
+        return outcomes
+
+    flaky = FaultPolicy(error_rate=0.5)
+    solo = PerSourceGateway(seed=7)
+    solo.set_policy("S1", flaky)
+    baseline = error_trace(solo, "S1", 12)
+
+    perturbed = PerSourceGateway(seed=7)
+    perturbed.set_policy("S1", flaky)
+    perturbed.set_policy("S2", FaultPolicy(error_rate=0.9))
+    for _ in range(5):  # drain S2's lane; S1's stream must not move
+        try:
+            run(perturbed.probe(snapshot(), "S2"))
+        except TransientSourceError:
+            pass
+    assert error_trace(perturbed, "S1", 12) == baseline
+    assert any(baseline) and not all(baseline)  # the trace is non-trivial
+
+
+def test_default_policy_applies_to_unconfigured_lanes():
+    gateway = PerSourceGateway(default=FaultPolicy(crash=True))
+    with pytest.raises(SourceCrashedError):
+        run(gateway.probe(snapshot(), "S1"))
+    gateway.heal("S1")
+    assert run(gateway.probe(snapshot(), "S1")).name == "S1"
+
+
+def test_policy_validation_still_applies():
+    with pytest.raises(ValueError):
+        FaultPolicy(error_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultPolicy(latency=-1)
+    assert FaultPolicy().healthy
+    assert not FaultPolicy(partition=True).healthy

@@ -57,8 +57,12 @@ class TestSingleDiffClearsEverything:
                 assert response.status is RequestStatus.OK
                 await service.confidence([R_A])
                 old = service.registry.snapshot()
-                core = service.scheduler._certain_dbs[old.version].core()
-                executor = service.scheduler._shard_executors[old.version]
+                core = service.scheduler._certain_dbs[
+                    (old.version, frozenset())
+                ].core()
+                executor = service.scheduler._shard_executors[
+                    (old.version, frozenset())
+                ]
                 fragments = executor.sharded.built_fragments()
                 partition_key = (executor.sharded.union_core(),
                                  executor.sharded.spec)
@@ -118,7 +122,9 @@ class TestSingleDiffClearsEverything:
                 # diff retires only the *old* version's entries.
                 second = await service.answer(QUERY)
                 new = service.registry.snapshot()
-                executor = service.scheduler._shard_executors[new.version]
+                executor = service.scheduler._shard_executors[
+                    (new.version, frozenset())
+                ]
                 partition_key = (executor.sharded.union_core(),
                                  executor.sharded.spec)
                 assert first.status is second.status is RequestStatus.OK

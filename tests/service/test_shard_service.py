@@ -76,7 +76,7 @@ class TestInvalidation:
             response = await (await scheduler.submit([], query=QUERY))
             assert response.status is RequestStatus.OK
             version = scheduler.registry.snapshot().version
-            assert list(scheduler._shard_executors) == [version]
+            assert list(scheduler._shard_executors) == [(version, frozenset())]
             scheduler.discard_plan_statistics(version + 1)
             await scheduler.stop()
             return version

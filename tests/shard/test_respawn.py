@@ -1,0 +1,164 @@
+"""Broken-pool recovery: respawn and replay instead of permanent serial.
+
+A worker pool whose processes are OOM-killed mid-batch used to drop the
+executor into serial execution for the rest of its life. Now the pool is
+respawned, the batch is replayed with full payloads (the fresh workers'
+fragment caches are empty), and only a *second* consecutive failure falls
+back to serial — for that query only.
+"""
+
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.confidence.engine.executors import ProcessExecutor
+from repro.model import GlobalDatabase, fact
+from repro.plan import evaluate as plan_evaluate
+from repro.queries import parse_rule
+from repro.shard import PartitionSpec, ShardExecutor, ShardedDatabase
+from repro.shard.executor import clear_worker_stores
+
+QUERY = parse_rule("V(x, y) <- E(x, y)")
+
+
+def make_db():
+    return GlobalDatabase([fact("E", i % 5, (i * 3) % 7) for i in range(30)])
+
+
+def executor_with(pool, shards=3):
+    return ShardExecutor(
+        ShardedDatabase(make_db(), PartitionSpec(shards)),
+        workers=2,
+        pool=pool,
+    )
+
+
+class FlakyPool:
+    """In-process stand-in for a worker pool that dies *fail_times* times.
+
+    ``map`` delegates to serial calls once the failures are spent — the
+    worker function and its fragment cache are module-global, so the
+    executor's token/payload protocol exercises for real.
+    """
+
+    def __init__(self, fail_times=1):
+        self.fail_times = fail_times
+        self.maps = 0
+        self.respawns = 0
+        self.batches = []  # tasks seen by each successful map
+
+    def map(self, fn, items):
+        self.maps += 1
+        if self.fail_times > 0:
+            self.fail_times -= 1
+            raise BrokenProcessPool("workers died mid-batch")
+        items = list(items)
+        self.batches.append(items)
+        return [fn(item) for item in items]
+
+    def respawn(self):
+        self.respawns += 1
+        clear_worker_stores()  # fresh workers cache nothing
+
+
+@pytest.fixture(autouse=True)
+def _clean_worker_stores():
+    clear_worker_stores()
+    yield
+    clear_worker_stores()
+
+
+def test_broken_pool_respawns_and_replays_the_batch():
+    pool = FlakyPool(fail_times=1)
+    executor = executor_with(pool)
+    expected = plan_evaluate(QUERY, make_db())
+
+    assert executor.answer(QUERY) == expected
+    assert pool.respawns == 1
+    assert executor.counters["pool_respawns"] == 1
+    assert "pool_serial_fallbacks" not in executor.counters
+    # The replay shipped full payloads: fresh workers know no tokens.
+    replayed = pool.batches[0]
+    assert all(payload is not None for _token, payload, _q in replayed)
+
+
+def test_double_failure_falls_back_to_serial_for_that_query_only():
+    pool = FlakyPool(fail_times=2)
+    executor = executor_with(pool)
+    expected = plan_evaluate(QUERY, make_db())
+
+    # Both map attempts die -> this query is answered serially...
+    assert executor.answer(QUERY) == expected
+    assert executor.counters["pool_serial_fallbacks"] == 1
+    assert pool.respawns == 1
+
+    # ...but the pool stays eligible: the next query goes back to it.
+    assert executor.answer(QUERY) == expected
+    assert executor.counters["process_queries"] == 1
+    assert executor.counters.get("pool_serial_fallbacks") == 1
+
+
+def test_sent_tokens_reset_on_respawn():
+    pool = FlakyPool(fail_times=0)
+    executor = executor_with(pool)
+    executor.answer(QUERY)
+    warm = set(pool.shard_sent_tokens)
+    assert warm  # steady state: tokens cached on the pool object
+
+    pool.fail_times = 1
+    executor.answer(QUERY)
+    # The respawned pool restarted its token set from scratch and re-earned
+    # the same tokens by re-shipping payloads.
+    assert set(pool.shard_sent_tokens) == warm
+    assert all(
+        payload is not None for _t, payload, _q in pool.batches[-1]
+    )
+
+
+class RespawnlessPool:
+    """A pool without ``respawn``: the executor must rebuild and own it."""
+
+    def __init__(self):
+        self.closed = False
+
+    def map(self, fn, items):
+        raise BrokenProcessPool("dead on arrival")
+
+    def close(self):
+        self.closed = True
+
+
+def test_pool_without_respawn_is_rebuilt_via_factory(monkeypatch):
+    import repro.confidence.engine.executors as executors
+
+    replacement = FlakyPool(fail_times=0)
+    monkeypatch.setattr(
+        executors, "make_executor", lambda workers, mode: replacement
+    )
+    broken = RespawnlessPool()
+    executor = executor_with(broken)
+    expected = plan_evaluate(QUERY, make_db())
+
+    assert executor.answer(QUERY) == expected
+    assert broken.closed  # old pool torn down
+    assert executor._pool is replacement
+    assert executor._owns_pool  # replacement is ours to close
+    assert executor.counters["pool_respawns"] == 1
+
+
+def test_process_executor_respawn_resets_state():
+    executor = ProcessExecutor(2)
+    executor.degraded = True  # as if spawn failed once
+    executor.respawn()
+    assert executor.respawns == 1
+    assert executor.degraded is False
+    assert executor._pool is None
+
+
+def test_process_executor_respawn_then_map_works():
+    with ProcessExecutor(2) as executor:
+        first = executor.map(len, [(1, 2), (3,)])
+        executor.respawn()
+        second = executor.map(len, [(1, 2), (3,)])
+    assert first == second == [2, 1]
+    assert executor.respawns == 1

@@ -100,6 +100,32 @@ def validate(snapshot: object) -> List[str]:
                 problems.append(f"cache leaf {name!r} lacks 'hits'")
     elif cache is not None:
         problems.append(f"cache section is {type(cache).__name__}, expected object")
+
+    resilience = snapshot.get("resilience")
+    if isinstance(resilience, dict):
+        sources = resilience.get("sources")
+        if not isinstance(sources, dict):
+            problems.append("resilience section lacks a 'sources' object")
+        for name, breaker in (sources or {}).items():
+            if breaker.get("state") not in ("closed", "open", "half_open"):
+                problems.append(
+                    f"breaker {name!r} state is {breaker.get('state')!r}"
+                )
+            for field in ("samples", "failures", "successes", "opens"):
+                value = breaker.get(field)
+                if not isinstance(value, int) or value < 0:
+                    problems.append(
+                        f"breaker {name!r}.{field} is {value!r}, "
+                        "expected int >= 0"
+                    )
+        for transition in resilience.get("transitions", ()):
+            if not {"source", "from", "to", "at"} <= set(transition):
+                problems.append(f"malformed breaker transition {transition!r}")
+    elif resilience is not None:
+        problems.append(
+            f"resilience section is {type(resilience).__name__}, "
+            "expected object"
+        )
     return problems
 
 
